@@ -1,0 +1,150 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * SAT-backed complete MC-cube search vs. the greedy literal-dropping
+//!   heuristic;
+//! * C-element vs. dual-rail RS target;
+//! * generalized (gate-sharing) vs. plain per-region synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simc_benchmarks::{figures, generators};
+use simc_mc::gen::synthesize_generalized;
+use simc_mc::synth::{synthesize, Target};
+use simc_mc::McCheck;
+
+fn bench_cube_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/mc_cube_search");
+    // Figure 3 exercises both easy regions and ones needing literal work.
+    let sg = figures::figure3();
+    group.bench_function("sat_complete", |b| {
+        b.iter(|| {
+            let check = McCheck::new(std::hint::black_box(&sg));
+            check
+                .regions()
+                .ers()
+                .map(|(er, _)| check.mc_cube(er).is_ok() as usize)
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("greedy_incomplete", |b| {
+        b.iter(|| {
+            let check = McCheck::new(std::hint::black_box(&sg));
+            check
+                .regions()
+                .ers()
+                .map(|(er, _)| check.mc_cube_greedy(er).is_some() as usize)
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_targets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/target");
+    let sg = generators::muller_pipeline(5)
+        .expect("generator")
+        .to_state_graph()
+        .expect("reaches");
+    group.bench_function("c_element", |b| {
+        b.iter(|| {
+            synthesize(std::hint::black_box(&sg), Target::CElement)
+                .unwrap()
+                .to_netlist()
+                .unwrap()
+                .gate_count()
+        })
+    });
+    group.bench_function("rs_latch", |b| {
+        b.iter(|| {
+            synthesize(std::hint::black_box(&sg), Target::RsLatch)
+                .unwrap()
+                .to_netlist()
+                .unwrap()
+                .gate_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/sharing");
+    let sg = figures::figure3();
+    group.bench_function("plain", |b| {
+        b.iter(|| synthesize(std::hint::black_box(&sg), Target::CElement).unwrap().cube_count())
+    });
+    group.bench_function("generalized", |b| {
+        b.iter(|| {
+            synthesize_generalized(std::hint::black_box(&sg), Target::CElement)
+                .unwrap()
+                .cube_count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    // Fanin-bounded decomposition + re-verification: the cost of checking
+    // whether the two-level hazard-freedom guarantee survives a
+    // basic-gate library mapping.
+    use simc_netlist::{verify, VerifyOptions};
+    let mut group = c.benchmark_group("ablation/decomposition");
+    let sg = figures::figure3();
+    let netlist = synthesize(&sg, Target::CElement)
+        .unwrap()
+        .to_netlist()
+        .unwrap();
+    group.bench_function("decompose_fanin2", |b| {
+        b.iter(|| std::hint::black_box(&netlist).decomposed(2).unwrap().gate_count())
+    });
+    let small = netlist.decomposed(2).unwrap();
+    group.bench_function("reverify_flat", |b| {
+        b.iter(|| {
+            verify(std::hint::black_box(&netlist), &sg, VerifyOptions::default())
+                .unwrap()
+                .violations
+                .len()
+        })
+    });
+    group.bench_function("reverify_decomposed", |b| {
+        b.iter(|| {
+            verify(std::hint::black_box(&small), &sg, VerifyOptions::default())
+                .unwrap()
+                .violations
+                .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_complex_vs_basic(c: &mut Criterion) {
+    // The paper's motivating trade-off: complex gates need only CSC
+    // (Figure 1 directly), basic gates need MC-reduction first.
+    use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+    use simc_mc::complex::synthesize_complex;
+    let mut group = c.benchmark_group("ablation/style");
+    let sg = figures::figure1();
+    group.bench_function("complex_gates_direct", |b| {
+        b.iter(|| synthesize_complex(std::hint::black_box(&sg)).unwrap().gate_count())
+    });
+    group.bench_function("basic_gates_via_reduction", |b| {
+        b.iter(|| {
+            let reduced = reduce_to_mc(std::hint::black_box(&sg), ReduceOptions::default())
+                .unwrap();
+            synthesize(&reduced.sg, Target::CElement)
+                .unwrap()
+                .to_netlist()
+                .unwrap()
+                .gate_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cube_search,
+    bench_targets,
+    bench_sharing,
+    bench_decomposition,
+    bench_complex_vs_basic
+);
+criterion_main!(benches);

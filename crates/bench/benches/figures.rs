@@ -1,0 +1,79 @@
+//! Figure-level benchmarks: the analysis and synthesis steps behind
+//! Figures 1–4 and Examples 1–2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simc_benchmarks::figures;
+use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+use simc_mc::baseline::synthesize_baseline;
+use simc_mc::synth::{synthesize, Target};
+use simc_mc::McCheck;
+use simc_netlist::{verify, VerifyOptions};
+
+fn bench_figures(c: &mut Criterion) {
+    let fig1 = figures::figure1();
+    let fig3 = figures::figure3();
+    let fig4 = figures::figure4();
+
+    let mut group = c.benchmark_group("figures");
+
+    // Figure 1: region analysis + the MC check that drives Example 1.
+    group.bench_function("fig1/mc_check", |b| {
+        b.iter(|| McCheck::new(std::hint::black_box(&fig1)).report().violation_count())
+    });
+    // Example 1: MC-reduction of Figure 1 (the paper inserts signal x).
+    group.bench_function("fig1/mc_reduction", |b| {
+        b.iter(|| {
+            reduce_to_mc(std::hint::black_box(&fig1), ReduceOptions::default())
+                .expect("figure 1 reduces")
+                .added
+        })
+    });
+    // Figure 3: full synthesis of the MC form.
+    group.bench_function("fig3/synthesize_c", |b| {
+        b.iter(|| {
+            synthesize(std::hint::black_box(&fig3), Target::CElement)
+                .expect("figure 3 synthesizes")
+                .cube_count()
+        })
+    });
+    // Figure 3: gate-level verification of the synthesized circuit.
+    let implementation = synthesize(&fig3, Target::CElement).expect("synthesizes");
+    let netlist = implementation.to_netlist().expect("netlist");
+    group.bench_function("fig3/verify", |b| {
+        b.iter(|| {
+            verify(
+                std::hint::black_box(&netlist),
+                std::hint::black_box(&fig3),
+                VerifyOptions::default(),
+            )
+            .expect("runs")
+            .explored
+        })
+    });
+    // Example 2: baseline synthesis + hazard detection on Figure 4.
+    let baseline = synthesize_baseline(&fig4, Target::CElement).expect("baseline");
+    let bad_netlist = baseline.to_netlist().expect("netlist");
+    group.bench_function("fig4/baseline_synthesis", |b| {
+        b.iter(|| {
+            synthesize_baseline(std::hint::black_box(&fig4), Target::CElement)
+                .expect("baseline")
+                .cube_count()
+        })
+    });
+    group.bench_function("fig4/hazard_detection", |b| {
+        b.iter(|| {
+            verify(
+                std::hint::black_box(&bad_netlist),
+                std::hint::black_box(&fig4),
+                VerifyOptions::default(),
+            )
+            .expect("runs")
+            .violations
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Scaling sweep (extension experiment S1): Muller pipelines of growing
+//! depth, through each phase of the flow — reachability, region
+//! analysis, MC check, synthesis and verification. State counts grow as
+//! `~2^n`, exposing the asymptotics of each phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simc_benchmarks::generators;
+use simc_mc::synth::{synthesize, Target};
+use simc_mc::McCheck;
+use simc_netlist::{verify, VerifyOptions};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/pipeline");
+    group.sample_size(10);
+    for n in [2usize, 4, 6, 8] {
+        let stg = generators::muller_pipeline(n).expect("generator");
+        let sg = stg.to_state_graph().expect("reaches");
+
+        group.bench_with_input(BenchmarkId::new("reachability", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(&stg).to_state_graph().unwrap().state_count())
+        });
+        group.bench_with_input(BenchmarkId::new("regions", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(&sg).regions().er_count())
+        });
+        group.bench_with_input(BenchmarkId::new("mc_check", n), &n, |b, _| {
+            b.iter(|| McCheck::new(std::hint::black_box(&sg)).report().satisfied())
+        });
+        group.bench_with_input(BenchmarkId::new("synthesize", n), &n, |b, _| {
+            b.iter(|| {
+                synthesize(std::hint::black_box(&sg), Target::CElement)
+                    .unwrap()
+                    .cube_count()
+            })
+        });
+        if n <= 6 {
+            let netlist = synthesize(&sg, Target::CElement)
+                .unwrap()
+                .to_netlist()
+                .unwrap();
+            group.bench_with_input(BenchmarkId::new("verify", n), &n, |b, _| {
+                b.iter(|| {
+                    verify(
+                        std::hint::black_box(&netlist),
+                        std::hint::black_box(&sg),
+                        VerifyOptions::default(),
+                    )
+                    .unwrap()
+                    .explored
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sequencer_reduction(c: &mut Criterion) {
+    // MC-reduction cost over the generalized sequencer family — the
+    // hardest shape in Table 1, parameterized by round count.
+    use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+    let mut group = c.benchmark_group("scaling/sequencer_reduction");
+    group.sample_size(10);
+    for n in [1usize, 2, 3] {
+        let sg = generators::sequencer(n)
+            .expect("generator")
+            .to_state_graph()
+            .expect("reaches");
+        group.bench_with_input(BenchmarkId::new("rounds", n), &n, |b, _| {
+            b.iter(|| {
+                reduce_to_mc(std::hint::black_box(&sg), ReduceOptions::default())
+                    .expect("reduces")
+                    .added
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_sequencer_reduction);
+criterion_main!(benches);

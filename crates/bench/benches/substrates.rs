@@ -1,0 +1,97 @@
+//! Substrate micro-benchmarks (extension experiment S2): the SAT solver
+//! near the random-3SAT threshold, cube-cover minimization, and STG
+//! parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simc_cube::{minimize, MinimizeOptions};
+use simc_sat::{Lit, Solver};
+
+/// Deterministic xorshift for reproducible instances.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+fn random_3sat(vars: usize, clauses: usize, seed: u64) -> Vec<[i32; 3]> {
+    let mut rng = Rng(seed);
+    (0..clauses)
+        .map(|_| {
+            let mut clause = [0i32; 3];
+            for slot in &mut clause {
+                let v = (rng.next() % vars as u64) as i32 + 1;
+                *slot = if rng.next().is_multiple_of(2) { v } else { -v };
+            }
+            clause
+        })
+        .collect()
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/sat");
+    for vars in [40usize, 60, 80] {
+        // Clause ratio 4.0: mixed SAT/UNSAT region, realistic work.
+        let clauses = random_3sat(vars, vars * 4, 0x5eed + vars as u64);
+        group.bench_with_input(BenchmarkId::new("random3sat", vars), &vars, |b, _| {
+            b.iter(|| {
+                let mut solver = Solver::new();
+                let vs: Vec<_> = (0..vars).map(|_| solver.new_var()).collect();
+                for clause in &clauses {
+                    solver.add_clause(clause.iter().map(|&l| {
+                        Lit::with_polarity(vs[(l.unsigned_abs() - 1) as usize], l > 0)
+                    }));
+                }
+                solver.solve().is_sat()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/cube");
+    for n in [8usize, 12] {
+        let mut rng = Rng(0xc0ffee + n as u64);
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for p in 0u64..(1 << n) {
+            match rng.next() % 4 {
+                0 => on.push(p),
+                1 => off.push(p),
+                _ => {}
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("minimize", n), &n, |b, _| {
+            b.iter(|| {
+                minimize(
+                    std::hint::black_box(&on),
+                    std::hint::black_box(&off),
+                    MinimizeOptions::new(n),
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/stg");
+    let text = simc_benchmarks::suite::nak_pa().stg.to_g_string();
+    group.bench_function("parse_nak_pa", |b| {
+        b.iter(|| simc_stg::parse_g(std::hint::black_box(&text)).unwrap().transition_count())
+    });
+    let stg = simc_benchmarks::suite::nak_pa().stg;
+    group.bench_function("reach_nak_pa", |b| {
+        b.iter(|| std::hint::black_box(&stg).to_state_graph().unwrap().state_count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_cube, bench_stg);
+criterion_main!(benches);

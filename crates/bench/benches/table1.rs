@@ -1,0 +1,34 @@
+//! Table 1 benchmark: MC-reduction (state-signal insertion) per circuit.
+//!
+//! The paper reports all nine examples complete "within a 5 minutes
+//! timeout limit on a DEC 5000"; this bench measures the same runs on
+//! modern hardware. The two deep sequencers are the slowest and get a
+//! reduced sample count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simc_benchmarks::suite;
+use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/mc_reduction");
+    for b in suite::all() {
+        let sg = b.stg.to_state_graph().expect("benchmark reaches");
+        let slow = matches!(b.name, "ganesh_8" | "berkel3" | "duplicator" | "berkel2");
+        group.sample_size(if slow { 10 } else { 20 });
+        group.bench_function(b.name, |bencher| {
+            bencher.iter(|| {
+                reduce_to_mc(std::hint::black_box(&sg), ReduceOptions::default())
+                    .expect("reduction succeeds")
+                    .added
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+use std::time::Instant;
+fn main() {
+    for name in ["ganesh_8", "berkel3", "berkel2"] {
+        let b = simc_benchmarks::suite::all().into_iter().find(|b| b.name == name).unwrap();
+        let sg = b.stg.to_state_graph().unwrap();
+        let opts = ReduceOptions { max_signals: 6, max_candidates: 64, beam_width: 64, branch: 16 };
+        let t = Instant::now();
+        match reduce_to_mc(&sg, opts) {
+            Ok(r) => println!("{name}: added={} in {:?}", r.added, t.elapsed()),
+            Err(e) => println!("{name}: ERR {e} in {:?}", t.elapsed()),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Regenerates the analysis facts the paper's figures annotate:
+//!
+//! * Figure 1's marked regions ER(+d1) and QR(+d1), the minimal state,
+//!   the trigger `+a` and its non-persistency;
+//! * Figure 2's implementation structures, as synthesized netlists for
+//!   both targets on the C-element spec;
+//! * Figure 3's MC satisfaction and the degenerate `d = x̄` connection;
+//! * Figure 4's twin-coded states and region structure.
+
+use simc_benchmarks::figures;
+use simc_mc::synth::{synthesize, Target};
+use simc_mc::McCheck;
+use simc_sg::{Dir, Transition};
+
+fn main() {
+    figure1();
+    figure2();
+    figure3();
+    figure4();
+}
+
+fn figure1() {
+    println!("== Figure 1 ==");
+    let sg = figures::figure1();
+    let regions = sg.regions();
+    let d = sg.signal_by_name("d").expect("signal d");
+    let a = sg.signal_by_name("a").expect("signal a");
+    let er = regions.ers_of_transition(Transition::rise(d))[0];
+    let er_codes: Vec<String> = regions
+        .er(er)
+        .states()
+        .iter()
+        .map(|&s| sg.starred_code(s))
+        .collect();
+    println!("ER(+d,1) = {{{}}}", er_codes.join(", "));
+    let qr_codes: Vec<String> =
+        regions.qr(er).iter().map(|&s| sg.starred_code(s)).collect();
+    println!("QR(+d,1) = {{{}}}", qr_codes.join(", "));
+    let mins = regions.minimal_states(&sg, er);
+    println!(
+        "minimal state: {} (unique entry: {})",
+        sg.starred_code(mins[0]),
+        regions.has_unique_entry(&sg, er)
+    );
+    let trigs: Vec<String> = regions
+        .triggers(&sg, er)
+        .into_iter()
+        .map(|t| sg.transition_name(t))
+        .collect();
+    println!(
+        "triggers: {}; a ordered with ER(+d,1): {} -> +a is {}",
+        trigs.join(", "),
+        regions.is_ordered(&sg, er, a),
+        if regions.is_persistent_er(&sg, er) { "persistent" } else { "non-persistent" },
+    );
+    println!();
+}
+
+fn figure2() {
+    println!("== Figure 2: standard implementation structures ==");
+    let sg = figures::c_element();
+    for (target, name) in [
+        (Target::CElement, "standard C-implementation"),
+        (Target::RsLatch, "standard RS-implementation"),
+    ] {
+        let imp = synthesize(&sg, target).expect("C-element synthesizes");
+        let nl = imp.to_netlist().expect("netlist builds");
+        println!("{name} of the C-element spec: {}", nl.stats());
+    }
+    println!();
+}
+
+fn figure3() {
+    println!("== Figure 3 ==");
+    let sg = figures::figure3();
+    let check = McCheck::new(&sg);
+    let report = check.report();
+    println!(
+        "MC requirement satisfied: {} ({} functions)",
+        report.satisfied(),
+        report.entries().len()
+    );
+    print!("{}", report.render(&sg));
+    println!();
+}
+
+fn figure4() {
+    println!("== Figure 4 ==");
+    let sg = figures::figure4();
+    let regions = sg.regions();
+    let b = sg.signal_by_name("b").expect("signal b");
+    for (i, er) in regions
+        .ers_of_transition(Transition::rise(b))
+        .into_iter()
+        .enumerate()
+    {
+        let codes: Vec<String> = regions
+            .er(er)
+            .states()
+            .iter()
+            .map(|&s| sg.starred_code(s))
+            .collect();
+        println!("ER(+b,{}) = {{{}}}", i + 1, codes.join(", "));
+    }
+    // The twin 1100 states.
+    let twins: Vec<String> = sg
+        .state_ids()
+        .filter(|&s| sg.code(s).bits() == 0b0011) // a=1, b=1 (bit order: a is bit 0)
+        .map(|s| sg.starred_code(s))
+        .collect();
+    println!("states sharing code 1100: {{{}}}", twins.join(", "));
+    let check = McCheck::new(&sg);
+    let report = check.report();
+    println!("MC satisfied: {}", report.satisfied());
+    let _ = Dir::Rise;
+}

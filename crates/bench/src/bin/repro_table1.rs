@@ -1,0 +1,96 @@
+//! Regenerates Table 1 of the paper: MC-reduction (state-signal
+//! insertion) on the reconstructed benchmark suite.
+//!
+//! Columns mirror the paper's: circuit name, inputs, outputs, and the
+//! number of inserted state signals; we add the paper's reported count and
+//! the wall-clock time for comparison (the paper reports "within a
+//! 5-minute timeout on a DEC 5000").
+//!
+//! Pass `--markdown` for a GitHub-flavoured table (used by
+//! EXPERIMENTS.md) and `--thorough` for a wider insertion search (slower,
+//! finds smaller insertion counts on the deep sequencers).
+
+use std::time::Instant;
+
+use simc_bench::report::Table;
+use simc_benchmarks::suite;
+use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+use simc_mc::synth::{synthesize, Target};
+use simc_mc::McCheck;
+use simc_netlist::{verify, VerifyOptions};
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let thorough = std::env::args().any(|a| a == "--thorough");
+    let options = if thorough {
+        ReduceOptions { max_candidates: 96, beam_width: 200, branch: 48, ..ReduceOptions::default() }
+    } else {
+        ReduceOptions::default()
+    };
+    let mut table = Table::new(&[
+        "example", "in", "out", "added (paper)", "added (ours)", "states", "time ms", "verified",
+    ]);
+    for b in suite::all() {
+        let sg = match b.stg.to_state_graph() {
+            Ok(sg) => sg,
+            Err(e) => {
+                table.row(&[
+                    b.name.to_string(),
+                    b.paper_inputs.to_string(),
+                    b.paper_outputs.to_string(),
+                    b.paper_added.to_string(),
+                    format!("error: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                continue;
+            }
+        };
+        let start = Instant::now();
+        let outcome = reduce_to_mc(&sg, options);
+        let elapsed = start.elapsed().as_millis();
+        match outcome {
+            Ok(result) => {
+                // Close the loop: the reduced graph must satisfy MC and
+                // synthesize to a verified hazard-free implementation.
+                let satisfied = McCheck::new(&result.sg).report().satisfied();
+                let verified = satisfied
+                    && synthesize(&result.sg, Target::CElement)
+                        .ok()
+                        .and_then(|imp| imp.to_netlist().ok())
+                        .and_then(|nl| verify(&nl, &result.sg, VerifyOptions::default()).ok())
+                        .is_some_and(|r| r.is_ok());
+                table.row(&[
+                    b.name.to_string(),
+                    b.paper_inputs.to_string(),
+                    b.paper_outputs.to_string(),
+                    b.paper_added.to_string(),
+                    result.added.to_string(),
+                    format!("{} -> {}", sg.state_count(), result.sg.state_count()),
+                    elapsed.to_string(),
+                    if verified { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+            Err(e) => {
+                table.row(&[
+                    b.name.to_string(),
+                    b.paper_inputs.to_string(),
+                    b.paper_outputs.to_string(),
+                    b.paper_added.to_string(),
+                    format!("failed: {e}"),
+                    sg.state_count().to_string(),
+                    elapsed.to_string(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    println!("Table 1 — results of MC-reduction (paper: DAC'94, Section VII)");
+    println!();
+    if markdown {
+        print!("{}", table.to_markdown());
+    } else {
+        print!("{}", table.to_text());
+    }
+}

@@ -1,0 +1,112 @@
+//! Classic asynchronous-controller specs beyond the paper's Table 1,
+//! used for extra validation of the flow.
+
+use simc_stg::{parse_g, Stg};
+
+/// The VME bus controller's read cycle — the canonical CSC-violation
+/// example of the async-synthesis literature (the state after `d-`
+/// repeats the code of the state before `d+`, so one state signal is
+/// needed).
+///
+/// Inputs `dsr` (data send request) and `ldtack` (device acknowledge);
+/// outputs `lds` (device select), `d` (data latch), `dtack` (bus
+/// acknowledge).
+///
+/// # Panics
+///
+/// Never panics for the embedded text (validated by tests).
+pub fn vme_read() -> Stg {
+    parse_g(
+        "
+.model vme-read
+.inputs dsr ldtack
+.outputs lds d dtack
+.graph
+dsr+ lds+
+lds+ ldtack+
+ldtack+ d+
+d+ dtack+
+dtack+ dsr-
+dsr- d-
+d- dtack-
+d- lds-
+lds- ldtack-
+dtack- dsr+
+ldtack- lds+
+.marking { <dtack-,dsr+> <ldtack-,lds+> }
+.end
+",
+    )
+    .expect("vme read spec parses")
+}
+
+/// The *call element*: two mutually exclusive clients (`r1`/`a1`,
+/// `r2`/`a2`) share one subroutine handshake (`rs` out, `as` in). A
+/// free-choice spec whose shared output has one excitation region per
+/// branch — implementable without insertions.
+///
+/// # Panics
+///
+/// Never panics for the embedded text.
+pub fn call_element() -> Stg {
+    parse_g(
+        "
+.model call
+.inputs r1 r2 as
+.outputs a1 a2 rs
+.graph
+p0 r1+ r2+
+r1+ rs+
+r1+ pc1
+r2+ rs+/2
+r2+ pc2
+rs+ pm
+rs+/2 pm
+pm as+
+as+ pa
+pa a1+ a2+
+pc1 a1+
+pc2 a2+
+a1+ r1-
+a2+ r2-
+r1- rs-
+r1- pe1
+r2- rs-/2
+r2- pe2
+rs- pn
+rs-/2 pn
+pn as-
+as- pd
+pd a1- a2-
+pe1 a1-
+pe2 a2-
+a1- p0
+a2- p0
+.marking { p0 }
+.end
+",
+    )
+    .expect("call element spec parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vme_read_shape() {
+        let stg = vme_read();
+        let sg = stg.to_state_graph().unwrap();
+        assert!(sg.analysis().is_output_semimodular());
+        assert!(!sg.analysis().has_csc(), "the classic CSC conflict");
+        assert_eq!(stg.input_count(), 2);
+        assert_eq!(stg.non_input_count(), 3);
+    }
+
+    #[test]
+    fn call_element_shape() {
+        let stg = call_element();
+        let sg = stg.to_state_graph().unwrap();
+        assert!(sg.analysis().is_output_semimodular());
+    }
+}

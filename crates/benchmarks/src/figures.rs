@@ -1,0 +1,190 @@
+//! The state graphs printed in the paper, rebuilt from their figures.
+//!
+//! Each figure in the paper lists every state as a *starred code*
+//! (`1*010*`: digit = signal value, star = signal excited). Those listings
+//! determine the graphs completely — see
+//! [`StateGraph::from_starred_codes`].
+
+use simc_sg::{SignalKind, StateGraph};
+
+/// Figure 1: the running example. Signals `a b c d`, inputs `a, b`
+/// choosing between two branches; `+d` is non-persistent to its trigger
+/// `+a`, so ER(+d) needs two cubes and the SG violates the MC requirement.
+///
+/// # Panics
+///
+/// Never panics for the embedded codes (they are validated by tests).
+pub fn figure1() -> StateGraph {
+    StateGraph::from_starred_codes(
+        &[
+            ("a", SignalKind::Input),
+            ("b", SignalKind::Input),
+            ("c", SignalKind::Output),
+            ("d", SignalKind::Output),
+        ],
+        &[
+            "0*0*00", "100*0*", "010*0", "1*010*", "100*1", "0*110", "1*0*11",
+            "1110*", "1*111", "011*1", "01*01", "0001*", "0010*", "00*11",
+        ],
+        "0*0*00",
+    )
+    .expect("figure 1 codes are consistent")
+}
+
+/// Figure 3: Figure 1 after MC-reduction — one additional internal signal
+/// `x` makes every excitation region coverable by a single monotonous
+/// cube. Signals `a b c d x`; the paper derives equations (2) from this
+/// graph (`Sx = a'b'c'`, `d = x`, …).
+///
+/// # Panics
+///
+/// Never panics for the embedded codes.
+pub fn figure3() -> StateGraph {
+    StateGraph::from_starred_codes(
+        &[
+            ("a", SignalKind::Input),
+            ("b", SignalKind::Input),
+            ("c", SignalKind::Output),
+            ("d", SignalKind::Output),
+            ("x", SignalKind::Internal),
+        ],
+        &[
+            "0001*1", "1*1110", "1*0*110", "0010*0", "0*0*001", "10001*",
+            "010*01", "100*0*0", "0*1101", "1*010*0", "100*10", "11101*",
+            "1110*0", "011*10", "01*010", "00010*", "00*110",
+        ],
+        "0*0*001",
+    )
+    .expect("figure 3 codes are consistent")
+}
+
+/// Figure 4: Example 2 — a *persistent* SG (inputs `a, c, d`, output `b`)
+/// on which the Beerel–Meng conditions accept the implementation
+/// `t = cd; b = a + t`, yet cube `a` for ER(+b,1) also covers state
+/// `100*1` inside ER(+b,2), so gate `t` can fire unacknowledged: a hazard
+/// only the MC requirement catches.
+///
+/// # Panics
+///
+/// Never panics for the embedded codes.
+pub fn figure4() -> StateGraph {
+    // Two listed states share code 1100 (`110*0` after the first +b,
+    // `1*100` after -d) — legal, since both enable only input
+    // transitions, so CSC still holds. The two arcs into code 1100 are
+    // pinned to match the figure.
+    StateGraph::from_starred_codes_with_overrides(
+        &[
+            ("a", SignalKind::Input),
+            ("b", SignalKind::Output),
+            ("c", SignalKind::Input),
+            ("d", SignalKind::Input),
+        ],
+        &[
+            "0*000", "10*10*", "110*0", "01*00", "10*11", "1110*", "1*111",
+            "01*11", "001*1", "0*0*01", "10*01", "1*100", "0*101", "1101*",
+            "10*0*0",
+        ],
+        "0*000",
+        &[("10*0*0", "b", "110*0"), ("1101*", "d", "1*100")],
+    )
+    .expect("figure 4 codes are consistent")
+}
+
+/// The 8-state Muller C-element specification (inputs `a, b`, output
+/// `c`): the canonical MC-satisfying example.
+///
+/// # Panics
+///
+/// Never panics for the embedded codes.
+pub fn c_element() -> StateGraph {
+    StateGraph::from_starred_codes(
+        &[
+            ("a", SignalKind::Input),
+            ("b", SignalKind::Input),
+            ("c", SignalKind::Output),
+        ],
+        &["0*0*0", "10*0", "0*10", "110*", "1*1*1", "01*1", "1*01", "001*"],
+        "0*0*0",
+    )
+    .expect("c-element codes are consistent")
+}
+
+/// A 4-state toggle: input `a`, output `b` follows every `a` edge
+/// (two-phase handshake).
+///
+/// # Panics
+///
+/// Never panics for the embedded codes.
+pub fn toggle() -> StateGraph {
+    StateGraph::from_starred_codes(
+        &[("a", SignalKind::Input), ("b", SignalKind::Output)],
+        &["0*0", "10*", "1*1", "01*"],
+        "0*0",
+    )
+    .expect("toggle codes are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let sg = figure1();
+        assert_eq!(sg.state_count(), 14);
+        assert_eq!(sg.signal_count(), 4);
+        assert!(sg.analysis().is_output_semimodular());
+        assert!(!sg.analysis().is_semimodular()); // input choice conflict
+        assert!(sg.analysis().has_csc());
+    }
+
+    #[test]
+    fn figure3_shape() {
+        let sg = figure3();
+        assert_eq!(sg.state_count(), 17);
+        assert_eq!(sg.signal_count(), 5);
+        assert!(sg.analysis().is_output_semimodular());
+        assert!(sg.analysis().has_csc());
+    }
+
+    #[test]
+    fn figure3_projects_onto_figure1() {
+        // Hiding x must give back Figure 1's language over a,b,c,d: check
+        // state count of the projection equals 14 distinct abcd-codes.
+        let sg = figure3();
+        let x = sg.signal_by_name("x").unwrap();
+        let mut codes: Vec<u64> = sg
+            .state_ids()
+            .map(|s| sg.code(s).bits() & !(1 << x.index()))
+            .collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 14);
+    }
+
+    #[test]
+    fn figure4_is_persistent_for_outputs() {
+        let sg = figure4();
+        assert!(sg.analysis().is_output_semimodular());
+        let regions = sg.regions();
+        assert!(regions.is_output_persistent(&sg));
+    }
+
+    #[test]
+    fn figure4_er_plus_b_regions() {
+        // The paper: ER(+b,1) covered by cube `a`, ER(+b,2) by `cd`, and
+        // cube `a` also covers state 100*1 from ER(+b,2).
+        let sg = figure4();
+        let regions = sg.regions();
+        let b = sg.signal_by_name("b").unwrap();
+        let ups = regions.ers_of_transition(simc_sg::Transition::rise(b));
+        assert_eq!(ups.len(), 2);
+    }
+
+    #[test]
+    fn classics() {
+        assert_eq!(c_element().state_count(), 8);
+        assert_eq!(toggle().state_count(), 4);
+        assert!(c_element().analysis().is_output_semimodular());
+    }
+}

@@ -1,0 +1,192 @@
+//! Scalable synthetic workloads for scaling experiments.
+
+use simc_sg::SignalKind;
+use simc_stg::{Stg, StgBuilder, StgError};
+
+/// An `n`-stage Muller pipeline: input handshake `r`, output stages
+/// `c1 … cn`. Each adjacent pair is coupled by the four-phase protocol
+/// `prev+ → ci+ → prev- → ci- → prev+`; a marked graph, so the resulting
+/// SG is distributive and satisfies the MC requirement. State count grows
+/// exponentially in `n` — the scaling knob for reachability benchmarks.
+///
+/// # Errors
+///
+/// Fails only on internal construction errors (never for `1 ≤ n ≤ 60`).
+pub fn muller_pipeline(n: usize) -> Result<Stg, StgError> {
+    assert!(n >= 1, "pipeline needs at least one stage");
+    let mut b = StgBuilder::new(format!("muller-pipeline-{n}"));
+    b.add_signal("r", SignalKind::Input)?;
+    for i in 1..=n {
+        b.add_signal(&format!("c{i}"), SignalKind::Output)?;
+    }
+    let mut prev_plus = b.add_transition("r+")?;
+    let mut prev_minus = b.add_transition("r-")?;
+    for i in 1..=n {
+        let ci_plus = b.add_transition(&format!("c{i}+"))?;
+        let ci_minus = b.add_transition(&format!("c{i}-"))?;
+        b.arc_tt(prev_plus, ci_plus);
+        b.arc_tt(ci_plus, prev_minus);
+        b.arc_tt(prev_minus, ci_minus);
+        let back = b.arc_tt(ci_minus, prev_plus);
+        b.mark_place(back);
+        prev_plus = ci_plus;
+        prev_minus = ci_minus;
+    }
+    b.build()
+}
+
+/// `k` independent two-phase toggles (`a_i` input, `b_i` output). The SG
+/// is the `k`-fold product of 4-state cycles: `4^k` states.
+///
+/// # Errors
+///
+/// Fails only on internal construction errors.
+pub fn independent_toggles(k: usize) -> Result<Stg, StgError> {
+    assert!(k >= 1, "need at least one toggle");
+    let mut b = StgBuilder::new(format!("toggles-{k}"));
+    for i in 0..k {
+        b.add_signal(&format!("a{i}"), SignalKind::Input)?;
+        b.add_signal(&format!("b{i}"), SignalKind::Output)?;
+    }
+    for i in 0..k {
+        let ap = b.add_transition(&format!("a{i}+"))?;
+        let bp = b.add_transition(&format!("b{i}+"))?;
+        let am = b.add_transition(&format!("a{i}-"))?;
+        let bm = b.add_transition(&format!("b{i}-"))?;
+        b.arc_tt(ap, bp);
+        b.arc_tt(bp, am);
+        b.arc_tt(am, bm);
+        let back = b.arc_tt(bm, ap);
+        b.mark_place(back);
+    }
+    b.build()
+}
+
+/// A free-choice ring: one shared place chooses among `k` input/output
+/// handshake branches (`r_i`/`g_i`). Produces SGs with input conflicts
+/// (environment choice) like the paper's Figure 1.
+///
+/// # Errors
+///
+/// Fails only on internal construction errors.
+pub fn choice_ring(k: usize) -> Result<Stg, StgError> {
+    assert!(k >= 1, "need at least one branch");
+    let mut b = StgBuilder::new(format!("choice-ring-{k}"));
+    for i in 0..k {
+        b.add_signal(&format!("r{i}"), SignalKind::Input)?;
+        b.add_signal(&format!("g{i}"), SignalKind::Output)?;
+    }
+    let hub = b.place("hub");
+    b.mark_place(hub);
+    for i in 0..k {
+        let rp = b.add_transition(&format!("r{i}+"))?;
+        let gp = b.add_transition(&format!("g{i}+"))?;
+        let rm = b.add_transition(&format!("r{i}-"))?;
+        let gm = b.add_transition(&format!("g{i}-"))?;
+        b.arc_pt(hub, rp);
+        b.arc_tt(rp, gp);
+        b.arc_tt(gp, rm);
+        b.arc_tt(rm, gm);
+        b.arc_tp(gm, hub);
+    }
+    b.build()
+}
+
+/// An `n`-round sequencer: one left handshake (`r`/`a`) triggers `n`
+/// right handshakes (`r2`/`a2`) — the generalized form of the Table 1
+/// `duplicator`/`berkel3`/`ganesh_8` family. Each extra round adds a
+/// code-identical cycle segment, so the MC-reduction must insert
+/// ~`log2(n)` state signals; the knob for studying the state-assignment
+/// search.
+///
+/// # Errors
+///
+/// Fails only on internal construction errors (never for `1 ≤ n ≤ 15`).
+pub fn sequencer(n: usize) -> Result<Stg, StgError> {
+    assert!(n >= 1, "need at least one round");
+    let mut b = StgBuilder::new(format!("sequencer-{n}"));
+    b.add_signal("r", SignalKind::Input)?;
+    b.add_signal("a2", SignalKind::Input)?;
+    b.add_signal("a", SignalKind::Output)?;
+    b.add_signal("r2", SignalKind::Output)?;
+    let r_plus = b.add_transition("r+")?;
+    let mut prev = r_plus;
+    for i in 1..=n {
+        let suffix = if i == 1 { String::new() } else { format!("/{i}") };
+        let r2p = b.add_transition(&format!("r2+{suffix}"))?;
+        let a2p = b.add_transition(&format!("a2+{suffix}"))?;
+        let r2m = b.add_transition(&format!("r2-{suffix}"))?;
+        let a2m = b.add_transition(&format!("a2-{suffix}"))?;
+        b.arc_tt(prev, r2p);
+        b.arc_tt(r2p, a2p);
+        b.arc_tt(a2p, r2m);
+        b.arc_tt(r2m, a2m);
+        prev = a2m;
+    }
+    let a_plus = b.add_transition("a+")?;
+    let r_minus = b.add_transition("r-")?;
+    let a_minus = b.add_transition("a-")?;
+    b.arc_tt(prev, a_plus);
+    b.arc_tt(a_plus, r_minus);
+    b.arc_tt(r_minus, a_minus);
+    let back = b.arc_tt(a_minus, r_plus);
+    b.mark_place(back);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_state_counts() {
+        // n=1 is the toggle (4 states); counts grow monotonically.
+        let mut last = 0;
+        for n in 1..=4 {
+            let sg = muller_pipeline(n).unwrap().to_state_graph().unwrap();
+            assert!(sg.state_count() > last, "n={n}");
+            last = sg.state_count();
+            assert!(sg.analysis().is_output_semimodular(), "n={n}");
+            assert!(sg.analysis().has_csc(), "n={n}");
+        }
+        assert_eq!(
+            muller_pipeline(1).unwrap().to_state_graph().unwrap().state_count(),
+            4
+        );
+    }
+
+    #[test]
+    fn pipeline_is_distributive() {
+        let sg = muller_pipeline(3).unwrap().to_state_graph().unwrap();
+        assert!(sg.analysis().is_distributive());
+    }
+
+    #[test]
+    fn toggles_product_size() {
+        let sg = independent_toggles(3).unwrap().to_state_graph().unwrap();
+        assert_eq!(sg.state_count(), 64);
+        assert!(sg.analysis().is_output_semimodular());
+    }
+
+    #[test]
+    fn sequencer_matches_suite_instances() {
+        // n = 2 is the duplicator, n = 3 berkel3-style, n = 4 ganesh-style.
+        for (n, states) in [(1usize, 8usize), (2, 12), (3, 16), (4, 20)] {
+            let sg = sequencer(n).unwrap().to_state_graph().unwrap();
+            assert_eq!(sg.state_count(), states, "n={n}");
+            assert!(sg.analysis().is_output_semimodular());
+            // Every n has the D-element-style CSC conflict (the state
+            // after the last a2- repeats the post-r+ code).
+            assert!(!sg.analysis().has_csc(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn choice_ring_has_input_conflicts_only() {
+        let sg = choice_ring(3).unwrap().to_state_graph().unwrap();
+        let an = sg.analysis();
+        assert!(!an.is_semimodular());
+        assert!(an.is_output_semimodular());
+        assert_eq!(sg.state_count(), 1 + 3 * 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Benchmark specifications for the DAC'94 reproduction.
+//!
+//! Three families:
+//!
+//! * [`figures`] — the exact state graphs printed in the paper's Figures
+//!   1, 3 and 4, rebuilt from their starred state codes, plus small
+//!   classics (C-element, toggle);
+//! * [`suite`] — reconstructions of the Table 1 benchmark circuits
+//!   (`nak-pa`, `nowick`, `duplicator`, …) as STGs with the same
+//!   input/output interface sizes the paper reports;
+//! * [`generators`] — scalable synthetic workloads (Muller pipelines,
+//!   independent toggles, choice rings) for the scaling experiments;
+//! * [`extras`] — classics beyond the paper's suite (the VME bus
+//!   controller, micropipeline control) for extra validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extras;
+pub mod figures;
+pub mod generators;
+pub mod suite;

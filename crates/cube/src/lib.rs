@@ -1,0 +1,40 @@
+//! Boolean cube algebra and two-level (sum-of-products) covers.
+//!
+//! The Monotonous Cover theory of the DAC'94 paper represents each
+//! excitation-region function as a single *cube* — a conjunction of
+//! literals — and each excitation function as a *cover* (disjunction of
+//! cubes) feeding an OR gate. This crate supplies that algebra:
+//!
+//! * [`Cube`] — a product term over up to 64 variables, with containment,
+//!   intersection, supercube and cofactor operations;
+//! * [`Cover`] — an ordered list of cubes with containment and overlap
+//!   queries, single-output minimization against an explicit
+//!   on-set/off-set, and pretty-printing in the paper's equation style.
+//!
+//! Minimization here is an "espresso-lite" for the small, explicit state
+//! spaces of speed-independent synthesis: literal-greedy cube expansion
+//! against the off-set followed by a greedy irredundant covering pass.
+//!
+//! # Example
+//!
+//! ```
+//! use simc_cube::{Cube, Cover};
+//!
+//! // f = a·b̄ over variables [a, b, c]
+//! let cube = Cube::top().with_literal(0, true).with_literal(1, false);
+//! assert!(cube.covers(0b001));       // a=1, b=0, c=0
+//! assert!(!cube.covers(0b011));      // b=1 excluded
+//! let cover = Cover::from_cubes(vec![cube]);
+//! assert_eq!(cover.render(&["a", "b", "c"]), "a b'");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cover;
+mod cube;
+mod minimize;
+
+pub use cover::Cover;
+pub use cube::Cube;
+pub use minimize::{minimize, MinimizeOptions};

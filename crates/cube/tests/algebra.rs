@@ -1,0 +1,95 @@
+//! Property-based tests of the cube algebra.
+
+use proptest::prelude::*;
+use simc_cube::{minimize, Cube, MinimizeOptions};
+
+const VARS: usize = 6;
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    (0u64..(1 << VARS), 0u64..(1 << VARS))
+        .prop_map(|(care, value)| Cube::from_masks(care, value))
+}
+
+fn minterms(c: Cube) -> Vec<u64> {
+    (0..(1u64 << VARS)).filter(|&p| c.covers(p)).collect()
+}
+
+proptest! {
+    #[test]
+    fn contains_agrees_with_minterms(a in arb_cube(), b in arb_cube()) {
+        let expected = minterms(b).iter().all(|&p| a.covers(p));
+        prop_assert_eq!(a.contains(b), expected);
+    }
+
+    #[test]
+    fn intersection_is_minterm_intersection(a in arb_cube(), b in arb_cube()) {
+        let both: Vec<u64> = minterms(a)
+            .into_iter()
+            .filter(|&p| b.covers(p))
+            .collect();
+        match a.intersect(b) {
+            Some(c) => prop_assert_eq!(minterms(c), both),
+            None => prop_assert!(both.is_empty()),
+        }
+    }
+
+    #[test]
+    fn supercube_is_smallest_common_superset(a in arb_cube(), b in arb_cube()) {
+        let sup = a.supercube(b);
+        prop_assert!(sup.contains(a));
+        prop_assert!(sup.contains(b));
+        // Minimality: adding any literal of the supercube's free variables
+        // that both agree on would have been kept, so dropping any kept
+        // literal strictly grows nothing — check via literal structure:
+        for (var, polarity) in sup.literals() {
+            prop_assert_eq!(a.literal(var), Some(polarity));
+            prop_assert_eq!(b.literal(var), Some(polarity));
+        }
+    }
+
+    #[test]
+    fn distance_zero_iff_overlap(a in arb_cube(), b in arb_cube()) {
+        prop_assert_eq!(a.distance(b) == 0, a.overlaps(b));
+    }
+
+    #[test]
+    fn minterm_count_matches(a in arb_cube()) {
+        prop_assert_eq!(a.minterm_count(VARS) as usize, minterms(a).len());
+    }
+
+    #[test]
+    fn cofactor_shrinks_support(a in arb_cube(), var in 0usize..VARS, pol: bool) {
+        if let Some(c) = a.cofactor(var, pol) {
+            prop_assert_eq!(c.literal(var), None);
+            // Every minterm of a with var=pol, projected, is covered.
+            for p in minterms(a) {
+                if (p >> var) & 1 == u64::from(pol) {
+                    prop_assert!(c.covers(p & !(1 << var)) || c.covers(p));
+                }
+            }
+        } else {
+            prop_assert_eq!(a.literal(var), Some(!pol));
+        }
+    }
+
+    /// The minimizer always produces a valid, irredundant cover.
+    #[test]
+    fn minimize_valid_on_random_functions(assignments in proptest::collection::vec(0u8..3, 1 << VARS)) {
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for (p, &kind) in assignments.iter().enumerate() {
+            match kind {
+                0 => on.push(p as u64),
+                1 => off.push(p as u64),
+                _ => {}
+            }
+        }
+        let cover = minimize(&on, &off, MinimizeOptions::new(VARS));
+        for &p in &on {
+            prop_assert!(cover.covers(p));
+        }
+        for &p in &off {
+            prop_assert!(!cover.covers(p));
+        }
+    }
+}

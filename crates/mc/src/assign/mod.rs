@@ -1,0 +1,241 @@
+//! MC-reduction: the Section V synthesis procedure.
+//!
+//! A state graph violating the Monotonous Cover requirement is transformed
+//! by inserting new internal *state signals*. Following the generalized
+//! state assignment of [Vanbekbergen et al., ICCAD'92] that the paper
+//! builds on, each state is labelled with one of four phases
+//! `{0, 1, up, down}` for the new signal; a SAT formulation (the paper:
+//! "formulated as Boolean constraints … solved as a Boolean satisfiability
+//! task") finds labelings that
+//!
+//! * are consistent along every edge (`0→up→1→down→0` cycles),
+//! * never delay an input transition (edges blocked in the pre-fire copy
+//!   must be non-input),
+//! * keep the failing excitation region phase-constant, and
+//! * separate the *bad states* that prevent a monotonous cover.
+//!
+//! The labelled graph is then *expanded* — `up`/`down` states split into
+//! an `x=0` and an `x=1` copy joined by the new signal's transition — and
+//! the MC check reruns; insertion repeats until the requirement holds.
+
+mod expand;
+mod search;
+
+pub use expand::{expand, Assignment, Phase};
+
+use simc_sg::StateGraph;
+
+use crate::cover::{McCheck, McCubeFailure};
+use crate::error::McError;
+
+/// Options for [`reduce_to_mc`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceOptions {
+    /// Maximum number of inserted signals.
+    pub max_signals: usize,
+    /// Maximum SAT models examined per insertion attempt.
+    pub max_candidates: usize,
+    /// Beam width: how many partial insertion sequences are kept per
+    /// depth (insertions are searched breadth-first, so the first depth
+    /// with a satisfying graph gives a minimal count within the beam).
+    pub beam_width: usize,
+    /// Candidates kept per beam node per depth.
+    pub branch: usize,
+}
+
+impl Default for ReduceOptions {
+    fn default() -> Self {
+        ReduceOptions { max_signals: 8, max_candidates: 32, beam_width: 18, branch: 8 }
+    }
+}
+
+/// Outcome of a successful [`reduce_to_mc`] run.
+#[derive(Debug, Clone)]
+pub struct ReduceResult {
+    /// The transformed state graph (satisfies the MC requirement).
+    pub sg: StateGraph,
+    /// Number of state signals inserted.
+    pub added: usize,
+    /// One line per insertion describing what was targeted.
+    pub log: Vec<String>,
+}
+
+/// Severity score of a report: violating functions, failing regions,
+/// bad-state mass. The search compares the *sum* — an insertion that
+/// temporarily breaks the new signal's own coverability while separating
+/// many conflicting codes still makes net progress (sequencer-style specs
+/// need exactly such intermediate steps).
+fn score(check: &McCheck<'_>) -> (usize, usize, usize) {
+    let report = check.report();
+    let functions = report.violation_count();
+    let failures = report.region_failures();
+    let regions = failures.len();
+    let bad: usize = failures
+        .iter()
+        .map(|(_, f)| match f {
+            McCubeFailure::NotCorrect { covered_outside } => covered_outside.len(),
+            McCubeFailure::NotMonotonous { witness_edges } => witness_edges.len(),
+        })
+        .sum();
+    (functions, regions, bad)
+}
+
+/// Transforms `sg` into an MC-satisfying state graph by inserting state
+/// signals (Section V).
+///
+/// # Errors
+///
+/// Fails if `sg` is not output semi-modular, the signal budget is
+/// exhausted, or no helpful insertion can be found (the search is
+/// heuristic in *which* of the SAT-feasible assignments it examines, so a
+/// failure here does not prove none exists).
+pub fn reduce_to_mc(sg: &StateGraph, opts: ReduceOptions) -> Result<ReduceResult, McError> {
+    if !sg.analysis().is_output_semimodular() {
+        return Err(McError::NotOutputSemimodular);
+    }
+    struct Node {
+        sg: StateGraph,
+        score: (usize, usize, usize),
+        log: Vec<String>,
+    }
+    let root_score = score(&McCheck::new(sg));
+    let mut beam = vec![Node { sg: sg.clone(), score: root_score, log: Vec::new() }];
+    for depth in 0..=opts.max_signals {
+        if let Some(done) = beam.iter().find(|n| n.score.0 == 0) {
+            // Certify the transformation: with the inserted signals
+            // hidden, the reduced graph must be weakly bisimilar to the
+            // specification (the expansion is correct by construction;
+            // this is a belt-and-braces check of the whole pipeline).
+            let inserted: Vec<simc_sg::SignalId> = done
+                .sg
+                .signal_ids()
+                .filter(|&x| sg.signal_by_name(done.sg.signal(x).name()).is_none())
+                .collect();
+            if !simc_sg::equiv::weak_bisimilar(sg, &done.sg, &[], &inserted) {
+                return Err(McError::InsertionFailed {
+                    reason: "internal error: insertion changed observable behaviour"
+                        .to_string(),
+                });
+            }
+            return Ok(ReduceResult {
+                sg: done.sg.clone(),
+                added: depth,
+                log: done.log.clone(),
+            });
+        }
+        if depth == opts.max_signals {
+            return Err(McError::SignalBudgetExceeded { budget: opts.max_signals });
+        }
+        let mut pool: Vec<Node> = Vec::new();
+        let mut last_scores = Vec::new();
+        for node in &beam {
+            let check = McCheck::new(&node.sg);
+            last_scores.push(node.score);
+            let name = fresh_name(&node.sg, depth);
+            for cand in
+                search::candidate_insertions(&check, &name, opts.max_candidates, opts.branch)
+            {
+                let mut log = node.log.clone();
+                log.push(format!("inserted `{name}`: {}", cand.description));
+                pool.push(Node { sg: cand.sg, score: cand.score, log });
+            }
+        }
+        if pool.is_empty() {
+            return Err(McError::InsertionFailed {
+                reason: format!(
+                    "no feasible insertion at depth {depth}; frontier scores {last_scores:?}"
+                ),
+            });
+        }
+        // Order by total violation mass (distance-to-done proxy), then
+        // tuple; keep at most one node per distinct score so the beam
+        // stays diverse instead of filling with siblings of one strategy.
+        let mass = |s: (usize, usize, usize)| s.0 + s.1 + s.2;
+        pool.sort_by_key(|n| (mass(n.score), n.score, n.sg.state_count()));
+        // Same score does not mean same future potential; only drop exact
+        // structural footprints.
+        pool.dedup_by_key(|n| (n.score, n.sg.state_count(), n.sg.edge_count()));
+        pool.truncate(opts.beam_width);
+        beam = pool;
+    }
+    unreachable!("loop returns within the budget bound")
+}
+
+fn fresh_name(sg: &StateGraph, round: usize) -> String {
+    let mut i = round;
+    loop {
+        let name = format!("csc{i}");
+        if sg.signal_by_name(&name).is_none() {
+            return name;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, Target};
+    use simc_benchmarks::figures;
+    use simc_netlist::{verify, VerifyOptions};
+
+    #[test]
+    fn already_satisfying_graphs_need_nothing() {
+        for sg in [figures::toggle(), figures::c_element(), figures::figure3()] {
+            let result = reduce_to_mc(&sg, ReduceOptions::default()).unwrap();
+            assert_eq!(result.added, 0);
+            assert_eq!(result.sg.state_count(), sg.state_count());
+        }
+    }
+
+    #[test]
+    fn figure1_reduces_with_one_signal_like_the_paper() {
+        // Example 1: "it is sufficient to add only one signal x".
+        let sg = figures::figure1();
+        let result = reduce_to_mc(&sg, ReduceOptions::default()).unwrap();
+        assert!(
+            result.added <= 2,
+            "paper adds 1 signal; allow small slack, got {}",
+            result.added
+        );
+        assert!(McCheck::new(&result.sg).report().satisfied());
+        // End-to-end Theorem 3: the reduced graph synthesizes to a
+        // hazard-free standard C-implementation.
+        let implementation = synthesize(&result.sg, Target::CElement).unwrap();
+        let nl = implementation.to_netlist().unwrap();
+        let report = verify(&nl, &result.sg, VerifyOptions::default()).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn figure4_reduces_and_synthesizes() {
+        // Example 2: "MC requirement easily recognizes this situation and
+        // can remove the hazard by adding one signal."
+        let sg = figures::figure4();
+        let result = reduce_to_mc(&sg, ReduceOptions::default()).unwrap();
+        assert!(result.added >= 1);
+        assert!(result.added <= 2, "paper adds 1, got {}", result.added);
+        let implementation = synthesize(&result.sg, Target::CElement).unwrap();
+        let nl = implementation.to_netlist().unwrap();
+        let report = verify(&nl, &result.sg, VerifyOptions::default()).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let sg = figures::figure1();
+        let opts = ReduceOptions { max_signals: 0, ..ReduceOptions::default() };
+        let err = reduce_to_mc(&sg, opts).unwrap_err();
+        assert!(matches!(err, McError::SignalBudgetExceeded { budget: 0 }));
+    }
+
+    #[test]
+    fn log_mentions_inserted_signal() {
+        let sg = figures::figure1();
+        let result = reduce_to_mc(&sg, ReduceOptions::default()).unwrap();
+        assert_eq!(result.log.len(), result.added);
+        if let Some(first) = result.log.first() {
+            assert!(first.contains("csc0"), "{first}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Beerel–Meng-style baseline synthesis (the method of the paper's
+//! reference \[2\], compared against in Examples 1 and 2).
+//!
+//! The baseline derives *correct* covers (Def. 16) for each excitation
+//! function by two-level minimization — each region may take several
+//! cubes, and nothing enforces monotonicity or acknowledgement. The
+//! resulting circuits are exactly the ones the paper shows can be
+//! hazardous: `t = c'd; b = a + t` for Figure 4 passes the baseline's
+//! conditions yet fails speed-independence verification.
+
+use simc_cube::{minimize, Cube, MinimizeOptions};
+use simc_sg::{Dir, SignalId, StateGraph};
+
+use crate::cover::FunctionCover;
+use crate::error::McError;
+use crate::synth::{build_from_covers, Implementation, Target};
+
+/// Synthesizes `sg` with minimized correct covers, without the
+/// Monotonous Cover requirement.
+///
+/// The on-set of `S_a` is `0*-set(a)`, its off-set `1*-set(a) ∪ 0-set(a)`,
+/// and the quiescent-1 states are don't-cares (Def. 13); dually for `R_a`.
+///
+/// # Errors
+///
+/// Fails if `sg` is not output semi-modular, or a CSC conflict makes some
+/// excitation function ill-defined (a code that must be both on and off).
+pub fn synthesize_baseline(sg: &StateGraph, target: Target) -> Result<Implementation, McError> {
+    if !sg.analysis().is_output_semimodular() {
+        return Err(McError::NotOutputSemimodular);
+    }
+    let num_vars = sg.signal_count();
+    let mut covers = Vec::new();
+    for a in sg.non_input_signals() {
+        let set = function_cubes(sg, a, Dir::Rise, num_vars)?;
+        let reset = function_cubes(sg, a, Dir::Fall, num_vars)?;
+        covers.push((a, FunctionCover::Plain(set), FunctionCover::Plain(reset)));
+    }
+    Ok(build_from_covers(sg, covers, target))
+}
+
+fn function_cubes(
+    sg: &StateGraph,
+    a: SignalId,
+    dir: Dir,
+    num_vars: usize,
+) -> Result<Vec<Cube>, McError> {
+    let mut on = Vec::new();
+    let mut off = Vec::new();
+    for s in sg.state_ids() {
+        let code = sg.code(s).bits();
+        let value = sg.code(s).value(a);
+        let excited = sg.is_excited(s, a);
+        let (on_here, off_here) = match dir {
+            // S_a: 1 on 0*-set, 0 on 1*-set ∪ 0-set, free on 1-set.
+            Dir::Rise => (!value && excited, (value && excited) || (!value && !excited)),
+            // R_a: 1 on 1*-set, 0 on 0*-set ∪ 1-set, free on 0-set.
+            Dir::Fall => (value && excited, (!value && excited) || (value && !excited)),
+        };
+        if on_here {
+            on.push(code);
+        } else if off_here {
+            off.push(code);
+        }
+    }
+    on.sort_unstable();
+    on.dedup();
+    off.sort_unstable();
+    off.dedup();
+    if on.iter().any(|c| off.binary_search(c).is_ok()) {
+        return Err(McError::CscViolation);
+    }
+    let cover = minimize(&on, &off, MinimizeOptions::new(num_vars));
+    Ok(cover.cubes().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simc_benchmarks::figures;
+    use simc_netlist::{verify, VerifyOptions, ViolationKind};
+
+    #[test]
+    fn c_element_baseline_is_fine() {
+        // On MC-satisfying specs the baseline coincides with a correct
+        // implementation.
+        let sg = figures::c_element();
+        let implementation = synthesize_baseline(&sg, Target::CElement).unwrap();
+        let nl = implementation.to_netlist().unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn figure1_baseline_needs_two_cubes_for_sd() {
+        // Example 1's headline: ER(+d) cannot be covered by one cube; the
+        // baseline's minimized Sd has at least two product terms.
+        let sg = figures::figure1();
+        let implementation = synthesize_baseline(&sg, Target::CElement).unwrap();
+        let d = sg.signal_by_name("d").unwrap();
+        let nw = implementation
+            .networks()
+            .iter()
+            .find(|n| n.signal == d)
+            .unwrap();
+        assert!(
+            nw.set.cubes().len() >= 2,
+            "Sd = {:?} should need two cubes",
+            nw.set.cubes()
+        );
+    }
+
+    #[test]
+    fn figure1_baseline_is_hazardous() {
+        // The paper: method [2] "fails to find the acknowledgement for
+        // both AND gates" — the gate-level implementation has disablings.
+        let sg = figures::figure1();
+        let implementation = synthesize_baseline(&sg, Target::CElement).unwrap();
+        let nl = implementation.to_netlist().unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(!report.is_ok());
+        assert!(report.hazards().count() > 0, "{:?}", report.violations);
+    }
+
+    #[test]
+    fn figure4_baseline_is_hazardous_example2() {
+        // Example 2: the baseline accepts `t = c'd; b = a + t`, but cube a
+        // covers state 1001 of ER(+b,2): gate t can start switching and be
+        // pre-empted by a — an unacknowledged transition. Our verifier
+        // finds the disabling.
+        let sg = figures::figure4();
+        let implementation = synthesize_baseline(&sg, Target::CElement).unwrap();
+        let nl = implementation.to_netlist().unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(!report.is_ok(), "baseline must be hazardous on figure 4");
+        let hazard = report
+            .violations
+            .iter()
+            .find(|v| matches!(v.kind, ViolationKind::Disabled { .. }));
+        assert!(hazard.is_some(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn csc_violation_rejected() {
+        // The D-element reconstruction has a CSC conflict; its next-state
+        // functions are ill-defined for the baseline.
+        let stg = simc_benchmarks::suite::delement().stg;
+        let sg = stg.to_state_graph().unwrap();
+        let err = synthesize_baseline(&sg, Target::CElement).unwrap_err();
+        assert!(matches!(err, McError::CscViolation));
+    }
+}

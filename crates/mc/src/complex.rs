@@ -1,0 +1,180 @@
+//! Complex-gate synthesis — the implementation style the paper contrasts
+//! with (Chu's thesis, reference \[3\]).
+//!
+//! Each non-input signal becomes one *atomic* complex gate computing its
+//! next-state function, with the gate's own output fed back. Under the
+//! assumption that the complex gate has no internal hazards, **Complete
+//! State Coding is necessary and sufficient** for this style — notably,
+//! specifications that violate the MC requirement but satisfy CSC (like
+//! the paper's Figure 1) are implementable here without any state-signal
+//! insertion. The catch, and the paper's whole motivation, is that such
+//! gates rarely exist in standard-cell libraries.
+
+use simc_cube::{minimize, MinimizeOptions};
+use simc_netlist::{NetId, Netlist};
+use simc_sg::{SignalId, StateGraph};
+
+use crate::error::McError;
+
+/// Synthesizes `sg` as one feedback complex gate per non-input signal.
+///
+/// The next-state function of signal `a` is 1 exactly on
+/// `1-set(a) ∪ 0*-set(a)` ("a is or will be 1"); unreachable codes are
+/// don't-cares.
+///
+/// # Errors
+///
+/// Fails if `sg` is not output semi-modular or violates Complete State
+/// Coding (the next-state functions would be ill-defined).
+pub fn synthesize_complex(sg: &StateGraph) -> Result<Netlist, McError> {
+    if !sg.analysis().is_output_semimodular() {
+        return Err(McError::NotOutputSemimodular);
+    }
+    if !sg.analysis().has_csc() {
+        return Err(McError::CscViolation);
+    }
+    let num_vars = sg.signal_count();
+    let mut nl = Netlist::new();
+    for &sig in &sg.input_signals() {
+        nl.add_input(sg.signal(sig).name())?;
+    }
+    // Pre-create output nets so gates can reference each other.
+    let non_inputs = sg.non_input_signals();
+    let mut nets: Vec<NetId> = Vec::with_capacity(non_inputs.len());
+    for &sig in &non_inputs {
+        nets.push(nl.add_net(sg.signal(sig).name())?);
+    }
+
+    for (pos, &a) in non_inputs.iter().enumerate() {
+        // Explicit on/off sets of the next-state function.
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        for s in sg.state_ids() {
+            let code = sg.code(s).bits();
+            let value = sg.code(s).value(a);
+            let excited = sg.is_excited(s, a);
+            let next = value != excited; // will be / stay 1
+            if next {
+                on.push(code);
+            } else {
+                off.push(code);
+            }
+        }
+        on.sort_unstable();
+        on.dedup();
+        off.sort_unstable();
+        off.dedup();
+        if on.iter().any(|c| off.binary_search(c).is_ok()) {
+            // Cannot happen once CSC holds, but guard anyway.
+            return Err(McError::CscViolation);
+        }
+        let cover = minimize(&on, &off, MinimizeOptions::new(num_vars));
+
+        // Gate inputs: every signal that appears in some cube, except `a`
+        // itself (which becomes the feedback position).
+        let mut used: Vec<SignalId> = Vec::new();
+        let mut feedback = false;
+        for cube in cover.cubes() {
+            for (var, _) in cube.literals() {
+                let sig = SignalId::new(var);
+                if sig == a {
+                    feedback = true;
+                } else if !used.contains(&sig) {
+                    used.push(sig);
+                }
+            }
+        }
+        used.sort_unstable();
+        let input_nets: Vec<NetId> = used
+            .iter()
+            .map(|&sig| {
+                nl.net_by_name(sg.signal(sig).name())
+                    .expect("all signal nets pre-created")
+            })
+            .collect();
+        // Remap cube masks from signal indices to input positions.
+        let position = |sig: SignalId| used.iter().position(|&u| u == sig);
+        let mut sop: Vec<(u64, u64)> = Vec::with_capacity(cover.len());
+        for cube in cover.cubes() {
+            let mut care = 0u64;
+            let mut value = 0u64;
+            for (var, polarity) in cube.literals() {
+                let sig = SignalId::new(var);
+                let bit = if sig == a {
+                    used.len() // feedback position
+                } else {
+                    position(sig).expect("literal signal collected")
+                };
+                care |= 1 << bit;
+                if polarity {
+                    value |= 1 << bit;
+                }
+            }
+            sop.push((care, value));
+        }
+        let init = sg.code(sg.initial()).value(a);
+        nl.drive_complex(nets[pos], &input_nets, &sop, feedback, init)?;
+        nl.bind_output(sg.signal(a).name(), nets[pos])?;
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simc_benchmarks::figures;
+    use simc_netlist::{verify, VerifyOptions};
+
+    #[test]
+    fn c_element_complex_gate() {
+        let sg = figures::c_element();
+        let nl = synthesize_complex(&sg).unwrap();
+        assert_eq!(nl.gate_count(), 1);
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn figure1_works_with_complex_gates_despite_mc_violation() {
+        // The paper's motivating contrast: Figure 1 satisfies CSC, so the
+        // complex-gate style implements it directly — no state signal —
+        // while the basic-gate style cannot (Example 1).
+        let sg = figures::figure1();
+        assert!(!crate::McCheck::new(&sg).report().satisfied());
+        let nl = synthesize_complex(&sg).unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+        assert_eq!(nl.gate_count(), 2); // one complex gate per output
+    }
+
+    #[test]
+    fn csc_violation_rejected() {
+        let sg = simc_benchmarks::suite::delement()
+            .stg
+            .to_state_graph()
+            .unwrap();
+        assert!(matches!(
+            synthesize_complex(&sg),
+            Err(McError::CscViolation)
+        ));
+    }
+
+    #[test]
+    fn figure4_complex_gates_verify() {
+        // Figure 4 also satisfies CSC; the complex-gate style sidesteps
+        // the Example 2 hazard entirely.
+        let sg = figures::figure4();
+        let nl = synthesize_complex(&sg).unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn complex_verilog_emits_sop() {
+        let sg = figures::c_element();
+        let nl = synthesize_complex(&sg).unwrap();
+        let v = simc_netlist::to_verilog(&nl, "celem_cg");
+        assert!(v.contains("assign c ="), "{v}");
+        assert!(v.contains("|"), "{v}");
+    }
+}

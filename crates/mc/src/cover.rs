@@ -1,0 +1,800 @@
+//! Cover cubes and the Monotonous Cover condition (Section IV).
+//!
+//! For an excitation region `ER(±a_j)` a *cover cube* (Def. 15) is a
+//! product of literals over signals *ordered* with the region; the
+//! *monotonous cover* condition (Def. 17) additionally demands that the
+//! cube (1) covers the whole region, (2) changes at most once along any
+//! trace inside the constant-function region, and (3) covers no reachable
+//! state outside it. [`McCheck`] decides the existence of such cubes —
+//! completely, via the workspace SAT solver — and produces the per-region
+//! [`McReport`] that drives synthesis and MC-reduction.
+
+use serde::{Deserialize, Serialize};
+use simc_cube::Cube;
+use simc_sat::{Lit, SatResult, Solver};
+use simc_sg::{Dir, ErId, Regions, SignalId, StateGraph, StateId};
+
+/// Why no monotonous-cover cube exists for a region.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum McCubeFailure {
+    /// Even the maximal (Lemma 3) cube covers reachable states outside the
+    /// constant-function region — no *correct* single-cube cover exists.
+    /// Typical causes: non-persistency (Theorem 1) or CSC conflicts.
+    NotCorrect {
+        /// Reachable states outside CFR that every candidate cube covers.
+        covered_outside: Vec<StateId>,
+    },
+    /// Correct covers exist, but every one of them switches more than once
+    /// along some trace inside the CFR (condition 2 of Def. 17).
+    NotMonotonous {
+        /// CFR edges `u → v` on which the maximal cube rises from 0 to 1.
+        witness_edges: Vec<(StateId, StateId)>,
+    },
+}
+
+impl McCubeFailure {
+    /// Short human-readable tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            McCubeFailure::NotCorrect { .. } => "no correct cover",
+            McCubeFailure::NotMonotonous { .. } => "no monotonous cover",
+        }
+    }
+}
+
+/// How one excitation function (`S_a` or `R_a`) is covered.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FunctionCover {
+    /// One monotonous cover cube per excitation region (Def. 18).
+    PerRegion(Vec<(ErId, Cube)>),
+    /// The paper's degenerate case (Section IV, note 2): the whole
+    /// function is a single literal that covers every region *correctly*
+    /// (Def. 16) — monotonicity is not required because the AND and OR
+    /// gates disappear and the literal drives the latch input directly.
+    SingleLiteral(Cube),
+    /// An unattributed cube list (used by the Beerel–Meng-style baseline,
+    /// whose minimized covers have no per-region structure).
+    Plain(Vec<Cube>),
+}
+
+impl FunctionCover {
+    /// The cubes of the function, in region order (a single-literal cover
+    /// yields one cube).
+    pub fn cubes(&self) -> Vec<Cube> {
+        match self {
+            FunctionCover::PerRegion(list) => list.iter().map(|&(_, c)| c).collect(),
+            FunctionCover::SingleLiteral(c) => vec![*c],
+            FunctionCover::Plain(cubes) => cubes.clone(),
+        }
+    }
+}
+
+/// One excitation function's entry in an [`McReport`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McEntry {
+    /// The function's signal.
+    pub signal: SignalId,
+    /// `Rise` for the up-excitation function `S_a`, `Fall` for `R_a`.
+    pub dir: Dir,
+    /// The function's cover, or the per-region failures when neither the
+    /// per-region nor the degenerate form exists.
+    pub result: Result<FunctionCover, Vec<(ErId, McCubeFailure)>>,
+}
+
+/// The outcome of checking the MC requirement (Def. 18, with the
+/// degenerate-case exception of Section IV) on a state graph: one entry
+/// per excitation function of each non-input signal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McReport {
+    entries: Vec<McEntry>,
+}
+
+impl McReport {
+    /// Whether the graph satisfies the MC requirement.
+    pub fn satisfied(&self) -> bool {
+        self.entries.iter().all(|e| e.result.is_ok())
+    }
+
+    /// All function entries, in signal order (up before down).
+    pub fn entries(&self) -> &[McEntry] {
+        &self.entries
+    }
+
+    /// The entries whose functions have no valid cover.
+    pub fn violations(&self) -> impl Iterator<Item = &McEntry> {
+        self.entries.iter().filter(|e| e.result.is_err())
+    }
+
+    /// Number of violating functions.
+    pub fn violation_count(&self) -> usize {
+        self.violations().count()
+    }
+
+    /// All region-level failures across violating functions.
+    pub fn region_failures(&self) -> Vec<(ErId, &McCubeFailure)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.result.as_ref().err())
+            .flatten()
+            .map(|(er, f)| (*er, f))
+            .collect()
+    }
+
+    /// Renders the report with signal names, one function per line.
+    pub fn render(&self, sg: &StateGraph) -> String {
+        let names: Vec<&str> = sg.signal_ids().map(|s| sg.signal(s).name()).collect();
+        let mut out = String::new();
+        for e in &self.entries {
+            let head = format!(
+                "{}{}",
+                if e.dir == Dir::Rise { "S" } else { "R" },
+                sg.signal(e.signal).name()
+            );
+            match &e.result {
+                Ok(FunctionCover::PerRegion(list)) => {
+                    let cubes: Vec<String> =
+                        list.iter().map(|(_, c)| c.render(&names)).collect();
+                    out.push_str(&format!("{head} = {}\n", cubes.join(" + ")));
+                }
+                Ok(FunctionCover::Plain(list)) => {
+                    let cubes: Vec<String> =
+                        list.iter().map(|c| c.render(&names)).collect();
+                    out.push_str(&format!("{head} = {}\n", cubes.join(" + ")));
+                }
+                Ok(FunctionCover::SingleLiteral(c)) => {
+                    out.push_str(&format!("{head} = {} (direct)\n", c.render(&names)));
+                }
+                Err(failures) => {
+                    let kinds: Vec<&str> = failures.iter().map(|(_, f)| f.kind()).collect();
+                    out.push_str(&format!("{head}: VIOLATION ({})\n", kinds.join(", ")));
+                    for (_, failure) in failures {
+                        match failure {
+                            McCubeFailure::NotCorrect { covered_outside } => {
+                                let codes: Vec<String> = covered_outside
+                                    .iter()
+                                    .take(4)
+                                    .map(|&s| sg.starred_code(s))
+                                    .collect();
+                                out.push_str(&format!(
+                                    "    covers outside CFR: {}{}\n",
+                                    codes.join(", "),
+                                    if covered_outside.len() > 4 { ", …" } else { "" }
+                                ));
+                            }
+                            McCubeFailure::NotMonotonous { witness_edges } => {
+                                if let Some(&(u, v)) = witness_edges.first() {
+                                    out.push_str(&format!(
+                                        "    re-rises inside CFR on {} -> {}\n",
+                                        sg.starred_code(u),
+                                        sg.starred_code(v)
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Monotonous-cover analysis of a state graph.
+///
+/// Owns the region decomposition; ask it for cover cubes region by region
+/// or for the whole-graph [`McReport`].
+#[derive(Debug)]
+pub struct McCheck<'g> {
+    sg: &'g StateGraph,
+    regions: Regions,
+}
+
+impl<'g> McCheck<'g> {
+    /// Computes the region decomposition of `sg`.
+    pub fn new(sg: &'g StateGraph) -> Self {
+        McCheck { sg, regions: sg.regions() }
+    }
+
+    /// The underlying state graph.
+    pub fn sg(&self) -> &StateGraph {
+        self.sg
+    }
+
+    /// The region decomposition.
+    pub fn regions(&self) -> &Regions {
+        &self.regions
+    }
+
+    /// The candidate literals for cover cubes of `er` (Def. 15): one per
+    /// signal ordered with the region, with the value the signal holds
+    /// throughout it.
+    pub fn candidate_literals(&self, er: ErId) -> Vec<(SignalId, bool)> {
+        let region = self.regions.er(er);
+        let representative = region.states()[0];
+        self.regions
+            .ordered_signals(self.sg, er)
+            .into_iter()
+            .map(|b| (b, self.sg.code(representative).value(b)))
+            .collect()
+    }
+
+    /// The smallest cover cube (Lemma 3): the minterm of the minimal state
+    /// with the region's own signal and all concurrent signals deleted —
+    /// equivalently, all candidate literals at once.
+    pub fn lemma3_cube(&self, er: ErId) -> Cube {
+        let mut cube = Cube::top();
+        for (sig, value) in self.candidate_literals(er) {
+            cube = cube.with_literal(sig.index(), value);
+        }
+        cube
+    }
+
+    /// Whether `cube` covers state `s` (by its binary code).
+    pub fn covers_state(&self, cube: Cube, s: StateId) -> bool {
+        cube.covers(self.sg.code(s).bits())
+    }
+
+    /// Correct covering (Def. 16): an up-cube must not cover `1*-set(a) ∪
+    /// 0-set(a)`; a down-cube must not cover `0*-set(a) ∪ 1-set(a)`.
+    pub fn is_correct_cover(&self, er: ErId, cube: Cube) -> bool {
+        let region = self.regions.er(er);
+        let a = region.signal();
+        let rising = region.dir() == Dir::Rise;
+        self.sg.state_ids().all(|s| {
+            let value = self.sg.code(s).value(a);
+            let excited = self.sg.is_excited(s, a);
+            let forbidden = if rising {
+                // 1*-set: value=1 & excited; 0-set: value=0 & stable
+                (value && excited) || (!value && !excited)
+            } else {
+                (!value && excited) || (value && !excited)
+            };
+            !(forbidden && self.covers_state(cube, s))
+        })
+    }
+
+    /// Monotonous cover (Def. 17): covers all of ER, switches at most once
+    /// along any trace inside CFR, covers nothing reachable outside CFR.
+    pub fn is_monotonous_cover(&self, er: ErId, cube: Cube) -> bool {
+        let region = self.regions.er(er);
+        // (1) covers every ER state.
+        if !region.states().iter().all(|&s| self.covers_state(cube, s)) {
+            return false;
+        }
+        let cfr = self.regions.cfr(er);
+        let in_cfr = self.cfr_mask(&cfr);
+        // (3) covers no reachable state outside CFR.
+        for s in self.sg.state_ids() {
+            if !in_cfr[s.index()] && self.covers_state(cube, s) {
+                return false;
+            }
+        }
+        // (2) no 0 → 1 switch on an edge inside CFR (the cube starts at 1
+        // in ER, so this limits it to a single 1 → 0 change per trace).
+        for &u in &cfr {
+            if self.covers_state(cube, u) {
+                continue;
+            }
+            for &(_, v) in self.sg.succs(u) {
+                if in_cfr[v.index()] && self.covers_state(cube, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Finds a monotonous cover cube for `er`, preferring few literals.
+    ///
+    /// Complete: if the maximal (Lemma 3) cube is not itself monotonous, a
+    /// SAT search decides whether *any* subset of the candidate literals
+    /// yields an MC cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns the precise [`McCubeFailure`] when no MC cube exists.
+    pub fn mc_cube(&self, er: ErId) -> Result<Cube, McCubeFailure> {
+        let full = self.lemma3_cube(er);
+        let cfr = self.regions.cfr(er);
+        let in_cfr = self.cfr_mask(&cfr);
+
+        // Condition (3) for the maximal cube: any candidate cube covers a
+        // superset of its states, so a violation here is unfixable.
+        let covered_outside: Vec<StateId> = self
+            .sg
+            .state_ids()
+            .filter(|&s| !in_cfr[s.index()] && self.covers_state(full, s))
+            .collect();
+        if !covered_outside.is_empty() {
+            return Err(McCubeFailure::NotCorrect { covered_outside });
+        }
+
+        if self.is_monotonous_cover(er, full) {
+            return Ok(self.minimize_literals(er, full));
+        }
+
+        // The maximal cube fails only condition (2); search literal
+        // subsets with SAT.
+        match self.sat_search(er, &in_cfr) {
+            Some(cube) => Ok(self.minimize_literals(er, cube)),
+            None => {
+                let witness_edges = self.rising_edges(&cfr, &in_cfr, full);
+                Err(McCubeFailure::NotMonotonous { witness_edges })
+            }
+        }
+    }
+
+    /// Covers one excitation function: per-region MC cubes (Def. 18), or
+    /// the degenerate single-literal form when those fail.
+    pub fn function_cover(
+        &self,
+        a: SignalId,
+        dir: Dir,
+    ) -> Result<FunctionCover, Vec<(ErId, McCubeFailure)>> {
+        let ers: Vec<ErId> = self
+            .regions
+            .ers()
+            .filter(|(_, er)| er.signal() == a && er.dir() == dir)
+            .map(|(id, _)| id)
+            .collect();
+        let mut cubes = Vec::with_capacity(ers.len());
+        let mut failures = Vec::new();
+        for &er in &ers {
+            match self.mc_cube(er) {
+                Ok(c) => cubes.push((er, c)),
+                Err(f) => failures.push((er, f)),
+            }
+        }
+        if failures.is_empty() {
+            // Prefer the degenerate single-literal form when it is
+            // strictly cheaper — the paper's own equations do (e.g.
+            // `Rx = a` in equations (2)): the AND and OR gates disappear
+            // and the literal drives the latch directly.
+            let per_region_literals: u32 = {
+                let mut distinct: Vec<Cube> = Vec::new();
+                for &(_, c) in &cubes {
+                    if !distinct.contains(&c) {
+                        distinct.push(c);
+                    }
+                }
+                distinct.iter().map(|c| c.literal_count()).sum()
+            };
+            if per_region_literals > 1 {
+                if let Some(lit) = self.degenerate_literal(&ers, a, dir) {
+                    return Ok(FunctionCover::SingleLiteral(lit));
+                }
+            }
+            return Ok(FunctionCover::PerRegion(cubes));
+        }
+        if let Some(lit) = self.degenerate_literal(&ers, a, dir) {
+            return Ok(FunctionCover::SingleLiteral(lit));
+        }
+        Err(failures)
+    }
+
+    /// The degenerate form: a single literal constant across every region
+    /// of the function and correct for each (Section IV, note 2).
+    fn degenerate_literal(&self, ers: &[ErId], a: SignalId, _dir: Dir) -> Option<Cube> {
+        if ers.is_empty() {
+            return None;
+        }
+        let all_states: Vec<StateId> = ers
+            .iter()
+            .flat_map(|&er| self.regions.er(er).states().iter().copied())
+            .collect();
+        'sig: for b in self.sg.signal_ids() {
+            if b == a {
+                continue;
+            }
+            let value = self.sg.code(all_states[0]).value(b);
+            for &s in &all_states[1..] {
+                if self.sg.code(s).value(b) != value {
+                    continue 'sig;
+                }
+            }
+            // b must also be ordered with every region (no b transition
+            // inside — otherwise the wire's change would race the region).
+            if !ers.iter().all(|&er| self.regions.is_ordered(self.sg, er, b)) {
+                continue;
+            }
+            let cube = Cube::top().with_literal(b.index(), value);
+            if ers.iter().all(|&er| self.is_correct_cover(er, cube)) {
+                return Some(cube);
+            }
+        }
+        None
+    }
+
+    /// A greedy, incomplete alternative to [`McCheck::mc_cube`] used by
+    /// the ablation benchmarks: starts from the Lemma 3 cube and, when
+    /// condition (2) fails, retries after dropping each literal once (no
+    /// backtracking). Sound (returned cubes are verified monotonous) but
+    /// may miss cubes the SAT search finds.
+    pub fn mc_cube_greedy(&self, er: ErId) -> Option<Cube> {
+        let full = self.lemma3_cube(er);
+        if self.is_monotonous_cover(er, full) {
+            return Some(self.minimize_literals(er, full));
+        }
+        let literals: Vec<(usize, bool)> = full.literals().collect();
+        for (var, _) in &literals {
+            let widened = full.without_literal(*var);
+            if self.is_monotonous_cover(er, widened) {
+                return Some(self.minimize_literals(er, widened));
+            }
+        }
+        None
+    }
+
+    /// Checks the whole-graph MC requirement (Def. 18 with the degenerate
+    /// exception) over the excitation functions of non-input signals.
+    pub fn report(&self) -> McReport {
+        let mut entries = Vec::new();
+        for a in self.sg.non_input_signals() {
+            for dir in [Dir::Rise, Dir::Fall] {
+                entries.push(McEntry {
+                    signal: a,
+                    dir,
+                    result: self.function_cover(a, dir),
+                });
+            }
+        }
+        McReport { entries }
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    fn cfr_mask(&self, cfr: &[StateId]) -> Vec<bool> {
+        let mut mask = vec![false; self.sg.state_count()];
+        for &s in cfr {
+            mask[s.index()] = true;
+        }
+        mask
+    }
+
+    fn rising_edges(
+        &self,
+        cfr: &[StateId],
+        in_cfr: &[bool],
+        cube: Cube,
+    ) -> Vec<(StateId, StateId)> {
+        let mut out = Vec::new();
+        for &u in cfr {
+            if self.covers_state(cube, u) {
+                continue;
+            }
+            for &(_, v) in self.sg.succs(u) {
+                if in_cfr[v.index()] && self.covers_state(cube, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// SAT model: one variable per candidate literal; a state's
+    /// *disagreement set* D(s) is the set of candidate literals whose
+    /// polarity `s` violates. Constraints:
+    /// * every reachable state outside CFR must be excluded: `∨ D(s)`;
+    /// * monotonicity per CFR edge `u → v`: excluding `u` forces excluding
+    ///   `v` (`¬l ∨ ∨ D(v)` for each `l ∈ D(u)`).
+    fn sat_search(&self, er: ErId, in_cfr: &[bool]) -> Option<Cube> {
+        let candidates = self.candidate_literals(er);
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut solver = Solver::new();
+        let vars: Vec<simc_sat::Var> =
+            candidates.iter().map(|_| solver.new_var()).collect();
+        let disagreement = |s: StateId| -> Vec<usize> {
+            let code = self.sg.code(s);
+            candidates
+                .iter()
+                .enumerate()
+                .filter(|&(_, &(sig, value))| code.value(sig) != value)
+                .map(|(i, _)| i)
+                .collect()
+        };
+        for s in self.sg.state_ids() {
+            if in_cfr[s.index()] {
+                continue;
+            }
+            let d = disagreement(s);
+            if d.is_empty() {
+                return None; // state agrees with every literal: uncoverable
+            }
+            solver.add_clause(d.iter().map(|&i| Lit::pos(vars[i])));
+        }
+        for u in self.sg.state_ids() {
+            if !in_cfr[u.index()] {
+                continue;
+            }
+            let du = disagreement(u);
+            if du.is_empty() {
+                continue;
+            }
+            for &(_, v) in self.sg.succs(u) {
+                if !in_cfr[v.index()] {
+                    continue;
+                }
+                let dv = disagreement(v);
+                for &l in &du {
+                    solver.add_clause(
+                        std::iter::once(Lit::neg(vars[l]))
+                            .chain(dv.iter().map(|&i| Lit::pos(vars[i]))),
+                    );
+                }
+            }
+        }
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                let mut cube = Cube::top();
+                for (i, &(sig, value)) in candidates.iter().enumerate() {
+                    if model.value(vars[i]) {
+                        cube = cube.with_literal(sig.index(), value);
+                    }
+                }
+                debug_assert!(self.is_monotonous_cover(er, cube));
+                Some(cube)
+            }
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// Greedily drops literals while the cube stays monotonous (smaller
+    /// AND gates; larger cubes only extend into don't-care space).
+    fn minimize_literals(&self, er: ErId, mut cube: Cube) -> Cube {
+        let literals: Vec<(usize, bool)> = cube.literals().collect();
+        for (var, _) in literals {
+            let widened = cube.without_literal(var);
+            if self.is_monotonous_cover(er, widened) {
+                cube = widened;
+            }
+        }
+        cube
+    }
+}
+
+/// Convenience: the excitation regions of signal `a` grouped as in the
+/// paper's notation, `(up regions, down regions)`.
+pub fn up_down_regions(regions: &Regions, a: SignalId) -> (Vec<ErId>, Vec<ErId>) {
+    let mut up = Vec::new();
+    let mut down = Vec::new();
+    for (id, er) in regions.ers() {
+        if er.signal() == a {
+            match er.dir() {
+                Dir::Rise => up.push(id),
+                Dir::Fall => down.push(id),
+            }
+        }
+    }
+    (up, down)
+}
+
+#[allow(dead_code)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<McReport>();
+    check::<McCubeFailure>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simc_benchmarks::figures;
+
+    fn names(sg: &StateGraph) -> Vec<String> {
+        sg.signal_ids()
+            .map(|s| sg.signal(s).name().to_string())
+            .collect()
+    }
+
+    fn er_of(check: &McCheck, name: &str, dir: Dir, occ: u32) -> ErId {
+        let sig = check.sg().signal_by_name(name).unwrap();
+        check
+            .regions()
+            .ers()
+            .find(|(_, er)| er.signal() == sig && er.dir() == dir && er.occurrence() == occ)
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    #[test]
+    fn toggle_satisfies_mc() {
+        let sg = figures::toggle();
+        let check = McCheck::new(&sg);
+        let report = check.report();
+        assert!(report.satisfied(), "{}", report.render(&sg));
+        // ER(+b) gets cube `a`, ER(-b) gets cube `a'`.
+        let up = er_of(&check, "b", Dir::Rise, 1);
+        let cube = check.mc_cube(up).unwrap();
+        assert_eq!(cube.render(&names(&sg)), "a");
+        let down = er_of(&check, "b", Dir::Fall, 1);
+        let cube = check.mc_cube(down).unwrap();
+        assert_eq!(cube.render(&names(&sg)), "a'");
+        // Function-level view agrees.
+        let b = sg.signal_by_name("b").unwrap();
+        let cover = check.function_cover(b, Dir::Rise).unwrap();
+        assert_eq!(cover.cubes().len(), 1);
+    }
+
+    #[test]
+    fn c_element_satisfies_mc() {
+        let sg = figures::c_element();
+        let check = McCheck::new(&sg);
+        let report = check.report();
+        assert!(report.satisfied(), "{}", report.render(&sg));
+        let up = er_of(&check, "c", Dir::Rise, 1);
+        assert_eq!(check.mc_cube(up).unwrap().render(&names(&sg)), "a b");
+        let down = er_of(&check, "c", Dir::Fall, 1);
+        assert_eq!(check.mc_cube(down).unwrap().render(&names(&sg)), "a' b'");
+    }
+
+    #[test]
+    fn figure1_violates_mc_at_plus_d() {
+        // Example 1: ER(+d,1) cannot be covered by one cube — +a is a
+        // non-persistent trigger, so the Lemma 3 cube (only literal b')
+        // covers quiescent-0 states and fails condition (3).
+        let sg = figures::figure1();
+        let check = McCheck::new(&sg);
+        let report = check.report();
+        assert!(!report.satisfied());
+        let up1 = er_of(&check, "d", Dir::Rise, 1);
+        match check.mc_cube(up1) {
+            Err(McCubeFailure::NotCorrect { covered_outside }) => {
+                assert!(!covered_outside.is_empty());
+            }
+            other => panic!("expected NotCorrect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure1_lemma3_cube_of_plus_d_is_b_bar() {
+        // Signals a and c change inside ER(+d,1); only b (at 0) is ordered.
+        let sg = figures::figure1();
+        let check = McCheck::new(&sg);
+        let up1 = er_of(&check, "d", Dir::Rise, 1);
+        let cube = check.lemma3_cube(up1);
+        assert_eq!(cube.render(&names(&sg)), "b'");
+    }
+
+    #[test]
+    fn figure3_satisfies_mc() {
+        // After inserting x, every excitation function has a valid cover.
+        let sg = figures::figure3();
+        let check = McCheck::new(&sg);
+        let report = check.report();
+        assert!(report.satisfied(), "{}", report.render(&sg));
+    }
+
+    #[test]
+    fn figure3_matches_paper_equations() {
+        // Equations (2): `d = x̄` is the paper's degenerate direct
+        // connection — the up-excitation function of d is the single
+        // literal x' (covering both up-regions correctly), and Rd is the
+        // literal x. Sx's maximal cube is a'b'c'd (the paper prints `abc`
+        // with lost overbars and minimizes away d).
+        let sg = figures::figure3();
+        let check = McCheck::new(&sg);
+        let n = names(&sg);
+        let d = sg.signal_by_name("d").unwrap();
+        match check.function_cover(d, Dir::Rise) {
+            Ok(FunctionCover::SingleLiteral(c)) => {
+                assert_eq!(c.render(&n), "x'");
+            }
+            other => panic!("Sd should be the direct literal x', got {other:?}"),
+        }
+        match check.function_cover(d, Dir::Fall) {
+            Ok(FunctionCover::SingleLiteral(c)) => assert_eq!(c.render(&n), "x"),
+            Ok(FunctionCover::PerRegion(list)) => {
+                assert_eq!(list.len(), 1);
+                assert_eq!(list[0].1.render(&n), "x");
+            }
+            other => panic!("Rd should be the literal x, got {other:?}"),
+        }
+        let x_up = er_of(&check, "x", Dir::Rise, 1);
+        let cube = check.mc_cube(x_up).unwrap();
+        let lemma3 = check.lemma3_cube(x_up);
+        assert_eq!(lemma3.render(&n), "a' b' c' d", "maximal cube");
+        assert!(cube.contains(lemma3) || cube == lemma3);
+    }
+
+    #[test]
+    fn figure4_violates_mc_but_is_persistent() {
+        // Example 2: persistent SG where Beerel-style correct covers exist
+        // but cube `a` covers state 1001 of ER(+b,2) — conditions (3)
+        // fails for ER(+b,1)'s only candidates.
+        let sg = figures::figure4();
+        let check = McCheck::new(&sg);
+        assert!(check.regions().is_output_persistent(&sg));
+        let report = check.report();
+        assert!(!report.satisfied(), "{}", report.render(&sg));
+        let up1 = er_of(&check, "b", Dir::Rise, 1);
+        let failure = check.mc_cube(up1).unwrap_err();
+        match failure {
+            McCubeFailure::NotCorrect { covered_outside } => {
+                // State 1001 (a=1, b=0, c=0, d=1) of ER(+b,2) is covered.
+                let hit = covered_outside
+                    .iter()
+                    .any(|&s| sg.code(s).bits() == 0b1001);
+                assert!(hit, "expected state 1001 among {covered_outside:?}");
+            }
+            other => panic!("expected NotCorrect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn theorem4_mc_implies_csc() {
+        // Every MC-satisfying example must satisfy CSC.
+        for sg in [figures::toggle(), figures::c_element(), figures::figure3()] {
+            let check = McCheck::new(&sg);
+            if check.report().satisfied() {
+                assert!(sg.analysis().has_csc());
+            }
+        }
+    }
+
+    #[test]
+    fn corollary1_mc_implies_persistency() {
+        for sg in [figures::toggle(), figures::c_element(), figures::figure3()] {
+            let check = McCheck::new(&sg);
+            if check.report().satisfied() {
+                assert!(check.regions().is_output_persistent(&sg));
+            }
+        }
+    }
+
+    #[test]
+    fn correct_cover_definition() {
+        let sg = figures::toggle();
+        let check = McCheck::new(&sg);
+        let up = er_of(&check, "b", Dir::Rise, 1);
+        let a = sg.signal_by_name("a").unwrap();
+        let good = Cube::top().with_literal(a.index(), true);
+        assert!(check.is_correct_cover(up, good));
+        // The universal cube covers 0-set states: incorrect.
+        assert!(!check.is_correct_cover(up, Cube::top()));
+    }
+
+    #[test]
+    fn report_renders() {
+        let sg = figures::figure1();
+        let text = McCheck::new(&sg).report().render(&sg);
+        assert!(text.contains("Sd"), "{text}");
+        assert!(text.contains("VIOLATION"), "{text}");
+    }
+
+    #[test]
+    fn region_failures_point_at_ers() {
+        let sg = figures::figure1();
+        let check = McCheck::new(&sg);
+        let report = check.report();
+        let failures = report.region_failures();
+        assert!(!failures.is_empty());
+    }
+
+    #[test]
+    fn greedy_agrees_with_sat_where_it_succeeds() {
+        for sg in [figures::toggle(), figures::c_element(), figures::figure3()] {
+            let check = McCheck::new(&sg);
+            for (er, region) in check.regions().ers() {
+                if !sg.signal(region.signal()).kind().is_non_input() {
+                    continue;
+                }
+                if let Some(cube) = check.mc_cube_greedy(er) {
+                    assert!(check.is_monotonous_cover(er, cube));
+                    assert!(check.mc_cube(er).is_ok(), "SAT must also succeed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn up_down_grouping() {
+        let sg = figures::figure1();
+        let check = McCheck::new(&sg);
+        let d = sg.signal_by_name("d").unwrap();
+        let (up, down) = up_down_regions(check.regions(), d);
+        assert_eq!(up.len(), 2);
+        assert_eq!(down.len(), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the synthesis engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by MC checking, synthesis and reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum McError {
+    /// The state graph is not output semi-modular: no speed-independent
+    /// implementation exists at all (Section II).
+    NotOutputSemimodular,
+    /// The state graph violates the MC requirement; run MC-reduction
+    /// first (Section V) or consult the [`McReport`](crate::McReport).
+    NotMonotonous {
+        /// Number of excitation regions without an MC cube.
+        violations: usize,
+    },
+    /// Complete State Coding violation encountered where unique next-state
+    /// functions are required (baseline synthesis).
+    CscViolation,
+    /// MC-reduction could not find a helpful state-signal insertion.
+    InsertionFailed {
+        /// Why the search gave up.
+        reason: String,
+    },
+    /// MC-reduction hit its inserted-signal budget.
+    SignalBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+    /// Error from netlist construction.
+    Netlist(simc_netlist::NetlistError),
+    /// Error from state-graph construction.
+    Sg(simc_sg::SgError),
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::NotOutputSemimodular => {
+                write!(f, "state graph is not output semi-modular")
+            }
+            McError::NotMonotonous { violations } => write!(
+                f,
+                "{violations} excitation region(s) violate the monotonous cover requirement"
+            ),
+            McError::CscViolation => {
+                write!(f, "complete state coding violation: next-state functions undefined")
+            }
+            McError::InsertionFailed { reason } => {
+                write!(f, "state-signal insertion failed: {reason}")
+            }
+            McError::SignalBudgetExceeded { budget } => {
+                write!(f, "mc-reduction exceeded the budget of {budget} inserted signals")
+            }
+            McError::Netlist(e) => write!(f, "netlist: {e}"),
+            McError::Sg(e) => write!(f, "state graph: {e}"),
+        }
+    }
+}
+
+impl Error for McError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            McError::Netlist(e) => Some(e),
+            McError::Sg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simc_netlist::NetlistError> for McError {
+    fn from(e: simc_netlist::NetlistError) -> Self {
+        McError::Netlist(e)
+    }
+}
+
+impl From<simc_sg::SgError> for McError {
+    fn from(e: simc_sg::SgError) -> Self {
+        McError::Sg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = McError::NotMonotonous { violations: 3 };
+        assert!(e.to_string().contains('3'));
+        let e: McError = simc_sg::SgError::Empty.into();
+        assert!(matches!(e, McError::Sg(_)));
+        assert!(e.source().is_some());
+    }
+}

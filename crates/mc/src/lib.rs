@@ -1,0 +1,64 @@
+//! Monotonous Cover synthesis of speed-independent circuits.
+//!
+//! This crate implements the contribution of Kondratyev, Kishinevsky, Lin,
+//! Vanbekbergen and Yakovlev, *"Basic Gate Implementation of
+//! Speed-Independent Circuits"* (DAC 1994):
+//!
+//! * **Cover-cube theory** ([`cover`]): cover cubes (Def. 15, Lemma 3),
+//!   correct covering (Def. 16), the *Monotonous Cover* condition
+//!   (Def. 17) and the MC requirement on a state graph (Def. 18), with a
+//!   SAT-backed complete search for MC cubes.
+//! * **Generalized MC** ([`gen`]): one cube covering several excitation
+//!   regions (Def. 19, Theorem 5), enabling AND-gate sharing across signal
+//!   networks.
+//! * **Synthesis** ([`synth`]): the standard C- and RS-implementation
+//!   structures of Section III — one AND gate per region cube, an OR gate
+//!   per excitation function, a C-element or dual-rail RS flip-flop per
+//!   non-input signal — with the paper's degenerate-case simplifications.
+//! * **Baseline** ([`baseline`]): a Beerel–Meng-style synthesizer using
+//!   minimized *correct* (not necessarily monotonous) covers, reproducing
+//!   the method the paper compares against in Examples 1 and 2.
+//! * **Complex gates** ([`complex`]): the next-state-function style the
+//!   paper's introduction contrasts with — CSC alone suffices there, at
+//!   the cost of non-library gates.
+//! * **MC-reduction** ([`assign`]): the Section V synthesis procedure —
+//!   transform a state graph violating MC into one satisfying it by
+//!   inserting state signals, via a `{0, 1, up, down}` generalized state
+//!   assignment solved with the workspace SAT solver.
+//!
+//! # Example
+//!
+//! ```
+//! use simc_sg::{SignalKind, StateGraph};
+//! use simc_mc::{McCheck, synth::{synthesize, Target}};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A C-element spec satisfies MC; synthesize its standard
+//! // C-implementation and print the paper-style equations.
+//! let sg = StateGraph::from_starred_codes(
+//!     &[("a", SignalKind::Input), ("b", SignalKind::Input),
+//!       ("c", SignalKind::Output)],
+//!     &["0*0*0", "10*0", "0*10", "110*", "1*1*1", "01*1", "1*01", "001*"],
+//!     "0*0*0",
+//! )?;
+//! assert!(McCheck::new(&sg).report().satisfied());
+//! let implementation = synthesize(&sg, Target::CElement)?;
+//! let eqs = implementation.equations();
+//! assert!(eqs.contains("Sc = a b"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod baseline;
+pub mod complex;
+pub mod cover;
+mod error;
+pub mod gen;
+pub mod synth;
+
+pub use cover::{McCheck, McCubeFailure, McReport};
+pub use error::McError;

@@ -1,0 +1,177 @@
+//! Shared circuit ↔ specification binding.
+//!
+//! The exhaustive verifier, the random-walk simulator and the timed
+//! simulator all compose a netlist with a spec state graph the same way:
+//! primary input nets pair with spec input signals by name, bound output
+//! nets pair with non-input signals, every spec signal must be covered,
+//! and net values resolve either from the spec code (inputs) or from the
+//! gate-output bitset (everything else, with RS flip-flop Q̄ rails reading
+//! the complemented bit).
+
+use simc_sg::{SignalId, StateGraph, StateId};
+
+use crate::error::NetlistError;
+use crate::model::{GateId, NetId, Netlist};
+
+/// Validated name-based binding between a netlist and a spec.
+pub(crate) struct Bindings<'a> {
+    nl: &'a Netlist,
+    sg: &'a StateGraph,
+    /// Per net: how to read its value.
+    source: Vec<NetSource>,
+    /// Per gate: the spec signal it implements, if bound.
+    bound: Vec<Option<SignalId>>,
+    /// Per spec signal: the primary input net, if it is an input.
+    input_net: Vec<Option<NetId>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NetSource {
+    /// Read the bit of this signal from the spec state code.
+    SpecInput(SignalId),
+    /// Read bit `i` of the gate-output bitset.
+    Gate(u32),
+    /// Read the complement of bit `i` (RS flip-flop Q̄ rail).
+    GateInv(u32),
+}
+
+impl<'a> Bindings<'a> {
+    /// Builds and validates the binding.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an input net has no same-named spec input signal (or
+    /// vice versa), a spec non-input signal has no bound driven net, a
+    /// signal is bound twice, or some net has no value source.
+    pub(crate) fn new(nl: &'a Netlist, sg: &'a StateGraph) -> Result<Self, NetlistError> {
+        let mut source = vec![None::<NetSource>; nl.net_count()];
+        let mut input_net = vec![None::<NetId>; sg.signal_count()];
+        for &net in nl.inputs() {
+            let name = nl.net_name(net);
+            let sig = sg
+                .signal_by_name(name)
+                .ok_or_else(|| NetlistError::UnboundSignal(name.to_string()))?;
+            if sg.signal(sig).kind().is_non_input() {
+                return Err(NetlistError::UnboundSignal(format!(
+                    "`{name}` is not an input of the spec"
+                )));
+            }
+            source[net.index()] = Some(NetSource::SpecInput(sig));
+            input_net[sig.index()] = Some(net);
+        }
+        for sig in sg.input_signals() {
+            if input_net[sig.index()].is_none() {
+                return Err(NetlistError::UnboundSignal(
+                    sg.signal(sig).name().to_string(),
+                ));
+            }
+        }
+        for g in nl.gate_ids() {
+            let out = nl.gate_output(g);
+            source[out.index()] = Some(NetSource::Gate(g.index() as u32));
+            if let Some(comp) = nl.gate_comp_output(g) {
+                source[comp.index()] = Some(NetSource::GateInv(g.index() as u32));
+            }
+        }
+        let mut bound = vec![None::<SignalId>; nl.gate_count()];
+        for (name, net) in nl.outputs() {
+            let sig = sg
+                .signal_by_name(name)
+                .ok_or_else(|| NetlistError::UnboundSignal(name.clone()))?;
+            let gate = nl
+                .driver(*net)
+                .ok_or_else(|| NetlistError::UnknownNet(format!("undriven output `{name}`")))?;
+            if bound.contains(&Some(sig)) {
+                return Err(NetlistError::UnboundSignal(format!(
+                    "signal `{name}` bound twice"
+                )));
+            }
+            bound[gate.index()] = Some(sig);
+        }
+        for sig in sg.non_input_signals() {
+            if !bound.contains(&Some(sig)) {
+                return Err(NetlistError::UnboundSignal(
+                    sg.signal(sig).name().to_string(),
+                ));
+            }
+        }
+        for (i, s) in source.iter().enumerate() {
+            if s.is_none() {
+                return Err(NetlistError::UnknownNet(format!(
+                    "net `{}` is neither an input nor gate-driven",
+                    nl.net_name(NetId(i as u32))
+                )));
+            }
+        }
+        Ok(Bindings { nl, sg, source: source.into_iter().flatten().collect(), bound, input_net })
+    }
+
+    /// The spec signal implemented by gate `g`, if any.
+    pub(crate) fn bound_signal(&self, g: GateId) -> Option<SignalId> {
+        self.bound[g.index()]
+    }
+
+    /// The primary input net of spec signal `sig`, if it is an input.
+    pub(crate) fn input_net(&self, sig: SignalId) -> Option<NetId> {
+        self.input_net[sig.index()]
+    }
+
+    /// Resolves a net's value from the spec state and gate bitset.
+    pub(crate) fn net_value(&self, net: NetId, spec: StateId, bits: u128) -> bool {
+        match self.source[net.index()] {
+            NetSource::SpecInput(sig) => self.sg.code(spec).value(sig),
+            NetSource::Gate(g) => bits >> g & 1 == 1,
+            NetSource::GateInv(g) => bits >> g & 1 == 0,
+        }
+    }
+
+    /// The combinational target value of gate `g`.
+    pub(crate) fn gate_target(&self, g: GateId, spec: StateId, bits: u128) -> bool {
+        let inputs: Vec<bool> = self
+            .nl
+            .gate_inputs(g)
+            .iter()
+            .map(|&n| self.net_value(n, spec, bits))
+            .collect();
+        let current = bits >> g.index() & 1 == 1;
+        self.nl.eval_gate(g, &inputs, current)
+    }
+
+    /// Whether gate `g` is excited (target differs from current output).
+    pub(crate) fn is_excited(&self, g: GateId, spec: StateId, bits: u128) -> bool {
+        let current = bits >> g.index() & 1 == 1;
+        self.gate_target(g, spec, bits) != current
+    }
+
+    /// Initial gate bits: declared initial values, with the combinational
+    /// cone stabilized against the spec state's input values.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`NetlistError::UnstableInit`] on non-settling
+    /// combinational cycles.
+    pub(crate) fn initial_bits(&self, spec: StateId) -> Result<u128, NetlistError> {
+        let mut bits = 0u128;
+        for g in self.nl.gate_ids() {
+            if self.nl.initial_value(self.nl.gate_output(g)) {
+                bits |= 1 << g.index();
+            }
+        }
+        for _ in 0..=self.nl.gate_count() + 1 {
+            let mut changed = false;
+            for g in self.nl.gate_ids() {
+                if self.nl.gate_kind(g).is_sequential() {
+                    continue;
+                }
+                if self.is_excited(g, spec, bits) {
+                    bits ^= 1 << g.index();
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Ok(bits);
+            }
+        }
+        Err(NetlistError::UnstableInit)
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for netlist construction and verification.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or verifying a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// Two nets share a name.
+    DuplicateNet(String),
+    /// A net is driven by two gates.
+    MultipleDrivers(String),
+    /// A referenced net does not exist.
+    UnknownNet(String),
+    /// A gate was declared with the wrong number of inputs.
+    BadArity {
+        /// Gate description.
+        gate: String,
+        /// Inputs supplied.
+        got: usize,
+        /// Inputs expected (description, e.g. "exactly 2" or "at least 1").
+        expected: &'static str,
+    },
+    /// The circuit has more gates than the verifier's state encoding
+    /// supports.
+    TooManyGates {
+        /// Number of gates.
+        got: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// A spec signal has no bound net (or vice versa) during verification.
+    UnboundSignal(String),
+    /// A primary input net is driven by a gate.
+    DrivenInput(String),
+    /// Exploration exceeded the state budget.
+    TooManyStates(usize),
+    /// Initial values could not be stabilized (combinational cycle).
+    UnstableInit,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateNet(n) => write!(f, "duplicate net `{n}`"),
+            NetlistError::MultipleDrivers(n) => write!(f, "net `{n}` has two drivers"),
+            NetlistError::UnknownNet(n) => write!(f, "unknown net `{n}`"),
+            NetlistError::BadArity { gate, got, expected } => {
+                write!(f, "gate {gate} got {got} inputs, expected {expected}")
+            }
+            NetlistError::TooManyGates { got, max } => {
+                write!(f, "{got} gates exceed the supported maximum of {max}")
+            }
+            NetlistError::UnboundSignal(s) => {
+                write!(f, "spec signal `{s}` has no bound net")
+            }
+            NetlistError::DrivenInput(n) => {
+                write!(f, "primary input `{n}` must not be driven by a gate")
+            }
+            NetlistError::TooManyStates(n) => {
+                write!(f, "verification exceeded {n} composed states")
+            }
+            NetlistError::UnstableInit => {
+                write!(f, "initial values did not stabilize; combinational cycle suspected")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(NetlistError::DuplicateNet("x".into()).to_string().contains('x'));
+        assert!(NetlistError::TooManyGates { got: 200, max: 128 }
+            .to_string()
+            .contains("200"));
+    }
+}

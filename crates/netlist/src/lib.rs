@@ -1,0 +1,43 @@
+//! Gate-level netlists and speed-independence verification.
+//!
+//! Section III of the DAC'94 paper fixes two implementation structures —
+//! the *standard C-implementation* (AND gates with input inversions, OR
+//! gates, Muller C-elements) and the *standard RS-implementation*
+//! (dual-rail RS latches, plain AND/OR) — and Section IV proves that the
+//! Monotonous Cover requirement makes them semi-modular. This crate
+//! supplies the gate-level half of that story:
+//!
+//! * [`Netlist`] — a structural model with exactly the primitives the
+//!   paper's architectures need ([`GateKind`]);
+//! * [`verify`] — composition of a netlist with the *mirror environment*
+//!   derived from a specification [`StateGraph`], exhaustive exploration
+//!   under the unbounded (pure) gate-delay model, and detection of
+//!   semi-modularity violations (hazards), specification conformance
+//!   failures, set/reset clashes and stalls, each with a replayable
+//!   witness trace.
+//!
+//! Under the pure delay model assumed by the paper, *any* disabling of an
+//! excited internal gate can produce a runt pulse, so the verifier treats
+//! every such disabling as a hazard.
+//!
+//! [`StateGraph`]: simc_sg::StateGraph
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binding;
+mod error;
+mod gate;
+mod model;
+pub mod sim;
+pub mod timed;
+mod verify;
+pub mod verilog;
+
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use model::{GateId, NetId, Netlist, NetlistStats};
+pub use sim::{random_walk, WalkReport};
+pub use timed::{timed_walk, Delays, TimedOptions, TimedReport};
+pub use verilog::{primitive_library, to_verilog};
+pub use verify::{verify, Event, VerifyOptions, VerifyReport, Violation, ViolationKind};

@@ -1,0 +1,226 @@
+//! Randomized simulation: a Monte-Carlo complement to the exhaustive
+//! verifier.
+//!
+//! Exhaustive exploration ([`verify`](crate::verify)) is exact but its
+//! composed state space is exponential in gate count; for large circuits
+//! a long random walk over the same semantics catches gross hazards fast
+//! and scales linearly in steps. Each step picks one enabled event
+//! (an environment input or an excited gate) uniformly at random,
+//! checking the same semi-modularity and conformance conditions.
+
+use simc_sg::{Dir, StateGraph, StateId, Transition};
+
+use crate::binding::Bindings;
+use crate::error::NetlistError;
+use crate::model::{GateId, Netlist};
+use crate::verify::{Event, Violation, ViolationKind};
+
+/// Outcome of a [`random_walk`].
+#[derive(Debug, Clone)]
+pub struct WalkReport {
+    /// The first violation encountered, if any.
+    pub violation: Option<Violation>,
+    /// Steps actually executed (may stop early on violation or deadlock).
+    pub steps: usize,
+}
+
+impl WalkReport {
+    /// Whether the walk finished without violations.
+    pub fn is_ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// A tiny deterministic xorshift generator so walks are reproducible.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Runs a random walk of up to `steps` events of the composed
+/// circuit/environment system, seeded deterministically.
+///
+/// # Errors
+///
+/// Fails on binding problems (same conditions as
+/// [`verify`](crate::verify)); hazards are reported in the
+/// [`WalkReport`], not as errors.
+pub fn random_walk(
+    nl: &Netlist,
+    sg: &StateGraph,
+    steps: usize,
+    seed: u64,
+) -> Result<WalkReport, NetlistError> {
+    let composer = Bindings::new(nl, sg)?;
+    let mut rng = XorShift(seed | 1);
+    let mut spec = sg.initial();
+    let mut bits = composer.initial_bits(spec)?;
+    let mut trace: Vec<Event> = Vec::new();
+
+    for step in 0..steps {
+        let excited: Vec<GateId> = nl
+            .gate_ids()
+            .filter(|&g| composer.is_excited(g, spec, bits))
+            .collect();
+        let mut events: Vec<(Event, Option<StateId>, u128)> = Vec::new();
+        for &(t, next_spec) in sg.succs(spec) {
+            if !sg.signal(t.signal).kind().is_non_input() {
+                events.push((Event::Input(t), Some(next_spec), bits));
+            }
+        }
+        for &g in &excited {
+            let new_bits = bits ^ (1 << g.index());
+            if let Some(sig) = composer.bound_signal(g) {
+                let dir = if new_bits >> g.index() & 1 == 1 { Dir::Rise } else { Dir::Fall };
+                let t = Transition { signal: sig, dir };
+                match sg.fire(spec, t) {
+                    Some(next_spec) => events.push((Event::Gate(g), Some(next_spec), new_bits)),
+                    None => {
+                        trace.shrink_to_fit();
+                        return Ok(WalkReport {
+                            violation: Some(Violation {
+                                kind: ViolationKind::UnexpectedOutput { gate: g, transition: t },
+                                trace,
+                            }),
+                            steps: step,
+                        });
+                    }
+                }
+            } else {
+                events.push((Event::Gate(g), None, new_bits));
+            }
+        }
+        if events.is_empty() {
+            let expected: Vec<Transition> = sg
+                .succs(spec)
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|t| sg.signal(t.signal).kind().is_non_input())
+                .collect();
+            let violation = if expected.is_empty() {
+                None // quiescent and the spec agrees: a legal endpoint
+            } else {
+                Some(Violation { kind: ViolationKind::Stall { expected }, trace })
+            };
+            return Ok(WalkReport { violation, steps: step });
+        }
+        let (event, next_spec_opt, new_bits) = events[rng.pick(events.len())];
+        // Semi-modularity spot check on the chosen event.
+        let next_spec = next_spec_opt.unwrap_or(spec);
+        for &g in &excited {
+            if event == Event::Gate(g) {
+                continue;
+            }
+            if !composer.is_excited(g, next_spec, new_bits) {
+                let mut witness = trace.clone();
+                witness.push(event);
+                return Ok(WalkReport {
+                    violation: Some(Violation {
+                        kind: ViolationKind::Disabled { gate: g, by: event },
+                        trace: witness,
+                    }),
+                    steps: step,
+                });
+            }
+        }
+        if trace.len() < 512 {
+            trace.push(event);
+        }
+        spec = next_spec;
+        bits = new_bits;
+    }
+    Ok(WalkReport { violation: None, steps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simc_sg::SignalKind;
+
+    fn celem_spec() -> StateGraph {
+        StateGraph::from_starred_codes(
+            &[
+                ("a", SignalKind::Input),
+                ("b", SignalKind::Input),
+                ("c", SignalKind::Output),
+            ],
+            &["0*0*0", "10*0", "0*10", "110*", "1*1*1", "01*1", "1*01", "001*"],
+            "0*0*0",
+        )
+        .unwrap()
+    }
+
+    fn celem_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let set = nl.add_and("set_c", &[(a, true), (b, true)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false), (b, false)]).unwrap();
+        let c = nl.add_c_element("c", set, reset, false).unwrap();
+        nl.bind_output("c", c).unwrap();
+        nl
+    }
+
+    #[test]
+    fn clean_circuit_walks_clean() {
+        let sg = celem_spec();
+        let nl = celem_netlist();
+        for seed in 1..=5 {
+            let report = random_walk(&nl, &sg, 10_000, seed).unwrap();
+            assert!(report.is_ok(), "seed {seed}: {:?}", report.violation);
+            assert_eq!(report.steps, 10_000);
+        }
+    }
+
+    #[test]
+    fn hazardous_circuit_is_caught() {
+        // Unacknowledged inverter race (same circuit as the verifier's
+        // hazard test).
+        let sg = StateGraph::from_starred_codes(
+            &[("a", SignalKind::Input), ("c", SignalKind::Output)],
+            &["0*0", "10*", "1*1", "01*"],
+            "0*0",
+        )
+        .unwrap();
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let na = nl.add_not("na", a).unwrap();
+        let set = nl.add_and("set_c", &[(a, true), (na, true)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false)]).unwrap();
+        let c = nl.add_c_element("c", set, reset, false).unwrap();
+        nl.bind_output("c", c).unwrap();
+        // Over a handful of seeds the race is hit with high probability.
+        let caught = (1..=20).any(|seed| {
+            !random_walk(&nl, &sg, 5_000, seed).unwrap().is_ok()
+        });
+        assert!(caught, "random walks never hit the race");
+    }
+
+    #[test]
+    fn walks_are_reproducible() {
+        let sg = celem_spec();
+        let nl = celem_netlist();
+        let a = random_walk(&nl, &sg, 1_000, 42).unwrap();
+        let b = random_walk(&nl, &sg, 1_000, 42).unwrap();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.is_ok(), b.is_ok());
+    }
+
+    #[test]
+    fn binding_errors_surface() {
+        let sg = celem_spec();
+        let nl = Netlist::new();
+        assert!(random_walk(&nl, &sg, 10, 1).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Bounded-delay discrete-event simulation.
+//!
+//! The unbounded-delay verifier rejects any circuit with an
+//! unacknowledged gate — including the paper's `C2` variant, where input
+//! inversions are separate inverters. The paper argues `C2` is
+//! nevertheless hazard-free under the *relational* bound
+//! `d_inv^max < D_sn^min` (one inverter is faster than any signal
+//! network). This module makes that claim checkable: gates get explicit
+//! *pure* delays, the environment reacts within a delay window, and the
+//! simulation reports any output transition the specification does not
+//! enable (a glitch that reached an output) or a stall.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use simc_sg::{Dir, SignalId, StateGraph, StateId, Transition};
+
+use crate::binding::Bindings;
+use crate::error::NetlistError;
+use crate::model::{GateId, NetId, Netlist};
+
+/// Per-gate delay assignment (in abstract time units).
+#[derive(Debug, Clone)]
+pub struct Delays {
+    per_gate: Vec<u64>,
+}
+
+impl Delays {
+    /// Uniform delay for every gate.
+    pub fn uniform(nl: &Netlist, delay: u64) -> Self {
+        Delays { per_gate: vec![delay.max(1); nl.gate_count()] }
+    }
+
+    /// Uniform delays with an override applied per gate.
+    pub fn uniform_with(
+        nl: &Netlist,
+        delay: u64,
+        mut with: impl FnMut(GateId) -> Option<u64>,
+    ) -> Self {
+        let per_gate = nl
+            .gate_ids()
+            .map(|g| with(g).unwrap_or(delay).max(1))
+            .collect();
+        Delays { per_gate }
+    }
+
+    /// The delay of gate `g`.
+    pub fn of(&self, g: GateId) -> u64 {
+        self.per_gate[g.index()]
+    }
+
+    /// Sets the delay of gate `g`.
+    pub fn set(&mut self, g: GateId, delay: u64) {
+        self.per_gate[g.index()] = delay.max(1);
+    }
+}
+
+/// Options for [`timed_walk`].
+#[derive(Debug, Clone, Copy)]
+pub struct TimedOptions {
+    /// Stop after this many executed events.
+    pub max_events: usize,
+    /// Environment reaction window `[min, max]` for firing enabled inputs.
+    pub env_delay: (u64, u64),
+    /// RNG seed (deterministic runs).
+    pub seed: u64,
+}
+
+impl Default for TimedOptions {
+    fn default() -> Self {
+        TimedOptions { max_events: 50_000, env_delay: (1, 8), seed: 1 }
+    }
+}
+
+/// Outcome of a timed simulation run.
+#[derive(Debug, Clone)]
+pub struct TimedReport {
+    /// A human-readable description of the first failure, if any.
+    pub failure: Option<String>,
+    /// Events executed.
+    pub events: usize,
+    /// Final simulation time.
+    pub time: u64,
+    /// Transient pulses observed: a gate's target flipped again while a
+    /// previous output change was still in flight — a glitch pulse of
+    /// width shorter than the gate's own delay travelling through the
+    /// circuit. Zero in a correctly timed circuit.
+    pub pulses: usize,
+}
+
+impl TimedReport {
+    /// Whether the run completed without observable failures.
+    pub fn is_ok(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A gate output assumes a scheduled value (pure delay).
+    Gate(GateId, bool),
+    /// The environment attempts an input transition.
+    Input(SignalId, Dir),
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.next() % (hi - lo + 1)
+        }
+    }
+}
+
+/// Runs a timed random simulation of `nl` against spec `sg` with the
+/// given gate delays.
+///
+/// # Errors
+///
+/// Fails on binding problems; observable hazards are reported in the
+/// [`TimedReport`].
+pub fn timed_walk(
+    nl: &Netlist,
+    sg: &StateGraph,
+    delays: &Delays,
+    opts: TimedOptions,
+) -> Result<TimedReport, NetlistError> {
+    // Bindings (by name, shared with the untimed verifier).
+    let bindings = Bindings::new(nl, sg)?;
+    let input_net: Vec<Option<NetId>> = sg
+        .signal_ids()
+        .map(|sig| bindings.input_net(sig))
+        .collect();
+    let bound: Vec<Option<SignalId>> = nl
+        .gate_ids()
+        .map(|g| bindings.bound_signal(g))
+        .collect();
+    // Fanout lists per net.
+    let mut fanout: Vec<Vec<GateId>> = vec![Vec::new(); nl.net_count()];
+    for g in nl.gate_ids() {
+        for &input in nl.gate_inputs(g) {
+            fanout[input.index()].push(g);
+        }
+    }
+
+    // Net values; initialize from spec initial code + declared gate inits,
+    // then relax the combinational cone.
+    let mut value: Vec<bool> = (0..nl.net_count())
+        .map(|i| nl.initial_value(NetId(i as u32)))
+        .collect();
+    for sig in sg.signal_ids() {
+        if let Some(net) = input_net[sig.index()] {
+            value[net.index()] = sg.code(sg.initial()).value(sig);
+        }
+    }
+    let eval_gate = |g: GateId, value: &[bool]| -> bool {
+        let inputs: Vec<bool> = nl
+            .gate_inputs(g)
+            .iter()
+            .map(|&n| value[n.index()])
+            .collect();
+        nl.eval_gate(g, &inputs, value[nl.gate_output(g).index()])
+    };
+    for _ in 0..=nl.gate_count() + 1 {
+        let mut changed = false;
+        for g in nl.gate_ids() {
+            if nl.gate_kind(g).is_sequential() {
+                if let Some(comp) = nl.gate_comp_output(g) {
+                    value[comp.index()] = !value[nl.gate_output(g).index()];
+                }
+                continue;
+            }
+            let target = eval_gate(g, &value);
+            let out = nl.gate_output(g);
+            if value[out.index()] != target {
+                value[out.index()] = target;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut rng = Rng(opts.seed | 1);
+    let mut spec: StateId = sg.initial();
+    let mut last_target: Vec<bool> = nl.gate_ids().map(|g| eval_gate(g, &value)).collect();
+
+    // Priority queue keyed by (time, sequence) for deterministic order.
+    let mut queue: BinaryHeap<Reverse<(u64, u64, Event)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+
+    let schedule_env = |spec: StateId,
+                            queue: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+                            rng: &mut Rng,
+                            seq: &mut u64,
+                            now: u64| {
+        let enabled: Vec<Transition> = sg
+            .succs(spec)
+            .iter()
+            .map(|&(t, _)| t)
+            .filter(|t| !sg.signal(t.signal).kind().is_non_input())
+            .collect();
+        if enabled.is_empty() {
+            return;
+        }
+        let t = enabled[(rng.next() % enabled.len() as u64) as usize];
+        let delay = rng.range(opts.env_delay.0, opts.env_delay.1);
+        *seq += 1;
+        queue.push(Reverse((now + delay, *seq, Event::Input(t.signal, t.dir))));
+    };
+    schedule_env(spec, &mut queue, &mut rng, &mut seq, 0);
+
+    let mut pending: Vec<usize> = vec![0; nl.gate_count()];
+    let mut pulses = 0usize;
+    let propagate = |net: NetId,
+                         value: &[bool],
+                         last_target: &mut [bool],
+                         pending: &mut [usize],
+                         pulses: &mut usize,
+                         queue: &mut BinaryHeap<Reverse<(u64, u64, Event)>>,
+                         seq: &mut u64,
+                         now: u64| {
+        for &g in &fanout[net.index()] {
+            let target = eval_gate(g, value);
+            if last_target[g.index()] != target {
+                last_target[g.index()] = target;
+                if pending[g.index()] > 0 {
+                    // A previous change is still travelling through the
+                    // gate: the output will carry a runt pulse.
+                    *pulses += 1;
+                }
+                pending[g.index()] += 1;
+                *seq += 1;
+                queue.push(Reverse((now + delays.of(g), *seq, Event::Gate(g, target))));
+            }
+        }
+    };
+
+    let mut events = 0usize;
+    let mut now = 0u64;
+    while let Some(Reverse((time, _, event))) = queue.pop() {
+        if events >= opts.max_events {
+            break;
+        }
+        events += 1;
+        now = time;
+        match event {
+            Event::Input(sig, dir) => {
+                let t = Transition { signal: sig, dir };
+                match sg.fire(spec, t) {
+                    Some(next) => {
+                        spec = next;
+                        let net = input_net[sig.index()].expect("bound input");
+                        value[net.index()] = dir.value_after();
+                        propagate(
+                            net,
+                            &value,
+                            &mut last_target,
+                            &mut pending,
+                            &mut pulses,
+                            &mut queue,
+                            &mut seq,
+                            now,
+                        );
+                        schedule_env(spec, &mut queue, &mut rng, &mut seq, now);
+                    }
+                    None => {
+                        // Stale attempt (spec moved on); try again.
+                        schedule_env(spec, &mut queue, &mut rng, &mut seq, now);
+                    }
+                }
+            }
+            Event::Gate(g, new_value) => {
+                pending[g.index()] = pending[g.index()].saturating_sub(1);
+                let out = nl.gate_output(g);
+                if value[out.index()] == new_value {
+                    continue; // glitch already superseded
+                }
+                value[out.index()] = new_value;
+                if let Some(comp) = nl.gate_comp_output(g) {
+                    value[comp.index()] = !new_value;
+                }
+                if let Some(sig) = bound[g.index()] {
+                    let dir = if new_value { Dir::Rise } else { Dir::Fall };
+                    let t = Transition { signal: sig, dir };
+                    match sg.fire(spec, t) {
+                        Some(next) => {
+                            spec = next;
+                            schedule_env(spec, &mut queue, &mut rng, &mut seq, now);
+                        }
+                        None => {
+                            return Ok(TimedReport {
+                                failure: Some(format!(
+                                    "at t={now}: output `{}` fired {} which the spec does not \
+                                     enable (glitch reached an output)",
+                                    nl.net_name(out),
+                                    sg.transition_name(t)
+                                )),
+                                events,
+                                time: now,
+                                pulses,
+                            });
+                        }
+                    }
+                }
+                propagate(
+                    out,
+                    &value,
+                    &mut last_target,
+                    &mut pending,
+                    &mut pulses,
+                    &mut queue,
+                    &mut seq,
+                    now,
+                );
+                if let Some(comp) = nl.gate_comp_output(g) {
+                    propagate(
+                        comp,
+                        &value,
+                        &mut last_target,
+                        &mut pending,
+                        &mut pulses,
+                        &mut queue,
+                        &mut seq,
+                        now,
+                    );
+                }
+            }
+        }
+    }
+    Ok(TimedReport { failure: None, events, time: now, pulses })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simc_sg::SignalKind;
+
+    fn celem_spec() -> StateGraph {
+        StateGraph::from_starred_codes(
+            &[
+                ("a", SignalKind::Input),
+                ("b", SignalKind::Input),
+                ("c", SignalKind::Output),
+            ],
+            &["0*0*0", "10*0", "0*10", "110*", "1*1*1", "01*1", "1*01", "001*"],
+            "0*0*0",
+        )
+        .unwrap()
+    }
+
+    fn celem_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let set = nl.add_and("set_c", &[(a, true), (b, true)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false), (b, false)]).unwrap();
+        let c = nl.add_c_element("c", set, reset, false).unwrap();
+        nl.bind_output("c", c).unwrap();
+        nl
+    }
+
+    #[test]
+    fn clean_circuit_simulates_clean() {
+        let sg = celem_spec();
+        let nl = celem_netlist();
+        let delays = Delays::uniform(&nl, 3);
+        for seed in 1..=4 {
+            let report = timed_walk(
+                &nl,
+                &sg,
+                &delays,
+                TimedOptions { seed, ..TimedOptions::default() },
+            )
+            .unwrap();
+            assert!(report.is_ok(), "seed {seed}: {:?}", report.failure);
+            assert!(report.events > 1000);
+        }
+    }
+
+    #[test]
+    fn skewed_delays_still_clean_for_si_circuit() {
+        // A speed-independent circuit tolerates arbitrary delay skew.
+        let sg = celem_spec();
+        let nl = celem_netlist();
+        let delays = Delays::uniform_with(&nl, 2, |g| (g.index() == 0).then_some(97));
+        for seed in 1..=4 {
+            let report = timed_walk(
+                &nl,
+                &sg,
+                &delays,
+                TimedOptions { seed, ..TimedOptions::default() },
+            )
+            .unwrap();
+            assert!(report.is_ok(), "{:?}", report.failure);
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let sg = celem_spec();
+        let nl = celem_netlist();
+        let delays = Delays::uniform(&nl, 3);
+        let opts = TimedOptions { max_events: 5_000, ..TimedOptions::default() };
+        let a = timed_walk(&nl, &sg, &delays, opts).unwrap();
+        let b = timed_walk(&nl, &sg, &delays, opts).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.time, b.time);
+    }
+
+    #[test]
+    fn binding_errors_surface() {
+        let sg = celem_spec();
+        let nl = Netlist::new();
+        let delays = Delays::uniform(&nl, 1);
+        assert!(timed_walk(&nl, &sg, &delays, TimedOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,505 @@
+//! Speed-independence verification of a netlist against a spec state graph.
+//!
+//! The circuit is composed with the *mirror environment* of the
+//! specification: the environment may fire any input transition the spec
+//! enables, and must be able to accept every output transition the circuit
+//! produces. Exploration is exhaustive over the composed state space under
+//! the unbounded pure-delay model: any interleaving of excited gates may
+//! occur, and an excited gate that becomes stable without firing is a
+//! hazard (semi-modularity violation, cf. Beerel & Meng 1992 as cited by
+//! the paper).
+
+use std::collections::HashMap;
+
+use simc_sg::{Dir, StateGraph, StateId, Transition};
+
+use crate::binding::Bindings;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::model::{GateId, Netlist};
+
+/// One atomic event of the composed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Event {
+    /// The environment fires an input transition of the spec.
+    Input(Transition),
+    /// A gate's output switches.
+    Gate(GateId),
+}
+
+/// A verification failure with a replayable witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Events from the initial composed state to the failure state.
+    pub trace: Vec<Event>,
+}
+
+/// Kinds of verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// An excited gate was disabled without firing — a potential runt
+    /// pulse under the pure delay model (hazard).
+    Disabled {
+        /// The gate that lost its excitation.
+        gate: GateId,
+        /// The event that disabled it.
+        by: Event,
+    },
+    /// The circuit produced an output transition the spec does not enable.
+    UnexpectedOutput {
+        /// The firing gate.
+        gate: GateId,
+        /// The transition it would perform.
+        transition: Transition,
+    },
+    /// A latch saw set and reset active simultaneously.
+    SetResetClash {
+        /// The latch gate.
+        gate: GateId,
+    },
+    /// The composed system is quiescent but the spec still expects
+    /// non-input transitions.
+    Stall {
+        /// The transitions the spec expects.
+        expected: Vec<Transition>,
+    },
+}
+
+/// Outcome of [`verify`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Discovered violations (bounded by [`VerifyOptions::max_violations`]).
+    pub violations: Vec<Violation>,
+    /// Number of composed states explored.
+    pub explored: usize,
+}
+
+impl VerifyReport {
+    /// Whether the circuit is a correct speed-independent implementation
+    /// of the spec (no violations found in the explored space).
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The hazard (disabling) violations only.
+    pub fn hazards(&self) -> impl Iterator<Item = &Violation> {
+        self.violations
+            .iter()
+            .filter(|v| matches!(v.kind, ViolationKind::Disabled { .. }))
+    }
+
+    /// Renders a violation with gate/net names for diagnostics.
+    pub fn describe(&self, nl: &Netlist, sg: &StateGraph, v: &Violation) -> String {
+        let event_str = |e: &Event| match e {
+            Event::Input(t) => format!("input {}", sg.transition_name(*t)),
+            Event::Gate(g) => format!("gate {}", nl.net_name(nl.gate_output(*g))),
+        };
+        let trace: Vec<String> = v.trace.iter().map(event_str).collect();
+        let what = match &v.kind {
+            ViolationKind::Disabled { gate, by } => format!(
+                "gate `{}` disabled by {} while excited",
+                nl.net_name(nl.gate_output(*gate)),
+                event_str(by)
+            ),
+            ViolationKind::UnexpectedOutput { gate, transition } => format!(
+                "gate `{}` fires {} which the spec does not enable",
+                nl.net_name(nl.gate_output(*gate)),
+                sg.transition_name(*transition)
+            ),
+            ViolationKind::SetResetClash { gate } => format!(
+                "latch `{}` has set and reset active together",
+                nl.net_name(nl.gate_output(*gate))
+            ),
+            ViolationKind::Stall { expected } => format!(
+                "circuit quiescent but spec expects {}",
+                expected
+                    .iter()
+                    .map(|t| sg.transition_name(*t))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
+        format!("{what}; trace: [{}]", trace.join(" → "))
+    }
+}
+
+/// Options for [`verify`].
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyOptions {
+    /// Maximum number of composed states to explore.
+    pub max_states: usize,
+    /// Stop after this many violations.
+    pub max_violations: usize,
+    /// Also flag *stable* set/reset overlaps on latches. Off by default:
+    /// with C-element (hold) semantics a set/reset overlap is functionally
+    /// safe and occurs transiently even in correct implementations while
+    /// excitation networks settle; real logic errors surface as `Stall` or
+    /// `UnexpectedOutput` regardless. Enable for extra diagnostics.
+    pub flag_clashes: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions { max_states: 1 << 20, max_violations: 8, flag_clashes: false }
+    }
+}
+
+/// Verifies `nl` against the specification `sg`.
+///
+/// Input nets are matched to spec input signals by name; output bindings
+/// ([`Netlist::bind_output`]) map spec non-input signals to latch (or
+/// gate) outputs. All spec signals must be covered.
+///
+/// # Errors
+///
+/// Fails on binding problems or when exploration exceeds
+/// [`VerifyOptions::max_states`]. A *hazardous* circuit is not an error:
+/// the report carries the violations.
+pub fn verify(
+    nl: &Netlist,
+    sg: &StateGraph,
+    opts: VerifyOptions,
+) -> Result<VerifyReport, NetlistError> {
+    let comp = Bindings::new(nl, sg)?;
+    let spec0 = sg.initial();
+    let bits0 = comp.initial_bits(spec0)?;
+
+    // BFS over composed states.
+    type Key = (StateId, u128);
+    let mut index: HashMap<Key, usize> = HashMap::new();
+    let mut parents: Vec<Option<(usize, Event)>> = Vec::new();
+    let mut keys: Vec<Key> = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+
+    index.insert((spec0, bits0), 0);
+    parents.push(None);
+    keys.push((spec0, bits0));
+    queue.push_back(0usize);
+
+    let mut violations = Vec::new();
+    let trace_of = |idx: usize, parents: &[Option<(usize, Event)>]| -> Vec<Event> {
+        let mut t = Vec::new();
+        let mut cur = idx;
+        while let Some((p, e)) = parents[cur] {
+            t.push(e);
+            cur = p;
+        }
+        t.reverse();
+        t
+    };
+
+    'bfs: while let Some(cur) = queue.pop_front() {
+        let (spec, bits) = keys[cur];
+        let excited: Vec<GateId> = nl
+            .gate_ids()
+            .filter(|&g| comp.is_excited(g, spec, bits))
+            .collect();
+
+        // Latch set/reset clash check (opt-in). A momentary overlap while
+        // the excitation networks settle is a hold (harmless); a clash
+        // where neither the set nor the reset driver is excited to resolve
+        // it is reported when `flag_clashes` is set.
+        for g in nl.gate_ids().filter(|_| opts.flag_clashes) {
+            if let GateKind::CElement { inverted } = nl.gate_kind(g) {
+                let ins = nl.gate_inputs(g);
+                let both_high = (comp.net_value(ins[0], spec, bits)
+                    != (inverted & 1 == 1))
+                    && (comp.net_value(ins[1], spec, bits) != (inverted >> 1 & 1 == 1));
+                if !both_high {
+                    continue;
+                }
+                let resolvable = ins.iter().take(2).any(|&n| {
+                    nl.driver(n)
+                        .is_some_and(|d| comp.is_excited(d, spec, bits))
+                });
+                if !resolvable {
+                    let trace = trace_of(cur, &parents);
+                    violations.push(Violation {
+                        kind: ViolationKind::SetResetClash { gate: g },
+                        trace,
+                    });
+                    if violations.len() >= opts.max_violations {
+                        break 'bfs;
+                    }
+                }
+            }
+        }
+
+        // Enumerate events.
+        let mut events: Vec<(Event, Option<StateId>, u128)> = Vec::new();
+        for &(t, next_spec) in sg.succs(spec) {
+            if !sg.signal(t.signal).kind().is_non_input() {
+                events.push((Event::Input(t), Some(next_spec), bits));
+            }
+        }
+        for &g in &excited {
+            let new_bit = bits >> g.index() & 1 == 0;
+            let new_bits = bits ^ (1 << g.index());
+            if let Some(sig) = comp.bound_signal(g) {
+                let dir = if new_bit { Dir::Rise } else { Dir::Fall };
+                let t = Transition { signal: sig, dir };
+                match sg.fire(spec, t) {
+                    Some(next_spec) => {
+                        events.push((Event::Gate(g), Some(next_spec), new_bits))
+                    }
+                    None => {
+                        let trace = trace_of(cur, &parents);
+                        violations.push(Violation {
+                            kind: ViolationKind::UnexpectedOutput { gate: g, transition: t },
+                            trace,
+                        });
+                        if violations.len() >= opts.max_violations {
+                            break 'bfs;
+                        }
+                    }
+                }
+            } else {
+                events.push((Event::Gate(g), None, new_bits));
+            }
+        }
+
+        // Stall check: nothing can happen but the spec expects outputs.
+        if events.is_empty() {
+            let expected: Vec<Transition> = sg
+                .succs(spec)
+                .iter()
+                .map(|&(t, _)| t)
+                .filter(|t| sg.signal(t.signal).kind().is_non_input())
+                .collect();
+            if !expected.is_empty() {
+                let trace = trace_of(cur, &parents);
+                violations.push(Violation { kind: ViolationKind::Stall { expected }, trace });
+                if violations.len() >= opts.max_violations {
+                    break 'bfs;
+                }
+            }
+            continue;
+        }
+
+        for (event, next_spec_opt, new_bits) in events {
+            let next_spec = next_spec_opt.unwrap_or(spec);
+            // Semi-modularity: every other excited gate must stay excited.
+            for &g in &excited {
+                if event == Event::Gate(g) {
+                    continue;
+                }
+                if !comp.is_excited(g, next_spec, new_bits) {
+                    let mut trace = trace_of(cur, &parents);
+                    trace.push(event);
+                    violations.push(Violation {
+                        kind: ViolationKind::Disabled { gate: g, by: event },
+                        trace,
+                    });
+                    if violations.len() >= opts.max_violations {
+                        break 'bfs;
+                    }
+                }
+            }
+            let key = (next_spec, new_bits);
+            if let std::collections::hash_map::Entry::Vacant(entry) = index.entry(key) {
+                if keys.len() >= opts.max_states {
+                    return Err(NetlistError::TooManyStates(opts.max_states));
+                }
+                let idx = keys.len();
+                entry.insert(idx);
+                keys.push(key);
+                parents.push(Some((cur, event)));
+                queue.push_back(idx);
+            }
+        }
+    }
+
+    Ok(VerifyReport { violations, explored: keys.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simc_sg::SignalKind;
+
+    /// Spec of a Muller C-element: c = a·b + (a+b)·c, 8-state SG.
+    fn celem_spec() -> StateGraph {
+        StateGraph::from_starred_codes(
+            &[
+                ("a", SignalKind::Input),
+                ("b", SignalKind::Input),
+                ("c", SignalKind::Output),
+            ],
+            &[
+                "0*0*0", "10*0", "0*10", "110*", "1*1*1", "01*1", "1*01", "001*",
+            ],
+            "0*0*0",
+        )
+        .unwrap()
+    }
+
+    /// A latch-based C-element implementation: set = ab, reset = a'b'.
+    fn celem_netlist() -> Netlist {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let set = nl.add_and("set_c", &[(a, true), (b, true)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false), (b, false)]).unwrap();
+        let c = nl.add_c_element("c", set, reset, false).unwrap();
+        nl.bind_output("c", c).unwrap();
+        nl
+    }
+
+    #[test]
+    fn c_element_implementation_is_correct() {
+        let sg = celem_spec();
+        let nl = celem_netlist();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+        assert!(report.explored > 8);
+    }
+
+    #[test]
+    fn wrong_polarity_is_caught() {
+        let sg = celem_spec();
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        // Wrong: set = a·b̄ fires c too early.
+        let set = nl.add_and("set_c", &[(a, true), (b, false)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false), (b, false)]).unwrap();
+        let c = nl.add_c_element("c", set, reset, false).unwrap();
+        nl.bind_output("c", c).unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(!report.is_ok());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::UnexpectedOutput { .. })));
+    }
+
+    #[test]
+    fn missing_binding_is_an_error() {
+        let sg = celem_spec();
+        // Build the same circuit but without binding the output.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let set = nl.add_and("set_c", &[(a, true), (b, true)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false), (b, false)]).unwrap();
+        let _c = nl.add_c_element("c", set, reset, false).unwrap();
+        let err = verify(&nl, &sg, VerifyOptions::default()).unwrap_err();
+        assert!(matches!(err, NetlistError::UnboundSignal(_)));
+    }
+
+    #[test]
+    fn hazard_detected_in_unacknowledged_gate() {
+        // Spec: simple a → c handshake (c follows a).
+        let sg = StateGraph::from_starred_codes(
+            &[("a", SignalKind::Input), ("c", SignalKind::Output)],
+            &["0*0", "10*", "1*1", "01*"],
+            "0*0",
+        )
+        .unwrap();
+        // Implementation: c = latch(set = a·g, reset = a'·g'), where g is a
+        // free-running gate g = a through TWO buffers: the second buffer's
+        // lag means set can drop while excited… construct a disabling:
+        // set = a AND buf(a)' — when a rises, set sees a=1, nb=1 (stale
+        // ¬a=1) → excited; buffer then catches up and disables it.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let na = nl.add_not("na", a).unwrap();
+        let set = nl.add_and("set_c", &[(a, true), (na, true)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false)]).unwrap();
+        let c = nl.add_c_element("c", set, reset, false).unwrap();
+        nl.bind_output("c", c).unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(!report.is_ok());
+        assert!(
+            report.hazards().count() > 0,
+            "expected a disabling hazard: {:?}",
+            report.violations
+        );
+        // The describe helper renders names.
+        let msg = report.describe(&nl, &sg, &report.violations[0]);
+        assert!(msg.contains("trace"), "{msg}");
+    }
+
+    #[test]
+    fn stall_detected_for_dead_logic() {
+        let sg = celem_spec();
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        // set can never fire: a·a' = 0.
+        let set = nl.add_and("set_c", &[(a, true), (a, false)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false), (b, false)]).unwrap();
+        let c = nl.add_c_element("c", set, reset, false).unwrap();
+        nl.bind_output("c", c).unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::Stall { .. })));
+    }
+
+    #[test]
+    fn set_reset_clash_detected() {
+        let sg = celem_spec();
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let set = nl.add_and("set_c", &[(a, true), (b, true)]).unwrap();
+        // reset = a — active together with set in state 11.
+        let reset = nl.add_buf("reset_c", a).unwrap();
+        let c = nl.add_c_element("c", set, reset, false).unwrap();
+        nl.bind_output("c", c).unwrap();
+        let opts = VerifyOptions { flag_clashes: true, ..VerifyOptions::default() };
+        let report = verify(&nl, &sg, opts).unwrap();
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v.kind, ViolationKind::SetResetClash { .. })));
+        // Even without clash flagging the broken circuit is caught (it
+        // stalls: c can never rise while reset stays high).
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn rs_dual_rail_implementation_is_correct() {
+        // Same C-element, RS style: Q and Q̄ rails, gates use the rails.
+        let sg = celem_spec();
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let set = nl.add_and("set_c", &[(a, true), (b, true)]).unwrap();
+        let reset = nl.add_and("reset_c", &[(a, false), (b, false)]).unwrap();
+        let (q, _qn) = nl.add_rs_latch("c", set, reset, false).unwrap();
+        nl.bind_output("c", q).unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(report.is_ok(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn double_binding_rejected() {
+        let sg = celem_spec();
+        let mut nl = celem_netlist();
+        // Bind c a second time to another net.
+        let extra = nl.add_buf("c_copy", nl.net_by_name("set_c").unwrap()).unwrap();
+        nl.bind_output("c", extra).unwrap();
+        let err = verify(&nl, &sg, VerifyOptions::default()).unwrap_err();
+        assert!(matches!(err, NetlistError::UnboundSignal(_)));
+    }
+
+    #[test]
+    fn state_budget_respected() {
+        let sg = celem_spec();
+        let nl = celem_netlist();
+        let err = verify(
+            &nl,
+            &sg,
+            VerifyOptions { max_states: 2, ..VerifyOptions::default() },
+        )
+        .unwrap_err();
+        assert!(matches!(err, NetlistError::TooManyStates(2)));
+    }
+}

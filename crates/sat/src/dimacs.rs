@@ -1,0 +1,180 @@
+//! DIMACS CNF interchange (for testing the solver against standard
+//! instances and exporting synthesis constraint systems).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+
+/// A parsed DIMACS CNF instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dimacs {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses as signed 1-based variable indices.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+/// Errors from [`parse_dimacs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseDimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader,
+    /// A literal was not an integer or referenced variable 0 / beyond the
+    /// declared count.
+    BadLiteral(String),
+    /// A clause was not terminated by `0`.
+    UnterminatedClause,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader => write!(f, "missing or malformed `p cnf` header"),
+            ParseDimacsError::BadLiteral(tok) => write!(f, "bad literal `{tok}`"),
+            ParseDimacsError::UnterminatedClause => {
+                write!(f, "final clause not terminated by 0")
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text (comments `c …`, header `p cnf v c`,
+/// 0-terminated clauses).
+///
+/// # Errors
+///
+/// Returns a [`ParseDimacsError`] for malformed input. A clause count
+/// mismatch with the header is tolerated (common in the wild).
+pub fn parse_dimacs(text: &str) -> Result<Dimacs, ParseDimacsError> {
+    let mut num_vars: Option<usize> = None;
+    let mut clauses = Vec::new();
+    let mut current: Vec<i32> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError::BadHeader);
+            }
+            let vars: usize = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or(ParseDimacsError::BadHeader)?;
+            num_vars = Some(vars);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let lit: i32 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::BadLiteral(tok.to_string()))?;
+            if lit == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                let vars = num_vars.ok_or(ParseDimacsError::BadHeader)?;
+                if lit.unsigned_abs() as usize > vars {
+                    return Err(ParseDimacsError::BadLiteral(tok.to_string()));
+                }
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::UnterminatedClause);
+    }
+    Ok(Dimacs { num_vars: num_vars.ok_or(ParseDimacsError::BadHeader)?, clauses })
+}
+
+impl Dimacs {
+    /// Loads the instance into a fresh solver, returning it together with
+    /// the variable table (index `i` holds DIMACS variable `i + 1`).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            solver.add_clause(clause.iter().map(|&l| {
+                Lit::with_polarity(vars[(l.unsigned_abs() - 1) as usize], l > 0)
+            }));
+        }
+        (solver, vars)
+    }
+
+    /// Serializes back to DIMACS text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("p cnf {} {}\n", self.num_vars, self.clauses.len());
+        for clause in &self.clauses {
+            for lit in clause {
+                out.push_str(&lit.to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SatResult;
+
+    #[test]
+    fn parse_and_solve() {
+        let text = "c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let instance = parse_dimacs(text).unwrap();
+        assert_eq!(instance.num_vars, 3);
+        assert_eq!(instance.clauses.len(), 2);
+        let (mut solver, vars) = instance.into_solver();
+        match solver.solve() {
+            SatResult::Sat(model) => {
+                let v = |i: usize| model.value(vars[i]);
+                assert!(v(0) || !v(1));
+                assert!(v(1) || v(2));
+            }
+            SatResult::Unsat => panic!("satisfiable instance"),
+        }
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let (mut solver, _) = parse_dimacs(text).unwrap().into_solver();
+        assert_eq!(solver.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 2 2\n1 2 0\n-1 -2 0\n";
+        let instance = parse_dimacs(text).unwrap();
+        let again = parse_dimacs(&instance.to_text()).unwrap();
+        assert_eq!(instance, again);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(parse_dimacs("1 2 0\n"), Err(ParseDimacsError::BadHeader)));
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n5 0\n"),
+            Err(ParseDimacsError::BadLiteral(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\n1 2\n"),
+            Err(ParseDimacsError::UnterminatedClause)
+        ));
+        assert!(matches!(parse_dimacs("p dnf 1 1\n"), Err(ParseDimacsError::BadHeader)));
+    }
+
+    #[test]
+    fn clauses_spanning_lines() {
+        let text = "p cnf 3 1\n1\n2 3\n0\n";
+        let instance = parse_dimacs(text).unwrap();
+        assert_eq!(instance.clauses, vec![vec![1, 2, 3]]);
+    }
+}

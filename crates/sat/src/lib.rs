@@ -1,0 +1,38 @@
+//! A compact CDCL SAT solver.
+//!
+//! The DAC'94 paper formulates both the existence of monotonous-cover
+//! cubes and the generalized state assignment as Boolean satisfiability
+//! problems ("these constraints … can be efficiently solved using Boolean
+//! satisfiability solvers", Section VII). This crate is the solver those
+//! formulations run on: a conflict-driven clause-learning (CDCL) solver
+//! with two-watched-literal propagation, VSIDS-style activity ordering,
+//! first-UIP learning and Luby restarts.
+//!
+//! # Example
+//!
+//! ```
+//! use simc_sat::{Lit, SatResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause([Lit::pos(a), Lit::pos(b)]);  // a ∨ b
+//! solver.add_clause([Lit::neg(a)]);               // ¬a
+//! match solver.solve() {
+//!     SatResult::Sat(model) => assert!(model.value(b)),
+//!     SatResult::Unsat => unreachable!(),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimacs;
+mod model;
+mod solver;
+mod types;
+
+pub use dimacs::{parse_dimacs, Dimacs, ParseDimacsError};
+pub use model::Model;
+pub use solver::{SatResult, Solver};
+pub use types::{Lit, Var};

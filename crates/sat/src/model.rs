@@ -1,0 +1,68 @@
+//! Satisfying assignments.
+
+use crate::types::{Lit, Var};
+
+/// A satisfying assignment returned by a successful
+/// [`Solver::solve`](crate::Solver::solve) call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    values: Vec<bool>,
+}
+
+impl Model {
+    pub(crate) fn new(values: Vec<bool>) -> Self {
+        Model { values }
+    }
+
+    /// The value assigned to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was created after the solve.
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.index()]
+    }
+
+    /// Whether the literal is true under the model.
+    pub fn satisfies(&self, lit: Lit) -> bool {
+        self.value(lit.var()) == lit.is_positive()
+    }
+
+    /// Number of assigned variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the model is empty (zero variables).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The variables assigned `true`.
+    pub fn true_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v)
+            .map(|(i, _)| Var(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = Model::new(vec![true, false, true]);
+        assert!(m.value(Var(0)));
+        assert!(!m.value(Var(1)));
+        assert!(m.satisfies(Lit::pos(Var(0))));
+        assert!(m.satisfies(Lit::neg(Var(1))));
+        assert!(!m.satisfies(Lit::neg(Var(2))));
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        let trues: Vec<Var> = m.true_vars().collect();
+        assert_eq!(trues, vec![Var(0), Var(2)]);
+    }
+}

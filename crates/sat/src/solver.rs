@@ -1,0 +1,686 @@
+//! The CDCL search engine.
+
+use crate::model::Model;
+use crate::types::{Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// The formula is satisfiable; the model assigns every variable.
+    Sat(Model),
+    /// The formula is unsatisfiable (under the given assumptions, if any).
+    Unsat,
+}
+
+impl SatResult {
+    /// The model if satisfiable.
+    pub fn model(self) -> Option<Model> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            SatResult::Unsat => None,
+        }
+    }
+
+    /// Whether the result is satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+type ClauseRef = usize;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+///
+/// Supports incremental use: clauses may be added between `solve` calls,
+/// and [`Solver::solve_with_assumptions`] checks satisfiability under
+/// temporary unit assumptions (used for solution enumeration and
+/// minimization loops in the synthesis engine).
+#[derive(Debug, Default)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// watches[lit.code()]: clauses currently watching `lit`.
+    watches: Vec<Vec<ClauseRef>>,
+    assign: Vec<Option<bool>>,
+    level: Vec<u32>,
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    prop_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    polarity: Vec<bool>,
+    ok: bool,
+    conflicts: u64,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver { ok: true, var_inc: 1.0, ..Default::default() }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of problem + learned clauses currently stored.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total conflicts encountered across all solves (a work metric).
+    pub fn conflict_count(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Scrambles the saved decision polarities deterministically.
+    ///
+    /// Model-enumeration loops (solve, block, repeat) otherwise revisit
+    /// near-identical assignments because phase saving biases decisions
+    /// toward the previous model; scrambling between solves spreads the
+    /// enumeration across the solution space.
+    pub fn scramble_polarities(&mut self, seed: u64) {
+        let mut state = seed | 1;
+        for p in &mut self.polarity {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *p = state & 1 == 1;
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(None);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Tautological clauses are ignored; the empty clause (or a unit clause
+    /// conflicting at the top level) makes the formula permanently
+    /// unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        self.cancel_until(0);
+        if !self.ok {
+            return;
+        }
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        // Tautology / satisfied / falsified-literal simplification at level 0.
+        let mut simplified = Vec::with_capacity(lits.len());
+        for (i, &l) in lits.iter().enumerate() {
+            if i + 1 < lits.len() && lits[i + 1] == !l {
+                return; // tautology: l and ¬l both present
+            }
+            match self.lit_value(l) {
+                Some(true) => return, // already satisfied at level 0
+                Some(false) => {}     // drop falsified literal
+                None => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => self.ok = false,
+            1 => {
+                if !self.enqueue(simplified[0], None) || self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cref = self.clauses.len();
+                self.watches[simplified[0].code()].push(cref);
+                self.watches[simplified[1].code()].push(cref);
+                self.clauses.push(Clause { lits: simplified });
+            }
+        }
+    }
+
+    /// Solves the current formula.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under temporary unit assumptions.
+    ///
+    /// The assumptions hold only for this call; the clause database is
+    /// unchanged afterwards.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.cancel_until(0);
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SatResult::Unsat;
+        }
+        let mut restart_idx = 0u32;
+        let mut budget = 64 * luby(restart_idx);
+        loop {
+            match self.search(assumptions, budget) {
+                SearchOutcome::Sat => {
+                    let values =
+                        self.assign.iter().map(|v| v.unwrap_or(false)).collect();
+                    self.cancel_until(0);
+                    return SatResult::Sat(Model::new(values));
+                }
+                SearchOutcome::Unsat => {
+                    self.cancel_until(0);
+                    return SatResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    restart_idx += 1;
+                    budget = 64 * luby(restart_idx);
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    // -- internals ---------------------------------------------------------
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.assign[l.var().index()].map(|v| v == l.is_positive())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) -> bool {
+        match self.lit_value(l) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                let v = l.var().index();
+                self.assign[v] = Some(l.is_positive());
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.prop_head < self.trail.len() {
+            let l = self.trail[self.prop_head];
+            self.prop_head += 1;
+            let false_lit = !l; // literals watching ¬l just became false
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let cref = watch_list[i];
+                // Ensure the false literal is at position 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                let first = self.clauses[cref].lits[0];
+                if self.lit_value(first) == Some(true) {
+                    i += 1;
+                    continue; // clause satisfied
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                for k in 2..self.clauses[cref].lits.len() {
+                    let cand = self.clauses[cref].lits[k];
+                    if self.lit_value(cand) != Some(false) {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[cand.code()].push(cref);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Unit or conflict.
+                if !self.enqueue(first, Some(cref)) {
+                    self.watches[false_lit.code()] = watch_list;
+                    return Some(cref);
+                }
+                i += 1;
+            }
+            self.watches[false_lit.code()] = watch_list;
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let lim = self.trail_lim.pop().expect("level > 0 has a limit");
+            while self.trail.len() > lim {
+                let l = self.trail.pop().expect("trail nonempty above limit");
+                let v = l.var().index();
+                self.polarity[v] = l.is_positive();
+                self.assign[v] = None;
+                self.reason[v] = None;
+            }
+        }
+        self.prop_head = self.prop_head.min(self.trail.len());
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis; returns (learned clause, backtrack level).
+    fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learned: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut cref = conflict;
+        let mut trail_idx = self.trail.len();
+        // The literal whose reason clause is being expanded; `None` on the
+        // first pass (the conflict clause has no asserting literal).
+        let mut p: Option<Lit> = None;
+        let current = self.decision_level();
+        let uip = loop {
+            let clause_lits = self.clauses[cref].lits.clone();
+            for q in clause_lits {
+                if Some(q) == p {
+                    continue; // the propagated literal itself
+                }
+                let v = q.var();
+                if seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                seen[v.index()] = true;
+                self.bump(v);
+                if self.level[v.index()] == current {
+                    counter += 1;
+                } else {
+                    learned.push(q);
+                }
+            }
+            // Find the next seen literal on the trail.
+            let next = loop {
+                trail_idx -= 1;
+                let l = self.trail[trail_idx];
+                if seen[l.var().index()] {
+                    break l;
+                }
+            };
+            seen[next.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break next;
+            }
+            cref = self.reason[next.var().index()].expect("non-decision has a reason");
+            p = Some(next);
+        };
+        learned[0] = !uip;
+        // Backtrack level: maximum level among the other literals.
+        let bt = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .max()
+            .unwrap_or(0);
+        // Put a literal of the backtrack level at position 1 (watch order).
+        if learned.len() > 1 {
+            let pos = learned[1..]
+                .iter()
+                .position(|l| self.level[l.var().index()] == bt)
+                .expect("bt level literal exists")
+                + 1;
+            learned.swap(1, pos);
+        }
+        (learned, bt)
+    }
+
+    fn learn(&mut self, lits: Vec<Lit>) -> Option<ClauseRef> {
+        match lits.len() {
+            1 => None,
+            _ => {
+                let cref = self.clauses.len();
+                self.watches[lits[0].code()].push(cref);
+                self.watches[lits[1].code()].push(cref);
+                self.clauses.push(Clause { lits });
+                Some(cref)
+            }
+        }
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<Var> = None;
+        let mut best_act = f64::NEG_INFINITY;
+        for i in 0..self.num_vars() {
+            if self.assign[i].is_none() && self.activity[i] > best_act {
+                best_act = self.activity[i];
+                best = Some(Var(i as u32));
+            }
+        }
+        best.map(|v| Lit::with_polarity(v, self.polarity[v.index()]))
+    }
+
+    fn search(&mut self, assumptions: &[Lit], budget: u64) -> SearchOutcome {
+        let mut local_conflicts = 0u64;
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.conflicts += 1;
+                local_conflicts += 1;
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // Conflict within (or below) the assumption prefix.
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                    }
+                    return SearchOutcome::Unsat;
+                }
+                let (learned, bt) = self.analyze(conflict);
+                let bt = bt.max(assumptions.len() as u32).min(self.decision_level() - 1);
+                self.cancel_until(bt);
+                let asserting = learned[0];
+                let cref = self.learn(learned);
+                if !self.enqueue(asserting, cref) {
+                    return SearchOutcome::Unsat;
+                }
+                self.var_inc *= 1.0 / 0.95;
+                if local_conflicts >= budget {
+                    return SearchOutcome::Restart;
+                }
+            } else {
+                // Place pending assumptions.
+                let placed = self.decision_level() as usize;
+                if placed < assumptions.len() {
+                    let a = assumptions[placed];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            // Dummy level so assumption counting stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => return SearchOutcome::Unsat,
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            let ok = self.enqueue(a, None);
+                            debug_assert!(ok);
+                        }
+                    }
+                    continue;
+                }
+                match self.decide() {
+                    None => return SearchOutcome::Sat,
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(l, None);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+}
+
+/// The Luby restart sequence (1, 1, 2, 1, 1, 2, 4, …).
+fn luby(i: u32) -> u64 {
+    // MiniSat's formulation: find the finite subsequence containing index
+    // `i` and the position within it.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i as u64 + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut x = i as u64;
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(s: &mut Solver) -> (Var, Lit, Lit) {
+        let v = s.new_var();
+        (v, Lit::pos(v), Lit::neg(v))
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let (_, a, _) = pos(&mut s);
+        s.add_clause([a]);
+        let m = s.solve().model().unwrap();
+        assert!(m.satisfies(a));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let (_, a, na) = pos(&mut s);
+        s.add_clause([a]);
+        s.add_clause([na]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut s = Solver::new();
+        let (_, a, na) = pos(&mut s);
+        s.add_clause([a, na]);
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn implication_chain() {
+        // a, a→b, b→c, c→d : all true.
+        let mut s = Solver::new();
+        let lits: Vec<(Var, Lit, Lit)> = (0..4).map(|_| pos(&mut s)).collect();
+        s.add_clause([lits[0].1]);
+        for w in lits.windows(2) {
+            s.add_clause([w[0].2, w[1].1]);
+        }
+        let m = s.solve().model().unwrap();
+        for (v, _, _) in &lits {
+            assert!(m.value(*v));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: p_{i,h} — classic small UNSAT instance.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                for (a, b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!*a, !*b]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_sat() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..3).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                for (a, b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!*a, !*b]);
+                }
+            }
+        }
+        let m = s.solve().model().unwrap();
+        // Each pigeon sits somewhere; no two share a hole.
+        for row in &p {
+            assert!(row.iter().any(|&l| m.satisfies(l)));
+        }
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        let (_, a, na) = pos(&mut s);
+        let (_, b, _) = pos(&mut s);
+        s.add_clause([a, b]);
+        assert!(s.solve_with_assumptions(&[na]).is_sat());
+        // na forced b; without assumptions a may be anything again.
+        assert!(s.solve().is_sat());
+        // Contradictory assumptions → Unsat, but formula stays sat.
+        assert_eq!(s.solve_with_assumptions(&[a, na]), SatResult::Unsat);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn incremental_blocking_enumeration() {
+        // Enumerate all 4 models over 2 free variables.
+        let mut s = Solver::new();
+        let (va, a, _) = pos(&mut s);
+        let (vb, b, _) = pos(&mut s);
+        s.add_clause([a, !a]); // touch a so the solver knows it (no-op taut)
+        let mut count = 0;
+        while let SatResult::Sat(m) = s.solve() {
+            count += 1;
+            assert!(count <= 4, "enumerated too many models");
+            let blocking = [
+                Lit::with_polarity(va, !m.value(va)),
+                Lit::with_polarity(vb, !m.value(vb)),
+            ];
+            s.add_clause(blocking);
+        }
+        let _ = b;
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn random_3sat_smoke() {
+        // Deterministic random 3-SAT instances; cross-check SAT answers by
+        // brute force over ≤ 12 variables.
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..20 {
+            let n = 6 + (round % 5) as usize; // 6..10 vars
+            let m = (4.0 * n as f64) as usize;
+            let mut clauses: Vec<[i32; 3]> = Vec::new();
+            for _ in 0..m {
+                let mut c = [0i32; 3];
+                for slot in &mut c {
+                    let v = (next() % n as u64) as i32 + 1;
+                    *slot = if next() % 2 == 0 { v } else { -v };
+                }
+                clauses.push(c);
+            }
+            // Brute force.
+            let brute = (0u64..(1 << n)).any(|asg| {
+                clauses.iter().all(|c| {
+                    c.iter().any(|&l| {
+                        let v = (l.unsigned_abs() - 1) as usize;
+                        let val = (asg >> v) & 1 == 1;
+                        (l > 0) == val
+                    })
+                })
+            });
+            // Solver.
+            let mut s = Solver::new();
+            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            for c in &clauses {
+                s.add_clause(c.iter().map(|&l| {
+                    Lit::with_polarity(vars[(l.unsigned_abs() - 1) as usize], l > 0)
+                }));
+            }
+            let result = s.solve();
+            assert_eq!(result.is_sat(), brute, "round {round} mismatch");
+            if let SatResult::Sat(model) = result {
+                for c in &clauses {
+                    assert!(c.iter().any(|&l| {
+                        let v = vars[(l.unsigned_abs() - 1) as usize];
+                        model.value(v) == (l > 0)
+                    }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn work_metrics_exposed() {
+        let mut s = Solver::new();
+        assert_eq!(s.num_vars(), 0);
+        let (_, a, na) = pos(&mut s);
+        let (_, b, _) = pos(&mut s);
+        assert_eq!(s.num_vars(), 2);
+        s.add_clause([a, b]);
+        s.add_clause([na, b]);
+        assert_eq!(s.num_clauses(), 2);
+        let _ = s.solve();
+        // conflict_count is monotone (may be zero on easy formulas).
+        let before = s.conflict_count();
+        let _ = s.solve();
+        assert!(s.conflict_count() >= before);
+    }
+
+    #[test]
+    fn scrambled_polarities_change_first_model() {
+        // On an unconstrained formula the first model follows polarity
+        // hints; scrambling flips some of them.
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..16).map(|_| s.new_var()).collect();
+        // Touch the variables with tautologies so they are decided.
+        for &v in &vars {
+            s.add_clause([Lit::pos(v), Lit::neg(v)]);
+        }
+        let m1 = s.solve().model().unwrap();
+        s.scramble_polarities(0xabcdef);
+        let m2 = s.solve().model().unwrap();
+        let differing = vars.iter().filter(|&&v| m1.value(v) != m2.value(v)).count();
+        assert!(differing > 0, "scrambling had no effect");
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..9).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1]);
+    }
+}

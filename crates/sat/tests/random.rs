@@ -1,0 +1,103 @@
+//! Property-based validation of the CDCL solver against brute force.
+
+use proptest::prelude::*;
+use simc_sat::{Lit, SatResult, Solver, Var};
+
+/// A clause is a small non-empty set of literals over `vars` variables.
+fn arb_instance(vars: usize) -> impl Strategy<Value = Vec<Vec<i32>>> {
+    let literal = (1..=vars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = proptest::collection::vec(literal, 1..=3);
+    proptest::collection::vec(clause, 0..=4 * vars)
+}
+
+fn brute_force(vars: usize, clauses: &[Vec<i32>]) -> bool {
+    (0u64..(1 << vars)).any(|assignment| {
+        clauses.iter().all(|clause| {
+            clause.iter().any(|&l| {
+                let value = (assignment >> (l.unsigned_abs() - 1)) & 1 == 1;
+                (l > 0) == value
+            })
+        })
+    })
+}
+
+fn solve(vars: usize, clauses: &[Vec<i32>]) -> (SatResult, Vec<Var>) {
+    let mut solver = Solver::new();
+    let vs: Vec<Var> = (0..vars).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        solver.add_clause(
+            clause
+                .iter()
+                .map(|&l| Lit::with_polarity(vs[(l.unsigned_abs() - 1) as usize], l > 0)),
+        );
+    }
+    (solver.solve(), vs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The solver's SAT/UNSAT verdict matches brute force, and returned
+    /// models actually satisfy every clause.
+    #[test]
+    fn verdict_matches_brute_force(clauses in arb_instance(8)) {
+        let vars = 8;
+        let expected = brute_force(vars, &clauses);
+        let (result, vs) = solve(vars, &clauses);
+        match result {
+            SatResult::Sat(model) => {
+                prop_assert!(expected, "solver said SAT, brute force says UNSAT");
+                for clause in &clauses {
+                    let satisfied = clause.iter().any(|&l| {
+                        model.value(vs[(l.unsigned_abs() - 1) as usize]) == (l > 0)
+                    });
+                    prop_assert!(satisfied);
+                }
+            }
+            SatResult::Unsat => prop_assert!(!expected, "solver said UNSAT, instance is SAT"),
+        }
+    }
+
+    /// Assumptions never change the underlying formula.
+    #[test]
+    fn assumptions_are_transient(clauses in arb_instance(6)) {
+        let vars = 6;
+        let mut solver = Solver::new();
+        let vs: Vec<Var> = (0..vars).map(|_| solver.new_var()).collect();
+        for clause in &clauses {
+            solver.add_clause(
+                clause
+                    .iter()
+                    .map(|&l| Lit::with_polarity(vs[(l.unsigned_abs() - 1) as usize], l > 0)),
+            );
+        }
+        let plain = solver.solve().is_sat();
+        // Solve under each single-literal assumption, then re-check.
+        for &v in &vs {
+            let _ = solver.solve_with_assumptions(&[Lit::pos(v)]);
+            let _ = solver.solve_with_assumptions(&[Lit::neg(v)]);
+        }
+        prop_assert_eq!(solver.solve().is_sat(), plain);
+    }
+
+    /// Incremental clause addition only ever removes models.
+    #[test]
+    fn adding_clauses_is_monotone(clauses in arb_instance(6)) {
+        let vars = 6;
+        let mut solver = Solver::new();
+        let vs: Vec<Var> = (0..vars).map(|_| solver.new_var()).collect();
+        let mut was_unsat = false;
+        for clause in &clauses {
+            solver.add_clause(
+                clause
+                    .iter()
+                    .map(|&l| Lit::with_polarity(vs[(l.unsigned_abs() - 1) as usize], l > 0)),
+            );
+            let sat_now = solver.solve().is_sat();
+            if was_unsat {
+                prop_assert!(!sat_now, "UNSAT formula became SAT by adding a clause");
+            }
+            was_unsat = !sat_now;
+        }
+    }
+}

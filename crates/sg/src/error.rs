@@ -1,0 +1,118 @@
+//! Error type for state-graph construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building or validating a state graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgError {
+    /// More signals were declared than a state code can hold.
+    TooManySignals {
+        /// Number requested.
+        requested: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// Two signals share the same name.
+    DuplicateSignal(String),
+    /// A referenced signal name does not exist.
+    UnknownSignal(String),
+    /// An edge connects states whose codes differ in zero or more than one
+    /// signal, violating the state-assignment rules of Section II-A.
+    InconsistentEdge {
+        /// Source state description.
+        from: String,
+        /// Target state description.
+        to: String,
+    },
+    /// An edge's transition label does not match the code change it causes.
+    MislabelledEdge {
+        /// The offending label, e.g. `+a`.
+        label: String,
+        /// Source state description.
+        from: String,
+    },
+    /// A starred code refers to a successor state that was not listed.
+    MissingSuccessor {
+        /// The state whose successor is absent.
+        from: String,
+        /// The absent successor's code.
+        expected: String,
+    },
+    /// The same full starred code was listed twice in a starred-code
+    /// description.
+    DuplicateCode(String),
+    /// A starred code's successor is ambiguous: several listed states share
+    /// the target binary code and no override pins the arc.
+    AmbiguousSuccessor {
+        /// The state whose successor is ambiguous.
+        from: String,
+        /// The firing signal's name.
+        signal: String,
+    },
+    /// The initial state is not among the listed states.
+    UnknownInitialState(String),
+    /// A starred code string could not be parsed.
+    BadStarredCode(String),
+    /// The graph has no states.
+    Empty,
+    /// A state is unreachable from the initial state.
+    Unreachable(String),
+}
+
+impl fmt::Display for SgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgError::TooManySignals { requested, max } => {
+                write!(f, "{requested} signals requested but at most {max} are supported")
+            }
+            SgError::DuplicateSignal(name) => write!(f, "duplicate signal name `{name}`"),
+            SgError::UnknownSignal(name) => write!(f, "unknown signal `{name}`"),
+            SgError::InconsistentEdge { from, to } => write!(
+                f,
+                "edge from {from} to {to} does not change exactly one signal"
+            ),
+            SgError::MislabelledEdge { label, from } => {
+                write!(f, "transition {label} from {from} does not match the code change")
+            }
+            SgError::MissingSuccessor { from, expected } => {
+                write!(f, "state {from} fires into unlisted state {expected}")
+            }
+            SgError::DuplicateCode(code) => write!(f, "state code {code} listed twice"),
+            SgError::AmbiguousSuccessor { from, signal } => write!(
+                f,
+                "firing {signal} from {from} has several possible successors; add an override"
+            ),
+            SgError::UnknownInitialState(code) => {
+                write!(f, "initial state {code} is not among the listed states")
+            }
+            SgError::BadStarredCode(code) => write!(f, "malformed starred code `{code}`"),
+            SgError::Empty => write!(f, "state graph has no states"),
+            SgError::Unreachable(state) => {
+                write!(f, "state {state} is unreachable from the initial state")
+            }
+        }
+    }
+}
+
+impl Error for SgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let e = SgError::DuplicateSignal("a".into());
+        let msg = e.to_string();
+        assert!(msg.starts_with("duplicate"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SgError>();
+    }
+}

@@ -1,0 +1,339 @@
+//! State-graph interchange in the SIS/petrify `.sg` format.
+//!
+//! The format lists explicit transitions between named states:
+//!
+//! ```text
+//! .model example
+//! .inputs a
+//! .outputs b
+//! .state graph
+//! s0 a+ s1
+//! s1 b+ s2
+//! s2 a- s3
+//! s3 b- s0
+//! .marking {s0}
+//! .end
+//! ```
+//!
+//! Binary codes are reconstructed from transition consistency (each `x+`
+//! flips signal `x` from 0 to 1), so round trips through
+//! [`write_sg`]/[`parse_sg`] are exact.
+
+use std::collections::HashMap;
+
+use crate::error::SgError;
+use crate::graph::{SgBuilder, StateGraph};
+use crate::signal::{Dir, SignalKind, Transition};
+use crate::StateCode;
+
+/// Serializes a state graph in `.sg` format. States are named `s0, s1, …`
+/// by id; the initial state carries the marking.
+pub fn write_sg(sg: &StateGraph, model_name: &str) -> String {
+    let mut out = format!(".model {model_name}\n");
+    let list = |kind: SignalKind| -> String {
+        sg.signal_ids()
+            .filter(|&s| sg.signal(s).kind() == kind)
+            .map(|s| sg.signal(s).name().to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    let inputs = list(SignalKind::Input);
+    if !inputs.is_empty() {
+        out.push_str(&format!(".inputs {inputs}\n"));
+    }
+    let outputs = list(SignalKind::Output);
+    if !outputs.is_empty() {
+        out.push_str(&format!(".outputs {outputs}\n"));
+    }
+    let internal = list(SignalKind::Internal);
+    if !internal.is_empty() {
+        out.push_str(&format!(".internal {internal}\n"));
+    }
+    out.push_str(".state graph\n");
+    for s in sg.state_ids() {
+        for &(t, next) in sg.succs(s) {
+            out.push_str(&format!(
+                "s{} {}{} s{}\n",
+                s.index(),
+                sg.signal(t.signal).name(),
+                t.dir.sign(),
+                next.index()
+            ));
+        }
+    }
+    out.push_str(&format!(".marking {{s{}}}\n.end\n", sg.initial().index()));
+    out
+}
+
+/// Parses a state graph from `.sg` text.
+///
+/// Signal values are inferred from transition consistency starting at the
+/// marked state; disconnected or inconsistent graphs are rejected.
+///
+/// # Errors
+///
+/// Returns [`SgError`] variants for malformed text, unknown signals,
+/// missing marking, or inconsistent transition labelling.
+pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut internal: Vec<String> = Vec::new();
+    let mut arcs: Vec<(String, String, String)> = Vec::new();
+    let mut marking: Option<String> = None;
+    let mut in_graph = false;
+
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            in_graph = false;
+            let mut parts = rest.split_whitespace();
+            match parts.next().unwrap_or("") {
+                "model" | "name" => {}
+                "inputs" => inputs.extend(parts.map(String::from)),
+                "outputs" => outputs.extend(parts.map(String::from)),
+                "internal" => internal.extend(parts.map(String::from)),
+                "state" => in_graph = true, // ".state graph"
+                "marking" => {
+                    let m = parts.collect::<Vec<_>>().join(" ");
+                    marking = Some(m.replace(['{', '}'], " ").trim().to_string());
+                }
+                "end" => break,
+                other => return Err(SgError::BadStarredCode(format!(".{other}"))),
+            }
+        } else if in_graph {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() != 3 {
+                return Err(SgError::BadStarredCode(line.to_string()));
+            }
+            arcs.push((
+                tokens[0].to_string(),
+                tokens[1].to_string(),
+                tokens[2].to_string(),
+            ));
+        } else {
+            return Err(SgError::BadStarredCode(line.to_string()));
+        }
+    }
+
+    let initial_name = marking.ok_or(SgError::Empty)?;
+    if arcs.is_empty() {
+        return Err(SgError::Empty);
+    }
+
+    let mut builder = SgBuilder::new();
+    let mut signal_ids = HashMap::new();
+    for (name, kind) in inputs
+        .iter()
+        .map(|n| (n, SignalKind::Input))
+        .chain(outputs.iter().map(|n| (n, SignalKind::Output)))
+        .chain(internal.iter().map(|n| (n, SignalKind::Internal)))
+    {
+        let id = builder.add_signal(name, kind)?;
+        signal_ids.insert(name.clone(), id);
+    }
+
+    // Parse arc labels.
+    let mut parsed: Vec<(String, Transition, String)> = Vec::with_capacity(arcs.len());
+    for (from, label, to) in arcs {
+        // Occurrence suffixes (`a+/2`) come after the sign; drop them.
+        let base_label = label.split('/').next().unwrap_or(&label);
+        let (sig_name, dir) = if let Some(s) = base_label.strip_suffix('+') {
+            (s, Dir::Rise)
+        } else if let Some(s) = base_label.strip_suffix('-') {
+            (s, Dir::Fall)
+        } else {
+            return Err(SgError::BadStarredCode(label.clone()));
+        };
+        let sig = *signal_ids
+            .get(sig_name)
+            .ok_or_else(|| SgError::UnknownSignal(sig_name.to_string()))?;
+        parsed.push((from, Transition { signal: sig, dir }, to));
+    }
+
+    // Infer codes by BFS from the initial state: initial code is chosen so
+    // every first-seen transition is consistent.
+    let mut state_names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let intern = |name: &str, names: &mut Vec<String>, index: &mut HashMap<String, usize>| {
+        *index.entry(name.to_string()).or_insert_with(|| {
+            names.push(name.to_string());
+            names.len() - 1
+        })
+    };
+    let mut adjacency: Vec<Vec<(Transition, usize)>> = Vec::new();
+    for (from, t, to) in &parsed {
+        let fi = intern(from, &mut state_names, &mut index);
+        let ti = intern(to, &mut state_names, &mut index);
+        if adjacency.len() < state_names.len() {
+            adjacency.resize(state_names.len(), Vec::new());
+        }
+        adjacency[fi].push((*t, ti));
+    }
+    let &initial = index
+        .get(initial_name.trim())
+        .ok_or_else(|| SgError::UnknownInitialState(initial_name.clone()))?;
+
+    // First pass: assign the initial code from first-seen directions.
+    let mut initial_code = StateCode::zero();
+    {
+        let mut known = vec![false; builder_signal_count(&signal_ids)];
+        let mut seen = vec![false; state_names.len()];
+        let mut queue = std::collections::VecDeque::from([initial]);
+        seen[initial] = true;
+        // Track each state's offset from the initial code (XOR mask).
+        let mut offset: Vec<u64> = vec![0; state_names.len()];
+        while let Some(s) = queue.pop_front() {
+            for &(t, next) in &adjacency[s] {
+                let bit = 1u64 << t.signal.index();
+                // Value of the signal at s, relative to initial: initial ^ offset.
+                if !known[t.signal.index()] {
+                    known[t.signal.index()] = true;
+                    // t requires value_before at s: initial_bit ^ offset_bit = before
+                    let before = t.dir.value_before();
+                    let offset_bit = offset[s] & bit != 0;
+                    initial_code = initial_code
+                        .with_value(t.signal, before != offset_bit);
+                }
+                if !seen[next] {
+                    seen[next] = true;
+                    offset[next] = offset[s] ^ bit;
+                    queue.push_back(next);
+                }
+            }
+        }
+        // Second pass consistency is checked by the builder's edge rules.
+        let mut ids = Vec::with_capacity(state_names.len());
+        for i in 0..state_names.len() {
+            if !seen[i] {
+                return Err(SgError::Unreachable(state_names[i].clone()));
+            }
+            ids.push(builder.add_state(StateCode::from_bits(
+                initial_code.bits() ^ offset[i],
+            )));
+        }
+        for (s, edges) in adjacency.iter().enumerate() {
+            for &(t, next) in edges {
+                builder.add_edge(ids[s], t, ids[next])?;
+            }
+        }
+        builder.set_initial(ids[initial]);
+    }
+    builder.build()
+}
+
+fn builder_signal_count(map: &HashMap<String, crate::signal::SignalId>) -> usize {
+    map.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::StateGraph;
+
+    fn toggle() -> StateGraph {
+        StateGraph::from_starred_codes(
+            &[("a", SignalKind::Input), ("b", SignalKind::Output)],
+            &["0*0", "10*", "1*1", "01*"],
+            "0*0",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_toggle() {
+        let sg = toggle();
+        let text = write_sg(&sg, "toggle");
+        assert!(text.contains(".state graph"));
+        let back = parse_sg(&text).unwrap();
+        assert_eq!(back.state_count(), sg.state_count());
+        assert_eq!(back.edge_count(), sg.edge_count());
+        assert_eq!(back.code(back.initial()), sg.code(sg.initial()));
+        assert!(crate::equiv::weak_bisimilar(&sg, &back, &[], &[]));
+    }
+
+    #[test]
+    fn parse_handwritten() {
+        let sg = parse_sg(
+            "
+.model t
+.inputs a
+.outputs b
+.state graph
+s0 a+ s1
+s1 b+ s2
+s2 a- s3
+s3 b- s0
+.marking {s2}
+.end
+",
+        )
+        .unwrap();
+        assert_eq!(sg.state_count(), 4);
+        // Initial is s2 where a=1, b=1 (a+ and b+ happened before it).
+        let a = sg.signal_by_name("a").unwrap();
+        let b = sg.signal_by_name("b").unwrap();
+        assert!(sg.code(sg.initial()).value(a));
+        assert!(sg.code(sg.initial()).value(b));
+    }
+
+    #[test]
+    fn inconsistent_labelling_rejected() {
+        let err = parse_sg(
+            "
+.model bad
+.inputs a
+.state graph
+s0 a+ s1
+s1 a+ s0
+.marking {s0}
+.end
+",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SgError::MislabelledEdge { .. } | SgError::InconsistentEdge { .. }));
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let err = parse_sg(
+            ".model x\n.inputs a\n.state graph\ns0 q+ s1\ns1 q- s0\n.marking {s0}\n.end\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SgError::UnknownSignal(_)));
+    }
+
+    #[test]
+    fn missing_marking_rejected() {
+        let err = parse_sg(
+            ".model x\n.inputs a\n.state graph\ns0 a+ s1\ns1 a- s0\n.end\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SgError::Empty));
+    }
+
+    #[test]
+    fn occurrence_suffixes_accepted() {
+        // petrify writes a+/2 for repeated transitions; codes still work.
+        let sg = parse_sg(
+            "
+.model t
+.inputs a
+.outputs b
+.state graph
+s0 a+ s1
+s1 b+ s2
+s2 a- s3
+s3 a+/2 s4
+s4 a-/2 s5
+s5 b- s0
+.marking {s0}
+.end
+",
+        )
+        .unwrap();
+        assert_eq!(sg.state_count(), 6);
+    }
+}

@@ -1,0 +1,566 @@
+//! Region analysis: excitation, quiescent and constant-function regions
+//! (Definitions 5–12 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{StateGraph, StateId};
+use crate::signal::{Dir, SignalId, Transition};
+
+/// Index of an excitation region within a [`Regions`] analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ErId(pub(crate) u32);
+
+impl ErId {
+    /// The raw index of this region.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An excitation region `ER(±a_j)` (Definition 5): a maximal connected set
+/// of states in which signal `a` has the same value and is excited.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExcitationRegion {
+    signal: SignalId,
+    dir: Dir,
+    occurrence: u32,
+    states: Vec<StateId>,
+}
+
+impl ExcitationRegion {
+    /// The excited signal `a`.
+    pub fn signal(&self) -> SignalId {
+        self.signal
+    }
+
+    /// Direction of the pending transition (`+a` or `-a`).
+    pub fn dir(&self) -> Dir {
+        self.dir
+    }
+
+    /// The transition label `±a` this region corresponds to.
+    pub fn transition(&self) -> Transition {
+        Transition { signal: self.signal, dir: self.dir }
+    }
+
+    /// 1-based occurrence index `j` distinguishing multiple transitions of
+    /// the same signal and direction (deterministic but arbitrary order).
+    pub fn occurrence(&self) -> u32 {
+        self.occurrence
+    }
+
+    /// The states of the region, sorted by id.
+    pub fn states(&self) -> &[StateId] {
+        &self.states
+    }
+
+    /// Whether `s` belongs to the region.
+    pub fn contains(&self, s: StateId) -> bool {
+        self.states.binary_search(&s).is_ok()
+    }
+
+    /// Number of states in the region.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the region is empty (never true for computed regions).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// Region analysis of a [`StateGraph`]. Obtain via [`StateGraph::regions`].
+///
+/// Holds every excitation region of every signal together with the derived
+/// quiescent regions, and answers the ordering/trigger/persistency queries
+/// of Section II-B.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Regions {
+    ers: Vec<ExcitationRegion>,
+    /// Quiescent region per ER, parallel to `ers` (may be empty).
+    qrs: Vec<Vec<StateId>>,
+}
+
+impl Regions {
+    /// Computes all regions of `sg`.
+    pub fn compute(sg: &StateGraph) -> Self {
+        let mut ers = Vec::new();
+        for sig in sg.signal_ids() {
+            for dir in [Dir::Rise, Dir::Fall] {
+                let mut components = connected_components(sg, |s| {
+                    sg.is_excited(s, sig) && sg.code(s).value(sig) == dir.value_before()
+                });
+                // Deterministic occurrence numbering: by smallest state id.
+                components.sort_by_key(|c| c[0]);
+                for (j, states) in components.into_iter().enumerate() {
+                    ers.push(ExcitationRegion {
+                        signal: sig,
+                        dir,
+                        occurrence: (j + 1) as u32,
+                        states,
+                    });
+                }
+            }
+        }
+        let qrs = ers.iter().map(|er| quiescent_of(sg, er)).collect();
+        Regions { ers, qrs }
+    }
+
+    /// All excitation regions.
+    pub fn ers(&self) -> impl Iterator<Item = (ErId, &ExcitationRegion)> {
+        self.ers.iter().enumerate().map(|(i, er)| (ErId(i as u32), er))
+    }
+
+    /// The region with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn er(&self, id: ErId) -> &ExcitationRegion {
+        &self.ers[id.index()]
+    }
+
+    /// Number of excitation regions.
+    pub fn er_count(&self) -> usize {
+        self.ers.len()
+    }
+
+    /// Regions of a particular signal.
+    pub fn ers_of_signal(&self, sig: SignalId) -> Vec<ErId> {
+        self.ers()
+            .filter(|(_, er)| er.signal() == sig)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Regions of a particular transition `±a` (all occurrences).
+    pub fn ers_of_transition(&self, t: Transition) -> Vec<ErId> {
+        self.ers()
+            .filter(|(_, er)| er.transition() == t)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The region containing state `s` for signal `sig`, if `sig` is
+    /// excited there.
+    pub fn er_containing(&self, s: StateId, sig: SignalId) -> Option<ErId> {
+        self.ers()
+            .find(|(_, er)| er.signal() == sig && er.contains(s))
+            .map(|(id, _)| id)
+    }
+
+    /// The quiescent region `QR(±a_j)` following the given ER
+    /// (Definition 6). May be empty when the next transition of the signal
+    /// is enabled immediately.
+    pub fn qr(&self, id: ErId) -> &[StateId] {
+        &self.qrs[id.index()]
+    }
+
+    /// The constant-function region `CFR(±a_j) = ER ∪ QR` (Definition 7),
+    /// sorted by state id.
+    pub fn cfr(&self, id: ErId) -> Vec<StateId> {
+        let mut v: Vec<StateId> = self.er(id).states().to_vec();
+        v.extend_from_slice(self.qr(id));
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Minimal states of the ER (Definition 8): states with no predecessor
+    /// inside the region.
+    pub fn minimal_states(&self, sg: &StateGraph, id: ErId) -> Vec<StateId> {
+        let er = self.er(id);
+        er.states()
+            .iter()
+            .copied()
+            .filter(|&s| sg.preds(s).iter().all(|&(_, p)| !er.contains(p)))
+            .collect()
+    }
+
+    /// Unique entry condition (Definition 9): exactly one minimal state.
+    pub fn has_unique_entry(&self, sg: &StateGraph, id: ErId) -> bool {
+        self.minimal_states(sg, id).len() == 1
+    }
+
+    /// Trigger transitions of the ER (Definition 10): labels of edges
+    /// entering the region from outside.
+    pub fn triggers(&self, sg: &StateGraph, id: ErId) -> Vec<Transition> {
+        let er = self.er(id);
+        let mut out: Vec<Transition> = er
+            .states()
+            .iter()
+            .flat_map(|&u| sg.preds(u).iter())
+            .filter(|&&(_, v)| !er.contains(v))
+            .map(|&(t, _)| t)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Trigger signals of the ER (underlying signals of the triggers).
+    pub fn trigger_signals(&self, sg: &StateGraph, id: ErId) -> Vec<SignalId> {
+        let mut out: Vec<SignalId> =
+            self.triggers(sg, id).into_iter().map(|t| t.signal).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether signal `b` is *ordered* with respect to the ER
+    /// (Definition 11): no transition of `b` is excited within the region.
+    ///
+    /// The region's own signal is never ordered with respect to itself.
+    pub fn is_ordered(&self, sg: &StateGraph, id: ErId, b: SignalId) -> bool {
+        let er = self.er(id);
+        if b == er.signal() {
+            return false;
+        }
+        !er.states().iter().any(|&s| sg.is_excited(s, b))
+    }
+
+    /// Signals concurrent with the ER (Definition 11), excluding the ER's
+    /// own signal.
+    pub fn concurrent_signals(&self, sg: &StateGraph, id: ErId) -> Vec<SignalId> {
+        sg.signal_ids()
+            .filter(|&b| b != self.er(id).signal() && !self.is_ordered(sg, id, b))
+            .collect()
+    }
+
+    /// Signals ordered with the ER (Definition 11), excluding its own.
+    pub fn ordered_signals(&self, sg: &StateGraph, id: ErId) -> Vec<SignalId> {
+        sg.signal_ids()
+            .filter(|&b| b != self.er(id).signal() && self.is_ordered(sg, id, b))
+            .collect()
+    }
+
+    /// Persistency of an ER (Definition 12): all trigger signals ordered.
+    pub fn is_persistent_er(&self, sg: &StateGraph, id: ErId) -> bool {
+        self.trigger_signals(sg, id)
+            .into_iter()
+            .all(|b| self.is_ordered(sg, id, b))
+    }
+
+    /// Persistency of the whole graph, over all ERs of all signals.
+    pub fn is_persistent(&self, sg: &StateGraph) -> bool {
+        self.ers().all(|(id, _)| self.is_persistent_er(sg, id))
+    }
+
+    /// Persistency over the ERs of non-input signals only — the part that
+    /// matters for implementability (Theorem 1).
+    pub fn is_output_persistent(&self, sg: &StateGraph) -> bool {
+        self.ers()
+            .filter(|(_, er)| sg.signal(er.signal()).kind().is_non_input())
+            .all(|(id, _)| self.is_persistent_er(sg, id))
+    }
+
+    /// The paper's `0-set(a)`: all states where `a` is 0 and stable
+    /// (union of the quiescent regions after `-a` transitions).
+    pub fn zero_set(&self, sg: &StateGraph, a: SignalId) -> Vec<StateId> {
+        value_set(sg, a, false, false)
+    }
+
+    /// The paper's `0*-set(a)`: states where `a` is 0 and excited
+    /// (union of up-excitation regions).
+    pub fn zero_star_set(&self, sg: &StateGraph, a: SignalId) -> Vec<StateId> {
+        value_set(sg, a, false, true)
+    }
+
+    /// The paper's `1-set(a)`: states where `a` is 1 and stable.
+    pub fn one_set(&self, sg: &StateGraph, a: SignalId) -> Vec<StateId> {
+        value_set(sg, a, true, false)
+    }
+
+    /// The paper's `1*-set(a)`: states where `a` is 1 and excited
+    /// (union of down-excitation regions).
+    pub fn one_star_set(&self, sg: &StateGraph, a: SignalId) -> Vec<StateId> {
+        value_set(sg, a, true, true)
+    }
+}
+
+fn value_set(sg: &StateGraph, a: SignalId, value: bool, excited: bool) -> Vec<StateId> {
+    sg.state_ids()
+        .filter(|&s| sg.code(s).value(a) == value && sg.is_excited(s, a) == excited)
+        .collect()
+}
+
+/// Connected components (undirected) of the states satisfying `pred`,
+/// each sorted by state id.
+fn connected_components(
+    sg: &StateGraph,
+    pred: impl Fn(StateId) -> bool,
+) -> Vec<Vec<StateId>> {
+    let n = sg.state_count();
+    let mut in_set = vec![false; n];
+    for s in sg.state_ids() {
+        in_set[s.index()] = pred(s);
+    }
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for s in sg.state_ids() {
+        if !in_set[s.index()] || seen[s.index()] {
+            continue;
+        }
+        let mut stack = vec![s];
+        seen[s.index()] = true;
+        let mut comp = Vec::new();
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            let neighbours = sg
+                .succs(u)
+                .iter()
+                .map(|&(_, v)| v)
+                .chain(sg.preds(u).iter().map(|&(_, v)| v));
+            for v in neighbours {
+                if in_set[v.index()] && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components
+}
+
+/// Quiescent region following `er`: flood the stable-value component from
+/// the landing states of the region's own transition.
+fn quiescent_of(sg: &StateGraph, er: &ExcitationRegion) -> Vec<StateId> {
+    let sig = er.signal();
+    let after = er.dir().value_after();
+    let stable = |s: StateId| sg.code(s).value(sig) == after && !sg.is_excited(s, sig);
+    let seeds: Vec<StateId> = er
+        .states()
+        .iter()
+        .filter_map(|&s| sg.fire(s, er.transition()))
+        .filter(|&t| stable(t))
+        .collect();
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let n = sg.state_count();
+    let mut seen = vec![false; n];
+    let mut stack = Vec::new();
+    for &s in &seeds {
+        if !seen[s.index()] {
+            seen[s.index()] = true;
+            stack.push(s);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(u) = stack.pop() {
+        out.push(u);
+        let neighbours = sg
+            .succs(u)
+            .iter()
+            .map(|&(_, v)| v)
+            .chain(sg.preds(u).iter().map(|&(_, v)| v));
+        for v in neighbours {
+            if stable(v) && !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::SignalKind;
+    use crate::StateGraph;
+
+    fn figure1() -> StateGraph {
+        StateGraph::from_starred_codes(
+            &[
+                ("a", SignalKind::Input),
+                ("b", SignalKind::Input),
+                ("c", SignalKind::Output),
+                ("d", SignalKind::Output),
+            ],
+            &[
+                "0*0*00", "100*0*", "010*0", "1*010*", "100*1", "0*110", "1*0*11",
+                "1110*", "1*111", "011*1", "01*01", "0001*", "0010*", "00*11",
+            ],
+            "0*0*00",
+        )
+        .unwrap()
+    }
+
+    fn er_of(sg: &StateGraph, regions: &Regions, name: &str, dir: Dir, occ: u32) -> ErId {
+        let sig = sg.signal_by_name(name).unwrap();
+        regions
+            .ers()
+            .find(|(_, er)| er.signal() == sig && er.dir() == dir && er.occurrence() == occ)
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    #[test]
+    fn figure1_er_plus_d_matches_paper() {
+        // The paper highlights ER(+d1) ⊇ {100*0*, 1*010*} (states where d=0
+        // and d is excited, connected). The `a` and `b` input branches each
+        // contain a rise of d, so there are two up-excitation regions: the
+        // a-branch region {100*0*, 1*010*, 0010*} and the b-branch {1110*}.
+        let sg = figure1();
+        let regions = sg.regions();
+        let d = sg.signal_by_name("d").unwrap();
+        let up_ers = regions.ers_of_transition(Transition::rise(d));
+        assert_eq!(up_ers.len(), 2, "+d fires once per input branch");
+        let er = regions.er(up_ers[0]);
+        let codes: Vec<String> =
+            er.states().iter().map(|&s| sg.starred_code(s)).collect();
+        assert!(codes.contains(&"100*0*".to_string()), "{codes:?}");
+        assert!(codes.contains(&"1*010*".to_string()), "{codes:?}");
+        assert!(codes.contains(&"0010*".to_string()), "{codes:?}");
+        assert_eq!(er.len(), 3);
+        assert_eq!(regions.er(up_ers[1]).len(), 1);
+    }
+
+    #[test]
+    fn figure1_qr_plus_d() {
+        let sg = figure1();
+        let regions = sg.regions();
+        let d = sg.signal_by_name("d").unwrap();
+        let er_id = regions.ers_of_transition(Transition::rise(d))[0];
+        let qr = regions.qr(er_id);
+        // After +d fires, d stays 1 and stable through e.g. 100*1, 1*0*11 …
+        let codes: Vec<String> = qr.iter().map(|&s| sg.starred_code(s)).collect();
+        assert!(codes.contains(&"100*1".to_string()), "{codes:?}");
+        assert!(!qr.is_empty());
+        // CFR = ER ∪ QR has no overlap.
+        let cfr = regions.cfr(er_id);
+        assert_eq!(cfr.len(), regions.er(er_id).len() + qr.len());
+    }
+
+    #[test]
+    fn figure1_minimal_state_and_trigger_of_plus_d() {
+        // Paper: "We can reach the minimal state of ER(+d1) (state 100*0*)
+        // only by transition +a firing. So +a is the only trigger."
+        let sg = figure1();
+        let regions = sg.regions();
+        let er_id = er_of(&sg, &regions, "d", Dir::Rise, 1);
+        let mins = regions.minimal_states(&sg, er_id);
+        assert_eq!(mins.len(), 1);
+        assert_eq!(sg.starred_code(mins[0]), "100*0*");
+        assert!(regions.has_unique_entry(&sg, er_id));
+        let trigs = regions.triggers(&sg, er_id);
+        assert_eq!(trigs.len(), 1);
+        assert_eq!(sg.transition_name(trigs[0]), "+a");
+    }
+
+    #[test]
+    fn figure1_plus_d_is_non_persistent() {
+        // Paper: inside ER(+d1), -a is excited, so trigger +a is
+        // non-persistent to +d — signal a is concurrent with ER(+d1).
+        let sg = figure1();
+        let regions = sg.regions();
+        let a = sg.signal_by_name("a").unwrap();
+        let er_id = er_of(&sg, &regions, "d", Dir::Rise, 1);
+        assert!(!regions.is_ordered(&sg, er_id, a));
+        assert!(regions.concurrent_signals(&sg, er_id).contains(&a));
+        assert!(!regions.is_persistent_er(&sg, er_id));
+        assert!(!regions.is_output_persistent(&sg));
+    }
+
+    #[test]
+    fn figure1_value_sets_partition_states() {
+        let sg = figure1();
+        let regions = sg.regions();
+        for sig in sg.signal_ids() {
+            let total = regions.zero_set(&sg, sig).len()
+                + regions.zero_star_set(&sg, sig).len()
+                + regions.one_set(&sg, sig).len()
+                + regions.one_star_set(&sg, sig).len();
+            assert_eq!(total, sg.state_count());
+        }
+    }
+
+    #[test]
+    fn value_sets_match_region_unions() {
+        let sg = figure1();
+        let regions = sg.regions();
+        for sig in sg.signal_ids() {
+            let mut from_ers: Vec<StateId> = regions
+                .ers_of_transition(Transition::rise(sig))
+                .into_iter()
+                .flat_map(|id| regions.er(id).states().to_vec())
+                .collect();
+            from_ers.sort_unstable();
+            let mut direct = regions.zero_star_set(&sg, sig);
+            direct.sort_unstable();
+            assert_eq!(from_ers, direct, "0*-set mismatch for {sig}");
+        }
+    }
+
+    #[test]
+    fn er_contains_and_lookup() {
+        let sg = figure1();
+        let regions = sg.regions();
+        let d = sg.signal_by_name("d").unwrap();
+        let er_id = regions.ers_of_transition(Transition::rise(d))[0];
+        let er = regions.er(er_id);
+        for &s in er.states() {
+            assert!(er.contains(s));
+            assert_eq!(regions.er_containing(s, d), Some(er_id));
+        }
+        assert_eq!(regions.er_containing(sg.initial(), d), None);
+    }
+
+    #[test]
+    fn empty_quiescent_region_when_immediately_reexcited() {
+        // An autonomous two-state blinker: x toggles forever; after +x the
+        // signal is immediately excited to fall, so QR(+x) is empty.
+        let sg = StateGraph::from_starred_codes(
+            &[("x", SignalKind::Output)],
+            &["0*", "1*"],
+            "0*",
+        )
+        .unwrap();
+        let regions = sg.regions();
+        assert_eq!(regions.er_count(), 2);
+        for (id, _) in regions.ers() {
+            assert!(regions.qr(id).is_empty());
+            assert_eq!(regions.cfr(id).len(), 1);
+        }
+    }
+
+    #[test]
+    fn triggers_of_oscillator_are_own_transitions() {
+        let sg = StateGraph::from_starred_codes(
+            &[("x", SignalKind::Output)],
+            &["0*", "1*"],
+            "0*",
+        )
+        .unwrap();
+        let regions = sg.regions();
+        let x = sg.signal_by_name("x").unwrap();
+        let up = regions.ers_of_transition(Transition::rise(x))[0];
+        let trigs = regions.triggers(&sg, up);
+        assert_eq!(trigs.len(), 1);
+        assert_eq!(sg.transition_name(trigs[0]), "-x");
+    }
+
+    #[test]
+    fn every_excited_state_is_in_exactly_one_er_of_its_signal() {
+        let sg = figure1();
+        let regions = sg.regions();
+        for s in sg.state_ids() {
+            for sig in sg.signal_ids() {
+                let count = regions
+                    .ers()
+                    .filter(|(_, er)| er.signal() == sig && er.contains(s))
+                    .count();
+                if sg.is_excited(s, sig) {
+                    assert_eq!(count, 1);
+                } else {
+                    assert_eq!(count, 0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Structural and behavioural analysis of STGs.
+//!
+//! The literature the paper builds on distinguishes net subclasses with
+//! very different synthesis guarantees: *marked graphs* (no choice — the
+//! class Yu & Subrahmanyam restrict to, as the paper notes) and *free
+//! choice* nets (conflicts only between transitions sharing one lone
+//! input place). These checks, together with token-game liveness and
+//! 1-safeness, give quick feedback before the expensive reachability.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::error::StgError;
+use crate::net::{Marking, PlaceId, Stg, TransId};
+
+/// Structural class of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetClass {
+    /// Every place has at most one producer and one consumer: no choice,
+    /// no merge — concurrency only.
+    MarkedGraph,
+    /// Choices exist, but any place with several consumers is the *only*
+    /// input place of each of them.
+    FreeChoice,
+    /// Anything else.
+    General,
+}
+
+impl Stg {
+    /// Classifies the net structurally.
+    pub fn net_class(&self) -> NetClass {
+        let mut marked_graph = true;
+        let mut free_choice = true;
+        for (pi, place) in self.places.iter().enumerate() {
+            let p = PlaceId(pi as u32);
+            if place.postset.len() > 1 || place.preset.len() > 1 {
+                marked_graph = false;
+            }
+            if place.postset.len() > 1 {
+                // Free choice: each consumer's preset must be exactly {p}.
+                for &t in &place.postset {
+                    let preset = &self.transitions[t.index()].preset;
+                    if preset.len() != 1 || preset[0] != p {
+                        free_choice = false;
+                    }
+                }
+            }
+        }
+        if marked_graph {
+            NetClass::MarkedGraph
+        } else if free_choice {
+            NetClass::FreeChoice
+        } else {
+            NetClass::General
+        }
+    }
+
+    /// Whether every reachable marking keeps at most one token per place
+    /// (1-safeness), up to `budget` markings.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StgError::TooManyStates`] beyond the budget.
+    pub fn is_one_safe(&self, budget: usize) -> Result<bool, StgError> {
+        let mut seen: HashSet<Marking> = HashSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(self.initial_marking());
+        queue.push_back(self.initial_marking());
+        while let Some(m) = queue.pop_front() {
+            for t in self.enabled(m) {
+                match self.fire(m, t) {
+                    Ok(next) => {
+                        if seen.len() >= budget {
+                            return Err(StgError::TooManyStates(budget));
+                        }
+                        if seen.insert(next) {
+                            queue.push_back(next);
+                        }
+                    }
+                    Err(StgError::NotOneSafe { .. }) => return Ok(false),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether every transition stays fireable from every reachable
+    /// marking (liveness in the token game), up to `budget` markings.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`StgError::TooManyStates`] beyond the budget.
+    pub fn is_live(&self, budget: usize) -> Result<bool, StgError> {
+        // Reachability graph + per-SCC-free check: from every reachable
+        // marking, every transition must be reachable-fireable.
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut succs: Vec<Vec<usize>> = Vec::new();
+        let mut fires: Vec<Vec<TransId>> = Vec::new();
+        let m0 = self.initial_marking();
+        index.insert(m0, 0);
+        markings.push(m0);
+        succs.push(Vec::new());
+        fires.push(Vec::new());
+        let mut queue = VecDeque::from([0usize]);
+        while let Some(i) = queue.pop_front() {
+            let m = markings[i];
+            for t in self.enabled(m) {
+                let next = self.fire(m, t)?;
+                let j = *index.entry(next).or_insert_with(|| {
+                    markings.push(next);
+                    succs.push(Vec::new());
+                    fires.push(Vec::new());
+                    queue.push_back(markings.len() - 1);
+                    markings.len() - 1
+                });
+                if markings.len() > budget {
+                    return Err(StgError::TooManyStates(budget));
+                }
+                succs[i].push(j);
+                fires[i].push(t);
+            }
+        }
+        // For each marking, the set of transitions fireable from its
+        // forward closure must be all transitions.
+        let total = self.transition_count();
+        for start in 0..markings.len() {
+            let mut seen = vec![false; markings.len()];
+            let mut reach_fires: HashSet<TransId> = HashSet::new();
+            let mut stack = vec![start];
+            seen[start] = true;
+            while let Some(i) = stack.pop() {
+                for (&j, &t) in succs[i].iter().zip(&fires[i]) {
+                    reach_fires.insert(t);
+                    if !seen[j] {
+                        seen[j] = true;
+                        stack.push(j);
+                    }
+                }
+            }
+            if reach_fires.len() != total {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_g;
+
+    const CELEM: &str = "
+.model c
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+";
+
+    #[test]
+    fn c_element_is_marked_graph_live_and_safe() {
+        let stg = parse_g(CELEM).unwrap();
+        assert_eq!(stg.net_class(), NetClass::MarkedGraph);
+        assert!(stg.is_one_safe(1000).unwrap());
+        assert!(stg.is_live(1000).unwrap());
+    }
+
+    #[test]
+    fn choice_is_free_choice() {
+        let stg = parse_g(
+            "
+.model choice
+.inputs a b
+.graph
+p0 a+ b+
+a+ a-
+b+ b-
+a- p0
+b- p0
+.marking { p0 }
+.end
+",
+        )
+        .unwrap();
+        assert_eq!(stg.net_class(), NetClass::FreeChoice);
+        assert!(stg.is_one_safe(1000).unwrap());
+        assert!(stg.is_live(1000).unwrap());
+    }
+
+    #[test]
+    fn non_free_choice_detected() {
+        // Place p feeds a+ and b+, but b+ also needs q: not free choice.
+        let stg = parse_g(
+            "
+.model nfc
+.inputs a b c
+.graph
+p a+ b+
+q b+
+a+ a-
+b+ b-
+c+ q
+a- p
+b- p
+b- c+
+.marking { p <b-,c+> }
+.end
+",
+        )
+        .unwrap();
+        assert_eq!(stg.net_class(), NetClass::General);
+    }
+
+    #[test]
+    fn dead_transition_detected() {
+        // b+ can fire only once (its place is never refilled): not live.
+        let stg = parse_g(
+            "
+.model dead
+.inputs a b
+.graph
+a+ a-
+a- a+
+p b+
+b+ b-
+b- q
+q b-
+.marking { <a-,a+> p }
+.end
+",
+        );
+        // The net may be rejected earlier; if it parses, it must be
+        // non-live.
+        if let Ok(stg) = stg {
+            assert!(!stg.is_live(1000).unwrap());
+        }
+    }
+
+    #[test]
+    fn budget_respected() {
+        let stg = parse_g(CELEM).unwrap();
+        assert!(matches!(
+            stg.is_live(2),
+            Err(StgError::TooManyStates(2))
+        ));
+    }
+}

@@ -1,0 +1,291 @@
+//! Programmatic STG construction.
+
+use std::collections::HashMap;
+
+use simc_sg::{Dir, Signal, SignalId, SignalKind};
+
+use crate::error::StgError;
+use crate::net::{Marking, PlaceData, PlaceId, Stg, TransData, TransId, TransLabel};
+
+/// Builder for [`Stg`] nets, used by the `.g` parser, the workload
+/// generators and tests.
+///
+/// Transitions are named in the `.g` style: `a+`, `b-`, `c+/2`. Arcs
+/// between two transitions create an *implicit place*; explicit places can
+/// be declared for free-choice structures.
+#[derive(Debug, Clone)]
+pub struct StgBuilder {
+    name: String,
+    signals: Vec<Signal>,
+    by_name: HashMap<String, SignalId>,
+    transitions: Vec<TransData>,
+    trans_names: HashMap<String, TransId>,
+    places: Vec<PlaceData>,
+    place_names: HashMap<String, PlaceId>,
+    marking: Marking,
+    initial_values: Option<u64>,
+}
+
+impl StgBuilder {
+    /// Creates a builder for a net called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        StgBuilder {
+            name: name.into(),
+            signals: Vec::new(),
+            by_name: HashMap::new(),
+            transitions: Vec::new(),
+            trans_names: HashMap::new(),
+            places: Vec::new(),
+            place_names: HashMap::new(),
+            marking: Marking::empty(),
+            initial_values: None,
+        }
+    }
+
+    /// Declares a signal.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names.
+    pub fn add_signal(&mut self, name: &str, kind: SignalKind) -> Result<SignalId, StgError> {
+        if self.by_name.contains_key(name) {
+            return Err(StgError::DuplicateSignal(name.to_string()));
+        }
+        let id = SignalId::new(self.signals.len());
+        self.signals.push(Signal::new(name, kind));
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Adds a transition named in the `.g` style (`a+`, `b-/2`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is malformed, the signal unknown, or the
+    /// transition already defined.
+    pub fn add_transition(&mut self, name: &str) -> Result<TransId, StgError> {
+        if self.trans_names.contains_key(name) {
+            return Err(StgError::DuplicateTransition(name.to_string()));
+        }
+        let label = self.parse_label(name)?;
+        let id = TransId(self.transitions.len() as u32);
+        self.transitions.push(TransData { label, preset: Vec::new(), postset: Vec::new() });
+        self.trans_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Returns the transition with the `.g`-style name, creating it if
+    /// needed.
+    pub fn transition(&mut self, name: &str) -> Result<TransId, StgError> {
+        if let Some(&t) = self.trans_names.get(name) {
+            return Ok(t);
+        }
+        self.add_transition(name)
+    }
+
+    /// Declares (or fetches) an explicit place.
+    pub fn place(&mut self, name: &str) -> PlaceId {
+        if let Some(&p) = self.place_names.get(name) {
+            return p;
+        }
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(PlaceData {
+            name: name.to_string(),
+            preset: Vec::new(),
+            postset: Vec::new(),
+        });
+        self.place_names.insert(name.to_string(), id);
+        id
+    }
+
+    /// Adds an arc from transition to transition via a fresh implicit
+    /// place, returning that place (for marking).
+    pub fn arc_tt(&mut self, from: TransId, to: TransId) -> PlaceId {
+        let name = format!("<t{},t{}>", from.index(), to.index());
+        let id = PlaceId(self.places.len() as u32);
+        self.places.push(PlaceData {
+            name,
+            preset: vec![from],
+            postset: vec![to],
+        });
+        self.transitions[from.index()].postset.push(id);
+        self.transitions[to.index()].preset.push(id);
+        id
+    }
+
+    /// Adds an arc from a transition into an explicit place.
+    pub fn arc_tp(&mut self, from: TransId, to: PlaceId) {
+        self.transitions[from.index()].postset.push(to);
+        self.places[to.index()].preset.push(from);
+    }
+
+    /// Adds an arc from an explicit place to a transition.
+    pub fn arc_pt(&mut self, from: PlaceId, to: TransId) {
+        self.places[from.index()].postset.push(to);
+        self.transitions[to.index()].preset.push(from);
+    }
+
+    /// Puts the initial token on `p`.
+    pub fn mark_place(&mut self, p: PlaceId) {
+        self.marking = self.marking.with_token(p);
+    }
+
+    /// Marks the implicit place between `from` and `to` (it must exist).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no implicit place connects the two transitions.
+    pub fn mark_between(&mut self, from: TransId, to: TransId) -> Result<(), StgError> {
+        let found = self
+            .transitions[from.index()]
+            .postset
+            .iter()
+            .copied()
+            .find(|&p| self.places[p.index()].postset.contains(&to)
+                && self.places[p.index()].preset.contains(&from));
+        match found {
+            Some(p) => {
+                self.marking = self.marking.with_token(p);
+                Ok(())
+            }
+            None => Err(StgError::UnknownNode(format!(
+                "<t{},t{}>",
+                from.index(),
+                to.index()
+            ))),
+        }
+    }
+
+    /// Fixes the initial signal values explicitly (bit `i` = value of
+    /// signal `i`). When absent, values are inferred from the first
+    /// transition of each signal during reachability.
+    pub fn set_initial_values(&mut self, values: u64) {
+        self.initial_values = Some(values);
+    }
+
+    /// Number of signals declared so far.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Finalizes the net.
+    ///
+    /// # Errors
+    ///
+    /// Fails if there are no transitions or no initial token.
+    pub fn build(self) -> Result<Stg, StgError> {
+        if self.transitions.is_empty() {
+            return Err(StgError::Empty);
+        }
+        if self.marking == Marking::empty() {
+            return Err(StgError::NoInitialMarking);
+        }
+        Ok(Stg {
+            name: self.name,
+            signals: self.signals,
+            transitions: self.transitions,
+            places: self.places,
+            initial: self.marking,
+            initial_values: self.initial_values,
+        })
+    }
+
+    fn parse_label(&self, name: &str) -> Result<TransLabel, StgError> {
+        let (base, occurrence) = match name.split_once('/') {
+            Some((b, idx)) => {
+                let occ: u32 = idx.parse().map_err(|_| StgError::Parse {
+                    line: 0,
+                    message: format!("bad occurrence index in `{name}`"),
+                })?;
+                (b, occ)
+            }
+            None => (name, 1),
+        };
+        let (sig_name, dir) = if let Some(s) = base.strip_suffix('+') {
+            (s, Dir::Rise)
+        } else if let Some(s) = base.strip_suffix('-') {
+            (s, Dir::Fall)
+        } else if let Some(s) = base.strip_suffix('~') {
+            // `~` (toggle) is not supported; report clearly.
+            return Err(StgError::Parse {
+                line: 0,
+                message: format!("toggle transition `{s}~` not supported"),
+            });
+        } else {
+            return Err(StgError::Parse {
+                line: 0,
+                message: format!("transition `{name}` lacks +/- suffix"),
+            });
+        };
+        let signal = self
+            .by_name
+            .get(sig_name)
+            .copied()
+            .ok_or_else(|| StgError::UnknownSignal(sig_name.to_string()))?;
+        Ok(TransLabel { signal, dir, occurrence })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_parsing() {
+        let mut b = StgBuilder::new("t");
+        b.add_signal("req", SignalKind::Input).unwrap();
+        let t = b.add_transition("req+/2").unwrap();
+        let l = b.transitions[t.index()].label;
+        assert_eq!(l.dir, Dir::Rise);
+        assert_eq!(l.occurrence, 2);
+        assert!(b.add_transition("req+/2").is_err()); // duplicate
+        assert!(b.add_transition("ack+").is_err()); // unknown signal
+        assert!(b.add_transition("req").is_err()); // no suffix
+    }
+
+    #[test]
+    fn build_requires_marking_and_transitions() {
+        let b = StgBuilder::new("empty");
+        assert!(matches!(b.build(), Err(StgError::Empty)));
+        let mut b = StgBuilder::new("unmarked");
+        b.add_signal("a", SignalKind::Input).unwrap();
+        b.add_transition("a+").unwrap();
+        assert!(matches!(b.build(), Err(StgError::NoInitialMarking)));
+    }
+
+    #[test]
+    fn mark_between_finds_implicit_place() {
+        let mut b = StgBuilder::new("t");
+        b.add_signal("a", SignalKind::Input).unwrap();
+        let ap = b.add_transition("a+").unwrap();
+        let am = b.add_transition("a-").unwrap();
+        b.arc_tt(ap, am);
+        b.arc_tt(am, ap);
+        b.mark_between(am, ap).unwrap();
+        assert!(b.mark_between(ap, ap).is_err());
+        let stg = b.build().unwrap();
+        assert_eq!(stg.enabled(stg.initial_marking()).len(), 1);
+    }
+
+    #[test]
+    fn explicit_places_and_choice() {
+        // Free choice: place p feeds both a+ and b+.
+        let mut b = StgBuilder::new("choice");
+        b.add_signal("a", SignalKind::Input).unwrap();
+        b.add_signal("b", SignalKind::Input).unwrap();
+        let ap = b.add_transition("a+").unwrap();
+        let bp = b.add_transition("b+").unwrap();
+        let am = b.add_transition("a-").unwrap();
+        let bm = b.add_transition("b-").unwrap();
+        let p = b.place("p0");
+        b.arc_pt(p, ap);
+        b.arc_pt(p, bp);
+        b.arc_tt(ap, am);
+        b.arc_tt(bp, bm);
+        b.arc_tp(am, p);
+        b.arc_tp(bm, p);
+        b.mark_place(p);
+        let stg = b.build().unwrap();
+        assert_eq!(stg.enabled(stg.initial_marking()).len(), 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for STG construction, parsing and reachability.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, parsing or exploring an STG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StgError {
+    /// A line of a `.g` file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A signal was referenced but never declared.
+    UnknownSignal(String),
+    /// A transition or place name was referenced but never defined.
+    UnknownNode(String),
+    /// The same signal was declared twice (possibly in different roles).
+    DuplicateSignal(String),
+    /// The same transition was defined twice.
+    DuplicateTransition(String),
+    /// Firing would place a second token on a place (the net is not 1-safe).
+    NotOneSafe {
+        /// The place receiving the second token.
+        place: String,
+    },
+    /// A transition fires against the current value of its signal
+    /// (e.g. `a+` when `a` is already 1): inconsistent encoding.
+    Inconsistent {
+        /// The offending transition, e.g. `a+/2`.
+        transition: String,
+    },
+    /// Two enabled transitions of the same signal lead from one marking —
+    /// the state graph would be non-deterministic in that signal.
+    AutoConflict {
+        /// The signal's name.
+        signal: String,
+    },
+    /// The same marking was reached with two different signal-value
+    /// vectors.
+    AmbiguousValues,
+    /// Reachability exceeded the state budget.
+    TooManyStates(usize),
+    /// The initial marking is missing or empty.
+    NoInitialMarking,
+    /// The net has no transitions.
+    Empty,
+    /// Error from state-graph construction.
+    Sg(simc_sg::SgError),
+}
+
+impl fmt::Display for StgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StgError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            StgError::UnknownSignal(s) => write!(f, "unknown signal `{s}`"),
+            StgError::UnknownNode(s) => write!(f, "unknown transition or place `{s}`"),
+            StgError::DuplicateSignal(s) => write!(f, "signal `{s}` declared twice"),
+            StgError::DuplicateTransition(s) => write!(f, "transition `{s}` defined twice"),
+            StgError::NotOneSafe { place } => {
+                write!(f, "place `{place}` would hold two tokens; net is not 1-safe")
+            }
+            StgError::Inconsistent { transition } => {
+                write!(f, "transition `{transition}` fires against its signal value")
+            }
+            StgError::AutoConflict { signal } => {
+                write!(f, "two transitions of signal `{signal}` enabled in one marking")
+            }
+            StgError::AmbiguousValues => {
+                write!(f, "a marking is reachable with two different signal valuations")
+            }
+            StgError::TooManyStates(n) => write!(f, "reachability exceeded {n} states"),
+            StgError::NoInitialMarking => write!(f, "no initial marking given"),
+            StgError::Empty => write!(f, "the net has no transitions"),
+            StgError::Sg(e) => write!(f, "state graph: {e}"),
+        }
+    }
+}
+
+impl Error for StgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StgError::Sg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<simc_sg::SgError> for StgError {
+    fn from(e: simc_sg::SgError) -> Self {
+        StgError::Sg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StgError::NotOneSafe { place: "p3".into() };
+        assert!(e.to_string().contains("p3"));
+        let e = StgError::Sg(simc_sg::SgError::Empty);
+        assert!(Error::source(&e).is_some());
+    }
+}

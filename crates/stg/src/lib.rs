@@ -1,0 +1,53 @@
+//! Signal Transition Graphs — the high-level front-end to state graphs.
+//!
+//! An STG is an interpreted 1-safe Petri net whose transitions are labelled
+//! with signal edges (`a+`, `b-`, `c+/2`). The DAC'94 paper's synthesis
+//! flow starts from such specifications ("the translation from different
+//! high-level specifications (e.g. STGs) to state graphs is
+//! straightforward", Section I); this crate provides that substrate:
+//!
+//! * [`Stg`] / [`StgBuilder`] — the net model with a token game;
+//! * [`parse_g`] / [`Stg::to_g_string`] — the SIS/petrify `.g` ("astg")
+//!   interchange format;
+//! * [`Stg::to_state_graph`] — exhaustive reachability with consistency
+//!   checking, producing a [`simc_sg::StateGraph`].
+//!
+//! # Example
+//!
+//! ```
+//! use simc_stg::parse_g;
+//!
+//! # fn main() -> Result<(), simc_stg::StgError> {
+//! let stg = parse_g(r"
+//! .model toggle
+//! .inputs a
+//! .outputs b
+//! .graph
+//! a+ b+
+//! b+ a-
+//! a- b-
+//! b- a+
+//! .marking { <b-,a+> }
+//! .end
+//! ")?;
+//! let sg = stg.to_state_graph()?;
+//! assert_eq!(sg.state_count(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+mod error;
+mod net;
+mod parse;
+mod reach;
+
+pub use analysis::NetClass;
+pub use builder::StgBuilder;
+pub use error::StgError;
+pub use net::{Marking, NodeId, PlaceId, Stg, TransId, TransLabel};
+pub use parse::parse_g;

@@ -1,0 +1,372 @@
+//! Parser for the SIS/petrify `.g` ("astg") interchange format.
+
+use simc_sg::SignalKind;
+
+use crate::builder::StgBuilder;
+use crate::error::StgError;
+use crate::net::Stg;
+
+/// Parses an STG from `.g` text.
+///
+/// Supported sections: `.model`, `.inputs`, `.outputs`, `.internal`,
+/// `.graph` (arc lists: `node successor…`), `.marking { … }` with explicit
+/// place names and implicit `<t1,t2>` pairs, `.initial.state` /
+/// `.init_state` for explicit initial signal values, and `.end`. Comments
+/// start with `#`. Dummy transitions (`.dummy`) are rejected — the MC
+/// synthesis flow works on fully labelled nets.
+///
+/// # Errors
+///
+/// Returns a [`StgError::Parse`] with a line number for malformed input,
+/// or other [`StgError`] variants for semantic problems.
+///
+/// # Example
+///
+/// ```
+/// let stg = simc_stg::parse_g("
+/// .model c-element
+/// .inputs a b
+/// .outputs c
+/// .graph
+/// a+ c+
+/// b+ c+
+/// c+ a- b-
+/// a- c-
+/// b- c-
+/// c- a+ b+
+/// .marking { <c-,a+> <c-,b+> }
+/// .end
+/// ").unwrap();
+/// assert_eq!(stg.transition_count(), 6);
+/// ```
+pub fn parse_g(text: &str) -> Result<Stg, StgError> {
+    let mut builder: Option<StgBuilder> = None;
+    let mut pending: Vec<(usize, String)> = Vec::new(); // .graph lines
+    let mut marking_line: Option<(usize, String)> = None;
+    let mut initial_values: Option<(usize, String)> = None;
+    let mut in_graph = false;
+
+    let mut model_name = String::from("unnamed");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut internal: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        if let Some(rest) = line.strip_prefix('.') {
+            in_graph = false;
+            let mut parts = rest.split_whitespace();
+            let keyword = parts.next().unwrap_or("");
+            let args: Vec<&str> = parts.collect();
+            match keyword {
+                "model" | "name" => {
+                    model_name = args.first().unwrap_or(&"unnamed").to_string();
+                }
+                "inputs" => inputs.extend(args.iter().map(|s| s.to_string())),
+                "outputs" => outputs.extend(args.iter().map(|s| s.to_string())),
+                "internal" => internal.extend(args.iter().map(|s| s.to_string())),
+                "dummy" => {
+                    return Err(StgError::Parse {
+                        line: lineno,
+                        message: "dummy transitions are not supported".to_string(),
+                    })
+                }
+                "graph" => in_graph = true,
+                "marking" => {
+                    marking_line = Some((lineno, args.join(" ")));
+                }
+                "initial.state" | "init_state" | "initial" => {
+                    initial_values = Some((lineno, args.join(" ")));
+                }
+                "end" => break,
+                "capacity" | "slowenv" | "coords" => {} // ignored extensions
+                other => {
+                    return Err(StgError::Parse {
+                        line: lineno,
+                        message: format!("unknown directive `.{other}`"),
+                    })
+                }
+            }
+        } else if in_graph {
+            pending.push((lineno, line.to_string()));
+        } else {
+            return Err(StgError::Parse {
+                line: lineno,
+                message: format!("unexpected text outside .graph: `{line}`"),
+            });
+        }
+    }
+
+    let mut b = StgBuilder::new(model_name);
+    for name in &inputs {
+        b.add_signal(name, SignalKind::Input)?;
+    }
+    for name in &outputs {
+        b.add_signal(name, SignalKind::Output)?;
+    }
+    for name in &internal {
+        b.add_signal(name, SignalKind::Internal)?;
+    }
+    builder.replace(b);
+    let mut b = builder.expect("builder just set");
+
+    // A token is a transition iff it parses as `sig+`/`sig-`[`/k`] with a
+    // declared signal name; otherwise it is a place.
+    let declared: std::collections::HashSet<String> = inputs
+        .iter()
+        .chain(outputs.iter())
+        .chain(internal.iter())
+        .cloned()
+        .collect();
+    let classify = |tok: &str| -> Node {
+        let base = tok.split('/').next().unwrap_or(tok);
+        if let Some(sig) = base.strip_suffix('+').or_else(|| base.strip_suffix('-')) {
+            if declared.contains(sig) {
+                return Node::Trans(tok.to_string());
+            }
+        }
+        Node::Place(tok.to_string())
+    };
+
+    // Build arcs.
+    for (lineno, line) in &pending {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 2 {
+            return Err(StgError::Parse {
+                line: *lineno,
+                message: "arc line needs a source and at least one target".to_string(),
+            });
+        }
+        let src = classify(tokens[0]);
+        for tok in &tokens[1..] {
+            let dst = classify(tok);
+            match (&src, &dst) {
+                (Node::Trans(s), Node::Trans(d)) => {
+                    let ts = b.transition(s)?;
+                    let td = b.transition(d)?;
+                    b.arc_tt(ts, td);
+                }
+                (Node::Trans(s), Node::Place(d)) => {
+                    let ts = b.transition(s)?;
+                    let p = b.place(d);
+                    b.arc_tp(ts, p);
+                }
+                (Node::Place(s), Node::Trans(d)) => {
+                    let p = b.place(s);
+                    let td = b.transition(d)?;
+                    b.arc_pt(p, td);
+                }
+                (Node::Place(_), Node::Place(_)) => {
+                    return Err(StgError::Parse {
+                        line: *lineno,
+                        message: "arc between two places".to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    // Marking.
+    let (mline, marking_text) = marking_line.ok_or(StgError::NoInitialMarking)?;
+    let cleaned = marking_text.replace(['{', '}'], " ");
+    // Tokens are either `placename` or `<t1,t2>`.
+    let mut rest = cleaned.trim();
+    while !rest.is_empty() {
+        if let Some(stripped) = rest.strip_prefix('<') {
+            let end = stripped.find('>').ok_or(StgError::Parse {
+                line: mline,
+                message: "unterminated <t1,t2> in .marking".to_string(),
+            })?;
+            let inner = &stripped[..end];
+            let (t1, t2) = inner.split_once(',').ok_or(StgError::Parse {
+                line: mline,
+                message: format!("bad implicit place `<{inner}>`"),
+            })?;
+            let ta = b.transition(t1.trim())?;
+            let tb = b.transition(t2.trim())?;
+            b.mark_between(ta, tb)?;
+            rest = stripped[end + 1..].trim_start();
+        } else {
+            let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            let name = &rest[..end];
+            match classify(name) {
+                Node::Place(p) => {
+                    let pid = b.place(&p);
+                    b.mark_place(pid);
+                }
+                Node::Trans(_) => {
+                    return Err(StgError::Parse {
+                        line: mline,
+                        message: format!("marking names transition `{name}`, expected a place"),
+                    })
+                }
+            }
+            rest = rest[end..].trim_start();
+        }
+    }
+
+    // Optional explicit initial signal values: `.initial.state a b' c` or
+    // a 0/1 vector in declaration order.
+    if let Some((iline, text)) = initial_values {
+        let mut bits: u64 = 0;
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        if toks.len() == 1 && toks[0].chars().all(|c| c == '0' || c == '1') {
+            for (i, c) in toks[0].chars().enumerate() {
+                if c == '1' {
+                    bits |= 1 << i;
+                }
+            }
+        } else {
+            for tok in toks {
+                let (name, value) = match tok.strip_suffix('\'') {
+                    Some(n) => (n, false),
+                    None => (tok, true),
+                };
+                let idx = inputs
+                    .iter()
+                    .chain(outputs.iter())
+                    .chain(internal.iter())
+                    .position(|s| s == name)
+                    .ok_or(StgError::Parse {
+                        line: iline,
+                        message: format!("unknown signal `{name}` in initial state"),
+                    })?;
+                if value {
+                    bits |= 1 << idx;
+                }
+            }
+        }
+        b.set_initial_values(bits);
+    }
+
+    b.build()
+}
+
+enum Node {
+    Trans(String),
+    Place(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CELEM: &str = "
+.model c-element
+.inputs a b
+.outputs c
+.graph
+a+ c+
+b+ c+
+c+ a- b-
+a- c-
+b- c-
+c- a+ b+
+.marking { <c-,a+> <c-,b+> }
+.end
+";
+
+    #[test]
+    fn parses_c_element() {
+        let stg = parse_g(CELEM).unwrap();
+        assert_eq!(stg.name(), "c-element");
+        assert_eq!(stg.signal_count(), 3);
+        assert_eq!(stg.transition_count(), 6);
+        assert_eq!(stg.input_count(), 2);
+        let m0 = stg.initial_marking();
+        assert_eq!(m0.token_count(), 2);
+        let enabled: Vec<String> = stg
+            .enabled(m0)
+            .into_iter()
+            .map(|t| stg.transition_name(t))
+            .collect();
+        assert_eq!(enabled, vec!["a+", "b+"]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = format!("# header comment\n\n{CELEM}");
+        assert!(parse_g(&text).is_ok());
+    }
+
+    #[test]
+    fn explicit_places_parse() {
+        let stg = parse_g(
+            "
+.model choice
+.inputs a b
+.graph
+p0 a+ b+
+a+ a-
+b+ b-
+a- p0
+b- p0
+.marking { p0 }
+.end
+",
+        )
+        .unwrap();
+        assert_eq!(stg.place_count(), 3); // p0 + 2 implicit
+        assert_eq!(stg.enabled(stg.initial_marking()).len(), 2);
+    }
+
+    #[test]
+    fn dummy_rejected() {
+        let err = parse_g(".model x\n.dummy e\n.graph\n.end\n").unwrap_err();
+        assert!(matches!(err, StgError::Parse { .. }));
+    }
+
+    #[test]
+    fn missing_marking_rejected() {
+        let err = parse_g(
+            ".model x\n.inputs a\n.graph\na+ a-\na- a+\n.end\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, StgError::NoInitialMarking));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = parse_g(".bogus\n").unwrap_err();
+        assert!(matches!(err, StgError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn initial_state_vector() {
+        let stg = parse_g(
+            "
+.model x
+.inputs a
+.outputs b
+.graph
+a- b-
+b- a+
+a+ b+
+b+ a-
+.marking { <b+,a-> }
+.initial.state a b
+.end
+",
+        )
+        .unwrap();
+        let sg = stg.to_state_graph().unwrap();
+        // Initial values a=1, b=1, and a- is enabled first.
+        let a = sg.signal_by_name("a").unwrap();
+        let b = sg.signal_by_name("b").unwrap();
+        assert!(sg.code(sg.initial()).value(a));
+        assert!(sg.code(sg.initial()).value(b));
+    }
+
+    #[test]
+    fn marking_of_transition_rejected() {
+        let err = parse_g(
+            ".model x\n.inputs a\n.graph\na+ a-\na- a+\n.marking { a+ }\n.end\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, StgError::Parse { .. }));
+    }
+}

@@ -1,0 +1,81 @@
+//! Parser robustness: arbitrary input must never panic, only error.
+
+use proptest::prelude::*;
+use simc_stg::parse_g;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: the parser returns a result without panicking.
+    #[test]
+    fn parse_g_never_panics(input in "\\PC*") {
+        let _ = parse_g(&input);
+    }
+
+    /// Structured-ish garbage closer to real .g files.
+    #[test]
+    fn parse_g_structured_garbage(
+        names in proptest::collection::vec("[a-z]{1,3}", 0..5),
+        arcs in proptest::collection::vec(("[a-z+/-]{1,6}", "[a-z+/-]{1,6}"), 0..10),
+    ) {
+        let mut text = String::from(".model fuzz\n.inputs ");
+        text.push_str(&names.join(" "));
+        text.push_str("\n.graph\n");
+        for (a, b) in &arcs {
+            text.push_str(&format!("{a} {b}\n"));
+        }
+        text.push_str(".marking { p }\n.end\n");
+        let _ = parse_g(&text);
+    }
+
+    /// Whatever parses must translate (or cleanly fail) in reachability.
+    #[test]
+    fn reachability_never_panics(
+        arcs in proptest::collection::vec((0usize..4, 0usize..4), 1..8),
+        marked in 0usize..8,
+    ) {
+        // Build candidate nets from a fixed transition alphabet.
+        let alphabet = ["a+", "a-", "b+", "b-"];
+        let mut text = String::from(".model fuzz\n.inputs a\n.outputs b\n.graph\n");
+        for &(x, y) in &arcs {
+            text.push_str(&format!("{} {}\n", alphabet[x], alphabet[y]));
+        }
+        let (x, y) = arcs[marked % arcs.len()];
+        text.push_str(&format!(
+            ".marking {{ <{},{}> }}\n.end\n",
+            alphabet[x], alphabet[y]
+        ));
+        if let Ok(stg) = parse_g(&text) {
+            let _ = stg.to_state_graph_bounded(10_000);
+        }
+    }
+}
+
+#[test]
+fn sg_parser_never_panics_on_samples() {
+    for sample in [
+        "",
+        ".state graph",
+        ".model x\n.state graph\ns0 a+ s1\n.marking {s0}\n.end",
+        ".marking {s0}",
+        ".model\n.inputs\n.state graph\n\n.end",
+        "s0 a+ s1",
+        ".model x\n.inputs a\n.state graph\ns0 a+ s0\n.marking {s0}\n.end",
+    ] {
+        let _ = simc_sg::parse_sg(sample);
+    }
+}
+
+#[test]
+fn dimacs_parser_never_panics_on_samples() {
+    for sample in [
+        "",
+        "p cnf",
+        "p cnf 0 0",
+        "p cnf 1 1\n1",
+        "p cnf 1 1\n1 0\n-1 0\nx y z",
+        "c only comments\nc more",
+    ] {
+        let _ = simc_sat::parse_dimacs(sample);
+    }
+}

@@ -1,0 +1,56 @@
+//! Benchmark tour: run the whole reconstructed Table 1 suite.
+//!
+//! For every circuit: reachability, MC analysis, state-signal insertion,
+//! synthesis and verification — one line per benchmark, plus the scalable
+//! Muller-pipeline generator as an encore.
+//!
+//! Run with: `cargo run --release --example benchmark_tour`
+
+use std::time::Instant;
+
+use simc::benchmarks::{generators, suite};
+use simc::mc::assign::{reduce_to_mc, ReduceOptions};
+use simc::mc::synth::{synthesize, Target};
+use simc::netlist::{verify, VerifyOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<16} {:>7} {:>6} {:>6} {:>9} {:>9}", "benchmark", "states", "added", "terms", "verified", "ms");
+    for b in suite::all() {
+        let start = Instant::now();
+        let sg = b.stg.to_state_graph()?;
+        let line = match reduce_to_mc(&sg, ReduceOptions::default()) {
+            Ok(reduced) => {
+                let implementation = synthesize(&reduced.sg, Target::CElement)?;
+                let netlist = implementation.to_netlist()?;
+                let verdict = verify(&netlist, &reduced.sg, VerifyOptions::default())?;
+                format!(
+                    "{:<16} {:>7} {:>6} {:>6} {:>9} {:>9}",
+                    b.name,
+                    sg.state_count(),
+                    reduced.added,
+                    implementation.cube_count(),
+                    if verdict.is_ok() { "yes" } else { "NO" },
+                    start.elapsed().as_millis()
+                )
+            }
+            Err(e) => format!("{:<16} {:>7} {e}", b.name, sg.state_count()),
+        };
+        println!("{line}");
+    }
+
+    println!("\nMuller pipelines (already MC-satisfying; pure synthesis):");
+    for n in 1..=5 {
+        let start = Instant::now();
+        let sg = generators::muller_pipeline(n)?.to_state_graph()?;
+        let implementation = synthesize(&sg, Target::CElement)?;
+        let verdict = verify(&implementation.to_netlist()?, &sg, VerifyOptions::default())?;
+        println!(
+            "  n={n}: {:>5} states, {} product terms, verified: {}, {} ms",
+            sg.state_count(),
+            implementation.cube_count(),
+            verdict.is_ok(),
+            start.elapsed().as_millis()
+        );
+    }
+    Ok(())
+}

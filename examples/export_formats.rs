@@ -1,0 +1,44 @@
+//! Export tour: every interchange format the workspace speaks.
+//!
+//! Takes the VME bus read controller through the flow and prints it as
+//! `.g` (Petri net), `.sg` (state graph), Graphviz dot (spec and
+//! netlist), paper-style equations and structural Verilog.
+//!
+//! Run with: `cargo run --example export_formats`
+
+use simc::benchmarks::extras;
+use simc::mc::assign::{reduce_to_mc, ReduceOptions};
+use simc::mc::synth::{synthesize, Target};
+use simc::netlist::{primitive_library, to_verilog};
+use simc::sg::write_sg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stg = extras::vme_read();
+    println!("==== .g (signal transition graph) ====");
+    print!("{}", stg.to_g_string());
+
+    let sg = stg.to_state_graph()?;
+    let repaired = reduce_to_mc(&sg, ReduceOptions::default())?;
+    println!("\n==== .sg (state graph, after inserting {} signal) ====", repaired.added);
+    print!("{}", write_sg(&repaired.sg, "vme-read-csc"));
+
+    println!("\n==== spec dot (first lines) ====");
+    for line in repaired.sg.to_dot().lines().take(6) {
+        println!("{line}");
+    }
+
+    let implementation = synthesize(&repaired.sg, Target::CElement)?;
+    println!("\n==== equations ====");
+    print!("{}", implementation.equations());
+
+    let netlist = implementation.to_netlist()?;
+    println!("\n==== netlist dot (first lines) ====");
+    for line in netlist.to_dot().lines().take(6) {
+        println!("{line}");
+    }
+
+    println!("\n==== structural Verilog ====");
+    print!("{}", primitive_library());
+    print!("{}", to_verilog(&netlist, "vme_read"));
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Hazard hunt: why "correct covers" are not enough.
+//!
+//! Reproduces the paper's Example 2 as a library user would encounter it:
+//! a persistent specification (Figure 4) on which the pre-MC
+//! state-of-the-art synthesizer produces a circuit that *looks* right —
+//! every cube covers its region correctly — yet a gate can start
+//! switching and get pre-empted. The speed-independence verifier replays
+//! the exact failure; MC-reduction repairs the spec.
+//!
+//! Run with: `cargo run --example hazard_hunt`
+
+use simc::benchmarks::figures;
+use simc::mc::assign::{reduce_to_mc, ReduceOptions};
+use simc::mc::baseline::synthesize_baseline;
+use simc::mc::synth::{synthesize, Target};
+use simc::netlist::{verify, VerifyOptions, ViolationKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = figures::figure4();
+    println!(
+        "figure 4: {} states, persistent for outputs: {}",
+        spec.state_count(),
+        spec.regions().is_output_persistent(&spec)
+    );
+
+    // The baseline accepts this spec (its covers are all correct)…
+    let baseline = synthesize_baseline(&spec, Target::CElement)?;
+    println!("\nbaseline equations:\n{}", baseline.equations());
+
+    // …but the circuit is hazardous, and the verifier shows exactly how:
+    // an AND gate of Sb is disabled while excited.
+    let netlist = baseline.to_netlist()?;
+    let verdict = verify(&netlist, &spec, VerifyOptions::default())?;
+    assert!(!verdict.is_ok(), "the baseline must be hazardous here");
+    for violation in &verdict.violations {
+        if let ViolationKind::Disabled { .. } = violation.kind {
+            println!("hazard witness:\n  {}", verdict.describe(&netlist, &spec, violation));
+        }
+    }
+
+    // MC-reduction inserts one signal; the new implementation verifies.
+    let reduced = reduce_to_mc(&spec, ReduceOptions::default())?;
+    println!("\nrepaired with {} inserted signal(s)", reduced.added);
+    let fixed = synthesize(&reduced.sg, Target::CElement)?;
+    let verdict = verify(&fixed.to_netlist()?, &reduced.sg, VerifyOptions::default())?;
+    println!(
+        "repaired implementation: {}",
+        if verdict.is_ok() { "hazard-free" } else { "still hazardous!" }
+    );
+    assert!(verdict.is_ok());
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # simc — speed-independent circuits from Monotonous Covers
+//!
+//! A reproduction of Kondratyev, Kishinevsky, Lin, Vanbekbergen and
+//! Yakovlev, *"Basic Gate Implementation of Speed-Independent Circuits"*
+//! (DAC 1994): synthesis of hazard-free asynchronous circuits from state
+//! graphs using only AND gates, OR gates and asynchronous latches.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`sg`] — state graphs, behavioural and region analysis;
+//! * [`cube`] — Boolean cube algebra and two-level covers;
+//! * [`sat`] — the CDCL SAT solver used by cover search and state
+//!   assignment;
+//! * [`stg`] — signal transition graphs (Petri nets) and their
+//!   reachability-based translation to state graphs;
+//! * [`netlist`] — gate-level netlists and speed-independence
+//!   verification;
+//! * [`mc`] — the paper's contribution: Monotonous Cover theory,
+//!   standard C-/RS-implementation synthesis, the Beerel–Meng-style
+//!   baseline, and MC-reduction by state-signal insertion;
+//! * [`benchmarks`] — the paper's figures as executable state graphs, a
+//!   reconstructed Table 1 benchmark suite, and scalable generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use simc::sg::{SignalKind, StateGraph};
+//! use simc::mc::McCheck;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Figure 4: a persistent SG that still violates the
+//! // Monotonous Cover requirement.
+//! let sg = simc::benchmarks::figures::figure4();
+//! let report = McCheck::new(&sg).report();
+//! assert!(!report.satisfied());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use simc_benchmarks as benchmarks;
+pub use simc_cube as cube;
+pub use simc_mc as mc;
+pub use simc_netlist as netlist;
+pub use simc_sat as sat;
+pub use simc_sg as sg;
+pub use simc_stg as stg;

@@ -1,0 +1,222 @@
+//! `simc` — command-line front end for the synthesis flow.
+//!
+//! ```text
+//! simc analyze <spec.g>                 reachability, properties, MC report
+//! simc reduce  <spec.g>                 insert state signals until MC holds
+//! simc synth   <spec.g> [--rs] [--baseline] [--share] [--complex] [--verilog]
+//! simc verify  <spec.g> [--rs] [--baseline]             full flow + verdict
+//! simc dot     <spec.g>                 Graphviz of the state graph
+//! ```
+//!
+//! `<spec>` is an STG in the SIS/petrify `.g` format or a state graph in
+//! the `.sg` format (auto-detected via `.state graph`); `-` reads stdin.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use simc::mc::assign::{reduce_to_mc, ReduceOptions};
+use simc::mc::baseline::synthesize_baseline;
+use simc::mc::gen::synthesize_generalized;
+use simc::mc::synth::{synthesize, Implementation, Target};
+use simc::mc::McCheck;
+use simc::netlist::{verify, VerifyOptions};
+use simc::sg::StateGraph;
+use simc::stg::parse_g;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let flags: Vec<&str> = args[2..].iter().map(String::as_str).collect();
+    let target = if flags.contains(&"--rs") { Target::RsLatch } else { Target::CElement };
+    match command.as_str() {
+        "analyze" => analyze(&load(args.get(1))?),
+        "reduce" => reduce(&load(args.get(1))?),
+        "synth" => synth(&load(args.get(1))?, target, &flags),
+        "verify" => do_verify(&load(args.get(1))?, target, &flags),
+        "dot" => {
+            println!("{}", load(args.get(1))?.to_dot());
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: simc <analyze|reduce|synth|verify|dot> <spec.g|-> \
+     [--rs] [--baseline] [--share] [--complex] [--verilog]"
+        .to_string()
+}
+
+fn load(path: Option<&String>) -> Result<StateGraph, String> {
+    let path = path.ok_or_else(usage)?;
+    let text = if path == "-" {
+        let mut buffer = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buffer)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buffer
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    if text.contains(".state graph") {
+        return simc::sg::parse_sg(&text).map_err(|e| format!("parsing {path}: {e}"));
+    }
+    let stg = parse_g(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    stg.to_state_graph()
+        .map_err(|e| format!("reachability of {path}: {e}"))
+}
+
+fn analyze(sg: &StateGraph) -> Result<(), String> {
+    println!("states: {}", sg.state_count());
+    println!("edges:  {}", sg.edge_count());
+    let inputs: Vec<&str> = sg
+        .input_signals()
+        .iter()
+        .map(|&s| sg.signal(s).name())
+        .collect();
+    let outputs: Vec<&str> = sg
+        .non_input_signals()
+        .iter()
+        .map(|&s| sg.signal(s).name())
+        .collect();
+    println!("inputs: {}", inputs.join(" "));
+    println!("non-inputs: {}", outputs.join(" "));
+    let analysis = sg.analysis();
+    println!("semi-modular: {}", analysis.is_semimodular());
+    println!("output semi-modular: {}", analysis.is_output_semimodular());
+    println!("output distributive: {}", analysis.is_output_distributive());
+    println!("CSC: {}", analysis.has_csc());
+    println!("USC: {}", analysis.has_usc());
+    let regions = sg.regions();
+    println!("excitation regions: {}", regions.er_count());
+    println!("output persistent: {}", regions.is_output_persistent(sg));
+    let report = McCheck::new(sg).report();
+    println!(
+        "MC requirement: {}",
+        if report.satisfied() { "satisfied" } else { "VIOLATED" }
+    );
+    print!("{}", report.render(sg));
+    Ok(())
+}
+
+fn reduce(sg: &StateGraph) -> Result<(), String> {
+    let result = reduce_to_mc(sg, ReduceOptions::default()).map_err(|e| e.to_string())?;
+    println!(
+        "inserted {} signal(s); {} -> {} states",
+        result.added,
+        sg.state_count(),
+        result.sg.state_count()
+    );
+    for line in &result.log {
+        println!("  {line}");
+    }
+    println!();
+    print!("{}", McCheck::new(&result.sg).report().render(&result.sg));
+    Ok(())
+}
+
+fn reduced_or_original(sg: &StateGraph) -> Result<StateGraph, String> {
+    if McCheck::new(sg).report().satisfied() {
+        Ok(sg.clone())
+    } else {
+        let result = reduce_to_mc(sg, ReduceOptions::default()).map_err(|e| e.to_string())?;
+        eprintln!("note: inserted {} state signal(s) to satisfy MC", result.added);
+        Ok(result.sg)
+    }
+}
+
+fn build(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<Implementation, String> {
+    if flags.contains(&"--baseline") {
+        synthesize_baseline(sg, target).map_err(|e| e.to_string())
+    } else if flags.contains(&"--share") {
+        synthesize_generalized(sg, target).map_err(|e| e.to_string())
+    } else {
+        synthesize(sg, target).map_err(|e| e.to_string())
+    }
+}
+
+fn synth(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), String> {
+    if flags.contains(&"--complex") {
+        // Complex-gate style: CSC suffices, no insertion needed.
+        let netlist = simc::mc::complex::synthesize_complex(sg).map_err(|e| e.to_string())?;
+        if flags.contains(&"--verilog") {
+            print!("{}", simc::netlist::primitive_library());
+            print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
+        } else {
+            println!("(one atomic complex gate per output; see --verilog for the functions)");
+        }
+        eprintln!("{}", netlist.stats());
+        return Ok(());
+    }
+    let working = if flags.contains(&"--baseline") {
+        sg.clone()
+    } else {
+        reduced_or_original(sg)?
+    };
+    let implementation = build(&working, target, flags)?;
+    let netlist = implementation.to_netlist().map_err(|e| e.to_string())?;
+    if flags.contains(&"--verilog") {
+        print!("{}", simc::netlist::primitive_library());
+        print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
+    } else {
+        print!("{}", implementation.equations());
+    }
+    eprintln!("{}", netlist.stats());
+    Ok(())
+}
+
+fn do_verify(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), String> {
+    if flags.contains(&"--complex") {
+        let netlist = simc::mc::complex::synthesize_complex(sg).map_err(|e| e.to_string())?;
+        let report =
+            verify(&netlist, sg, VerifyOptions::default()).map_err(|e| e.to_string())?;
+        println!(
+            "{} ({} composed states explored)",
+            if report.is_ok() { "hazard-free" } else { "HAZARDOUS" },
+            report.explored
+        );
+        return if report.is_ok() {
+            Ok(())
+        } else {
+            Err(format!("{} violation(s) found", report.violations.len()))
+        };
+    }
+    let working = if flags.contains(&"--baseline") {
+        sg.clone()
+    } else {
+        reduced_or_original(sg)?
+    };
+    let implementation = build(&working, target, flags)?;
+    let netlist = implementation.to_netlist().map_err(|e| e.to_string())?;
+    let report =
+        verify(&netlist, &working, VerifyOptions::default()).map_err(|e| e.to_string())?;
+    println!(
+        "{} ({} composed states explored)",
+        if report.is_ok() { "hazard-free" } else { "HAZARDOUS" },
+        report.explored
+    );
+    for violation in &report.violations {
+        println!("  {}", report.describe(&netlist, &working, violation));
+    }
+    if report.is_ok() {
+        Ok(())
+    } else {
+        Err(format!("{} violation(s) found", report.violations.len()))
+    }
+}

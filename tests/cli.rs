@@ -1,0 +1,145 @@
+//! Integration tests for the `simc` command-line binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const D_ELEMENT: &str = "
+.model delement
+.inputs r a2
+.outputs a r2
+.graph
+r+ r2+
+r2+ a2+
+a2+ r2-
+r2- a2-
+a2- a+
+a+ r-
+r- a-
+a- r+
+.marking { <a-,r+> }
+.end
+";
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_simc"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin written");
+    let output = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn analyze_reports_properties() {
+    let (stdout, _, ok) = run_with_stdin(&["analyze", "-"], D_ELEMENT);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("states: 8"), "{stdout}");
+    assert!(stdout.contains("CSC: false"), "{stdout}");
+    assert!(stdout.contains("MC requirement: VIOLATED"), "{stdout}");
+}
+
+#[test]
+fn reduce_inserts_one_signal() {
+    let (stdout, _, ok) = run_with_stdin(&["reduce", "-"], D_ELEMENT);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("inserted 1 signal"), "{stdout}");
+}
+
+#[test]
+fn verify_passes_after_reduction() {
+    let (stdout, stderr, ok) = run_with_stdin(&["verify", "-"], D_ELEMENT);
+    assert!(ok, "{stdout} {stderr}");
+    assert!(stdout.contains("hazard-free"), "{stdout}");
+    assert!(stderr.contains("inserted 1 state signal"), "{stderr}");
+}
+
+#[test]
+fn synth_prints_equations() {
+    let (stdout, _, ok) = run_with_stdin(&["synth", "-"], D_ELEMENT);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("Sa"), "{stdout}");
+    assert!(stdout.contains("= S"), "{stdout}");
+}
+
+#[test]
+fn baseline_fails_on_csc_conflict() {
+    let (_, stderr, ok) = run_with_stdin(&["synth", "-", "--baseline"], D_ELEMENT);
+    assert!(!ok);
+    assert!(stderr.contains("state coding"), "{stderr}");
+}
+
+#[test]
+fn dot_outputs_graphviz() {
+    let (stdout, _, ok) = run_with_stdin(&["dot", "-"], D_ELEMENT);
+    assert!(ok);
+    assert!(stdout.contains("digraph sg"), "{stdout}");
+}
+
+#[test]
+fn sg_format_autodetected() {
+    let sg_text = "
+.model t
+.inputs a
+.outputs b
+.state graph
+s0 a+ s1
+s1 b+ s2
+s2 a- s3
+s3 b- s0
+.marking {s0}
+.end
+";
+    let (stdout, _, ok) = run_with_stdin(&["analyze", "-"], sg_text);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("states: 4"), "{stdout}");
+    assert!(stdout.contains("MC requirement: satisfied"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_errors() {
+    let (_, stderr, ok) = run_with_stdin(&["frobnicate", "-"], "");
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn verilog_emission() {
+    let (stdout, _, ok) = run_with_stdin(&["synth", "-", "--verilog"], D_ELEMENT);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("module simc_celement"), "{stdout}");
+    assert!(stdout.contains("module simc_top ("), "{stdout}");
+    assert!(stdout.contains("endmodule"), "{stdout}");
+}
+
+#[test]
+fn complex_gate_flow() {
+    // Figure-1-style CSC-satisfying spec through the complex-gate path.
+    let toggle = "
+.model toggle
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+";
+    let (stdout, _, ok) = run_with_stdin(&["verify", "-", "--complex"], toggle);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("hazard-free"), "{stdout}");
+}

@@ -1,0 +1,161 @@
+//! Property-based tests over the workspace invariants, driven by the
+//! synthetic workload generators.
+
+use proptest::prelude::*;
+
+use simc::benchmarks::generators;
+use simc::mc::synth::{synthesize, Target};
+use simc::mc::McCheck;
+use simc::netlist::{verify, VerifyOptions};
+use simc::sg::{StateGraph, Transition};
+
+fn pipeline_sg(n: usize) -> StateGraph {
+    generators::muller_pipeline(n)
+        .expect("generator builds")
+        .to_state_graph()
+        .expect("pipeline reaches")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Region decomposition partitions excitation: every state is in
+    /// exactly one ER of each signal it excites, none otherwise.
+    #[test]
+    fn regions_partition_excitation(n in 1usize..5, k in 1usize..4) {
+        let sg = if n % 2 == 0 {
+            generators::independent_toggles(k).unwrap().to_state_graph().unwrap()
+        } else {
+            pipeline_sg(n)
+        };
+        let regions = sg.regions();
+        for s in sg.state_ids() {
+            for sig in sg.signal_ids() {
+                let containing = regions
+                    .ers()
+                    .filter(|(_, er)| er.signal() == sig && er.contains(s))
+                    .count();
+                prop_assert_eq!(containing, usize::from(sg.is_excited(s, sig)));
+            }
+        }
+    }
+
+    /// The paper's value sets partition the state space per signal.
+    #[test]
+    fn value_sets_partition(n in 1usize..5) {
+        let sg = pipeline_sg(n);
+        let regions = sg.regions();
+        for sig in sg.signal_ids() {
+            let total = regions.zero_set(&sg, sig).len()
+                + regions.zero_star_set(&sg, sig).len()
+                + regions.one_set(&sg, sig).len()
+                + regions.one_star_set(&sg, sig).len();
+            prop_assert_eq!(total, sg.state_count());
+        }
+    }
+
+    /// Theorem 4 / Corollary 1: wherever the MC requirement holds, CSC
+    /// and persistency hold.
+    #[test]
+    fn mc_implies_csc_and_persistency(n in 1usize..5, k in 1usize..4) {
+        for sg in [
+            pipeline_sg(n),
+            generators::independent_toggles(k).unwrap().to_state_graph().unwrap(),
+            generators::choice_ring(k).unwrap().to_state_graph().unwrap(),
+        ] {
+            let check = McCheck::new(&sg);
+            if check.report().satisfied() {
+                prop_assert!(sg.analysis().has_csc());
+                prop_assert!(check.regions().is_output_persistent(&sg));
+            }
+        }
+    }
+
+    /// Theorem 3 end to end: MC-satisfying specs synthesize to verified
+    /// hazard-free circuits in both implementation styles.
+    #[test]
+    fn theorem3_on_generated_specs(n in 1usize..4, k in 1usize..3) {
+        for sg in [
+            pipeline_sg(n),
+            generators::independent_toggles(k).unwrap().to_state_graph().unwrap(),
+        ] {
+            let check = McCheck::new(&sg);
+            prop_assume!(check.report().satisfied());
+            for target in [Target::CElement, Target::RsLatch] {
+                let implementation = synthesize(&sg, target).unwrap();
+                let netlist = implementation.to_netlist().unwrap();
+                let verdict = verify(&netlist, &sg, VerifyOptions::default()).unwrap();
+                prop_assert!(verdict.is_ok(), "{:?}", verdict.violations);
+            }
+        }
+    }
+
+    /// MC cover cubes really are monotonous covers (self-check of the SAT
+    /// search against the definitional checker).
+    #[test]
+    fn mc_cubes_satisfy_definition(n in 1usize..5) {
+        let sg = pipeline_sg(n);
+        let check = McCheck::new(&sg);
+        for (er, region) in check.regions().ers() {
+            if !sg.signal(region.signal()).kind().is_non_input() {
+                continue;
+            }
+            if let Ok(cube) = check.mc_cube(er) {
+                prop_assert!(check.is_monotonous_cover(er, cube));
+                prop_assert!(check.is_correct_cover(er, cube));
+            }
+        }
+    }
+
+    /// Lemma 3 cubes cover their regions and only shrink under literal
+    /// addition: the maximal cube is contained in every candidate's span.
+    #[test]
+    fn lemma3_cube_covers_region(n in 1usize..5) {
+        let sg = pipeline_sg(n);
+        let check = McCheck::new(&sg);
+        for (er, region) in check.regions().ers() {
+            let cube = check.lemma3_cube(er);
+            for &s in region.states() {
+                prop_assert!(check.covers_state(cube, s));
+            }
+        }
+    }
+
+    /// Starred-code round trip: rendering every state and rebuilding
+    /// reproduces the graph exactly (state/edge counts and codes).
+    #[test]
+    fn starred_code_round_trip(n in 1usize..5) {
+        let sg = pipeline_sg(n);
+        let signals: Vec<(String, simc::sg::SignalKind)> = sg
+            .signal_ids()
+            .map(|s| (sg.signal(s).name().to_string(), sg.signal(s).kind()))
+            .collect();
+        let signal_refs: Vec<(&str, simc::sg::SignalKind)> =
+            signals.iter().map(|(n, k)| (n.as_str(), *k)).collect();
+        let codes: Vec<String> = sg.state_ids().map(|s| sg.starred_code(s)).collect();
+        let code_refs: Vec<&str> = codes.iter().map(String::as_str).collect();
+        let rebuilt = StateGraph::from_starred_codes(
+            &signal_refs,
+            &code_refs,
+            &sg.starred_code(sg.initial()),
+        )
+        .unwrap();
+        prop_assert_eq!(rebuilt.state_count(), sg.state_count());
+        prop_assert_eq!(rebuilt.edge_count(), sg.edge_count());
+    }
+
+    /// Firing any enabled transition toggles exactly that signal's bit.
+    #[test]
+    fn firing_is_single_bit(n in 1usize..5) {
+        let sg = pipeline_sg(n);
+        for s in sg.state_ids() {
+            for &(t, next) in sg.succs(s) {
+                let diff = sg.code(s).bits() ^ sg.code(next).bits();
+                prop_assert_eq!(diff, 1 << t.signal.index());
+                prop_assert_eq!(sg.fire(s, t), Some(next));
+                let reverse = Transition { signal: t.signal, dir: t.dir.opposite() };
+                prop_assert_eq!(sg.fire(s, reverse), None);
+            }
+        }
+    }
+}
