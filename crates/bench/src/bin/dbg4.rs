@@ -4,7 +4,7 @@ fn main() {
     for name in ["ganesh_8", "berkel3", "berkel2"] {
         let b = simc_benchmarks::suite::all().into_iter().find(|b| b.name == name).unwrap();
         let sg = b.stg.to_state_graph().unwrap();
-        let opts = ReduceOptions { max_signals: 6, max_candidates: 64, beam_width: 64, branch: 16 };
+        let opts = ReduceOptions { max_signals: 6, max_candidates: 64, beam_width: 64, branch: 16, ..ReduceOptions::default() };
         let t = Instant::now();
         match reduce_to_mc(&sg, opts) {
             Ok(r) => println!("{name}: added={} in {:?}", r.added, t.elapsed()),

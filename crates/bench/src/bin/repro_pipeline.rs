@@ -1,0 +1,105 @@
+//! Profiles the full synthesis pipeline over the benchmark suite,
+//! sequentially and in parallel, and emits `BENCH_pipeline.json`.
+//!
+//! Per benchmark the pipeline is: STG reachability → MC-reduction →
+//! region analysis → MC cover search → synthesis + verification; each
+//! phase is wall-clock timed. The parallel run uses `ParallelSynth` both
+//! across benchmarks and inside each cover search.
+//!
+//! Usage: `repro_pipeline [--threads N] [--out PATH] [--markdown]`
+//! (threads defaults to the machine's available parallelism, floor 4;
+//! out defaults to `BENCH_pipeline.json` in the current directory).
+
+use simc_bench::profile::{to_json, SuiteRun};
+use simc_bench::report::Table;
+use simc_benchmarks::suite;
+
+fn usage() -> ! {
+    eprintln!("usage: repro_pipeline [--threads N] [--out PATH] [--markdown]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut threads = None;
+    let mut out_path = None;
+    let mut markdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --threads requires a value");
+                    usage()
+                });
+                threads = Some(v.parse::<usize>().map(|n| n.max(1)).unwrap_or_else(|_| {
+                    eprintln!("error: --threads takes a positive integer, got `{v}`");
+                    usage()
+                }));
+            }
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out requires a path");
+                    usage()
+                }));
+            }
+            "--markdown" => markdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+    let threads = threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()).max(4));
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+
+    let benchmarks = suite::all();
+    let sequential = SuiteRun::sweep("sequential", &benchmarks, 1);
+    let parallel = SuiteRun::sweep(&format!("parallel-{threads}"), &benchmarks, threads);
+
+    let mut table = Table::new(&[
+        "example", "states", "reach ms", "regions ms", "cover ms", "assign ms", "verify ms",
+        "total ms", "verified",
+    ]);
+    let ms = |s: f64| format!("{:.2}", s * 1e3);
+    for t in &sequential.timings {
+        table.row(&[
+            t.name.clone(),
+            t.states.to_string(),
+            ms(t.reach),
+            ms(t.regions),
+            ms(t.cover),
+            ms(t.assign),
+            ms(t.verify),
+            ms(t.total()),
+            if t.verified { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    println!("Pipeline phase profile (sequential) — {} benchmarks", benchmarks.len());
+    println!();
+    if markdown {
+        print!("{}", table.to_markdown());
+    } else {
+        print!("{}", table.to_text());
+    }
+    println!();
+    println!(
+        "sequential wall: {:.1} ms   parallel-{} wall: {:.1} ms   speedup: {:.2}x",
+        sequential.wall * 1e3,
+        threads,
+        parallel.wall * 1e3,
+        sequential.wall / parallel.wall
+    );
+
+    // Every thread count must produce identical results.
+    for (s, p) in sequential.timings.iter().zip(&parallel.timings) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(s.states, p.states, "{}: state count differs across thread counts", s.name);
+        assert_eq!(s.verified, p.verified, "{}: verdict differs across thread counts", s.name);
+    }
+
+    let json = to_json(&[sequential, parallel]);
+    std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {out_path}");
+}

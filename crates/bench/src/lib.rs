@@ -7,11 +7,14 @@
 //!   implementations, equation and area comparison);
 //! * `repro_example2` — Example 2 / Figure 4 (the hazard the baseline
 //!   misses, with the verifier's witness trace);
-//! * `repro_figures` — region/analysis facts the figures annotate.
+//! * `repro_figures` — region/analysis facts the figures annotate;
+//! * `repro_pipeline` — per-phase wall-clock profile of the pipeline over
+//!   the suite, sequential vs. parallel (`BENCH_pipeline.json`).
 //!
 //! The Criterion benches under `benches/` measure the same flows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod profile;
 pub mod report;

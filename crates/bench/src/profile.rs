@@ -1,0 +1,227 @@
+//! Wall-clock profiling of the synthesis pipeline.
+//!
+//! [`profile_benchmark`] runs the full pipeline — reachability, region
+//! analysis, cover search, MC-reduction, synthesis + verification — on
+//! one benchmark and records the wall-clock time of each phase. The
+//! `repro_pipeline` binary sweeps the suite with it and emits
+//! `BENCH_pipeline.json` (hand-rolled JSON — the workspace builds with no
+//! serialization dependency).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use simc_benchmarks::suite::Benchmark;
+use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+use simc_mc::synth::Target;
+use simc_mc::{McCheck, ParallelSynth};
+use simc_netlist::{verify, VerifyOptions};
+
+/// Wall-clock seconds per pipeline phase for one benchmark.
+#[derive(Debug, Clone)]
+pub struct PhaseTimings {
+    /// Benchmark name.
+    pub name: String,
+    /// State count of the reduced state graph.
+    pub states: usize,
+    /// STG reachability: `.g` net → state graph.
+    pub reach: f64,
+    /// Region analysis of the reduced graph (ER/QR/CFR decomposition).
+    pub regions: f64,
+    /// MC cover search over every excitation function.
+    pub cover: f64,
+    /// MC-reduction (state-signal insertion) of the original graph.
+    pub assign: f64,
+    /// Synthesis to a netlist plus hazard-freedom verification.
+    pub verify: f64,
+    /// Whether the synthesized netlist verified hazard-free.
+    pub verified: bool,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.reach + self.regions + self.cover + self.assign + self.verify
+    }
+}
+
+/// Runs the full pipeline on one benchmark, timing each phase, using
+/// `synth` for the cover search and synthesis.
+///
+/// # Panics
+///
+/// Panics if the benchmark's STG fails reachability or MC-reduction —
+/// the shipped suite is known-good, so a failure is a regression.
+pub fn profile_benchmark(b: &Benchmark, synth: ParallelSynth) -> PhaseTimings {
+    let start = Instant::now();
+    let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
+    let reach = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let opts = ReduceOptions { threads: synth.threads(), ..ReduceOptions::default() };
+    let reduced = reduce_to_mc(&sg, opts).expect("suite benchmark reduces");
+    let assign = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let check = McCheck::new(&reduced.sg);
+    let regions = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let report = synth.report(&check);
+    let cover = start.elapsed().as_secs_f64();
+    assert!(report.satisfied(), "{}: reduced graph must satisfy MC", b.name);
+
+    let start = Instant::now();
+    let verified = synth
+        .synthesize(&reduced.sg, Target::CElement)
+        .ok()
+        .and_then(|imp| imp.to_netlist().ok())
+        .and_then(|nl| verify(&nl, &reduced.sg, VerifyOptions::default()).ok())
+        .is_some_and(|r| r.is_ok());
+    let verify = start.elapsed().as_secs_f64();
+
+    PhaseTimings {
+        name: b.name.to_string(),
+        states: reduced.sg.state_count(),
+        reach,
+        regions,
+        cover,
+        assign,
+        verify,
+        verified,
+    }
+}
+
+/// One suite sweep: the per-benchmark timings plus the wall-clock of the
+/// whole sweep (which differs from the sum when benchmarks themselves run
+/// concurrently).
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// Label for the run (e.g. `"sequential"`, `"parallel-8"`).
+    pub label: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Per-benchmark phase timings, in suite order.
+    pub timings: Vec<PhaseTimings>,
+    /// Wall-clock seconds for the whole sweep.
+    pub wall: f64,
+}
+
+impl SuiteRun {
+    /// Sweeps `benchmarks`, profiling each. With more than one thread the
+    /// benchmarks run concurrently *and* each cover search fans out.
+    pub fn sweep(label: &str, benchmarks: &[Benchmark], threads: usize) -> Self {
+        let synth = ParallelSynth::new(threads);
+        let start = Instant::now();
+        let timings =
+            simc_mc::parallel_map(benchmarks, threads, |b| profile_benchmark(b, synth));
+        let wall = start.elapsed().as_secs_f64();
+        SuiteRun { label: label.to_string(), threads, timings, wall }
+    }
+
+    /// Sum of per-benchmark totals (CPU-proportional, order-independent).
+    pub fn total(&self) -> f64 {
+        self.timings.iter().map(PhaseTimings::total).sum()
+    }
+}
+
+/// Renders suite runs as a JSON document (the `BENCH_pipeline.json`
+/// schema): `{ "runs": [ { label, threads, wall_s, benchmarks: [...] } ] }`.
+pub fn to_json(runs: &[SuiteRun]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"label\": {},\n      \"threads\": {},\n      \"wall_s\": {:.6},\n      \"benchmarks\": [\n",
+            json_str(&run.label),
+            run.threads,
+            run.wall
+        );
+        for (j, t) in run.timings.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{ \"name\": {}, \"states\": {}, \"reach_s\": {:.6}, \"regions_s\": {:.6}, \"cover_s\": {:.6}, \"assign_s\": {:.6}, \"verify_s\": {:.6}, \"total_s\": {:.6}, \"verified\": {} }}{}",
+                json_str(&t.name),
+                t.states,
+                t.reach,
+                t.regions,
+                t.cover,
+                t.assign,
+                t.verify,
+                t.total(),
+                t.verified,
+                if j + 1 < run.timings.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "      ]\n    }}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_run() -> SuiteRun {
+        SuiteRun {
+            label: "test".into(),
+            threads: 1,
+            timings: vec![PhaseTimings {
+                name: "toggle \"x\"".into(),
+                states: 4,
+                reach: 0.25,
+                regions: 0.25,
+                cover: 0.25,
+                assign: 0.125,
+                verify: 0.125,
+                verified: true,
+            }],
+            wall: 1.0,
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let run = dummy_run();
+        assert!((run.timings[0].total() - 1.0).abs() < 1e-12);
+        assert!((run.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let json = to_json(&[dummy_run()]);
+        assert!(json.contains("\"runs\""));
+        assert!(json.contains("\"toggle \\\"x\\\"\""));
+        assert!(json.contains("\"wall_s\": 1.000000"));
+        assert!(json.contains("\"verified\": true"));
+        // Balanced braces/brackets — a cheap well-formedness check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "unbalanced {open}{close}"
+            );
+        }
+    }
+}

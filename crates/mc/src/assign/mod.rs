@@ -41,11 +41,14 @@ pub struct ReduceOptions {
     pub beam_width: usize,
     /// Candidates kept per beam node per depth.
     pub branch: usize,
+    /// Worker threads for beam-node expansion (1 = sequential). Results
+    /// are identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for ReduceOptions {
     fn default() -> Self {
-        ReduceOptions { max_signals: 8, max_candidates: 32, beam_width: 18, branch: 8 }
+        ReduceOptions { max_signals: 8, max_candidates: 32, beam_width: 18, branch: 8, threads: 1 }
     }
 }
 
@@ -126,15 +129,20 @@ pub fn reduce_to_mc(sg: &StateGraph, opts: ReduceOptions) -> Result<ReduceResult
         if depth == opts.max_signals {
             return Err(McError::SignalBudgetExceeded { budget: opts.max_signals });
         }
-        let mut pool: Vec<Node> = Vec::new();
-        let mut last_scores = Vec::new();
-        for node in &beam {
+        let last_scores: Vec<_> = beam.iter().map(|n| n.score).collect();
+        // Beam nodes expand independently; fan them across the pool. The
+        // pool is assembled in beam order, so the search is deterministic
+        // for every thread count.
+        let expansions = crate::parallel::parallel_map(&beam, opts.threads, |node| {
             let check = McCheck::new(&node.sg);
-            last_scores.push(node.score);
             let name = fresh_name(&node.sg, depth);
-            for cand in
-                search::candidate_insertions(&check, &name, opts.max_candidates, opts.branch)
-            {
+            let cands =
+                search::candidate_insertions(&check, &name, opts.max_candidates, opts.branch);
+            (name, cands)
+        });
+        let mut pool: Vec<Node> = Vec::new();
+        for (node, (name, cands)) in beam.iter().zip(expansions) {
+            for cand in cands {
                 let mut log = node.log.clone();
                 log.push(format!("inserted `{name}`: {}", cand.description));
                 pool.push(Node { sg: cand.sg, score: cand.score, log });

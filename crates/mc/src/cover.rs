@@ -12,7 +12,7 @@
 use serde::{Deserialize, Serialize};
 use simc_cube::Cube;
 use simc_sat::{Lit, SatResult, Solver};
-use simc_sg::{Dir, ErId, Regions, SignalId, StateGraph, StateId};
+use simc_sg::{BitSet, Dir, ErId, Regions, SignalId, StateGraph, StateId};
 
 /// Why no monotonous-cover cube exists for a region.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,8 +45,14 @@ impl McCubeFailure {
 /// How one excitation function (`S_a` or `R_a`) is covered.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FunctionCover {
-    /// One monotonous cover cube per excitation region (Def. 18).
-    PerRegion(Vec<(ErId, Cube)>),
+    /// One monotonous cover cube per excitation region (Def. 18);
+    /// `regions` and `cubes` are parallel.
+    PerRegion {
+        /// The covered excitation regions, in region-id order.
+        regions: Vec<ErId>,
+        /// The MC cube of each region.
+        cubes: Vec<Cube>,
+    },
     /// The paper's degenerate case (Section IV, note 2): the whole
     /// function is a single literal that covers every region *correctly*
     /// (Def. 16) — monotonicity is not required because the AND and OR
@@ -59,12 +65,21 @@ pub enum FunctionCover {
 
 impl FunctionCover {
     /// The cubes of the function, in region order (a single-literal cover
-    /// yields one cube).
-    pub fn cubes(&self) -> Vec<Cube> {
+    /// yields one cube). Borrowed — no per-call allocation.
+    pub fn cubes(&self) -> &[Cube] {
         match self {
-            FunctionCover::PerRegion(list) => list.iter().map(|&(_, c)| c).collect(),
-            FunctionCover::SingleLiteral(c) => vec![*c],
-            FunctionCover::Plain(cubes) => cubes.clone(),
+            FunctionCover::PerRegion { cubes, .. } => cubes,
+            FunctionCover::SingleLiteral(c) => std::slice::from_ref(c),
+            FunctionCover::Plain(cubes) => cubes,
+        }
+    }
+
+    /// The regions attributed to the cubes (empty for the degenerate and
+    /// plain forms, which carry no per-region structure).
+    pub fn regions(&self) -> &[ErId] {
+        match self {
+            FunctionCover::PerRegion { regions, .. } => regions,
+            _ => &[],
         }
     }
 }
@@ -90,6 +105,12 @@ pub struct McReport {
 }
 
 impl McReport {
+    /// Assembles a report from precomputed entries (the parallel driver
+    /// computes them out-of-line).
+    pub(crate) fn from_entries(entries: Vec<McEntry>) -> Self {
+        McReport { entries }
+    }
+
     /// Whether the graph satisfies the MC requirement.
     pub fn satisfied(&self) -> bool {
         self.entries.iter().all(|e| e.result.is_ok())
@@ -131,18 +152,13 @@ impl McReport {
                 sg.signal(e.signal).name()
             );
             match &e.result {
-                Ok(FunctionCover::PerRegion(list)) => {
-                    let cubes: Vec<String> =
-                        list.iter().map(|(_, c)| c.render(&names)).collect();
-                    out.push_str(&format!("{head} = {}\n", cubes.join(" + ")));
-                }
-                Ok(FunctionCover::Plain(list)) => {
-                    let cubes: Vec<String> =
-                        list.iter().map(|c| c.render(&names)).collect();
-                    out.push_str(&format!("{head} = {}\n", cubes.join(" + ")));
-                }
                 Ok(FunctionCover::SingleLiteral(c)) => {
                     out.push_str(&format!("{head} = {} (direct)\n", c.render(&names)));
+                }
+                Ok(cover) => {
+                    let cubes: Vec<String> =
+                        cover.cubes().iter().map(|c| c.render(&names)).collect();
+                    out.push_str(&format!("{head} = {}\n", cubes.join(" + ")));
                 }
                 Err(failures) => {
                     let kinds: Vec<&str> = failures.iter().map(|(_, f)| f.kind()).collect();
@@ -261,22 +277,21 @@ impl<'g> McCheck<'g> {
         if !region.states().iter().all(|&s| self.covers_state(cube, s)) {
             return false;
         }
-        let cfr = self.regions.cfr(er);
-        let in_cfr = self.cfr_mask(&cfr);
+        let in_cfr = self.regions.cfr_set(er);
         // (3) covers no reachable state outside CFR.
         for s in self.sg.state_ids() {
-            if !in_cfr[s.index()] && self.covers_state(cube, s) {
+            if !in_cfr.contains(s) && self.covers_state(cube, s) {
                 return false;
             }
         }
         // (2) no 0 → 1 switch on an edge inside CFR (the cube starts at 1
         // in ER, so this limits it to a single 1 → 0 change per trace).
-        for &u in &cfr {
+        for &u in self.regions.cfr(er) {
             if self.covers_state(cube, u) {
                 continue;
             }
             for &(_, v) in self.sg.succs(u) {
-                if in_cfr[v.index()] && self.covers_state(cube, v) {
+                if in_cfr.contains(v) && self.covers_state(cube, v) {
                     return false;
                 }
             }
@@ -295,15 +310,14 @@ impl<'g> McCheck<'g> {
     /// Returns the precise [`McCubeFailure`] when no MC cube exists.
     pub fn mc_cube(&self, er: ErId) -> Result<Cube, McCubeFailure> {
         let full = self.lemma3_cube(er);
-        let cfr = self.regions.cfr(er);
-        let in_cfr = self.cfr_mask(&cfr);
+        let in_cfr = self.regions.cfr_set(er);
 
         // Condition (3) for the maximal cube: any candidate cube covers a
         // superset of its states, so a violation here is unfixable.
         let covered_outside: Vec<StateId> = self
             .sg
             .state_ids()
-            .filter(|&s| !in_cfr[s.index()] && self.covers_state(full, s))
+            .filter(|&s| !in_cfr.contains(s) && self.covers_state(full, s))
             .collect();
         if !covered_outside.is_empty() {
             return Err(McCubeFailure::NotCorrect { covered_outside });
@@ -315,10 +329,11 @@ impl<'g> McCheck<'g> {
 
         // The maximal cube fails only condition (2); search literal
         // subsets with SAT.
-        match self.sat_search(er, &in_cfr) {
+        match self.sat_search(er, in_cfr) {
             Some(cube) => Ok(self.minimize_literals(er, cube)),
             None => {
-                let witness_edges = self.rising_edges(&cfr, &in_cfr, full);
+                let witness_edges =
+                    self.rising_edges(self.regions.cfr(er), in_cfr, full);
                 Err(McCubeFailure::NotMonotonous { witness_edges })
             }
         }
@@ -333,15 +348,20 @@ impl<'g> McCheck<'g> {
     ) -> Result<FunctionCover, Vec<(ErId, McCubeFailure)>> {
         let ers: Vec<ErId> = self
             .regions
-            .ers()
-            .filter(|(_, er)| er.signal() == a && er.dir() == dir)
-            .map(|(id, _)| id)
+            .ers_of_signal(a)
+            .iter()
+            .copied()
+            .filter(|&id| self.regions.er(id).dir() == dir)
             .collect();
+        let mut regions = Vec::with_capacity(ers.len());
         let mut cubes = Vec::with_capacity(ers.len());
         let mut failures = Vec::new();
         for &er in &ers {
             match self.mc_cube(er) {
-                Ok(c) => cubes.push((er, c)),
+                Ok(c) => {
+                    regions.push(er);
+                    cubes.push(c);
+                }
                 Err(f) => failures.push((er, f)),
             }
         }
@@ -352,7 +372,7 @@ impl<'g> McCheck<'g> {
             // and the literal drives the latch directly.
             let per_region_literals: u32 = {
                 let mut distinct: Vec<Cube> = Vec::new();
-                for &(_, c) in &cubes {
+                for &c in &cubes {
                     if !distinct.contains(&c) {
                         distinct.push(c);
                     }
@@ -364,7 +384,7 @@ impl<'g> McCheck<'g> {
                     return Ok(FunctionCover::SingleLiteral(lit));
                 }
             }
-            return Ok(FunctionCover::PerRegion(cubes));
+            return Ok(FunctionCover::PerRegion { regions, cubes });
         }
         if let Some(lit) = self.degenerate_literal(&ers, a, dir) {
             return Ok(FunctionCover::SingleLiteral(lit));
@@ -443,18 +463,10 @@ impl<'g> McCheck<'g> {
 
     // -- internals ----------------------------------------------------------
 
-    fn cfr_mask(&self, cfr: &[StateId]) -> Vec<bool> {
-        let mut mask = vec![false; self.sg.state_count()];
-        for &s in cfr {
-            mask[s.index()] = true;
-        }
-        mask
-    }
-
     fn rising_edges(
         &self,
         cfr: &[StateId],
-        in_cfr: &[bool],
+        in_cfr: &BitSet,
         cube: Cube,
     ) -> Vec<(StateId, StateId)> {
         let mut out = Vec::new();
@@ -463,7 +475,7 @@ impl<'g> McCheck<'g> {
                 continue;
             }
             for &(_, v) in self.sg.succs(u) {
-                if in_cfr[v.index()] && self.covers_state(cube, v) {
+                if in_cfr.contains(v) && self.covers_state(cube, v) {
                     out.push((u, v));
                 }
             }
@@ -477,7 +489,10 @@ impl<'g> McCheck<'g> {
     /// * every reachable state outside CFR must be excluded: `∨ D(s)`;
     /// * monotonicity per CFR edge `u → v`: excluding `u` forces excluding
     ///   `v` (`¬l ∨ ∨ D(v)` for each `l ∈ D(u)`).
-    fn sat_search(&self, er: ErId, in_cfr: &[bool]) -> Option<Cube> {
+    ///
+    /// Disagreement sets are precomputed as per-state bitmasks in one pass
+    /// over the codes, so clause generation walks words, not signals.
+    fn sat_search(&self, er: ErId, in_cfr: &BitSet) -> Option<Cube> {
         let candidates = self.candidate_literals(er);
         if candidates.is_empty() {
             return None;
@@ -485,42 +500,28 @@ impl<'g> McCheck<'g> {
         let mut solver = Solver::new();
         let vars: Vec<simc_sat::Var> =
             candidates.iter().map(|_| solver.new_var()).collect();
-        let disagreement = |s: StateId| -> Vec<usize> {
-            let code = self.sg.code(s);
-            candidates
-                .iter()
-                .enumerate()
-                .filter(|&(_, &(sig, value))| code.value(sig) != value)
-                .map(|(i, _)| i)
-                .collect()
-        };
+        let masks = DisagreementMasks::compute(self.sg, &candidates);
         for s in self.sg.state_ids() {
-            if in_cfr[s.index()] {
+            if in_cfr.contains(s) {
                 continue;
             }
-            let d = disagreement(s);
-            if d.is_empty() {
+            if masks.is_empty(s) {
                 return None; // state agrees with every literal: uncoverable
             }
-            solver.add_clause(d.iter().map(|&i| Lit::pos(vars[i])));
+            solver.add_clause(masks.bits(s).map(|i| Lit::pos(vars[i])));
         }
-        for u in self.sg.state_ids() {
-            if !in_cfr[u.index()] {
-                continue;
-            }
-            let du = disagreement(u);
-            if du.is_empty() {
+        for &u in self.regions.cfr(er) {
+            if masks.is_empty(u) {
                 continue;
             }
             for &(_, v) in self.sg.succs(u) {
-                if !in_cfr[v.index()] {
+                if !in_cfr.contains(v) {
                     continue;
                 }
-                let dv = disagreement(v);
-                for &l in &du {
+                for l in masks.bits(u) {
                     solver.add_clause(
                         std::iter::once(Lit::neg(vars[l]))
-                            .chain(dv.iter().map(|&i| Lit::pos(vars[i]))),
+                            .chain(masks.bits(v).map(|i| Lit::pos(vars[i]))),
                     );
                 }
             }
@@ -554,6 +555,56 @@ impl<'g> McCheck<'g> {
     }
 }
 
+/// Per-state disagreement sets over a fixed candidate-literal list,
+/// packed as bitmasks: bit `i` of state `s`'s mask is set when `s`
+/// violates candidate literal `i`. Computed in one pass over the codes;
+/// shared by the single-region and generalized SAT searches.
+pub(crate) struct DisagreementMasks {
+    words: usize,
+    masks: Vec<u64>,
+}
+
+impl DisagreementMasks {
+    pub(crate) fn compute(sg: &StateGraph, candidates: &[(SignalId, bool)]) -> Self {
+        let words = candidates.len().div_ceil(64).max(1);
+        let mut masks = vec![0u64; sg.state_count() * words];
+        for s in sg.state_ids() {
+            let code = sg.code(s);
+            let mask = &mut masks[s.index() * words..][..words];
+            for (i, &(sig, value)) in candidates.iter().enumerate() {
+                if code.value(sig) != value {
+                    mask[i / 64] |= 1 << (i % 64);
+                }
+            }
+        }
+        DisagreementMasks { words, masks }
+    }
+
+    fn mask(&self, s: StateId) -> &[u64] {
+        &self.masks[s.index() * self.words..][..self.words]
+    }
+
+    /// Whether `s` agrees with every candidate literal.
+    pub(crate) fn is_empty(&self, s: StateId) -> bool {
+        self.mask(s).iter().all(|&w| w == 0)
+    }
+
+    /// The candidate-literal indices `s` disagrees with, ascending.
+    pub(crate) fn bits(&self, s: StateId) -> impl Iterator<Item = usize> + '_ {
+        self.mask(s).iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
 /// Convenience: the excitation regions of signal `a` grouped as in the
 /// paper's notation, `(up regions, down regions)`.
 pub fn up_down_regions(regions: &Regions, a: SignalId) -> (Vec<ErId>, Vec<ErId>) {
@@ -575,6 +626,9 @@ fn _assert_send_sync() {
     fn check<T: Send + Sync>() {}
     check::<McReport>();
     check::<McCubeFailure>();
+    check::<FunctionCover>();
+    // The parallel driver shares one `McCheck` across worker threads.
+    check::<McCheck<'static>>();
 }
 
 #[cfg(test)]
@@ -685,9 +739,9 @@ mod tests {
         }
         match check.function_cover(d, Dir::Fall) {
             Ok(FunctionCover::SingleLiteral(c)) => assert_eq!(c.render(&n), "x"),
-            Ok(FunctionCover::PerRegion(list)) => {
-                assert_eq!(list.len(), 1);
-                assert_eq!(list[0].1.render(&n), "x");
+            Ok(FunctionCover::PerRegion { cubes, .. }) => {
+                assert_eq!(cubes.len(), 1);
+                assert_eq!(cubes[0].render(&n), "x");
             }
             other => panic!("Rd should be the literal x, got {other:?}"),
         }

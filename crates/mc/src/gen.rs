@@ -9,9 +9,9 @@
 
 use simc_cube::Cube;
 use simc_sat::{Lit, SatResult, Solver};
-use simc_sg::{Dir, ErId, SignalId, StateGraph, StateId};
+use simc_sg::{BitSet, Dir, ErId, SignalId, StateGraph};
 
-use crate::cover::{FunctionCover, McCheck};
+use crate::cover::{DisagreementMasks, FunctionCover, McCheck};
 use crate::error::McError;
 use crate::synth::{build_from_covers, Implementation, Target};
 
@@ -30,31 +30,25 @@ pub fn is_generalized_mc(check: &McCheck<'_>, ers: &[ErId], cube: Cube) -> bool 
         }
     }
     // Union of CFRs.
-    let mut in_union = vec![false; sg.state_count()];
+    let mut in_union = BitSet::new(sg.state_count());
     for &er in ers {
-        for s in regions.cfr(er) {
-            in_union[s.index()] = true;
-        }
+        in_union.union_with(regions.cfr_set(er));
     }
     // (3) covers no reachable state outside the union of CFRs.
     for s in sg.state_ids() {
-        if !in_union[s.index()] && check.covers_state(cube, s) {
+        if !in_union.contains(s) && check.covers_state(cube, s) {
             return false;
         }
     }
     // (2) at most one change along any trace inside EACH region's CFR.
     for &er in ers {
-        let cfr = regions.cfr(er);
-        let mut in_cfr = vec![false; sg.state_count()];
-        for &s in &cfr {
-            in_cfr[s.index()] = true;
-        }
-        for &u in &cfr {
+        let in_cfr = regions.cfr_set(er);
+        for &u in regions.cfr(er) {
             if check.covers_state(cube, u) {
                 continue;
             }
             for &(_, v) in sg.succs(u) {
-                if in_cfr[v.index()] && check.covers_state(cube, v) {
+                if in_cfr.contains(v) && check.covers_state(cube, v) {
                     return false;
                 }
             }
@@ -114,54 +108,37 @@ pub fn generalized_mc_cube(check: &McCheck<'_>, ers: &[ErId]) -> Option<Cube> {
         return None;
     }
 
-    let mut in_union = vec![false; sg.state_count()];
+    let mut in_union = BitSet::new(sg.state_count());
     for &er in ers {
-        for s in regions.cfr(er) {
-            in_union[s.index()] = true;
-        }
+        in_union.union_with(regions.cfr_set(er));
     }
-    let disagreement = |s: StateId| -> Vec<usize> {
-        let code = sg.code(s);
-        candidates
-            .iter()
-            .enumerate()
-            .filter(|&(_, &(sig, value))| code.value(sig) != value)
-            .map(|(i, _)| i)
-            .collect()
-    };
+    let masks = DisagreementMasks::compute(sg, &candidates);
 
     let mut solver = Solver::new();
     let vars: Vec<simc_sat::Var> = candidates.iter().map(|_| solver.new_var()).collect();
     for s in sg.state_ids() {
-        if in_union[s.index()] {
+        if in_union.contains(s) {
             continue;
         }
-        let d = disagreement(s);
-        if d.is_empty() {
+        if masks.is_empty(s) {
             return None;
         }
-        solver.add_clause(d.iter().map(|&i| Lit::pos(vars[i])));
+        solver.add_clause(masks.bits(s).map(|i| Lit::pos(vars[i])));
     }
     for &er in ers {
-        let cfr = regions.cfr(er);
-        let mut in_cfr = vec![false; sg.state_count()];
-        for &s in &cfr {
-            in_cfr[s.index()] = true;
-        }
-        for &u in &cfr {
-            let du = disagreement(u);
-            if du.is_empty() {
+        let in_cfr = regions.cfr_set(er);
+        for &u in regions.cfr(er) {
+            if masks.is_empty(u) {
                 continue;
             }
             for &(_, v) in sg.succs(u) {
-                if !in_cfr[v.index()] {
+                if !in_cfr.contains(v) {
                     continue;
                 }
-                let dv = disagreement(v);
-                for &l in &du {
+                for l in masks.bits(u) {
                     solver.add_clause(
                         std::iter::once(Lit::neg(vars[l]))
-                            .chain(dv.iter().map(|&i| Lit::pos(vars[i]))),
+                            .chain(masks.bits(v).map(|i| Lit::pos(vars[i]))),
                     );
                 }
             }
@@ -224,12 +201,12 @@ fn grouped_cover(check: &McCheck<'_>, a: SignalId, dir: Dir) -> Result<FunctionC
     let base = check
         .function_cover(a, dir)
         .map_err(|v| McError::NotMonotonous { violations: v.len() })?;
-    let FunctionCover::PerRegion(list) = &base else {
+    let FunctionCover::PerRegion { regions, cubes } = &base else {
         return Ok(base);
     };
     // Greedy merging: try to grow groups left to right.
     let mut groups: Vec<(Vec<ErId>, Cube)> = Vec::new();
-    'outer: for &(er, cube) in list {
+    'outer: for (&er, &cube) in regions.iter().zip(cubes) {
         for (members, shared) in &mut groups {
             let mut attempt = members.clone();
             attempt.push(er);
@@ -241,11 +218,15 @@ fn grouped_cover(check: &McCheck<'_>, a: SignalId, dir: Dir) -> Result<FunctionC
         }
         groups.push((vec![er], cube));
     }
-    let flattened: Vec<(ErId, Cube)> = groups
-        .into_iter()
-        .flat_map(|(members, cube)| members.into_iter().map(move |er| (er, cube)))
-        .collect();
-    Ok(FunctionCover::PerRegion(flattened))
+    let mut regions = Vec::new();
+    let mut cubes = Vec::new();
+    for (members, cube) in groups {
+        for er in members {
+            regions.push(er);
+            cubes.push(cube);
+        }
+    }
+    Ok(FunctionCover::PerRegion { regions, cubes })
 }
 
 #[cfg(test)]

@@ -58,7 +58,9 @@ pub mod complex;
 pub mod cover;
 mod error;
 pub mod gen;
+pub mod parallel;
 pub mod synth;
 
 pub use cover::{McCheck, McCubeFailure, McReport};
 pub use error::McError;
+pub use parallel::{parallel_map, ParallelSynth};

@@ -83,8 +83,8 @@ impl Implementation {
                     FunctionCover::SingleLiteral(c) => {
                         out.push_str(&format!("{prefix}{} = {}\n", nw.name, c.render(&names)));
                     }
-                    FunctionCover::PerRegion(_) | FunctionCover::Plain(_) => {
-                        let cubes = dedupe(cover.cubes().into_iter());
+                    FunctionCover::PerRegion { .. } | FunctionCover::Plain(_) => {
+                        let cubes = dedupe(cover.cubes().iter().copied());
                         if cubes.len() == 1 {
                             out.push_str(&format!(
                                 "{prefix}{} = {}\n",
@@ -127,7 +127,7 @@ impl Implementation {
         self.networks
             .iter()
             .flat_map(|nw| [&nw.set, &nw.reset])
-            .map(|c| dedupe(c.cubes().into_iter()).len())
+            .map(|c| dedupe(c.cubes().iter().copied()).len())
             .sum()
     }
 
@@ -247,7 +247,7 @@ impl Implementation {
         cover: &FunctionCover,
         literal_net: &dyn Fn(&mut Netlist, usize, bool) -> (NetId, bool),
     ) -> Result<(NetId, bool), McError> {
-        let cubes = dedupe(cover.cubes().into_iter());
+        let cubes = dedupe(cover.cubes().iter().copied());
         let wire_cube = |nl: &mut Netlist,
                          cube: &Cube,
                          name: &str,
@@ -369,7 +369,7 @@ fn build_implementation(
 
 /// Convenience: a [`Cover`] view of a function (for minimizer interop).
 pub fn cover_of(function: &FunctionCover) -> Cover {
-    Cover::from_cubes(dedupe(function.cubes().into_iter()))
+    Cover::from_cubes(dedupe(function.cubes().iter().copied()))
 }
 
 /// Used by equations/tests: whether a spec signal is synthesized.

@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 mod code;
 pub mod equiv;
 mod error;
@@ -52,6 +53,7 @@ pub mod props;
 pub mod regions;
 mod signal;
 
+pub use bitset::BitSet;
 pub use code::StateCode;
 pub use error::SgError;
 pub use graph::{SgBuilder, StateGraph, StateId};

@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bitset::BitSet;
 use crate::graph::{StateGraph, StateId};
 use crate::signal::{Dir, SignalId, Transition};
 
@@ -80,6 +81,13 @@ pub struct Regions {
     ers: Vec<ExcitationRegion>,
     /// Quiescent region per ER, parallel to `ers` (may be empty).
     qrs: Vec<Vec<StateId>>,
+    /// Constant-function region `ER ∪ QR` per ER, sorted, parallel to
+    /// `ers` — cached here because cover checking queries it constantly.
+    cfrs: Vec<Vec<StateId>>,
+    /// The same CFRs as dense bitsets for O(1) membership.
+    cfr_sets: Vec<BitSet>,
+    /// Region ids grouped by signal, indexed by `SignalId`.
+    by_signal: Vec<Vec<ErId>>,
 }
 
 impl Regions {
@@ -103,8 +111,23 @@ impl Regions {
                 }
             }
         }
-        let qrs = ers.iter().map(|er| quiescent_of(sg, er)).collect();
-        Regions { ers, qrs }
+        let qrs: Vec<Vec<StateId>> = ers.iter().map(|er| quiescent_of(sg, er)).collect();
+        let n = sg.state_count();
+        let mut cfrs = Vec::with_capacity(ers.len());
+        let mut cfr_sets = Vec::with_capacity(ers.len());
+        for (er, qr) in ers.iter().zip(&qrs) {
+            let mut cfr: Vec<StateId> = er.states().to_vec();
+            cfr.extend_from_slice(qr);
+            cfr.sort_unstable();
+            cfr.dedup();
+            cfr_sets.push(BitSet::from_ids(n, cfr.iter().copied()));
+            cfrs.push(cfr);
+        }
+        let mut by_signal = vec![Vec::new(); sg.signal_count()];
+        for (i, er) in ers.iter().enumerate() {
+            by_signal[er.signal().index()].push(ErId(i as u32));
+        }
+        Regions { ers, qrs, cfrs, cfr_sets, by_signal }
     }
 
     /// All excitation regions.
@@ -126,28 +149,27 @@ impl Regions {
         self.ers.len()
     }
 
-    /// Regions of a particular signal.
-    pub fn ers_of_signal(&self, sig: SignalId) -> Vec<ErId> {
-        self.ers()
-            .filter(|(_, er)| er.signal() == sig)
-            .map(|(id, _)| id)
-            .collect()
+    /// Regions of a particular signal, in id order.
+    pub fn ers_of_signal(&self, sig: SignalId) -> &[ErId] {
+        &self.by_signal[sig.index()]
     }
 
     /// Regions of a particular transition `±a` (all occurrences).
     pub fn ers_of_transition(&self, t: Transition) -> Vec<ErId> {
-        self.ers()
-            .filter(|(_, er)| er.transition() == t)
-            .map(|(id, _)| id)
+        self.ers_of_signal(t.signal)
+            .iter()
+            .copied()
+            .filter(|&id| self.er(id).dir() == t.dir)
             .collect()
     }
 
     /// The region containing state `s` for signal `sig`, if `sig` is
     /// excited there.
     pub fn er_containing(&self, s: StateId, sig: SignalId) -> Option<ErId> {
-        self.ers()
-            .find(|(_, er)| er.signal() == sig && er.contains(s))
-            .map(|(id, _)| id)
+        self.ers_of_signal(sig)
+            .iter()
+            .copied()
+            .find(|&id| self.er(id).contains(s))
     }
 
     /// The quiescent region `QR(±a_j)` following the given ER
@@ -158,13 +180,14 @@ impl Regions {
     }
 
     /// The constant-function region `CFR(±a_j) = ER ∪ QR` (Definition 7),
-    /// sorted by state id.
-    pub fn cfr(&self, id: ErId) -> Vec<StateId> {
-        let mut v: Vec<StateId> = self.er(id).states().to_vec();
-        v.extend_from_slice(self.qr(id));
-        v.sort_unstable();
-        v.dedup();
-        v
+    /// sorted by state id. Cached at [`Regions::compute`] time.
+    pub fn cfr(&self, id: ErId) -> &[StateId] {
+        &self.cfrs[id.index()]
+    }
+
+    /// The same CFR as a dense bitset, for O(1) membership tests.
+    pub fn cfr_set(&self, id: ErId) -> &BitSet {
+        &self.cfr_sets[id.index()]
     }
 
     /// Minimal states of the ER (Definition 8): states with no predecessor
@@ -292,18 +315,15 @@ fn connected_components(
     pred: impl Fn(StateId) -> bool,
 ) -> Vec<Vec<StateId>> {
     let n = sg.state_count();
-    let mut in_set = vec![false; n];
-    for s in sg.state_ids() {
-        in_set[s.index()] = pred(s);
-    }
-    let mut seen = vec![false; n];
+    let in_set = BitSet::from_ids(n, sg.state_ids().filter(|&s| pred(s)));
+    let mut seen = BitSet::new(n);
     let mut components = Vec::new();
     for s in sg.state_ids() {
-        if !in_set[s.index()] || seen[s.index()] {
+        if !in_set.contains(s) || seen.contains(s) {
             continue;
         }
         let mut stack = vec![s];
-        seen[s.index()] = true;
+        seen.insert(s);
         let mut comp = Vec::new();
         while let Some(u) = stack.pop() {
             comp.push(u);
@@ -313,8 +333,8 @@ fn connected_components(
                 .map(|&(_, v)| v)
                 .chain(sg.preds(u).iter().map(|&(_, v)| v));
             for v in neighbours {
-                if in_set[v.index()] && !seen[v.index()] {
-                    seen[v.index()] = true;
+                if in_set.contains(v) && !seen.contains(v) {
+                    seen.insert(v);
                     stack.push(v);
                 }
             }
@@ -341,11 +361,11 @@ fn quiescent_of(sg: &StateGraph, er: &ExcitationRegion) -> Vec<StateId> {
         return Vec::new();
     }
     let n = sg.state_count();
-    let mut seen = vec![false; n];
+    let mut seen = BitSet::new(n);
     let mut stack = Vec::new();
     for &s in &seeds {
-        if !seen[s.index()] {
-            seen[s.index()] = true;
+        if !seen.contains(s) {
+            seen.insert(s);
             stack.push(s);
         }
     }
@@ -358,8 +378,8 @@ fn quiescent_of(sg: &StateGraph, er: &ExcitationRegion) -> Vec<StateId> {
             .map(|&(_, v)| v)
             .chain(sg.preds(u).iter().map(|&(_, v)| v));
         for v in neighbours {
-            if stable(v) && !seen[v.index()] {
-                seen[v.index()] = true;
+            if stable(v) && !seen.contains(v) {
+                seen.insert(v);
                 stack.push(v);
             }
         }

@@ -1,0 +1,166 @@
+//! String generation from the small regex subset the workspace uses.
+//!
+//! Supported pattern atoms: character classes `[...]` (literal characters
+//! and `a-z` style ranges), the proptest escape `\PC` (any printable
+//! character; approximated as printable ASCII), and literal characters.
+//! Each atom accepts a `*` (0 to 8 repeats) or `{m,n}`/`{m}` repetition
+//! suffix. Unsupported constructs panic so a silently wrong generator
+//! never masquerades as coverage.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters this atom draws from.
+    choices: Vec<char>,
+    /// Inclusive repetition bounds.
+    reps: (usize, usize),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let n = rng.gen_size(atom.reps.0, atom.reps.1);
+        for _ in 0..n {
+            let i = rng.gen_size(0, atom.choices.len() - 1);
+            out.push(atom.choices[i]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                    + i;
+                let class = parse_class(&chars[i + 1..end], pattern);
+                i = end + 1;
+                class
+            }
+            '\\' => {
+                // Only the proptest idiom `\PC` ("printable char") is
+                // supported.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    (' '..='~').collect()
+                } else {
+                    panic!("unsupported escape in pattern {pattern:?}");
+                }
+            }
+            c if "(){}|?+*.^$".contains(c) => {
+                panic!("unsupported regex construct {c:?} in pattern {pattern:?}")
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let reps = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('{') => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..end].iter().collect();
+                i = end + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repetition lower bound"),
+                        hi.trim().parse().expect("repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { choices, reps });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    let mut choices = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+            choices.extend(lo..=hi);
+            i += 3;
+        } else {
+            // `-` as the last (or first) character is a literal.
+            choices.push(body[i]);
+            i += 1;
+        }
+    }
+    choices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::new(9);
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z]{1,3}", &mut rng);
+            assert!((1..=3).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_trailing_dash() {
+        let mut rng = TestRng::new(10);
+        for _ in 0..100 {
+            let s = generate_from_pattern("[a-z+/-]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '+' || c == '/' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let s = generate_from_pattern("\\PC*", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_sequence() {
+        let mut rng = TestRng::new(12);
+        assert_eq!(generate_from_pattern("ab", &mut rng), "ab");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex construct")]
+    fn unsupported_constructs_panic() {
+        let mut rng = TestRng::new(13);
+        let _ = generate_from_pattern("a|b", &mut rng);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never actually serializes anything (there is no `serde_json` or other
+//! format crate in the tree). This shim keeps those derives compiling in
+//! network-less environments: it provides the two trait names and, behind
+//! the `derive` feature, no-op derive macros. Swapping the workspace
+//! dependency back to the real `serde` requires no source changes.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The derives expand to nothing: no code in the workspace requires the
+//! serde traits as bounds, so keeping the attribute positions compiling is
+//! all that is needed. `#[serde(...)]` helper attributes are declared so
+//! annotated fields would not break compilation either.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

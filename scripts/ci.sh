@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: release build, full test suite, clippy with warnings
+# denied. Run from anywhere; operates on the workspace root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci: all green"

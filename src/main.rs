@@ -38,7 +38,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
-    let flags: Vec<&str> = args[2..].iter().map(String::as_str).collect();
+    let flags: Vec<&str> =
+        args.get(2..).unwrap_or_default().iter().map(String::as_str).collect();
     let target = if flags.contains(&"--rs") { Target::RsLatch } else { Target::CElement };
     match command.as_str() {
         "analyze" => analyze(&load(args.get(1))?),

@@ -1,0 +1,93 @@
+//! Parallel synthesis determinism: for every thread count, `ParallelSynth`
+//! and the threaded MC-reduction must produce byte-identical reports,
+//! equations and netlists to the sequential path.
+
+use proptest::prelude::*;
+
+use simc::benchmarks::{generators, suite};
+use simc::mc::assign::{reduce_to_mc, ReduceOptions};
+use simc::mc::synth::{synthesize, Target};
+use simc::mc::{McCheck, ParallelSynth};
+use simc::sg::{write_sg, StateGraph};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// The fully rendered observable output of synthesis on one graph: the MC
+/// report, and (when synthesis succeeds) the equations and netlist text.
+fn observable(sg: &StateGraph, synth: Option<ParallelSynth>) -> String {
+    let check = McCheck::new(sg);
+    let report = match synth {
+        Some(p) => p.report(&check),
+        None => check.report(),
+    };
+    let mut out = report.render(sg);
+    let implementation = match synth {
+        Some(p) => p.synthesize(sg, Target::CElement),
+        None => synthesize(sg, Target::CElement),
+    };
+    if let Ok(imp) = implementation {
+        out.push_str(&imp.equations());
+        out.push_str(&format!("{:?}", imp.to_netlist().map(|nl| nl.stats().to_string())));
+    }
+    out
+}
+
+#[test]
+fn suite_benchmarks_identical_across_thread_counts() {
+    for b in suite::all() {
+        let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
+        let sequential = observable(&sg, None);
+        for threads in THREADS {
+            let parallel = observable(&sg, Some(ParallelSynth::new(threads)));
+            assert_eq!(parallel, sequential, "{}: {threads} threads diverged", b.name);
+        }
+    }
+}
+
+#[test]
+fn mc_reduction_identical_across_thread_counts() {
+    // The threaded beam search must visit the same frontier in the same
+    // order: identical reduced graphs (rendered to `.g` text), insertion
+    // counts and logs for every thread count.
+    // Capped at the three fastest benchmarks: the beam search dominates
+    // tier-1 time otherwise (the full suite runs in `repro_pipeline`).
+    for b in suite::all().into_iter().take(3) {
+        let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
+        let baseline = reduce_to_mc(&sg, ReduceOptions::default()).expect("reduces");
+        for threads in THREADS {
+            let opts = ReduceOptions { threads, ..ReduceOptions::default() };
+            let result = reduce_to_mc(&sg, opts).expect("reduces");
+            assert_eq!(result.added, baseline.added, "{}: {threads} threads", b.name);
+            assert_eq!(result.log, baseline.log, "{}: {threads} threads", b.name);
+            assert_eq!(
+                write_sg(&result.sg, b.name),
+                write_sg(&baseline.sg, b.name),
+                "{}: {threads} threads",
+                b.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_graphs_identical_across_thread_counts(
+        kind in 0usize..3,
+        size in 2usize..5,
+    ) {
+        let stg = match kind {
+            0 => generators::muller_pipeline(size),
+            1 => generators::independent_toggles(size),
+            _ => generators::choice_ring(size),
+        }
+        .unwrap();
+        let sg = stg.to_state_graph().unwrap();
+        let sequential = observable(&sg, None);
+        for threads in THREADS {
+            let parallel = observable(&sg, Some(ParallelSynth::new(threads)));
+            prop_assert_eq!(&parallel, &sequential, "{} threads diverged", threads);
+        }
+    }
+}
