@@ -3,19 +3,45 @@
 //!
 //! Per benchmark the pipeline is: STG reachability → MC-reduction →
 //! region analysis → MC cover search → synthesis + verification; each
-//! phase is wall-clock timed. The parallel run uses `ParallelSynth` both
-//! across benchmarks and inside each cover search.
+//! phase is wall-clock timed via `simc_obs` spans. A second, sequential
+//! pass re-runs every benchmark with the observability counters on and
+//! records the paper-table structural columns (states, inserted signals,
+//! gates, literals) plus the full counter report. The timed sweeps run
+//! with counters *off*, so the recorded timings measure the pipeline at
+//! its zero-overhead default.
 //!
-//! Usage: `repro_pipeline [--threads N] [--out PATH] [--markdown]`
-//! (threads defaults to the machine's available parallelism, floor 4;
-//! out defaults to `BENCH_pipeline.json` in the current directory).
+//! Usage: `repro_pipeline [--threads N] [--out PATH] [--markdown]
+//! [--smoke] [--check BASELINE]`
+//!
+//! * `--threads N`   parallel-run worker count (defaults to the machine's
+//!   available parallelism, floor 4)
+//! * `--out PATH`    output path (default `BENCH_pipeline.json`)
+//! * `--smoke`       only profile a 2-benchmark subset (CI gate)
+//! * `--check PATH`  compare against a committed baseline: structural
+//!   columns and counters must match exactly, per-benchmark totals must
+//!   not regress more than 10% (plus a small absolute grace for
+//!   sub-millisecond phases); exits 1 on regression
 
-use simc_bench::profile::{to_json, SuiteRun};
+use simc_bench::profile::{counters_sweep, to_json, BenchmarkCounters, SuiteRun};
 use simc_bench::report::Table;
 use simc_benchmarks::suite;
+use simc_obs::json::{self, Value};
+
+/// Benchmarks profiled under `--smoke`: one trivial and one
+/// insertion-heavy spec, so the gate exercises both pipeline halves.
+const SMOKE_SET: &[&str] = &["duplicator", "berkel3"];
+
+/// Relative regression tolerance for `--check`.
+const CHECK_RELATIVE: f64 = 0.10;
+
+/// Absolute grace in seconds: sub-millisecond phases jitter far beyond
+/// 10% between runs, so small absolute drift is never a regression.
+const CHECK_ABSOLUTE_S: f64 = 0.05;
 
 fn usage() -> ! {
-    eprintln!("usage: repro_pipeline [--threads N] [--out PATH] [--markdown]");
+    eprintln!(
+        "usage: repro_pipeline [--threads N] [--out PATH] [--markdown] [--smoke] [--check BASELINE]"
+    );
     std::process::exit(2);
 }
 
@@ -23,6 +49,8 @@ fn main() {
     let mut threads = None;
     let mut out_path = None;
     let mut markdown = false;
+    let mut smoke = false;
+    let mut check_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -42,7 +70,14 @@ fn main() {
                     usage()
                 }));
             }
+            "--check" => {
+                check_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --check requires a baseline path");
+                    usage()
+                }));
+            }
             "--markdown" => markdown = true,
+            "--smoke" => smoke = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument `{other}`");
@@ -54,9 +89,14 @@ fn main() {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()).max(4));
     let out_path = out_path.unwrap_or_else(|| "BENCH_pipeline.json".to_string());
 
-    let benchmarks = suite::all();
+    let mut benchmarks = suite::all();
+    if smoke {
+        benchmarks.retain(|b| SMOKE_SET.contains(&b.name));
+        assert_eq!(benchmarks.len(), SMOKE_SET.len(), "smoke subset missing from suite");
+    }
     let sequential = SuiteRun::sweep("sequential", &benchmarks, 1);
     let parallel = SuiteRun::sweep(&format!("parallel-{threads}"), &benchmarks, threads);
+    let counters = counters_sweep(&benchmarks);
 
     let mut table = Table::new(&[
         "example", "states", "reach ms", "regions ms", "cover ms", "assign ms", "verify ms",
@@ -98,8 +138,138 @@ fn main() {
         assert_eq!(s.states, p.states, "{}: state count differs across thread counts", s.name);
         assert_eq!(s.verified, p.verified, "{}: verdict differs across thread counts", s.name);
     }
+    // The counter pass replays the same pipeline; its structure must agree.
+    for (s, c) in sequential.timings.iter().zip(&counters) {
+        assert_eq!(s.name, c.name);
+        assert_eq!(s.states, c.states, "{}: state count differs in counter pass", s.name);
+    }
 
-    let json = to_json(&[sequential, parallel]);
+    let json = to_json(&[sequential.clone(), parallel], &counters);
+    // Round-trip self-validation: the hand-rolled emitter must satisfy
+    // the workspace's own parser before anything is written to disk.
+    if let Err(e) = json::parse(&json) {
+        eprintln!("error: emitted JSON is malformed: {e}");
+        std::process::exit(1);
+    }
     std::fs::write(&out_path, &json).expect("write BENCH_pipeline.json");
     println!("wrote {out_path}");
+
+    if let Some(baseline) = check_path {
+        match check_against_baseline(&baseline, &sequential, &counters) {
+            Ok(n) => println!("check: {n} benchmark(s) within tolerance of {baseline}"),
+            Err(problems) => {
+                for p in &problems {
+                    eprintln!("check: {p}");
+                }
+                eprintln!("check: {} regression(s) against {baseline}", problems.len());
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Compares the sequential run and counter pass against a committed
+/// `BENCH_pipeline.json`. Structural columns and pipeline counters are
+/// deterministic and must match exactly; wall-clock totals may drift
+/// within `CHECK_RELATIVE` + `CHECK_ABSOLUTE_S`. Benchmarks absent from
+/// the baseline are skipped, so a smoke run checks against a full one.
+fn check_against_baseline(
+    path: &str,
+    sequential: &SuiteRun,
+    counters: &[BenchmarkCounters],
+) -> Result<usize, Vec<String>> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+    let doc = json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {path}: {e}"));
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+
+    let base_seq: Vec<&Value> = doc
+        .get("runs")
+        .and_then(Value::as_array)
+        .and_then(|runs| {
+            runs.iter().find(|r| {
+                r.get("label").and_then(Value::as_str) == Some("sequential")
+            })
+        })
+        .and_then(|r| r.get("benchmarks"))
+        .and_then(Value::as_array)
+        .map(|b| b.iter().collect())
+        .unwrap_or_default();
+    for t in &sequential.timings {
+        let Some(base) = base_seq
+            .iter()
+            .find(|b| b.get("name").and_then(Value::as_str) == Some(&t.name))
+        else {
+            continue;
+        };
+        checked += 1;
+        if base.get("states").and_then(Value::as_u64) != Some(t.states as u64) {
+            problems.push(format!(
+                "{}: states {} != baseline {:?}",
+                t.name,
+                t.states,
+                base.get("states").and_then(Value::as_u64)
+            ));
+        }
+        if base.get("verified").and_then(Value::as_bool) != Some(t.verified) {
+            problems.push(format!("{}: verdict differs from baseline", t.name));
+        }
+        if let Some(base_total) = base.get("total_s").and_then(Value::as_f64) {
+            let limit = base_total * (1.0 + CHECK_RELATIVE) + CHECK_ABSOLUTE_S;
+            if t.total() > limit {
+                problems.push(format!(
+                    "{}: total {:.4}s exceeds baseline {:.4}s by more than {:.0}% + {:.0}ms",
+                    t.name,
+                    t.total(),
+                    base_total,
+                    CHECK_RELATIVE * 100.0,
+                    CHECK_ABSOLUTE_S * 1e3
+                ));
+            }
+        }
+    }
+
+    if let Some(base_counters) = doc.get("counters").and_then(Value::as_array) {
+        for c in counters {
+            let Some(base) = base_counters
+                .iter()
+                .find(|b| b.get("name").and_then(Value::as_str) == Some(&c.name))
+            else {
+                continue;
+            };
+            for (field, value) in [
+                ("states", c.states),
+                ("signals_added", c.signals_added),
+                ("gates", c.gates),
+                ("literals", c.literals),
+            ] {
+                if base.get(field).and_then(Value::as_u64) != Some(value as u64) {
+                    problems.push(format!(
+                        "{}: {field} {value} != baseline {:?}",
+                        c.name,
+                        base.get(field).and_then(Value::as_u64)
+                    ));
+                }
+            }
+            let Some(pipeline) = base.get("pipeline") else { continue };
+            for (counter, value) in &c.counters {
+                if pipeline.get(counter.name()).and_then(Value::as_u64) != Some(*value) {
+                    problems.push(format!(
+                        "{}: counter {} = {} != baseline {:?}",
+                        c.name,
+                        counter.name(),
+                        value,
+                        pipeline.get(counter.name()).and_then(Value::as_u64)
+                    ));
+                }
+            }
+        }
+    }
+
+    if problems.is_empty() {
+        Ok(checked)
+    } else {
+        Err(problems)
+    }
 }

@@ -2,10 +2,16 @@
 //!
 //! [`profile_benchmark`] runs the full pipeline — reachability, region
 //! analysis, cover search, MC-reduction, synthesis + verification — on
-//! one benchmark and records the wall-clock time of each phase. The
-//! `repro_pipeline` binary sweeps the suite with it and emits
-//! `BENCH_pipeline.json` (hand-rolled JSON — the workspace builds with no
-//! serialization dependency).
+//! one benchmark and records the wall-clock time of each phase via
+//! `simc_obs` timing spans (the guard's `finish()` returns the elapsed
+//! duration, so attribution stays exact even when benchmarks run
+//! concurrently). [`counters_benchmark`] re-runs the pipeline with the
+//! observability counters on — sequentially, with a reset per benchmark,
+//! since the counter state is process-global — and records the paper's
+//! structural columns (states, inserted signals, gates, literals)
+//! alongside the full counter report. The `repro_pipeline` binary sweeps
+//! the suite with both and emits `BENCH_pipeline.json` (hand-rolled JSON
+//! — the workspace builds with no serialization dependency).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -52,32 +58,36 @@ impl PhaseTimings {
 /// Panics if the benchmark's STG fails reachability or MC-reduction —
 /// the shipped suite is known-good, so a failure is a regression.
 pub fn profile_benchmark(b: &Benchmark, synth: ParallelSynth) -> PhaseTimings {
-    let start = Instant::now();
-    let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
-    let reach = start.elapsed().as_secs_f64();
+    // Phase attribution rides on span guards; the guard's `finish()`
+    // returns zero with timing off, so switch it on for the profile.
+    simc_obs::set_timing(true);
 
-    let start = Instant::now();
+    let span = simc_obs::span("profile_reach");
+    let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
+    let reach = span.finish().as_secs_f64();
+
+    let span = simc_obs::span("profile_assign");
     let opts = ReduceOptions { threads: synth.threads(), ..ReduceOptions::default() };
     let reduced = reduce_to_mc(&sg, opts).expect("suite benchmark reduces");
-    let assign = start.elapsed().as_secs_f64();
+    let assign = span.finish().as_secs_f64();
 
-    let start = Instant::now();
+    let span = simc_obs::span("profile_regions");
     let check = McCheck::new(&reduced.sg);
-    let regions = start.elapsed().as_secs_f64();
+    let regions = span.finish().as_secs_f64();
 
-    let start = Instant::now();
+    let span = simc_obs::span("profile_cover");
     let report = synth.report(&check);
-    let cover = start.elapsed().as_secs_f64();
+    let cover = span.finish().as_secs_f64();
     assert!(report.satisfied(), "{}: reduced graph must satisfy MC", b.name);
 
-    let start = Instant::now();
+    let span = simc_obs::span("profile_verify");
     let verified = synth
         .synthesize(&reduced.sg, Target::CElement)
         .ok()
         .and_then(|imp| imp.to_netlist().ok())
         .and_then(|nl| verify(&nl, &reduced.sg, VerifyOptions::default()).ok())
         .is_some_and(|r| r.is_ok());
-    let verify = start.elapsed().as_secs_f64();
+    let verify = span.finish().as_secs_f64();
 
     PhaseTimings {
         name: b.name.to_string(),
@@ -124,9 +134,82 @@ impl SuiteRun {
     }
 }
 
-/// Renders suite runs as a JSON document (the `BENCH_pipeline.json`
-/// schema): `{ "runs": [ { label, threads, wall_s, benchmarks: [...] } ] }`.
-pub fn to_json(runs: &[SuiteRun]) -> String {
+/// Structural results and pipeline counters for one benchmark — the
+/// paper-table columns (states, inserted signals, gate/literal counts)
+/// plus the full `simc_obs` counter report of the run.
+#[derive(Debug, Clone)]
+pub struct BenchmarkCounters {
+    /// Benchmark name.
+    pub name: String,
+    /// State count of the reduced state graph.
+    pub states: usize,
+    /// State signals inserted by MC-reduction.
+    pub signals_added: usize,
+    /// Gate count of the synthesized netlist (ANDs + ORs + latch rails +
+    /// inverters/buffers).
+    pub gates: usize,
+    /// Total literal count over all cover cubes (the paper's area proxy).
+    pub literals: usize,
+    /// Every observability counter of the run, in fixed declaration
+    /// order (deterministic for a given benchmark).
+    pub counters: Vec<(simc_obs::Counter, u64)>,
+}
+
+/// Runs the pipeline on one benchmark with observability counters on and
+/// collects [`BenchmarkCounters`].
+///
+/// Resets the process-global counter state first, so call this
+/// *sequentially* — concurrent counter passes would blend their numbers.
+///
+/// # Panics
+///
+/// Same conditions as [`profile_benchmark`]: the shipped suite is
+/// known-good, so reachability or reduction failures are regressions.
+pub fn counters_benchmark(b: &Benchmark) -> BenchmarkCounters {
+    let was = simc_obs::counters_enabled();
+    simc_obs::set_counters(true);
+    simc_obs::reset();
+
+    let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
+    let reduced =
+        reduce_to_mc(&sg, ReduceOptions::default()).expect("suite benchmark reduces");
+    let implementation = simc_mc::synth::synthesize(&reduced.sg, Target::CElement)
+        .expect("reduced graph synthesizes");
+    let netlist = implementation.to_netlist().expect("netlist builds");
+    let report = verify(&netlist, &reduced.sg, VerifyOptions::default())
+        .expect("verification runs");
+    assert!(report.is_ok(), "{}: synthesized netlist must verify", b.name);
+
+    let stats = netlist.stats();
+    let obs_report = simc_obs::report();
+    simc_obs::set_counters(was);
+    BenchmarkCounters {
+        name: b.name.to_string(),
+        states: reduced.sg.state_count(),
+        signals_added: reduced.added,
+        gates: stats.and_gates + stats.or_gates + stats.latch_rails + stats.other_gates,
+        literals: implementation.literal_count() as usize,
+        counters: obs_report.counters,
+    }
+}
+
+/// Sequential counter pass over `benchmarks` (see [`counters_benchmark`]).
+pub fn counters_sweep(benchmarks: &[Benchmark]) -> Vec<BenchmarkCounters> {
+    benchmarks.iter().map(counters_benchmark).collect()
+}
+
+/// Renders suite runs and the counter pass as a JSON document (the
+/// `BENCH_pipeline.json` schema):
+///
+/// ```text
+/// { "runs": [ { label, threads, wall_s, benchmarks: [...] } ],
+///   "counters": [ { name, states, signals_added, gates, literals,
+///                   pipeline: { "sat.solves": ..., ... } } ] }
+/// ```
+///
+/// Pass an empty `counters` slice to omit the counters section (the
+/// timing-only legacy shape).
+pub fn to_json(runs: &[SuiteRun], counters: &[BenchmarkCounters]) -> String {
     let mut out = String::from("{\n  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let _ = write!(
@@ -158,7 +241,37 @@ pub fn to_json(runs: &[SuiteRun]) -> String {
             if i + 1 < runs.len() { "," } else { "" }
         );
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !counters.is_empty() {
+        out.push_str(",\n  \"counters\": [\n");
+        for (i, c) in counters.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\n      \"name\": {},\n      \"states\": {},\n      \"signals_added\": {},\n      \"gates\": {},\n      \"literals\": {},\n      \"pipeline\": {{\n",
+                json_str(&c.name),
+                c.states,
+                c.signals_added,
+                c.gates,
+                c.literals
+            );
+            for (j, (counter, value)) in c.counters.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {}: {}{}",
+                    json_str(counter.name()),
+                    value,
+                    if j + 1 < c.counters.len() { "," } else { "" }
+                );
+            }
+            let _ = write!(
+                out,
+                "      }}\n    }}{}\n",
+                if i + 1 < counters.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -210,18 +323,35 @@ mod tests {
 
     #[test]
     fn json_shape_and_escaping() {
-        let json = to_json(&[dummy_run()]);
+        let json = to_json(&[dummy_run()], &[]);
         assert!(json.contains("\"runs\""));
         assert!(json.contains("\"toggle \\\"x\\\"\""));
         assert!(json.contains("\"wall_s\": 1.000000"));
         assert!(json.contains("\"verified\": true"));
-        // Balanced braces/brackets — a cheap well-formedness check.
-        for (open, close) in [('{', '}'), ('[', ']')] {
-            assert_eq!(
-                json.matches(open).count(),
-                json.matches(close).count(),
-                "unbalanced {open}{close}"
-            );
-        }
+        assert!(!json.contains("\"counters\""));
+        // The hand-rolled emitter must satisfy the workspace's own parser.
+        simc_obs::json::parse(&json).expect("emitted JSON parses");
+    }
+
+    #[test]
+    fn json_counters_section_round_trips() {
+        let counters = BenchmarkCounters {
+            name: "toggle".into(),
+            states: 4,
+            signals_added: 0,
+            gates: 3,
+            literals: 5,
+            counters: simc_obs::Counter::ALL.iter().map(|&c| (c, 7)).collect(),
+        };
+        let json = to_json(&[dummy_run()], &[counters]);
+        let doc = simc_obs::json::parse(&json).expect("emitted JSON parses");
+        let section = doc.get("counters").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(section.len(), 1);
+        assert_eq!(section[0].get("gates").and_then(|v| v.as_u64()), Some(3));
+        let pipeline = section[0].get("pipeline").unwrap();
+        assert_eq!(
+            pipeline.get("sat.solves").and_then(|v| v.as_u64()),
+            Some(7)
+        );
     }
 }

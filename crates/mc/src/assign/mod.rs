@@ -93,6 +93,7 @@ fn score(check: &McCheck<'_>) -> (usize, usize, usize) {
 /// heuristic in *which* of the SAT-feasible assignments it examines, so a
 /// failure here does not prove none exists).
 pub fn reduce_to_mc(sg: &StateGraph, opts: ReduceOptions) -> Result<ReduceResult, McError> {
+    let _span = simc_obs::span("reduce");
     if !sg.analysis().is_output_semimodular() {
         return Err(McError::NotOutputSemimodular);
     }
@@ -120,6 +121,9 @@ pub fn reduce_to_mc(sg: &StateGraph, opts: ReduceOptions) -> Result<ReduceResult
                         .to_string(),
                 });
             }
+            if simc_obs::counters_enabled() {
+                simc_obs::add(simc_obs::Counter::BeamSignalsInserted, depth as u64);
+            }
             return Ok(ReduceResult {
                 sg: done.sg.clone(),
                 added: depth,
@@ -130,6 +134,9 @@ pub fn reduce_to_mc(sg: &StateGraph, opts: ReduceOptions) -> Result<ReduceResult
             return Err(McError::SignalBudgetExceeded { budget: opts.max_signals });
         }
         let last_scores: Vec<_> = beam.iter().map(|n| n.score).collect();
+        if simc_obs::counters_enabled() {
+            simc_obs::add(simc_obs::Counter::BeamNodesExpanded, beam.len() as u64);
+        }
         // Beam nodes expand independently; fan them across the pool. The
         // pool is assembled in beam order, so the search is deterministic
         // for every thread count.
@@ -162,8 +169,14 @@ pub fn reduce_to_mc(sg: &StateGraph, opts: ReduceOptions) -> Result<ReduceResult
         pool.sort_by_key(|n| (mass(n.score), n.score, n.sg.state_count()));
         // Same score does not mean same future potential; only drop exact
         // structural footprints.
+        let before_dedup = pool.len();
         pool.dedup_by_key(|n| (n.score, n.sg.state_count(), n.sg.edge_count()));
+        let after_dedup = pool.len();
         pool.truncate(opts.beam_width);
+        if simc_obs::counters_enabled() {
+            simc_obs::add(simc_obs::Counter::BeamDeduped, (before_dedup - after_dedup) as u64);
+            simc_obs::add(simc_obs::Counter::BeamPruned, (after_dedup - pool.len()) as u64);
+        }
         beam = pool;
     }
     unreachable!("loop returns within the budget bound")

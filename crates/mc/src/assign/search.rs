@@ -466,6 +466,9 @@ pub(super) fn candidate_insertions(
             match solver.solve() {
                 SatResult::Sat(model) => {
                     examined += 1;
+                    if simc_obs::counters_enabled() {
+                        simc_obs::add(simc_obs::Counter::BeamModelsExamined, 1);
+                    }
                     solver.add_clause(enc.blocking_clause(&model, sg.state_count()));
                     let asg = enc.decode(&model, sg.state_count());
                     if asg.validate(sg).is_err() {
@@ -514,6 +517,9 @@ pub(super) fn candidate_insertions(
     }
     pool.sort_by_key(|c| (c.score, c.sg.state_count()));
     pool.truncate(keep);
+    if simc_obs::counters_enabled() {
+        simc_obs::add(simc_obs::Counter::BeamCandidatesKept, pool.len() as u64);
+    }
     pool
 }
 

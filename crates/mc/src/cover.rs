@@ -272,6 +272,17 @@ impl<'g> McCheck<'g> {
     /// Monotonous cover (Def. 17): covers all of ER, switches at most once
     /// along any trace inside CFR, covers nothing reachable outside CFR.
     pub fn is_monotonous_cover(&self, er: ErId, cube: Cube) -> bool {
+        let ok = self.is_monotonous_cover_inner(er, cube);
+        if simc_obs::counters_enabled() {
+            simc_obs::add(simc_obs::Counter::CoverCubesChecked, 1);
+            if !ok {
+                simc_obs::add(simc_obs::Counter::CoverCubesRejected, 1);
+            }
+        }
+        ok
+    }
+
+    fn is_monotonous_cover_inner(&self, er: ErId, cube: Cube) -> bool {
         let region = self.regions.er(er);
         // (1) covers every ER state.
         if !region.states().iter().all(|&s| self.covers_state(cube, s)) {
@@ -419,6 +430,9 @@ impl<'g> McCheck<'g> {
             }
             let cube = Cube::top().with_literal(b.index(), value);
             if ers.iter().all(|&er| self.is_correct_cover(er, cube)) {
+                if simc_obs::counters_enabled() {
+                    simc_obs::add(simc_obs::Counter::CoverDegenerate, 1);
+                }
                 return Some(cube);
             }
         }
@@ -448,6 +462,7 @@ impl<'g> McCheck<'g> {
     /// Checks the whole-graph MC requirement (Def. 18 with the degenerate
     /// exception) over the excitation functions of non-input signals.
     pub fn report(&self) -> McReport {
+        let _span = simc_obs::span("cover");
         let mut entries = Vec::new();
         for a in self.sg.non_input_signals() {
             for dir in [Dir::Rise, Dir::Fall] {
@@ -493,6 +508,9 @@ impl<'g> McCheck<'g> {
     /// Disagreement sets are precomputed as per-state bitmasks in one pass
     /// over the codes, so clause generation walks words, not signals.
     fn sat_search(&self, er: ErId, in_cfr: &BitSet) -> Option<Cube> {
+        if simc_obs::counters_enabled() {
+            simc_obs::add(simc_obs::Counter::CoverSatSearches, 1);
+        }
         let candidates = self.candidate_literals(er);
         if candidates.is_empty() {
             return None;

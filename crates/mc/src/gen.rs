@@ -83,6 +83,9 @@ pub fn generalized_mc_cube(check: &McCheck<'_>, ers: &[ErId]) -> Option<Cube> {
     if ers.is_empty() {
         return None;
     }
+    if simc_obs::counters_enabled() {
+        simc_obs::add(simc_obs::Counter::CoverSatSearches, 1);
+    }
     let sg = check.sg();
     let regions = check.regions();
 
@@ -178,6 +181,7 @@ pub fn generalized_mc_cube(check: &McCheck<'_>, ers: &[ErId]) -> Option<Cube> {
 /// Same conditions as plain synthesis: output semi-modularity and the MC
 /// requirement (with the degenerate-case exception).
 pub fn synthesize_generalized(sg: &StateGraph, target: Target) -> Result<Implementation, McError> {
+    let _span = simc_obs::span("synth");
     if !sg.analysis().is_output_semimodular() {
         return Err(McError::NotOutputSemimodular);
     }

@@ -98,6 +98,7 @@ impl ParallelSynth {
     /// non-input signal and direction, each of which fans into per-ER MC
     /// cube searches — run concurrently.
     pub fn report(&self, check: &McCheck<'_>) -> McReport {
+        let _span = simc_obs::span("cover");
         let functions: Vec<(simc_sg::SignalId, Dir)> = check
             .sg()
             .non_input_signals()
@@ -121,6 +122,7 @@ impl ParallelSynth {
     /// Same conditions as sequential synthesis: output semi-modularity and
     /// the MC requirement.
     pub fn synthesize(&self, sg: &StateGraph, target: Target) -> Result<Implementation, McError> {
+        let _span = simc_obs::span("synth");
         if !sg.analysis().is_output_semimodular() {
             return Err(McError::NotOutputSemimodular);
         }

@@ -299,6 +299,7 @@ fn dedupe(cubes: impl Iterator<Item = Cube>) -> Vec<Cube> {
 /// Fails if `sg` is not output semi-modular or violates the MC
 /// requirement — run [`reduce_to_mc`](crate::assign::reduce_to_mc) first.
 pub fn synthesize(sg: &StateGraph, target: Target) -> Result<Implementation, McError> {
+    let _span = simc_obs::span("synth");
     if !sg.analysis().is_output_semimodular() {
         return Err(McError::NotOutputSemimodular);
     }

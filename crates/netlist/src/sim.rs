@@ -62,6 +62,27 @@ pub fn random_walk(
     steps: usize,
     seed: u64,
 ) -> Result<WalkReport, NetlistError> {
+    let span = simc_obs::span("walk");
+    let result = random_walk_inner(nl, sg, steps, seed);
+    if simc_obs::counters_enabled() {
+        if let Ok(report) = &result {
+            simc_obs::add(simc_obs::Counter::WalkSteps, report.steps as u64);
+            simc_obs::add(
+                simc_obs::Counter::WalkViolations,
+                u64::from(report.violation.is_some()),
+            );
+        }
+    }
+    span.finish();
+    result
+}
+
+fn random_walk_inner(
+    nl: &Netlist,
+    sg: &StateGraph,
+    steps: usize,
+    seed: u64,
+) -> Result<WalkReport, NetlistError> {
     let composer = Bindings::new(nl, sg)?;
     let mut rng = XorShift(seed | 1);
     let mut spec = sg.initial();
@@ -222,5 +243,27 @@ mod tests {
         let sg = celem_spec();
         let nl = Netlist::new();
         assert!(random_walk(&nl, &sg, 10, 1).is_err());
+    }
+
+    #[test]
+    fn walk_counters_track_reports() {
+        // The obs sink is process-global and the sibling tests above walk
+        // concurrently without coordinating, so this checks deltas with a
+        // `>=` bound; the exact-equality version lives in the serialized
+        // `tests/observability.rs` binary.
+        let sg = celem_spec();
+        let nl = celem_netlist();
+        let was = simc_obs::counters_enabled();
+        simc_obs::set_counters(true);
+        let steps_before = simc_obs::value(simc_obs::Counter::WalkSteps);
+        let report = random_walk(&nl, &sg, 1_000, 7).unwrap();
+        let delta = simc_obs::value(simc_obs::Counter::WalkSteps) - steps_before;
+        simc_obs::set_counters(was);
+        assert!(report.is_ok());
+        assert!(
+            delta >= report.steps as u64,
+            "WalkSteps delta {delta} below this walk's {} steps",
+            report.steps
+        );
     }
 }

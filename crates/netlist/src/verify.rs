@@ -163,6 +163,7 @@ pub fn verify(
     sg: &StateGraph,
     opts: VerifyOptions,
 ) -> Result<VerifyReport, NetlistError> {
+    let _span = simc_obs::span("verify");
     let comp = Bindings::new(nl, sg)?;
     let spec0 = sg.initial();
     let bits0 = comp.initial_bits(spec0)?;
@@ -180,6 +181,8 @@ pub fn verify(
     queue.push_back(0usize);
 
     let mut violations = Vec::new();
+    let mut events_explored: u64 = 0;
+    let mut peak_frontier: u64 = 1;
     let trace_of = |idx: usize, parents: &[Option<(usize, Event)>]| -> Vec<Event> {
         let mut t = Vec::new();
         let mut cur = idx;
@@ -280,6 +283,7 @@ pub fn verify(
         }
 
         for (event, next_spec_opt, new_bits) in events {
+            events_explored += 1;
             let next_spec = next_spec_opt.unwrap_or(spec);
             // Semi-modularity: every other excited gate must stay excited.
             for &g in &excited {
@@ -308,10 +312,18 @@ pub fn verify(
                 keys.push(key);
                 parents.push(Some((cur, event)));
                 queue.push_back(idx);
+                peak_frontier = peak_frontier.max(queue.len() as u64);
             }
         }
     }
 
+    if simc_obs::counters_enabled() {
+        use simc_obs::Counter;
+        simc_obs::add(Counter::VerifyStates, keys.len() as u64);
+        simc_obs::add(Counter::VerifyEvents, events_explored);
+        simc_obs::record_max(Counter::VerifyPeakFrontier, peak_frontier);
+        simc_obs::add(Counter::VerifyViolations, violations.len() as u64);
+    }
     Ok(VerifyReport { violations, explored: keys.len() })
 }
 

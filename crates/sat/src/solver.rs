@@ -56,6 +56,8 @@ pub struct Solver {
     polarity: Vec<bool>,
     ok: bool,
     conflicts: u64,
+    decisions: u64,
+    propagations: u64,
 }
 
 impl Solver {
@@ -77,6 +79,17 @@ impl Solver {
     /// Total conflicts encountered across all solves (a work metric).
     pub fn conflict_count(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Total decisions made across all solves (a work metric).
+    pub fn decision_count(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Total unit propagations performed across all solves (a work
+    /// metric).
+    pub fn propagation_count(&self) -> u64 {
+        self.propagations
     }
 
     /// Scrambles the saved decision polarities deterministically.
@@ -157,8 +170,25 @@ impl Solver {
     /// Solves under temporary unit assumptions.
     ///
     /// The assumptions hold only for this call; the clause database is
-    /// unchanged afterwards.
+    /// unchanged afterwards. When the observability sink is enabled,
+    /// every call reports its problem size and search-effort deltas
+    /// (conflicts, decisions, propagations) to `simc-obs`.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        let before = (self.conflicts, self.decisions, self.propagations);
+        let result = self.solve_inner(assumptions);
+        if simc_obs::counters_enabled() {
+            use simc_obs::Counter;
+            simc_obs::add(Counter::SatSolves, 1);
+            simc_obs::add(Counter::SatVars, self.num_vars() as u64);
+            simc_obs::add(Counter::SatClauses, self.num_clauses() as u64);
+            simc_obs::add(Counter::SatConflicts, self.conflicts - before.0);
+            simc_obs::add(Counter::SatDecisions, self.decisions - before.1);
+            simc_obs::add(Counter::SatPropagations, self.propagations - before.2);
+        }
+        result
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         self.cancel_until(0);
         if !self.ok {
             return SatResult::Unsat;
@@ -253,6 +283,7 @@ impl Solver {
                     self.watches[false_lit.code()] = watch_list;
                     return Some(cref);
                 }
+                self.propagations += 1;
                 i += 1;
             }
             self.watches[false_lit.code()] = watch_list;
@@ -420,6 +451,7 @@ impl Solver {
                 match self.decide() {
                     None => return SearchOutcome::Sat,
                     Some(l) => {
+                        self.decisions += 1;
                         self.trail_lim.push(self.trail.len());
                         let ok = self.enqueue(l, None);
                         debug_assert!(ok);
@@ -659,6 +691,33 @@ mod tests {
         let before = s.conflict_count();
         let _ = s.solve();
         assert!(s.conflict_count() >= before);
+        // Forcing b leaves a free: the solve decides at least once, and
+        // b is propagated from the unit clauses.
+        assert!(s.decision_count() >= 1);
+        assert!(s.propagation_count() >= 1);
+    }
+
+    #[test]
+    fn pigeonhole_reports_search_effort() {
+        // UNSAT needs conflicts; conflicts need decisions.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                for (a, b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!*a, !*b]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.conflict_count() > 0);
+        assert!(s.decision_count() > 0);
+        assert!(s.propagation_count() > 0);
     }
 
     #[test]

@@ -187,7 +187,14 @@ impl StateGraph {
     /// Fresh region-analysis view of this graph (excitation/quiescent
     /// regions and everything derived from them).
     pub fn regions(&self) -> Regions {
-        Regions::compute(self)
+        let span = simc_obs::span("regions");
+        let regions = Regions::compute(self);
+        if simc_obs::counters_enabled() {
+            simc_obs::add(simc_obs::Counter::RegionDecompositions, 1);
+            simc_obs::add(simc_obs::Counter::RegionsFound, regions.er_count() as u64);
+        }
+        span.finish();
+        regions
     }
 
     /// Finds the state with the given plain binary code, if codes are

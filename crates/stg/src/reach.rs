@@ -34,6 +34,13 @@ impl Stg {
     /// See [`Stg::to_state_graph`]; additionally fails with
     /// [`StgError::TooManyStates`] beyond `budget` markings.
     pub fn to_state_graph_bounded(&self, budget: usize) -> Result<StateGraph, StgError> {
+        let span = simc_obs::span("reach");
+        let result = self.to_state_graph_span(budget);
+        span.finish();
+        result
+    }
+
+    fn to_state_graph_span(&self, budget: usize) -> Result<StateGraph, StgError> {
         let initial_code = match self.initial_values {
             Some(bits) => StateCode::from_bits(bits),
             None => self.infer_initial_values(budget)?,
@@ -107,6 +114,10 @@ impl Stg {
             }
         }
 
+        if simc_obs::counters_enabled() {
+            simc_obs::add(simc_obs::Counter::ReachStates, ids.len() as u64);
+            simc_obs::add(simc_obs::Counter::ReachEdges, edges.len() as u64);
+        }
         for (from, t, to) in edges {
             builder.add_edge(from, t, to).map_err(StgError::Sg)?;
         }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: release build, full test suite, clippy with warnings
-# denied. Run from anywhere; operates on the workspace root.
+# denied, and a pipeline-benchmark smoke check against the committed
+# baseline. Run from anywhere; operates on the workspace root.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,5 +14,13 @@ cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> repro_pipeline --smoke --check BENCH_pipeline.json"
+# 2-benchmark smoke sweep; fails on malformed JSON or on counters /
+# structural columns diverging from the committed baseline, or timings
+# regressing more than 10% (+50ms grace).
+smoke_out="$(mktemp)"
+trap 'rm -f "$smoke_out"' EXIT
+./target/release/repro_pipeline --smoke --check BENCH_pipeline.json --out "$smoke_out"
 
 echo "==> ci: all green"

@@ -19,7 +19,10 @@
 //!   standard C-/RS-implementation synthesis, the Beerel–Meng-style
 //!   baseline, and MC-reduction by state-signal insertion;
 //! * [`benchmarks`] — the paper's figures as executable state graphs, a
-//!   reconstructed Table 1 benchmark suite, and scalable generators.
+//!   reconstructed Table 1 benchmark suite, and scalable generators;
+//! * [`obs`] — pipeline observability: hierarchical timing spans and
+//!   typed counters across SAT, cover search, beam search and
+//!   verification.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@
 
 pub use simc_benchmarks as benchmarks;
 pub use simc_cube as cube;
+pub use simc_obs as obs;
 pub use simc_mc as mc;
 pub use simc_netlist as netlist;
 pub use simc_sat as sat;

@@ -9,7 +9,13 @@
 //! ```
 //!
 //! `<spec>` is an STG in the SIS/petrify `.g` format or a state graph in
-//! the `.sg` format (auto-detected via `.state graph`); `-` reads stdin.
+//! the `.sg` format (auto-detected via `.state graph`); `-` reads stdin;
+//! `benchmarks/<name>` resolves a member of the built-in Table 1 suite
+//! when no such file exists on disk.
+//!
+//! Every subcommand accepts `--stats` (pipeline counters and phase
+//! timings on stderr) and `--stats-json <path>` (the same report as a
+//! JSON document).
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -34,33 +40,65 @@ fn main() -> ExitCode {
     }
 }
 
+/// Flags that take no argument, valid on every subcommand.
+const KNOWN_FLAGS: &[&str] =
+    &["--rs", "--baseline", "--share", "--complex", "--verilog", "--stats"];
+
 fn run(args: &[String]) -> Result<(), String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
-    let flags: Vec<&str> =
-        args.get(2..).unwrap_or_default().iter().map(String::as_str).collect();
+    let rest = args.get(2..).unwrap_or_default();
+    let mut flags: Vec<&str> = Vec::new();
+    let mut stats_json: Option<&str> = None;
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = rest[i].as_str();
+        if arg == "--stats-json" {
+            i += 1;
+            stats_json = Some(
+                rest.get(i)
+                    .ok_or_else(|| format!("--stats-json needs a file path\n{}", usage()))?,
+            );
+        } else if KNOWN_FLAGS.contains(&arg) {
+            flags.push(arg);
+        } else {
+            return Err(format!("unknown flag `{arg}`\n{}", usage()));
+        }
+        i += 1;
+    }
+    let stats = flags.contains(&"--stats") || stats_json.is_some();
+    if stats {
+        simc::obs::set_stats(true);
+    }
     let target = if flags.contains(&"--rs") { Target::RsLatch } else { Target::CElement };
-    match command.as_str() {
+    let result = match command.as_str() {
         "analyze" => analyze(&load(args.get(1))?),
         "reduce" => reduce(&load(args.get(1))?),
         "synth" => synth(&load(args.get(1))?, target, &flags),
         "verify" => do_verify(&load(args.get(1))?, target, &flags),
-        "dot" => {
-            println!("{}", load(args.get(1))?.to_dot());
-            Ok(())
-        }
+        "dot" => load(args.get(1)).map(|sg| println!("{}", sg.to_dot())),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    if stats {
+        let report = simc::obs::report();
+        eprint!("{}", report.render());
+        if let Some(path) = stats_json {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+        }
     }
+    result
 }
 
 fn usage() -> String {
-    "usage: simc <analyze|reduce|synth|verify|dot> <spec.g|-> \
-     [--rs] [--baseline] [--share] [--complex] [--verilog]"
+    "usage: simc <analyze|reduce|synth|verify|dot> <spec.g|spec.sg|benchmarks/<name>|-> \
+     [--rs] [--baseline] [--share] [--complex] [--verilog] \
+     [--stats] [--stats-json <path>]"
         .to_string()
 }
 
@@ -73,7 +111,19 @@ fn load(path: Option<&String>) -> Result<StateGraph, String> {
             .map_err(|e| format!("reading stdin: {e}"))?;
         buffer
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+        match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            // Fall back to the built-in Table 1 suite: `benchmarks/<name>`
+            // works without the specs existing on disk.
+            Err(e) => match builtin_benchmark(path) {
+                Some(stg) => {
+                    return stg
+                        .to_state_graph()
+                        .map_err(|e| format!("reachability of {path}: {e}"))
+                }
+                None => return Err(format!("reading {path}: {e}")),
+            },
+        }
     };
     if text.contains(".state graph") {
         return simc::sg::parse_sg(&text).map_err(|e| format!("parsing {path}: {e}"));
@@ -81,6 +131,16 @@ fn load(path: Option<&String>) -> Result<StateGraph, String> {
     let stg = parse_g(&text).map_err(|e| format!("parsing {path}: {e}"))?;
     stg.to_state_graph()
         .map_err(|e| format!("reachability of {path}: {e}"))
+}
+
+/// Resolves `benchmarks/<name>` (or a bare suite name) against the
+/// built-in reconstructed Table 1 suite.
+fn builtin_benchmark(path: &str) -> Option<simc::stg::Stg> {
+    let name = path.strip_prefix("benchmarks/").unwrap_or(path);
+    simc::benchmarks::suite::all()
+        .into_iter()
+        .find(|b| b.name == name)
+        .map(|b| b.stg)
 }
 
 fn analyze(sg: &StateGraph) -> Result<(), String> {

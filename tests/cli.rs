@@ -28,12 +28,9 @@ fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary spawns");
-    child
-        .stdin
-        .as_mut()
-        .expect("stdin piped")
-        .write_all(stdin.as_bytes())
-        .expect("stdin written");
+    // The binary may exit (e.g. on a bad flag) before reading stdin;
+    // a broken pipe here is not a test failure.
+    let _ = child.stdin.as_mut().expect("stdin piped").write_all(stdin.as_bytes());
     let output = child.wait_with_output().expect("binary runs");
     (
         String::from_utf8_lossy(&output.stdout).into_owned(),
@@ -122,6 +119,72 @@ fn verilog_emission() {
     assert!(stdout.contains("module simc_celement"), "{stdout}");
     assert!(stdout.contains("module simc_top ("), "{stdout}");
     assert!(stdout.contains("endmodule"), "{stdout}");
+}
+
+#[test]
+fn stats_flag_reports_counters_and_spans() {
+    let (stdout, stderr, ok) = run_with_stdin(&["verify", "-", "--stats"], D_ELEMENT);
+    assert!(ok, "{stdout} {stderr}");
+    assert!(stdout.contains("hazard-free"), "{stdout}");
+    assert!(stderr.contains("counters:"), "{stderr}");
+    assert!(stderr.contains("spans"), "{stderr}");
+    assert!(stderr.contains("sat.solves"), "{stderr}");
+    assert!(stderr.contains("verify.states_explored"), "{stderr}");
+}
+
+#[test]
+fn stats_json_writes_parseable_report() {
+    let path = std::env::temp_dir().join(format!("simc_stats_{}.json", std::process::id()));
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let (stdout, stderr, ok) =
+        run_with_stdin(&["verify", "-", "--stats-json", path_str], D_ELEMENT);
+    assert!(ok, "{stdout} {stderr}");
+    let text = std::fs::read_to_string(&path).expect("stats JSON written");
+    std::fs::remove_file(&path).ok();
+    let doc = simc::obs::json::parse(&text).expect("stats JSON parses");
+    let solves = doc
+        .get("counters")
+        .and_then(|c| c.get("sat.solves"))
+        .and_then(simc::obs::json::Value::as_u64);
+    assert!(solves.is_some_and(|n| n > 0), "sat.solves missing or zero in {text}");
+    assert!(doc.get("spans").is_some(), "spans section missing in {text}");
+}
+
+#[test]
+fn stats_json_without_path_errors() {
+    let (_, stderr, ok) = run_with_stdin(&["verify", "-", "--stats-json"], D_ELEMENT);
+    assert!(!ok);
+    assert!(stderr.contains("--stats-json needs a file path"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_errors() {
+    let (_, stderr, ok) = run_with_stdin(&["verify", "-", "--bogus"], D_ELEMENT);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn malformed_g_input_errors() {
+    let (_, stderr, ok) = run_with_stdin(&["analyze", "-"], ".graph\nnonsense here\n");
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn malformed_sg_input_errors() {
+    let garbage = ".model x\n.state graph\nthis is not an edge line\n.end\n";
+    let (_, stderr, ok) = run_with_stdin(&["analyze", "-"], garbage);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn builtin_benchmark_resolves_without_file() {
+    let (stdout, _, ok) = run_with_stdin(&["analyze", "benchmarks/Delement"], "");
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("states:"), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,162 @@
+//! End-to-end tests of the observability layer: enabling stats must not
+//! change any pipeline result, and counter reports must be byte-identical
+//! across worker-thread counts.
+//!
+//! The observability state is process-global, so every test here
+//! serializes on one mutex; no other test binary runs concurrently with
+//! this one (cargo executes test binaries one at a time).
+
+use std::sync::{Mutex, MutexGuard};
+
+use simc::benchmarks::suite;
+use simc::mc::assign::{reduce_to_mc, ReduceOptions};
+use simc::mc::synth::{synthesize, Target};
+use simc::mc::{McCheck, ParallelSynth};
+use simc::netlist::{random_walk, to_verilog, verify, VerifyOptions};
+use simc::obs::{self, Counter};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The full pipeline on one suite benchmark; returns every observable
+/// artifact (equations, Verilog, verdict, structure) for comparison.
+fn pipeline(name: &str) -> (String, String, bool, usize, usize) {
+    let b = suite::all().into_iter().find(|b| b.name == name).expect("suite member");
+    let sg = b.stg.to_state_graph().expect("reaches");
+    let reduced = reduce_to_mc(&sg, ReduceOptions::default()).expect("reduces");
+    let implementation = synthesize(&reduced.sg, Target::CElement).expect("synthesizes");
+    let netlist = implementation.to_netlist().expect("netlist builds");
+    let verdict = verify(&netlist, &reduced.sg, VerifyOptions::default())
+        .expect("verification runs")
+        .is_ok();
+    (
+        implementation.equations(),
+        to_verilog(&netlist, "simc_top"),
+        verdict,
+        reduced.sg.state_count(),
+        reduced.added,
+    )
+}
+
+#[test]
+fn stats_do_not_change_results() {
+    let _g = lock();
+    // Fast suite members (the heavy insertions are exercised by the
+    // repro binary; this test cares about equality, not coverage).
+    let mut any_sat_solves = false;
+    for name in ["duplicator", "mp-forward-pkt", "luciano", "Delement", "nowick"] {
+        obs::set_stats(false);
+        obs::reset();
+        let off = pipeline(name);
+
+        obs::set_stats(true);
+        obs::reset();
+        let on = pipeline(name);
+        let report = obs::report();
+        obs::set_stats(false);
+        obs::reset();
+
+        assert_eq!(off, on, "{name}: enabling stats changed a pipeline result");
+        // The instrumented run actually counted the work it did. (A spec
+        // whose covers fall out degenerately may never touch SAT, so the
+        // SAT assertion is over the whole set.)
+        any_sat_solves |= report.counter(Counter::SatSolves) > 0;
+        assert!(
+            report.counter(Counter::CoverCubesChecked) > 0,
+            "{name}: no cover cubes recorded"
+        );
+        assert!(report.counter(Counter::VerifyStates) > 0, "{name}: no verify states");
+    }
+    assert!(any_sat_solves, "no benchmark recorded any SAT solves");
+}
+
+#[test]
+fn counter_reports_deterministic_across_threads() {
+    let _g = lock();
+    for b in suite::all() {
+        let sg = b.stg.to_state_graph().expect("reaches");
+        let check = McCheck::new(&sg);
+        let mut reference: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            obs::set_counters(true);
+            obs::reset();
+            let _ = ParallelSynth::new(threads).report(&check);
+            let text = obs::report().counters_text();
+            obs::set_counters(false);
+            obs::reset();
+            match &reference {
+                None => reference = Some(text),
+                Some(expected) => assert_eq!(
+                    &text, expected,
+                    "{}: counter report differs at {} threads",
+                    b.name, threads
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn walk_report_agrees_with_counters_exactly() {
+    let _g = lock();
+    let b = suite::all().into_iter().find(|b| b.name == "Delement").unwrap();
+    let sg = b.stg.to_state_graph().unwrap();
+    let reduced = reduce_to_mc(&sg, ReduceOptions::default()).unwrap();
+    let netlist = synthesize(&reduced.sg, Target::CElement)
+        .unwrap()
+        .to_netlist()
+        .unwrap();
+
+    obs::set_counters(true);
+    obs::reset();
+    let mut steps = 0u64;
+    let mut violations = 0u64;
+    for seed in 1..=4 {
+        let report = random_walk(&netlist, &reduced.sg, 2_000, seed).unwrap();
+        steps += report.steps as u64;
+        violations += u64::from(report.violation.is_some());
+    }
+    let counted_steps = obs::value(Counter::WalkSteps);
+    let counted_violations = obs::value(Counter::WalkViolations);
+    obs::set_counters(false);
+    obs::reset();
+
+    assert_eq!(counted_steps, steps, "WalkSteps disagrees with WalkReport totals");
+    assert_eq!(counted_violations, violations, "WalkViolations disagrees");
+}
+
+#[test]
+fn sat_conflict_counter_matches_solver_exactly() {
+    let _g = lock();
+    obs::set_counters(true);
+    obs::reset();
+
+    // A pigeonhole instance (4 pigeons, 3 holes) forces real conflicts.
+    let mut solver = simc::sat::Solver::new();
+    let pigeons = 4;
+    let holes = 3;
+    let vars: Vec<Vec<simc::sat::Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+        .collect();
+    for p in vars.iter() {
+        solver.add_clause(p.iter().map(|&v| simc::sat::Lit::pos(v)));
+    }
+    for (i, p1) in vars.iter().enumerate() {
+        for p2 in vars.iter().skip(i + 1) {
+            for (&v1, &v2) in p1.iter().zip(p2) {
+                solver.add_clause([simc::sat::Lit::neg(v1), simc::sat::Lit::neg(v2)]);
+            }
+        }
+    }
+    assert!(!solver.solve().is_sat());
+
+    let counted = obs::value(Counter::SatConflicts);
+    let own = solver.conflict_count();
+    obs::set_counters(false);
+    obs::reset();
+    assert!(own > 0, "pigeonhole must conflict");
+    assert_eq!(counted, own, "obs SatConflicts disagrees with Solver::conflict_count");
+}

@@ -1,13 +1,21 @@
 //! Property-based tests over the workspace invariants, driven by the
 //! synthetic workload generators.
 
+use std::sync::Mutex;
+
 use proptest::prelude::*;
 
 use simc::benchmarks::generators;
 use simc::mc::synth::{synthesize, Target};
 use simc::mc::McCheck;
 use simc::netlist::{verify, VerifyOptions};
+use simc::obs::{self, Counter};
 use simc::sg::{StateGraph, Transition};
+
+/// Serializes the observability property test against itself; the other
+/// tests in this binary still run concurrently and may bump global
+/// counters, so its assertions are delta-based and pollution-tolerant.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
 
 fn pipeline_sg(n: usize) -> StateGraph {
     generators::muller_pipeline(n)
@@ -142,6 +150,92 @@ proptest! {
         .unwrap();
         prop_assert_eq!(rebuilt.state_count(), sg.state_count());
         prop_assert_eq!(rebuilt.edge_count(), sg.edge_count());
+    }
+
+    /// Observability invariants: child span time never exceeds its
+    /// parent's, Sum counters are monotone under additional work, and the
+    /// SAT conflict counter tracks `Solver::conflict_count` exactly when
+    /// no concurrent test is also solving.
+    #[test]
+    fn observability_invariants(n in 1usize..4, pigeons in 3u32..6) {
+        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        obs::set_stats(true);
+
+        // -- Span nesting: the children of a span account for at most its
+        // own wall-clock time. The names are unique to this test, so
+        // concurrent tests cannot contribute to these paths.
+        {
+            let parent = obs::span("prop_parent");
+            for _ in 0..2 {
+                let child = obs::span("prop_child");
+                let sg = pipeline_sg(n);
+                let _ = sg.regions();
+                child.finish();
+            }
+            parent.finish();
+        }
+        let report = obs::report();
+        let parent = report.span("prop_parent").expect("parent span recorded");
+        let child_sum: f64 =
+            report.children("prop_parent").iter().map(|s| s.seconds).sum();
+        // Tiny float grace: child times are measured independently.
+        prop_assert!(
+            child_sum <= parent.seconds + 1e-6,
+            "children sum {child_sum}s exceeds parent {}s",
+            parent.seconds
+        );
+        prop_assert!(parent.calls >= 1);
+
+        // -- Monotonicity: doing more work never decreases a Sum counter.
+        let before: Vec<u64> =
+            Counter::ALL.iter().map(|&c| obs::value(c)).collect();
+        let sg = pipeline_sg(n);
+        let check = McCheck::new(&sg);
+        let _ = check.report();
+        for (&c, &b) in Counter::ALL.iter().zip(&before) {
+            if c.kind() == obs::Kind::Sum {
+                prop_assert!(obs::value(c) >= b, "{} decreased", c.name());
+            }
+        }
+        prop_assert!(
+            obs::value(Counter::CoverCubesChecked)
+                > before[Counter::ALL.iter().position(|&c| c == Counter::CoverCubesChecked).unwrap()],
+            "MC check recorded no cover cubes"
+        );
+
+        // -- SAT cross-check on an unsatisfiable pigeonhole instance.
+        let solves_before = obs::value(Counter::SatSolves);
+        let conflicts_before = obs::value(Counter::SatConflicts);
+        let holes = pigeons - 1;
+        let mut solver = simc::sat::Solver::new();
+        let vars: Vec<Vec<simc::sat::Var>> = (0..pigeons)
+            .map(|_| (0..holes).map(|_| solver.new_var()).collect())
+            .collect();
+        for p in &vars {
+            solver.add_clause(p.iter().map(|&v| simc::sat::Lit::pos(v)));
+        }
+        for (i, p1) in vars.iter().enumerate() {
+            for p2 in vars.iter().skip(i + 1) {
+                for (&v1, &v2) in p1.iter().zip(p2) {
+                    solver.add_clause([
+                        simc::sat::Lit::neg(v1),
+                        simc::sat::Lit::neg(v2),
+                    ]);
+                }
+            }
+        }
+        prop_assert!(!solver.solve().is_sat());
+        let own_conflicts = solver.conflict_count();
+        let solve_delta = obs::value(Counter::SatSolves) - solves_before;
+        let conflict_delta = obs::value(Counter::SatConflicts) - conflicts_before;
+        obs::set_stats(false);
+        prop_assert!(own_conflicts > 0, "pigeonhole must conflict");
+        if solve_delta == 1 {
+            // No concurrent solver ran: the counter must agree exactly.
+            prop_assert_eq!(conflict_delta, own_conflicts);
+        } else {
+            prop_assert!(conflict_delta >= own_conflicts);
+        }
     }
 
     /// Firing any enabled transition toggles exactly that signal's bit.
