@@ -73,6 +73,7 @@ fn bench_cube(c: &mut Criterion) {
                     std::hint::black_box(&off),
                     MinimizeOptions::new(n),
                 )
+                .unwrap()
                 .len()
             })
         });

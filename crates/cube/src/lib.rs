@@ -37,4 +37,4 @@ mod minimize;
 
 pub use cover::Cover;
 pub use cube::Cube;
-pub use minimize::{minimize, MinimizeOptions};
+pub use minimize::{minimize, CoverError, MinimizeOptions};

@@ -7,8 +7,45 @@
 //! with a greedy set cover and an irredundancy pass. This is the classic
 //! espresso recipe (EXPAND / IRREDUNDANT) specialized to explicit sets.
 
+use std::error::Error;
+use std::fmt;
+
 use crate::cover::Cover;
 use crate::cube::Cube;
+
+/// Errors produced by [`minimize`] on malformed point sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoverError {
+    /// The same minterm appears in both the on-set and the off-set, so no
+    /// cover can be both complete and disjoint from the off-set.
+    Conflict {
+        /// The offending minterm.
+        point: u64,
+    },
+    /// An on-set minterm could not be covered by any candidate cube. With
+    /// disjoint inputs this cannot happen (every minterm expands to a cube
+    /// covering at least itself); it guards the greedy loop's progress.
+    Uncoverable {
+        /// The uncovered minterm.
+        point: u64,
+    },
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::Conflict { point } => {
+                write!(f, "minterm {point:#b} is in both the on-set and the off-set")
+            }
+            CoverError::Uncoverable { point } => {
+                write!(f, "on-set minterm {point:#b} is not coverable by any candidate cube")
+            }
+        }
+    }
+}
+
+impl Error for CoverError {}
 
 /// Options controlling [`minimize`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,15 +74,18 @@ impl MinimizeOptions {
 /// covers all of `on`. The result is irredundant (no cube can be dropped)
 /// but not guaranteed globally minimum.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `on` and `off` intersect.
-pub fn minimize(on: &[u64], off: &[u64], opts: MinimizeOptions) -> Cover {
+/// [`CoverError::Conflict`] if `on` and `off` intersect — the caller handed
+/// in a contradictory specification and no cover exists.
+pub fn minimize(on: &[u64], off: &[u64], opts: MinimizeOptions) -> Result<Cover, CoverError> {
     for &p in on {
-        assert!(!off.contains(&p), "point {p:#b} is both on and off");
+        if off.contains(&p) {
+            return Err(CoverError::Conflict { point: p });
+        }
     }
     if on.is_empty() {
-        return Cover::empty();
+        return Ok(Cover::empty());
     }
 
     // EXPAND: grow each on-minterm into a maximal cube avoiding the off-set.
@@ -63,17 +103,20 @@ pub fn minimize(on: &[u64], off: &[u64], opts: MinimizeOptions) -> Cover {
     uncovered.dedup();
     let mut chosen: Vec<Cube> = Vec::new();
     while !uncovered.is_empty() {
-        let (best_idx, _) = candidates
+        let best = candidates
             .iter()
             .enumerate()
             .map(|(i, c)| (i, uncovered.iter().filter(|&&p| c.covers(p)).count()))
-            .max_by_key(|&(i, gain)| (gain, usize::MAX - i))
-            .expect("candidates nonempty while points uncovered");
-        let cube = candidates[best_idx];
-        let before = uncovered.len();
-        uncovered.retain(|&p| !cube.covers(p));
-        assert!(uncovered.len() < before, "greedy cover failed to progress");
-        chosen.push(cube);
+            .max_by_key(|&(i, gain)| (gain, usize::MAX - i));
+        let chosen_cube = match best {
+            Some((i, gain)) if gain > 0 => candidates[i],
+            // No candidate makes progress: impossible with disjoint sets
+            // (each minterm's expansion covers at least itself), reported
+            // instead of asserted so malformed callers get a diagnostic.
+            _ => return Err(CoverError::Uncoverable { point: uncovered[0] }),
+        };
+        uncovered.retain(|&p| !chosen_cube.covers(p));
+        chosen.push(chosen_cube);
     }
 
     // IRREDUNDANT: drop cubes whose on-points are covered elsewhere.
@@ -89,7 +132,7 @@ pub fn minimize(on: &[u64], off: &[u64], opts: MinimizeOptions) -> Cover {
             i += 1;
         }
     }
-    Cover::from_cubes(chosen)
+    Ok(Cover::from_cubes(chosen))
 }
 
 /// Expands the minterm `p` into a maximal cube disjoint from `off`.
@@ -127,14 +170,14 @@ mod tests {
 
     #[test]
     fn constant_zero() {
-        let cover = minimize(&[], &[0, 1, 2, 3], MinimizeOptions::new(2));
+        let cover = minimize(&[], &[0, 1, 2, 3], MinimizeOptions::new(2)).unwrap();
         assert!(cover.is_empty());
     }
 
     #[test]
     fn constant_one() {
         let on = [0b00, 0b01, 0b10, 0b11];
-        let cover = minimize(&on, &[], MinimizeOptions::new(2));
+        let cover = minimize(&on, &[], MinimizeOptions::new(2)).unwrap();
         assert_eq!(cover.len(), 1);
         assert_eq!(cover.cubes()[0], Cube::top());
     }
@@ -142,7 +185,7 @@ mod tests {
     #[test]
     fn single_variable() {
         // f = a over (a, b): on = {01, 11}, off = {00, 10} (bit 0 = a).
-        let cover = minimize(&[0b01, 0b11], &[0b00, 0b10], MinimizeOptions::new(2));
+        let cover = minimize(&[0b01, 0b11], &[0b00, 0b10], MinimizeOptions::new(2)).unwrap();
         assert_eq!(cover.len(), 1);
         assert_eq!(cover.cubes()[0], Cube::top().with_literal(0, true));
     }
@@ -152,7 +195,7 @@ mod tests {
         // f = a ⊕ b: on = {01, 10}, off = {00, 11}.
         let on = [0b01, 0b10];
         let off = [0b00, 0b11];
-        let cover = minimize(&on, &off, MinimizeOptions::new(2));
+        let cover = minimize(&on, &off, MinimizeOptions::new(2)).unwrap();
         assert_eq!(cover.len(), 2);
         assert_valid(&cover, &on, &off);
     }
@@ -161,7 +204,7 @@ mod tests {
     fn dont_cares_enable_merging() {
         // on = {000, 001}, off = {111}; everything else don't-care.
         // A single cube (e.g. c' or even a') should suffice.
-        let cover = minimize(&[0b000, 0b001], &[0b111], MinimizeOptions::new(3));
+        let cover = minimize(&[0b000, 0b001], &[0b111], MinimizeOptions::new(3)).unwrap();
         assert_eq!(cover.len(), 1);
         assert_valid(&cover, &[0b000, 0b001], &[0b111]);
     }
@@ -172,7 +215,7 @@ mod tests {
         // redundant in the final cover.
         let on = [0b00, 0b01, 0b11];
         let off = [0b10];
-        let cover = minimize(&on, &off, MinimizeOptions::new(2));
+        let cover = minimize(&on, &off, MinimizeOptions::new(2)).unwrap();
         assert_valid(&cover, &on, &off);
         for i in 0..cover.len() {
             let mut reduced: Vec<Cube> = cover.cubes().to_vec();
@@ -186,9 +229,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "both on and off")]
-    fn conflicting_sets_panic() {
-        let _ = minimize(&[1], &[1], MinimizeOptions::new(1));
+    fn conflicting_sets_are_an_error_not_a_panic() {
+        let err = minimize(&[1], &[1], MinimizeOptions::new(1)).unwrap_err();
+        assert_eq!(err, CoverError::Conflict { point: 1 });
+        assert!(err.to_string().contains("on-set"), "{err}");
+    }
+
+    #[test]
+    fn conflict_reports_first_offending_point() {
+        let err = minimize(&[0, 2, 3], &[3, 1], MinimizeOptions::new(2)).unwrap_err();
+        assert_eq!(err, CoverError::Conflict { point: 3 });
     }
 
     #[test]
@@ -212,7 +262,7 @@ mod tests {
                     _ => {} // don't-care
                 }
             }
-            let cover = minimize(&on, &off, MinimizeOptions::new(4));
+            let cover = minimize(&on, &off, MinimizeOptions::new(4)).unwrap();
             assert_valid(&cover, &on, &off);
         }
     }
@@ -221,10 +271,10 @@ mod tests {
     fn expansion_order_changes_shape_not_validity() {
         let on = [0b0011, 0b0111, 0b1011];
         let off = [0b0000, 0b1111];
-        let a = minimize(&on, &off, MinimizeOptions::new(4));
+        let a = minimize(&on, &off, MinimizeOptions::new(4)).unwrap();
         let mut opts = MinimizeOptions::new(4);
         opts.expand_high_first = true;
-        let b = minimize(&on, &off, opts);
+        let b = minimize(&on, &off, opts).unwrap();
         assert_valid(&a, &on, &off);
         assert_valid(&b, &on, &off);
     }

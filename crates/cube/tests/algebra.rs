@@ -84,7 +84,7 @@ proptest! {
                 _ => {}
             }
         }
-        let cover = minimize(&on, &off, MinimizeOptions::new(VARS));
+        let cover = minimize(&on, &off, MinimizeOptions::new(VARS)).unwrap();
         for &p in &on {
             prop_assert!(cover.covers(p));
         }

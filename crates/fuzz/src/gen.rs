@@ -1,0 +1,346 @@
+//! Seeded random specification generator.
+//!
+//! Fuzz cases are *recipes*: series-parallel trees over signals, played
+//! as a two-phase cycle — the tree is laid down once as a *rising* pass
+//! (each leaf fires `x+`), a synchronizer `z+` fires, the same tree is
+//! laid down again as a *falling* pass (each leaf fires `x-`), and `z-`
+//! closes the ring with the initially marked places. Both closures run
+//! through a single transition, so every cycle of the marked graph
+//! carries exactly one token: the STG is live and 1-safe by
+//! construction. It also has CSC by construction — `z` distinguishes the
+//! phases, and within a phase the signal code *is* the set of fired
+//! transitions — so any downstream disagreement is a bug in the
+//! pipeline, not the input.
+//!
+//! CSC-violation injection replaces a leaf by a *double*: a full pulse
+//! in each phase (`x+ → x-`, later `x+/2 → x-/2`, the shape of the
+//! sequencer benchmark). A pulse returns the code to its pre-pulse
+//! value, so the states before and after it are indistinguishable by
+//! codes alone, which typically forces state-signal insertion.
+
+use simc_sg::{SignalKind, StateGraph};
+use simc_stg::{Stg, StgBuilder, StgError, TransId};
+
+use crate::rng::Rng;
+
+/// Tuning knobs for [`random_recipe`].
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of handshake signals (the synchronizer `z` is extra).
+    pub signals: usize,
+    /// Probability (percent) that an internal tree node composes its
+    /// children concurrently rather than sequentially.
+    pub concurrency: u64,
+    /// Whether leaves may become CSC-violating double handshakes.
+    pub csc_injection: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { signals: 3, concurrency: 50, csc_injection: false }
+    }
+}
+
+/// A node of the series-parallel recipe tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// One signal's contribution to each phase; `double` makes it a
+    /// CSC-violating full pulse per phase.
+    Leaf {
+        /// Index into [`Recipe::kinds`].
+        signal: usize,
+        /// `x+ x-` within the rising phase (and `x+/2 x-/2` within the
+        /// falling one) instead of a plain `x+` … `x-` pair.
+        double: bool,
+    },
+    /// Children run one after another.
+    Seq(Vec<Shape>),
+    /// Children run concurrently.
+    Par(Vec<Shape>),
+}
+
+/// A complete, replayable fuzz-case description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recipe {
+    /// The series-parallel tree over handshake leaves.
+    pub shape: Shape,
+    /// Kind of each handshake signal `s0, s1, …` (the synchronizer `z` is
+    /// always an output).
+    pub kinds: Vec<SignalKind>,
+}
+
+impl Recipe {
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        fn walk(s: &Shape) -> usize {
+            match s {
+                Shape::Leaf { .. } => 1,
+                Shape::Seq(c) | Shape::Par(c) => c.iter().map(walk).sum(),
+            }
+        }
+        walk(&self.shape)
+    }
+
+    /// A size metric for shrinking: every shrink step strictly decreases
+    /// it, so delta-debugging terminates. Doubles weigh more than single
+    /// handshakes and parallel nodes more than sequential ones.
+    pub fn size(&self) -> usize {
+        fn walk(s: &Shape) -> usize {
+            match s {
+                Shape::Leaf { double, .. } => {
+                    if *double {
+                        3
+                    } else {
+                        1
+                    }
+                }
+                Shape::Seq(c) => 1 + c.iter().map(walk).sum::<usize>(),
+                Shape::Par(c) => 2 + c.iter().map(walk).sum::<usize>(),
+            }
+        }
+        walk(&self.shape)
+    }
+}
+
+/// Draws a random recipe according to `cfg`.
+///
+/// At most *one* leaf becomes a double: a single CSC conflict already
+/// forces state-signal insertion, while stacking several makes the
+/// reduction search blow up without testing anything new.
+pub fn random_recipe(rng: &mut Rng, cfg: GenConfig) -> Recipe {
+    let n = cfg.signals.max(1);
+    let signals: Vec<usize> = (0..n).collect();
+    let double_leaf =
+        if cfg.csc_injection && rng.percent(60) { Some(rng.below(n as u64) as usize) } else { None };
+    let shape = build_shape(rng, &signals, cfg, double_leaf);
+    let kinds = (0..n)
+        .map(|_| if rng.percent(50) { SignalKind::Input } else { SignalKind::Output })
+        .collect();
+    Recipe { shape, kinds }
+}
+
+fn build_shape(rng: &mut Rng, signals: &[usize], cfg: GenConfig, double_leaf: Option<usize>) -> Shape {
+    if signals.len() == 1 {
+        return Shape::Leaf { signal: signals[0], double: double_leaf == Some(signals[0]) };
+    }
+    // Random nonempty split.
+    let cut = rng.range(1, signals.len() as u64 - 1) as usize;
+    let left = build_shape(rng, &signals[..cut], cfg, double_leaf);
+    let right = build_shape(rng, &signals[cut..], cfg, double_leaf);
+    if rng.percent(cfg.concurrency) {
+        Shape::Par(vec![left, right])
+    } else {
+        Shape::Seq(vec![left, right])
+    }
+}
+
+/// Builds the 1-safe STG a recipe describes.
+///
+/// # Errors
+///
+/// Construction is infallible for well-formed recipes; an error here
+/// indicates a generator bug and is surfaced as an oracle failure.
+pub fn to_stg(recipe: &Recipe) -> Result<Stg, StgError> {
+    let mut b = StgBuilder::new("fuzz");
+    for (i, &kind) in recipe.kinds.iter().enumerate() {
+        b.add_signal(&format!("s{i}"), kind)?;
+    }
+    b.add_signal("z", SignalKind::Output)?;
+
+    let (rise_entries, rise_exits) = build_net(&mut b, &recipe.shape, Phase::Rising)?;
+    let (fall_entries, fall_exits) = build_net(&mut b, &recipe.shape, Phase::Falling)?;
+    let zp = b.transition("z+")?;
+    let zm = b.transition("z-")?;
+    for &e in &rise_exits {
+        b.arc_tt(e, zp);
+    }
+    for &en in &fall_entries {
+        b.arc_tt(zp, en);
+    }
+    for &e in &fall_exits {
+        b.arc_tt(e, zm);
+    }
+    for &en in &rise_entries {
+        let p = b.arc_tt(zm, en);
+        b.mark_place(p);
+    }
+    b.set_initial_values(0);
+    b.build()
+}
+
+/// Which pass of the two-phase cycle a subtree is being laid down for.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Rising,
+    Falling,
+}
+
+/// Recursively lays the tree down as transitions and arcs; returns the
+/// entry and exit transition sets of the subtree.
+fn build_net(
+    b: &mut StgBuilder,
+    shape: &Shape,
+    phase: Phase,
+) -> Result<(Vec<TransId>, Vec<TransId>), StgError> {
+    match shape {
+        Shape::Leaf { signal, double } => {
+            if *double {
+                // A full pulse per phase: code returns to its pre-pulse
+                // value, deliberately breaking CSC.
+                let (a, c) = match phase {
+                    Phase::Rising => (format!("s{signal}+"), format!("s{signal}-")),
+                    Phase::Falling => (format!("s{signal}+/2"), format!("s{signal}-/2")),
+                };
+                let first = b.transition(&a)?;
+                let second = b.transition(&c)?;
+                b.arc_tt(first, second);
+                Ok((vec![first], vec![second]))
+            } else {
+                let name = match phase {
+                    Phase::Rising => format!("s{signal}+"),
+                    Phase::Falling => format!("s{signal}-"),
+                };
+                let t = b.transition(&name)?;
+                Ok((vec![t], vec![t]))
+            }
+        }
+        Shape::Seq(children) => {
+            let mut parts = Vec::with_capacity(children.len());
+            for child in children {
+                parts.push(build_net(b, child, phase)?);
+            }
+            for pair in parts.windows(2) {
+                for &e in &pair[0].1 {
+                    for &en in &pair[1].0 {
+                        b.arc_tt(e, en);
+                    }
+                }
+            }
+            let entries = parts.first().map(|p| p.0.clone()).unwrap_or_default();
+            let exits = parts.last().map(|p| p.1.clone()).unwrap_or_default();
+            Ok((entries, exits))
+        }
+        Shape::Par(children) => {
+            let mut entries = Vec::new();
+            let mut exits = Vec::new();
+            for child in children {
+                let (en, ex) = build_net(b, child, phase)?;
+                entries.extend(en);
+                exits.extend(ex);
+            }
+            Ok((entries, exits))
+        }
+    }
+}
+
+/// Builds the recipe's state graph (STG construction plus reachability).
+///
+/// # Errors
+///
+/// Same conditions as [`to_stg`] plus reachability failures; both indicate
+/// generator bugs on well-formed recipes.
+pub fn to_state_graph(recipe: &Recipe) -> Result<StateGraph, StgError> {
+    to_stg(recipe)?.to_state_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(signal: usize) -> Shape {
+        Shape::Leaf { signal, double: false }
+    }
+
+    #[test]
+    fn single_handshake_builds() {
+        let recipe =
+            Recipe { shape: leaf(0), kinds: vec![SignalKind::Input] };
+        let sg = to_state_graph(&recipe).unwrap();
+        // s0+ z+ s0- z- is a 4-state cycle.
+        assert_eq!(sg.state_count(), 4);
+        assert!(sg.analysis().is_semimodular());
+        assert!(sg.analysis().has_csc());
+    }
+
+    #[test]
+    fn parallel_toggles_are_one_safe_and_live() {
+        let recipe = Recipe {
+            shape: Shape::Par(vec![leaf(0), leaf(1)]),
+            kinds: vec![SignalKind::Input, SignalKind::Output],
+        };
+        let sg = to_state_graph(&recipe).unwrap();
+        // Concurrent diamond (4 interleavings) plus the z closure.
+        assert!(sg.state_count() > 4);
+        assert!(sg.analysis().is_semimodular());
+    }
+
+    #[test]
+    fn sequential_chain_builds() {
+        let recipe = Recipe {
+            shape: Shape::Seq(vec![leaf(0), leaf(1), leaf(2)]),
+            kinds: vec![SignalKind::Input, SignalKind::Output, SignalKind::Input],
+        };
+        let sg = to_state_graph(&recipe).unwrap();
+        assert_eq!(sg.state_count(), 8); // 3 rises, z+, 3 falls, z-
+        assert!(sg.analysis().has_csc());
+    }
+
+    #[test]
+    fn double_handshake_violates_csc() {
+        let recipe = Recipe {
+            shape: Shape::Seq(vec![
+                Shape::Leaf { signal: 0, double: true },
+                leaf(1),
+            ]),
+            kinds: vec![SignalKind::Input, SignalKind::Output],
+        };
+        let sg = to_state_graph(&recipe).unwrap();
+        assert!(!sg.analysis().has_csc());
+    }
+
+    #[test]
+    fn random_recipes_always_build() {
+        let mut rng = Rng::new(0xF00D);
+        for i in 0..200 {
+            let cfg = GenConfig {
+                signals: 1 + (i % 5),
+                concurrency: (i as u64 * 13) % 101,
+                csc_injection: i % 4 == 0,
+            };
+            let recipe = random_recipe(&mut rng, cfg);
+            let sg = to_state_graph(&recipe)
+                .unwrap_or_else(|e| panic!("case {i}: {e} for {recipe:?}"));
+            assert!(sg.analysis().is_semimodular(), "case {i}");
+            if !cfg.csc_injection {
+                assert!(sg.analysis().has_csc(), "case {i}: clean recipe lost csc");
+            }
+        }
+    }
+
+    #[test]
+    fn recipes_replay_deterministically() {
+        let cfg = GenConfig { signals: 4, concurrency: 50, csc_injection: true };
+        let a = random_recipe(&mut Rng::new(99), cfg);
+        let b = random_recipe(&mut Rng::new(99), cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn size_metric_counts_doubles_and_par() {
+        let single = Recipe { shape: leaf(0), kinds: vec![SignalKind::Input] };
+        let double = Recipe {
+            shape: Shape::Leaf { signal: 0, double: true },
+            kinds: vec![SignalKind::Input],
+        };
+        assert!(double.size() > single.size());
+        let par = Recipe {
+            shape: Shape::Par(vec![leaf(0), leaf(1)]),
+            kinds: vec![SignalKind::Input; 2],
+        };
+        let seq = Recipe {
+            shape: Shape::Seq(vec![leaf(0), leaf(1)]),
+            kinds: vec![SignalKind::Input; 2],
+        };
+        assert!(par.size() > seq.size());
+    }
+}

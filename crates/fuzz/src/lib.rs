@@ -1,0 +1,42 @@
+//! Differential fuzzing of the synthesis pipeline.
+//!
+//! The paper's theorems make *redundant* promises: a state graph
+//! satisfying the MC requirement synthesizes to a hazard-free netlist
+//! (Theorem 4), in both the C-element and RS-latch styles (Section III),
+//! from covers that may or may not be minimized, on any number of
+//! threads. Redundancy is what a differential fuzzer needs — this crate
+//! generates random specifications that are correct *by construction*
+//! (live, 1-safe marked graphs from series-parallel recipes, [`gen`]) and
+//! demands that every independent route through the pipeline agrees
+//! ([`oracle`]). A fault-injection mode flips the question around and
+//! checks the exhaustive verifier rejects every observable perturbation
+//! of a synthesized netlist.
+//!
+//! Everything is seeded and deterministic ([`rng`]): a failing case
+//! replays from `(seed, case index)` alone, and the delta-debugging
+//! shrinker ([`shrink`]) reduces it to a 1-minimal recipe whose state
+//! graph is serialized as a self-contained `.sg` repro ([`runner`]).
+//!
+//! # Example
+//!
+//! ```
+//! use simc_fuzz::{run, FuzzConfig};
+//!
+//! let report = run(FuzzConfig { seed: 0xDAC94, iters: 5, ..FuzzConfig::default() });
+//! assert!(report.is_ok(), "{}", report.summary());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod runner;
+pub mod shrink;
+
+pub use gen::{random_recipe, GenConfig, Recipe, Shape};
+pub use oracle::{check_case, CaseStats, Failure, OracleId};
+pub use rng::Rng;
+pub use runner::{run, FailureReport, FuzzConfig, FuzzReport};
+pub use shrink::{one_step_shrinks, shrink};

@@ -1,0 +1,184 @@
+//! The fuzzing campaign driver.
+//!
+//! Each case draws its own generator parameters and recipe from an
+//! independent per-case stream ([`Rng::for_case`]), so any case replays
+//! in isolation from just `(seed, index)` — no need to re-run its
+//! predecessors. Failing cases are shrunk to 1-minimal recipes and
+//! serialized as SG repros via [`simc_sg::write_sg`].
+
+use simc_sg::write_sg;
+
+use crate::gen::{self, random_recipe, GenConfig, Recipe};
+use crate::oracle::{check_case, OracleId};
+use crate::rng::Rng;
+use crate::shrink::shrink;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Master seed; every case derives from it deterministically.
+    pub seed: u64,
+    /// Number of cases to run.
+    pub iters: u64,
+    /// Thread count N of the 1-vs-N parallel oracle.
+    pub threads: usize,
+    /// Upper bound on handshake signals per case (≥ 1). Kept small by
+    /// default: the verifier explores the composed space, which is
+    /// exponential in signal count.
+    pub max_signals: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig { seed: 0xDAC94, iters: 100, threads: 4, max_signals: 4 }
+    }
+}
+
+/// One shrunken, replayable disagreement.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Index of the failing case (replay with `Rng::for_case(seed, index)`).
+    pub case_index: u64,
+    /// The disagreeing oracle.
+    pub oracle: OracleId,
+    /// Description of the disagreement on the *original* case.
+    pub detail: String,
+    /// The case as generated.
+    pub recipe: Recipe,
+    /// The 1-minimal recipe still failing the same oracle.
+    pub shrunk: Recipe,
+    /// Accepted shrink transforms.
+    pub shrink_steps: usize,
+    /// The shrunken spec in `.sg` format — a self-contained repro for
+    /// `simc` commands.
+    pub repro_sg: String,
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Oracle disagreements, shrunk.
+    pub failures: Vec<FailureReport>,
+    /// Cases whose MC-reduction hit its budget (synthesis oracles skipped).
+    pub skipped_reductions: u64,
+    /// Cases with a CSC violation in the spec.
+    pub csc_cases: u64,
+    /// Cases that needed state-signal insertion before synthesis.
+    pub reduced_cases: u64,
+    /// Netlist perturbations attempted across all cases.
+    pub faults_injected: u64,
+    /// Perturbations rejected by construction or the verifier.
+    pub faults_detected: u64,
+}
+
+impl FuzzReport {
+    /// No oracle disagreed and every injected fault was caught.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty() && self.faults_injected == self.faults_detected
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} case(s): {} failure(s), {} csc-violating, {} reduced, {} skipped; \
+             {}/{} injected fault(s) detected",
+            self.cases,
+            self.failures.len(),
+            self.csc_cases,
+            self.reduced_cases,
+            self.skipped_reductions,
+            self.faults_detected,
+            self.faults_injected,
+        )
+    }
+}
+
+/// Runs a fuzzing campaign.
+pub fn run(cfg: FuzzConfig) -> FuzzReport {
+    let _span = simc_obs::span("fuzz.run");
+    let mut report = FuzzReport::default();
+    for index in 0..cfg.iters {
+        let mut rng = Rng::for_case(cfg.seed, index);
+        let gen_cfg = GenConfig {
+            signals: rng.range(1, cfg.max_signals.max(1) as u64) as usize,
+            concurrency: rng.range(0, 100),
+            csc_injection: rng.percent(25),
+        };
+        let recipe = random_recipe(&mut rng, gen_cfg);
+        report.cases += 1;
+        simc_obs::add(simc_obs::Counter::FuzzCases, 1);
+
+        // Fault injection draws from its own stream so oracle checks stay
+        // identical between the original run and shrink replays.
+        let fault_seed = cfg.seed ^ 0x5EED_FA07;
+        match check_case(&recipe, cfg.threads, &mut Rng::for_case(fault_seed, index)) {
+            Ok(stats) => {
+                if stats.skipped {
+                    report.skipped_reductions += 1;
+                    simc_obs::add(simc_obs::Counter::FuzzSkippedReductions, 1);
+                }
+                if stats.csc_violating {
+                    report.csc_cases += 1;
+                }
+                if stats.reduced {
+                    report.reduced_cases += 1;
+                }
+                report.faults_injected += stats.faults_injected;
+                report.faults_detected += stats.faults_detected;
+            }
+            Err(failure) => {
+                simc_obs::add(simc_obs::Counter::FuzzFailures, 1);
+                let oracle = failure.oracle;
+                let (shrunk, shrink_steps) = shrink(&recipe, |candidate| {
+                    check_case(candidate, cfg.threads, &mut Rng::for_case(fault_seed, index))
+                        .err()
+                        .is_some_and(|f| f.oracle == oracle)
+                });
+                let repro_sg = gen::to_state_graph(&shrunk)
+                    .map(|sg| write_sg(&sg, "fuzz_repro"))
+                    .unwrap_or_else(|e| format!("# spec does not build: {e}\n"));
+                report.failures.push(FailureReport {
+                    case_index: index,
+                    oracle,
+                    detail: failure.detail,
+                    recipe,
+                    shrunk,
+                    shrink_steps,
+                    repro_sg,
+                });
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_campaign_is_clean() {
+        let report = run(FuzzConfig { seed: 0xDAC94, iters: 20, ..FuzzConfig::default() });
+        assert_eq!(report.cases, 20);
+        assert!(report.is_ok(), "{}", report.summary());
+        assert!(report.faults_injected > 0);
+    }
+
+    #[test]
+    fn campaigns_replay_deterministically() {
+        let cfg = FuzzConfig { seed: 7, iters: 10, ..FuzzConfig::default() };
+        let a = run(cfg);
+        let b = run(cfg);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcome() {
+        let base = FuzzConfig { seed: 11, iters: 8, ..FuzzConfig::default() };
+        let one = run(FuzzConfig { threads: 1, ..base });
+        let many = run(FuzzConfig { threads: 8, ..base });
+        assert_eq!(one.summary(), many.summary());
+    }
+}

@@ -1,0 +1,217 @@
+//! Delta-debugging shrinker for failing fuzz cases.
+//!
+//! Shrinking works on the *recipe*, not the state graph: every transform
+//! maps a well-formed series-parallel tree to a strictly smaller
+//! well-formed tree (by [`Recipe::size`]), so the result always rebuilds
+//! and the greedy fixpoint terminates. Transforms:
+//!
+//! - drop one child of a `Seq`/`Par` node (collapsing single-child nodes);
+//! - turn a `Par` node into a `Seq` node (removes concurrency);
+//! - turn a double handshake into a single one (removes the CSC
+//!   violation);
+//! - any of the above inside a subtree.
+//!
+//! After a structural transform, unused signals are renumbered away so the
+//! shrunken recipe is dense again. A candidate is accepted iff the
+//! caller's predicate still holds — the runner passes "fails the *same*
+//! oracle", so shrinking never wanders onto a different bug.
+
+use simc_sg::SignalKind;
+
+use crate::gen::{Recipe, Shape};
+
+/// Greedily shrinks `recipe` while `fails` keeps returning `true`.
+///
+/// Returns the minimal recipe found and the number of accepted shrink
+/// steps. `fails(&recipe)` must be `true` on entry; the result is
+/// *1-minimal*: no single transform of it still satisfies `fails`.
+pub fn shrink<F>(recipe: &Recipe, mut fails: F) -> (Recipe, usize)
+where
+    F: FnMut(&Recipe) -> bool,
+{
+    let mut current = recipe.clone();
+    let mut steps = 0usize;
+    loop {
+        let mut candidates = one_step_shrinks(&current);
+        // Try the smallest candidate first: deeper cuts shrink faster.
+        candidates.sort_by_key(Recipe::size);
+        let mut advanced = false;
+        for candidate in candidates {
+            simc_obs::add(simc_obs::Counter::FuzzShrinkSteps, 1);
+            if fails(&candidate) {
+                current = candidate;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return (current, steps);
+        }
+    }
+}
+
+/// All recipes one transform away from `recipe`; each is strictly
+/// smaller by [`Recipe::size`].
+pub fn one_step_shrinks(recipe: &Recipe) -> Vec<Recipe> {
+    shape_variants(&recipe.shape)
+        .into_iter()
+        .map(|shape| renumber(shape, &recipe.kinds))
+        .collect()
+}
+
+fn shape_variants(shape: &Shape) -> Vec<Shape> {
+    let mut out = Vec::new();
+    match shape {
+        Shape::Leaf { signal, double } => {
+            if *double {
+                out.push(Shape::Leaf { signal: *signal, double: false });
+            }
+        }
+        Shape::Seq(children) | Shape::Par(children) => {
+            let is_par = matches!(shape, Shape::Par(_));
+            let rebuild = |cs: Vec<Shape>| if is_par { Shape::Par(cs) } else { Shape::Seq(cs) };
+            // Drop one child, collapsing a leftover single-child node.
+            if children.len() >= 2 {
+                for i in 0..children.len() {
+                    let mut rest = children.clone();
+                    rest.remove(i);
+                    out.push(if rest.len() == 1 {
+                        rest.pop().expect("one child remains")
+                    } else {
+                        rebuild(rest)
+                    });
+                }
+            }
+            // Remove concurrency without removing work.
+            if is_par {
+                out.push(Shape::Seq(children.clone()));
+            }
+            // Recurse into each child.
+            for (i, child) in children.iter().enumerate() {
+                for variant in shape_variants(child) {
+                    let mut cs = children.clone();
+                    cs[i] = variant;
+                    out.push(rebuild(cs));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renumbers the signals referenced by `shape` densely from 0 and trims
+/// `kinds` to match.
+fn renumber(shape: Shape, kinds: &[SignalKind]) -> Recipe {
+    fn collect(s: &Shape, used: &mut Vec<usize>) {
+        match s {
+            Shape::Leaf { signal, .. } => used.push(*signal),
+            Shape::Seq(c) | Shape::Par(c) => c.iter().for_each(|s| collect(s, used)),
+        }
+    }
+    let mut used = Vec::new();
+    collect(&shape, &mut used);
+    used.sort_unstable();
+    used.dedup();
+
+    fn remap(s: Shape, used: &[usize]) -> Shape {
+        match s {
+            Shape::Leaf { signal, double } => Shape::Leaf {
+                signal: used.binary_search(&signal).expect("signal was collected"),
+                double,
+            },
+            Shape::Seq(c) => Shape::Seq(c.into_iter().map(|s| remap(s, used)).collect()),
+            Shape::Par(c) => Shape::Par(c.into_iter().map(|s| remap(s, used)).collect()),
+        }
+    }
+    let kinds = used.iter().map(|&old| kinds[old]).collect();
+    Recipe { shape: remap(shape, &used), kinds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(signal: usize) -> Shape {
+        Shape::Leaf { signal, double: false }
+    }
+
+    #[test]
+    fn variants_strictly_decrease_size() {
+        let recipe = Recipe {
+            shape: Shape::Par(vec![
+                Shape::Seq(vec![leaf(0), Shape::Leaf { signal: 1, double: true }]),
+                leaf(2),
+            ]),
+            kinds: vec![SignalKind::Input, SignalKind::Output, SignalKind::Input],
+        };
+        let variants = one_step_shrinks(&recipe);
+        assert!(!variants.is_empty());
+        for v in &variants {
+            assert!(v.size() < recipe.size(), "{v:?} not smaller than {recipe:?}");
+            // Every variant still rebuilds.
+            crate::gen::to_state_graph(v).unwrap();
+        }
+    }
+
+    #[test]
+    fn renumbering_is_dense() {
+        let recipe = Recipe {
+            shape: Shape::Seq(vec![leaf(0), leaf(1), leaf(2)]),
+            kinds: vec![SignalKind::Input, SignalKind::Output, SignalKind::Input],
+        };
+        for v in one_step_shrinks(&recipe) {
+            let mut used = Vec::new();
+            fn collect(s: &Shape, used: &mut Vec<usize>) {
+                match s {
+                    Shape::Leaf { signal, .. } => used.push(*signal),
+                    Shape::Seq(c) | Shape::Par(c) => c.iter().for_each(|s| collect(s, used)),
+                }
+            }
+            collect(&v.shape, &mut used);
+            used.sort_unstable();
+            assert!(used.iter().all(|&s| s < v.kinds.len()));
+            assert_eq!(used.last().map(|&s| s + 1).unwrap_or(0), v.kinds.len());
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // Predicate: "contains a double handshake" — stands in for a real
+        // oracle failure caused by the double.
+        fn has_double(s: &Shape) -> bool {
+            match s {
+                Shape::Leaf { double, .. } => *double,
+                Shape::Seq(c) | Shape::Par(c) => c.iter().any(has_double),
+            }
+        }
+        let recipe = Recipe {
+            shape: Shape::Par(vec![
+                Shape::Seq(vec![leaf(0), Shape::Leaf { signal: 1, double: true }]),
+                Shape::Par(vec![leaf(2), leaf(3)]),
+            ]),
+            kinds: vec![SignalKind::Input; 4],
+        };
+        let (min, steps) = shrink(&recipe, |r| has_double(&r.shape));
+        assert!(steps > 0);
+        assert_eq!(
+            min,
+            Recipe {
+                shape: Shape::Leaf { signal: 0, double: true },
+                kinds: vec![SignalKind::Input]
+            }
+        );
+    }
+
+    #[test]
+    fn fixpoint_is_one_minimal() {
+        let recipe = Recipe {
+            shape: Shape::Seq(vec![leaf(0), leaf(1)]),
+            kinds: vec![SignalKind::Input, SignalKind::Output],
+        };
+        // Predicate accepts everything, so shrinking bottoms out at a
+        // single leaf, from which no transform exists.
+        let (min, _) = shrink(&recipe, |_| true);
+        assert!(one_step_shrinks(&min).is_empty());
+    }
+}

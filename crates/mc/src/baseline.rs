@@ -70,7 +70,9 @@ fn function_cubes(
     if on.iter().any(|c| off.binary_search(c).is_ok()) {
         return Err(McError::CscViolation);
     }
-    let cover = minimize(&on, &off, MinimizeOptions::new(num_vars));
+    let cover = minimize(&on, &off, MinimizeOptions::new(num_vars)).map_err(|source| {
+        McError::Cover { signal: sg.signal(a).name().to_string(), source }
+    })?;
     Ok(cover.cubes().to_vec())
 }
 

@@ -68,7 +68,9 @@ pub fn synthesize_complex(sg: &StateGraph) -> Result<Netlist, McError> {
             // Cannot happen once CSC holds, but guard anyway.
             return Err(McError::CscViolation);
         }
-        let cover = minimize(&on, &off, MinimizeOptions::new(num_vars));
+        let cover = minimize(&on, &off, MinimizeOptions::new(num_vars)).map_err(|source| {
+            McError::Cover { signal: sg.signal(a).name().to_string(), source }
+        })?;
 
         // Gate inputs: every signal that appears in some cube, except `a`
         // itself (which becomes the feedback position).

@@ -29,6 +29,21 @@ pub enum McError {
         /// The budget that was exceeded.
         budget: usize,
     },
+    /// Cover minimization rejected the on/off sets of a signal's
+    /// excitation function (malformed point sets).
+    Cover {
+        /// Name of the signal whose function could not be minimized.
+        signal: String,
+        /// The underlying minimizer error.
+        source: simc_cube::CoverError,
+    },
+    /// An excitation function reached netlist construction with no cubes
+    /// at all (possible only through [`build_from_covers`]
+    /// (crate::synth::build_from_covers) with perturbed covers).
+    DegenerateFunction {
+        /// Name of the signal with the empty function.
+        signal: String,
+    },
     /// Error from netlist construction.
     Netlist(simc_netlist::NetlistError),
     /// Error from state-graph construction.
@@ -54,6 +69,12 @@ impl fmt::Display for McError {
             McError::SignalBudgetExceeded { budget } => {
                 write!(f, "mc-reduction exceeded the budget of {budget} inserted signals")
             }
+            McError::Cover { signal, source } => {
+                write!(f, "minimizing the excitation function of `{signal}`: {source}")
+            }
+            McError::DegenerateFunction { signal } => {
+                write!(f, "excitation function of `{signal}` has no cubes")
+            }
             McError::Netlist(e) => write!(f, "netlist: {e}"),
             McError::Sg(e) => write!(f, "state graph: {e}"),
         }
@@ -63,6 +84,7 @@ impl fmt::Display for McError {
 impl Error for McError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            McError::Cover { source, .. } => Some(source),
             McError::Netlist(e) => Some(e),
             McError::Sg(e) => Some(e),
             _ => None,

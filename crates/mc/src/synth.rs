@@ -265,7 +265,11 @@ impl Implementation {
             Ok((nl.add_and(name, &inputs)?, true))
         };
         match cubes.len() {
-            0 => unreachable!("every excitation function has at least one region"),
+            // The synthesis paths always produce at least one cube per
+            // excitation function, but `build_from_covers` is public (the
+            // fuzzer's fault injection feeds it perturbed covers), so an
+            // empty function is a reportable error rather than unreachable.
+            0 => Err(McError::DegenerateFunction { signal: signal.to_string() }),
             1 => wire_cube(nl, &cubes[0], &format!("{prefix}_{signal}"), true),
             _ => {
                 let mut term_nets = Vec::with_capacity(cubes.len());
@@ -312,8 +316,10 @@ pub fn synthesize(sg: &StateGraph, target: Target) -> Result<Implementation, McE
 }
 
 /// Builds an [`Implementation`] from precomputed function covers; shared
-/// with the baseline synthesizer.
-pub(crate) fn build_from_covers(
+/// with the baseline synthesizer, and public so external harnesses (the
+/// fuzzer's fault-injection mode) can rebuild implementations from
+/// deliberately perturbed covers.
+pub fn build_from_covers(
     sg: &StateGraph,
     covers: Vec<(SignalId, FunctionCover, FunctionCover)>,
     target: Target,

@@ -146,6 +146,14 @@ impl<'a> Bindings<'a> {
     /// Initial gate bits: declared initial values, with the combinational
     /// cone stabilized against the spec state's input values.
     ///
+    /// Gates *bound to spec signals* are exempt along with sequential
+    /// ones: their declared initial value is the spec's initial code, and
+    /// the spec may legitimately excite them in its initial state (an
+    /// autonomous circuit starts with an output gate excited — e.g. a
+    /// feedback-free complex gate in an all-output ring, which has no
+    /// combinational fixed point at all). Only *internal* combinational
+    /// logic must settle before exploration starts.
+    ///
     /// # Errors
     ///
     /// Fails with [`NetlistError::UnstableInit`] on non-settling
@@ -160,7 +168,7 @@ impl<'a> Bindings<'a> {
         for _ in 0..=self.nl.gate_count() + 1 {
             let mut changed = false;
             for g in self.nl.gate_ids() {
-                if self.nl.gate_kind(g).is_sequential() {
+                if self.nl.gate_kind(g).is_sequential() || self.bound[g.index()].is_some() {
                     continue;
                 }
                 if self.is_excited(g, spec, bits) {

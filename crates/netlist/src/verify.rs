@@ -66,6 +66,16 @@ pub enum ViolationKind {
         /// The transitions the spec expects.
         expected: Vec<Transition>,
     },
+    /// A non-input transition of the spec never fires anywhere in the
+    /// composed state space. A correct speed-independent implementation
+    /// exercises every spec transition; a gate that can never perform one
+    /// (e.g. a dropped product term silencing its set function) is broken
+    /// even when concurrent activity elsewhere keeps the composition from
+    /// ever stalling.
+    DeadTransition {
+        /// The spec transition no gate ever performs.
+        transition: Transition,
+    },
 }
 
 /// Outcome of [`verify`].
@@ -120,6 +130,10 @@ impl VerifyReport {
                     .map(|t| sg.transition_name(*t))
                     .collect::<Vec<_>>()
                     .join(", ")
+            ),
+            ViolationKind::DeadTransition { transition } => format!(
+                "spec transition {} never fires anywhere in the composed state space",
+                sg.transition_name(*transition)
             ),
         };
         format!("{what}; trace: [{}]", trace.join(" → "))
@@ -181,6 +195,7 @@ pub fn verify(
     queue.push_back(0usize);
 
     let mut violations = Vec::new();
+    let mut fired: std::collections::HashSet<Transition> = std::collections::HashSet::new();
     let mut events_explored: u64 = 0;
     let mut peak_frontier: u64 = 1;
     let trace_of = |idx: usize, parents: &[Option<(usize, Event)>]| -> Vec<Event> {
@@ -246,6 +261,7 @@ pub fn verify(
                 let t = Transition { signal: sig, dir };
                 match sg.fire(spec, t) {
                     Some(next_spec) => {
+                        fired.insert(t);
                         events.push((Event::Gate(g), Some(next_spec), new_bits))
                     }
                     None => {
@@ -314,6 +330,29 @@ pub fn verify(
                 queue.push_back(idx);
                 peak_frontier = peak_frontier.max(queue.len() as u64);
             }
+        }
+    }
+
+    // Dead-transition post-pass. Only meaningful when the full composed
+    // space was explored cleanly — an early break on max_violations leaves
+    // `fired` incomplete, and the report already fails anyway.
+    if violations.is_empty() {
+        let mut dead: Vec<Transition> = Vec::new();
+        for s in sg.state_ids() {
+            for &(t, _) in sg.succs(s) {
+                if sg.signal(t.signal).kind().is_non_input()
+                    && !fired.contains(&t)
+                    && !dead.contains(&t)
+                {
+                    dead.push(t);
+                }
+            }
+        }
+        for transition in dead {
+            violations.push(Violation {
+                kind: ViolationKind::DeadTransition { transition },
+                trace: Vec::new(),
+            });
         }
     }
 
@@ -474,6 +513,65 @@ mod tests {
         // stalls: c can never rise while reset stays high).
         let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
         assert!(!report.is_ok());
+    }
+
+    #[test]
+    fn dead_transition_detected_despite_concurrent_activity() {
+        // Two independent handshakes a→c and b→d. The d gate is stuck at
+        // constant 0, but the a/c pair keeps cycling, so the composition
+        // never goes quiescent and no Stall is ever raised — only the
+        // dead-transition post-pass catches the silenced output.
+        let mut codes: Vec<String> = Vec::new();
+        // Handshake phases as (x, y, starred position 0 = x, 1 = y).
+        let phases = [("0", "0", 0), ("1", "0", 1), ("1", "1", 0), ("0", "1", 1)];
+        for &(a, c, sa) in &phases {
+            for &(b, d, sb) in &phases {
+                let mut code = String::new();
+                for (i, bit) in [a, b, c, d].iter().enumerate() {
+                    code.push_str(bit);
+                    let starred = match i {
+                        0 => sa == 0,
+                        1 => sb == 0,
+                        2 => sa == 1,
+                        _ => sb == 1,
+                    };
+                    if starred {
+                        code.push('*');
+                    }
+                }
+                codes.push(code);
+            }
+        }
+        let code_refs: Vec<&str> = codes.iter().map(String::as_str).collect();
+        let sg = StateGraph::from_starred_codes(
+            &[
+                ("a", SignalKind::Input),
+                ("b", SignalKind::Input),
+                ("c", SignalKind::Output),
+                ("d", SignalKind::Output),
+            ],
+            &code_refs,
+            code_refs[0],
+        )
+        .unwrap();
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_buf("c", a).unwrap();
+        // d = b·b' = 0 forever: never excited once low.
+        let d = nl.add_and("d", &[(b, true), (b, false)]).unwrap();
+        nl.bind_output("c", c).unwrap();
+        nl.bind_output("d", d).unwrap();
+        let report = verify(&nl, &sg, VerifyOptions::default()).unwrap();
+        assert!(!report.is_ok());
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| matches!(v.kind, ViolationKind::DeadTransition { .. })),
+            "{:?}",
+            report.violations
+        );
     }
 
     #[test]

@@ -142,6 +142,14 @@ counters! {
     // Monte-Carlo random walks.
     WalkSteps => ("walk.steps", Sum),
     WalkViolations => ("walk.violations", Sum),
+    // Differential fuzzing.
+    FuzzCases => ("fuzz.cases", Sum),
+    FuzzOracleChecks => ("fuzz.oracle_checks", Sum),
+    FuzzFailures => ("fuzz.failures", Sum),
+    FuzzSkippedReductions => ("fuzz.skipped_reductions", Sum),
+    FuzzFaultsInjected => ("fuzz.faults_injected", Sum),
+    FuzzFaultsDetected => ("fuzz.faults_detected", Sum),
+    FuzzShrinkSteps => ("fuzz.shrink_steps", Sum),
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();

@@ -55,6 +55,13 @@ pub enum SgError {
     UnknownInitialState(String),
     /// A starred code string could not be parsed.
     BadStarredCode(String),
+    /// A line of `.sg` text could not be parsed.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
     /// The graph has no states.
     Empty,
     /// A state is unreachable from the initial state.
@@ -88,6 +95,7 @@ impl fmt::Display for SgError {
                 write!(f, "initial state {code} is not among the listed states")
             }
             SgError::BadStarredCode(code) => write!(f, "malformed starred code `{code}`"),
+            SgError::Parse { line, message } => write!(f, "line {line}: {message}"),
             SgError::Empty => write!(f, "state graph has no states"),
             SgError::Unreachable(state) => {
                 write!(f, "state {state} is unreachable from the initial state")

@@ -72,21 +72,23 @@ pub fn write_sg(sg: &StateGraph, model_name: &str) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`SgError`] variants for malformed text, unknown signals,
-/// missing marking, or inconsistent transition labelling.
+/// Returns [`SgError::Parse`] with a 1-based line number for malformed
+/// text, and other [`SgError`] variants for unknown signals, a missing
+/// marking, or inconsistent transition labelling.
 pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut internal: Vec<String> = Vec::new();
-    let mut arcs: Vec<(String, String, String)> = Vec::new();
+    let mut arcs: Vec<(usize, String, String, String)> = Vec::new();
     let mut marking: Option<String> = None;
     let mut in_graph = false;
 
-    for raw in text.lines() {
+    for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
+        let lineno = lineno + 1;
         if let Some(rest) = line.strip_prefix('.') {
             in_graph = false;
             let mut parts = rest.split_whitespace();
@@ -101,20 +103,34 @@ pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
                     marking = Some(m.replace(['{', '}'], " ").trim().to_string());
                 }
                 "end" => break,
-                other => return Err(SgError::BadStarredCode(format!(".{other}"))),
+                other => {
+                    return Err(SgError::Parse {
+                        line: lineno,
+                        message: format!("unknown directive `.{other}`"),
+                    })
+                }
             }
         } else if in_graph {
             let tokens: Vec<&str> = line.split_whitespace().collect();
             if tokens.len() != 3 {
-                return Err(SgError::BadStarredCode(line.to_string()));
+                return Err(SgError::Parse {
+                    line: lineno,
+                    message: format!(
+                        "expected `state transition state`, got `{line}`"
+                    ),
+                });
             }
             arcs.push((
+                lineno,
                 tokens[0].to_string(),
                 tokens[1].to_string(),
                 tokens[2].to_string(),
             ));
         } else {
-            return Err(SgError::BadStarredCode(line.to_string()));
+            return Err(SgError::Parse {
+                line: lineno,
+                message: format!("unexpected text outside .state graph: `{line}`"),
+            });
         }
     }
 
@@ -137,7 +153,7 @@ pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
 
     // Parse arc labels.
     let mut parsed: Vec<(String, Transition, String)> = Vec::with_capacity(arcs.len());
-    for (from, label, to) in arcs {
+    for (lineno, from, label, to) in arcs {
         // Occurrence suffixes (`a+/2`) come after the sign; drop them.
         let base_label = label.split('/').next().unwrap_or(&label);
         let (sig_name, dir) = if let Some(s) = base_label.strip_suffix('+') {
@@ -145,7 +161,10 @@ pub fn parse_sg(text: &str) -> Result<StateGraph, SgError> {
         } else if let Some(s) = base_label.strip_suffix('-') {
             (s, Dir::Fall)
         } else {
-            return Err(SgError::BadStarredCode(label.clone()));
+            return Err(SgError::Parse {
+                line: lineno,
+                message: format!("transition label `{label}` has no +/- sign"),
+            });
         };
         let sig = *signal_ids
             .get(sig_name)
@@ -312,6 +331,42 @@ s1 a+ s0
         )
         .unwrap_err();
         assert!(matches!(err, SgError::Empty));
+    }
+
+    #[test]
+    fn malformed_edge_line_reports_line_number() {
+        let err = parse_sg(
+            ".model x\n.inputs a\n.state graph\nthis is not an edge line at all\n.end\n",
+        )
+        .unwrap_err();
+        match err {
+            SgError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("expected"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsigned_label_reports_line_number() {
+        let err = parse_sg(
+            ".model x\n.inputs a\n.state graph\ns0 a s1\n.marking {s0}\n.end\n",
+        )
+        .unwrap_err();
+        match err {
+            SgError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("+/-"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_directive_reports_line_number() {
+        let err = parse_sg(".model x\n.bogus\n").unwrap_err();
+        assert!(matches!(err, SgError::Parse { line: 2, .. }), "{err:?}");
     }
 
     #[test]

@@ -40,7 +40,6 @@ use crate::net::Stg;
 /// assert_eq!(stg.transition_count(), 6);
 /// ```
 pub fn parse_g(text: &str) -> Result<Stg, StgError> {
-    let mut builder: Option<StgBuilder> = None;
     let mut pending: Vec<(usize, String)> = Vec::new(); // .graph lines
     let mut marking_line: Option<(usize, String)> = None;
     let mut initial_values: Option<(usize, String)> = None;
@@ -101,6 +100,10 @@ pub fn parse_g(text: &str) -> Result<Stg, StgError> {
         }
     }
 
+    // Declarations collected, the builder is constructed exactly once here
+    // — no `Option` dance, so arc lines seen before (or without) any
+    // `.inputs`/`.outputs` declaration flow into the same error path as
+    // every other semantic problem instead of a panic.
     let mut b = StgBuilder::new(model_name);
     for name in &inputs {
         b.add_signal(name, SignalKind::Input)?;
@@ -111,8 +114,13 @@ pub fn parse_g(text: &str) -> Result<Stg, StgError> {
     for name in &internal {
         b.add_signal(name, SignalKind::Internal)?;
     }
-    builder.replace(b);
-    let mut b = builder.expect("builder just set");
+
+    // Attaches the offending source line to a semantic error from the
+    // builder, preserving already-located parse errors.
+    let at = |line: usize, e: StgError| match e {
+        StgError::Parse { .. } => e,
+        other => StgError::Parse { line, message: other.to_string() },
+    };
 
     // A token is a transition iff it parses as `sig+`/`sig-`[`/k`] with a
     // declared signal name; otherwise it is a place.
@@ -146,18 +154,18 @@ pub fn parse_g(text: &str) -> Result<Stg, StgError> {
             let dst = classify(tok);
             match (&src, &dst) {
                 (Node::Trans(s), Node::Trans(d)) => {
-                    let ts = b.transition(s)?;
-                    let td = b.transition(d)?;
+                    let ts = b.transition(s).map_err(|e| at(*lineno, e))?;
+                    let td = b.transition(d).map_err(|e| at(*lineno, e))?;
                     b.arc_tt(ts, td);
                 }
                 (Node::Trans(s), Node::Place(d)) => {
-                    let ts = b.transition(s)?;
+                    let ts = b.transition(s).map_err(|e| at(*lineno, e))?;
                     let p = b.place(d);
                     b.arc_tp(ts, p);
                 }
                 (Node::Place(s), Node::Trans(d)) => {
                     let p = b.place(s);
-                    let td = b.transition(d)?;
+                    let td = b.transition(d).map_err(|e| at(*lineno, e))?;
                     b.arc_pt(p, td);
                 }
                 (Node::Place(_), Node::Place(_)) => {
@@ -186,9 +194,9 @@ pub fn parse_g(text: &str) -> Result<Stg, StgError> {
                 line: mline,
                 message: format!("bad implicit place `<{inner}>`"),
             })?;
-            let ta = b.transition(t1.trim())?;
-            let tb = b.transition(t2.trim())?;
-            b.mark_between(ta, tb)?;
+            let ta = b.transition(t1.trim()).map_err(|e| at(mline, e))?;
+            let tb = b.transition(t2.trim()).map_err(|e| at(mline, e))?;
+            b.mark_between(ta, tb).map_err(|e| at(mline, e))?;
             rest = stripped[end + 1..].trim_start();
         } else {
             let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
@@ -359,6 +367,46 @@ b+ a-
         let b = sg.signal_by_name("b").unwrap();
         assert!(sg.code(sg.initial()).value(a));
         assert!(sg.code(sg.initial()).value(b));
+    }
+
+    #[test]
+    fn graph_before_declarations_parses() {
+        // Arc lines may precede the .inputs/.outputs declarations; this
+        // used to dead-end in a `builder just set` expect.
+        let stg = parse_g(
+            ".model x\n.graph\na+ a-\na- a+\n.inputs a\n.marking { <a-,a+> }\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(stg.transition_count(), 2);
+    }
+
+    #[test]
+    fn undeclared_arc_signals_error_with_line_number() {
+        // `b+` is never declared, so both tokens classify as places and
+        // line 3 is reported, not a panic.
+        let err = parse_g(".model x\n.graph\nb+ b-\n.marking { p }\n.end\n").unwrap_err();
+        match err {
+            StgError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("two places"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn marking_of_undeclared_transition_errors_with_line_number() {
+        let err = parse_g(
+            ".model x\n.inputs a\n.graph\na+ a-\na- a+\n.marking { <x+,a+> }\n.end\n",
+        )
+        .unwrap_err();
+        match err {
+            StgError::Parse { line, message } => {
+                assert_eq!(line, 6);
+                assert!(message.contains("unknown"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
     }
 
     #[test]

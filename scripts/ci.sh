@@ -15,6 +15,11 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> simc fuzz --seed 0xDAC94 --iters 200"
+# Fixed-seed differential-fuzzing smoke: exits nonzero on any oracle
+# disagreement or any injected netlist fault the verifier misses.
+./target/release/simc fuzz --seed 0xDAC94 --iters 200
+
 echo "==> repro_pipeline --smoke --check BENCH_pipeline.json"
 # 2-benchmark smoke sweep; fails on malformed JSON or on counters /
 # structural columns diverging from the committed baseline, or timings

@@ -22,7 +22,10 @@
 //!   reconstructed Table 1 benchmark suite, and scalable generators;
 //! * [`obs`] — pipeline observability: hierarchical timing spans and
 //!   typed counters across SAT, cover search, beam search and
-//!   verification.
+//!   verification;
+//! * [`fuzz`] — differential fuzzing: seeded random specifications,
+//!   agreement oracles over independent pipeline routes, fault
+//!   injection, and a delta-debugging shrinker.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 
 pub use simc_benchmarks as benchmarks;
 pub use simc_cube as cube;
+pub use simc_fuzz as fuzz;
 pub use simc_obs as obs;
 pub use simc_mc as mc;
 pub use simc_netlist as netlist;

@@ -6,6 +6,7 @@
 //! simc synth   <spec.g> [--rs] [--baseline] [--share] [--complex] [--verilog]
 //! simc verify  <spec.g> [--rs] [--baseline]             full flow + verdict
 //! simc dot     <spec.g>                 Graphviz of the state graph
+//! simc fuzz    [--seed <n>] [--iters <n>] [--threads <n>]   differential fuzzing
 //! ```
 //!
 //! `<spec>` is an STG in the SIS/petrify `.g` format or a state graph in
@@ -16,6 +17,9 @@
 //! Every subcommand accepts `--stats` (pipeline counters and phase
 //! timings on stderr) and `--stats-json <path>` (the same report as a
 //! JSON document).
+//!
+//! Exit codes: `0` success, `1` operational failure (hazards found, CSC
+//! violation, oracle disagreement), `2` usage error or malformed input.
 
 use std::io::Read;
 use std::process::ExitCode;
@@ -29,13 +33,37 @@ use simc::netlist::{verify, VerifyOptions};
 use simc::sg::StateGraph;
 use simc::stg::parse_g;
 
+/// A CLI failure carrying its exit code.
+enum CliError {
+    /// Exit 2: bad invocation or malformed input — the request never made
+    /// sense, rerunning it unchanged cannot succeed.
+    Usage(String),
+    /// Exit 1: a well-formed request whose answer is negative — hazards
+    /// found, a property violated, a search that gave up.
+    Failure(String),
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError::Usage(message.into())
+    }
+
+    fn failure(message: impl Into<String>) -> Self {
+        CliError::Failure(message.into())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Failure(message)) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
         }
     }
 }
@@ -44,26 +72,43 @@ fn main() -> ExitCode {
 const KNOWN_FLAGS: &[&str] =
     &["--rs", "--baseline", "--share", "--complex", "--verilog", "--stats"];
 
-fn run(args: &[String]) -> Result<(), String> {
+/// Flags that take a value, only meaningful for `simc fuzz`.
+const FUZZ_VALUE_FLAGS: &[&str] = &["--seed", "--iters", "--threads"];
+
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err(usage());
+        return Err(CliError::usage(usage()));
     };
-    let rest = args.get(2..).unwrap_or_default();
+    // `fuzz` takes no spec argument; every other command does.
+    let rest_from = if command == "fuzz" { 1 } else { 2 };
+    let rest = args.get(rest_from..).unwrap_or_default();
     let mut flags: Vec<&str> = Vec::new();
     let mut stats_json: Option<&str> = None;
+    let mut fuzz_values: Vec<(&str, &str)> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
         let arg = rest[i].as_str();
         if arg == "--stats-json" {
             i += 1;
-            stats_json = Some(
-                rest.get(i)
-                    .ok_or_else(|| format!("--stats-json needs a file path\n{}", usage()))?,
-            );
+            stats_json = Some(rest.get(i).ok_or_else(|| {
+                CliError::usage(format!("--stats-json needs a file path\n{}", usage()))
+            })?);
+        } else if FUZZ_VALUE_FLAGS.contains(&arg) {
+            if command != "fuzz" {
+                return Err(CliError::usage(format!(
+                    "`{arg}` is only valid with `simc fuzz`\n{}",
+                    usage()
+                )));
+            }
+            i += 1;
+            let value = rest.get(i).ok_or_else(|| {
+                CliError::usage(format!("{arg} needs a value\n{}", usage()))
+            })?;
+            fuzz_values.push((arg, value));
         } else if KNOWN_FLAGS.contains(&arg) {
             flags.push(arg);
         } else {
-            return Err(format!("unknown flag `{arg}`\n{}", usage()));
+            return Err(CliError::usage(format!("unknown flag `{arg}`\n{}", usage())));
         }
         i += 1;
     }
@@ -78,18 +123,19 @@ fn run(args: &[String]) -> Result<(), String> {
         "synth" => synth(&load(args.get(1))?, target, &flags),
         "verify" => do_verify(&load(args.get(1))?, target, &flags),
         "dot" => load(args.get(1)).map(|sg| println!("{}", sg.to_dot())),
+        "fuzz" => fuzz(&fuzz_values),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n{}", usage()))),
     };
     if stats {
         let report = simc::obs::report();
         eprint!("{}", report.render());
         if let Some(path) = stats_json {
             std::fs::write(path, report.to_json())
-                .map_err(|e| format!("writing {path}: {e}"))?;
+                .map_err(|e| CliError::failure(format!("writing {path}: {e}")))?;
         }
     }
     result
@@ -98,17 +144,75 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: simc <analyze|reduce|synth|verify|dot> <spec.g|spec.sg|benchmarks/<name>|-> \
      [--rs] [--baseline] [--share] [--complex] [--verilog] \
-     [--stats] [--stats-json <path>]"
+     [--stats] [--stats-json <path>]\n       \
+     simc fuzz [--seed <n>] [--iters <n>] [--threads <n>] [--stats]"
         .to_string()
 }
 
-fn load(path: Option<&String>) -> Result<StateGraph, String> {
-    let path = path.ok_or_else(usage)?;
+/// Parses a decimal or `0x`-prefixed hexadecimal u64.
+fn parse_u64(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+fn fuzz(values: &[(&str, &str)]) -> Result<(), CliError> {
+    let mut config = simc::fuzz::FuzzConfig::default();
+    for &(flag, value) in values {
+        let parsed = parse_u64(value).ok_or_else(|| {
+            CliError::usage(format!("{flag} needs an unsigned integer, got `{value}`"))
+        })?;
+        match flag {
+            "--seed" => config.seed = parsed,
+            "--iters" => config.iters = parsed,
+            "--threads" => {
+                if parsed == 0 {
+                    return Err(CliError::usage("--threads must be at least 1".to_string()));
+                }
+                config.threads = parsed as usize;
+            }
+            _ => unreachable!("only fuzz value flags reach here"),
+        }
+    }
+    let report = simc::fuzz::run(config);
+    println!("{}", report.summary());
+    for failure in &report.failures {
+        println!();
+        println!(
+            "case {} (seed {:#x}) disagrees with oracle `{}`: {}",
+            failure.case_index,
+            config.seed,
+            failure.oracle.name(),
+            failure.detail
+        );
+        println!("shrunk in {} step(s) to this repro:", failure.shrink_steps);
+        print!("{}", failure.repro_sg);
+    }
+    if report.is_ok() {
+        Ok(())
+    } else if report.failures.is_empty() {
+        Err(CliError::failure(format!(
+            "{}/{} injected fault(s) went undetected",
+            report.faults_injected - report.faults_detected,
+            report.faults_injected
+        )))
+    } else {
+        Err(CliError::failure(format!(
+            "{} oracle disagreement(s)",
+            report.failures.len()
+        )))
+    }
+}
+
+fn load(path: Option<&String>) -> Result<StateGraph, CliError> {
+    let path = path.ok_or_else(|| CliError::usage(usage()))?;
     let text = if path == "-" {
         let mut buffer = String::new();
         std::io::stdin()
             .read_to_string(&mut buffer)
-            .map_err(|e| format!("reading stdin: {e}"))?;
+            .map_err(|e| CliError::usage(format!("reading stdin: {e}")))?;
         buffer
     } else {
         match std::fs::read_to_string(path) {
@@ -119,18 +223,19 @@ fn load(path: Option<&String>) -> Result<StateGraph, String> {
                 Some(stg) => {
                     return stg
                         .to_state_graph()
-                        .map_err(|e| format!("reachability of {path}: {e}"))
+                        .map_err(|e| CliError::usage(format!("reachability of {path}: {e}")))
                 }
-                None => return Err(format!("reading {path}: {e}")),
+                None => return Err(CliError::usage(format!("reading {path}: {e}"))),
             },
         }
     };
     if text.contains(".state graph") {
-        return simc::sg::parse_sg(&text).map_err(|e| format!("parsing {path}: {e}"));
+        return simc::sg::parse_sg(&text)
+            .map_err(|e| CliError::usage(format!("parsing {path}: {e}")));
     }
-    let stg = parse_g(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let stg = parse_g(&text).map_err(|e| CliError::usage(format!("parsing {path}: {e}")))?;
     stg.to_state_graph()
-        .map_err(|e| format!("reachability of {path}: {e}"))
+        .map_err(|e| CliError::usage(format!("reachability of {path}: {e}")))
 }
 
 /// Resolves `benchmarks/<name>` (or a bare suite name) against the
@@ -143,7 +248,7 @@ fn builtin_benchmark(path: &str) -> Option<simc::stg::Stg> {
         .map(|b| b.stg)
 }
 
-fn analyze(sg: &StateGraph) -> Result<(), String> {
+fn analyze(sg: &StateGraph) -> Result<(), CliError> {
     println!("states: {}", sg.state_count());
     println!("edges:  {}", sg.edge_count());
     let inputs: Vec<&str> = sg
@@ -176,8 +281,9 @@ fn analyze(sg: &StateGraph) -> Result<(), String> {
     Ok(())
 }
 
-fn reduce(sg: &StateGraph) -> Result<(), String> {
-    let result = reduce_to_mc(sg, ReduceOptions::default()).map_err(|e| e.to_string())?;
+fn reduce(sg: &StateGraph) -> Result<(), CliError> {
+    let result = reduce_to_mc(sg, ReduceOptions::default())
+        .map_err(|e| CliError::failure(e.to_string()))?;
     println!(
         "inserted {} signal(s); {} -> {} states",
         result.added,
@@ -192,30 +298,32 @@ fn reduce(sg: &StateGraph) -> Result<(), String> {
     Ok(())
 }
 
-fn reduced_or_original(sg: &StateGraph) -> Result<StateGraph, String> {
+fn reduced_or_original(sg: &StateGraph) -> Result<StateGraph, CliError> {
     if McCheck::new(sg).report().satisfied() {
         Ok(sg.clone())
     } else {
-        let result = reduce_to_mc(sg, ReduceOptions::default()).map_err(|e| e.to_string())?;
+        let result = reduce_to_mc(sg, ReduceOptions::default())
+            .map_err(|e| CliError::failure(e.to_string()))?;
         eprintln!("note: inserted {} state signal(s) to satisfy MC", result.added);
         Ok(result.sg)
     }
 }
 
-fn build(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<Implementation, String> {
+fn build(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<Implementation, CliError> {
     if flags.contains(&"--baseline") {
-        synthesize_baseline(sg, target).map_err(|e| e.to_string())
+        synthesize_baseline(sg, target).map_err(|e| CliError::failure(e.to_string()))
     } else if flags.contains(&"--share") {
-        synthesize_generalized(sg, target).map_err(|e| e.to_string())
+        synthesize_generalized(sg, target).map_err(|e| CliError::failure(e.to_string()))
     } else {
-        synthesize(sg, target).map_err(|e| e.to_string())
+        synthesize(sg, target).map_err(|e| CliError::failure(e.to_string()))
     }
 }
 
-fn synth(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), String> {
+fn synth(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), CliError> {
     if flags.contains(&"--complex") {
         // Complex-gate style: CSC suffices, no insertion needed.
-        let netlist = simc::mc::complex::synthesize_complex(sg).map_err(|e| e.to_string())?;
+        let netlist = simc::mc::complex::synthesize_complex(sg)
+            .map_err(|e| CliError::failure(e.to_string()))?;
         if flags.contains(&"--verilog") {
             print!("{}", simc::netlist::primitive_library());
             print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
@@ -231,7 +339,9 @@ fn synth(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), String> 
         reduced_or_original(sg)?
     };
     let implementation = build(&working, target, flags)?;
-    let netlist = implementation.to_netlist().map_err(|e| e.to_string())?;
+    let netlist = implementation
+        .to_netlist()
+        .map_err(|e| CliError::failure(e.to_string()))?;
     if flags.contains(&"--verilog") {
         print!("{}", simc::netlist::primitive_library());
         print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
@@ -242,11 +352,12 @@ fn synth(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), String> 
     Ok(())
 }
 
-fn do_verify(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), String> {
+fn do_verify(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), CliError> {
     if flags.contains(&"--complex") {
-        let netlist = simc::mc::complex::synthesize_complex(sg).map_err(|e| e.to_string())?;
-        let report =
-            verify(&netlist, sg, VerifyOptions::default()).map_err(|e| e.to_string())?;
+        let netlist = simc::mc::complex::synthesize_complex(sg)
+            .map_err(|e| CliError::failure(e.to_string()))?;
+        let report = verify(&netlist, sg, VerifyOptions::default())
+            .map_err(|e| CliError::failure(e.to_string()))?;
         println!(
             "{} ({} composed states explored)",
             if report.is_ok() { "hazard-free" } else { "HAZARDOUS" },
@@ -255,7 +366,7 @@ fn do_verify(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), Stri
         return if report.is_ok() {
             Ok(())
         } else {
-            Err(format!("{} violation(s) found", report.violations.len()))
+            Err(CliError::failure(format!("{} violation(s) found", report.violations.len())))
         };
     }
     let working = if flags.contains(&"--baseline") {
@@ -264,9 +375,11 @@ fn do_verify(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), Stri
         reduced_or_original(sg)?
     };
     let implementation = build(&working, target, flags)?;
-    let netlist = implementation.to_netlist().map_err(|e| e.to_string())?;
-    let report =
-        verify(&netlist, &working, VerifyOptions::default()).map_err(|e| e.to_string())?;
+    let netlist = implementation
+        .to_netlist()
+        .map_err(|e| CliError::failure(e.to_string()))?;
+    let report = verify(&netlist, &working, VerifyOptions::default())
+        .map_err(|e| CliError::failure(e.to_string()))?;
     println!(
         "{} ({} composed states explored)",
         if report.is_ok() { "hazard-free" } else { "HAZARDOUS" },
@@ -278,6 +391,6 @@ fn do_verify(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), Stri
     if report.is_ok() {
         Ok(())
     } else {
-        Err(format!("{} violation(s) found", report.violations.len()))
+        Err(CliError::failure(format!("{} violation(s) found", report.violations.len())))
     }
 }

@@ -1,4 +1,8 @@
 //! Integration tests for the `simc` command-line binary.
+//!
+//! Exit-code contract: 0 = success, 1 = operational failure (hazards,
+//! CSC violation, oracle disagreement), 2 = usage error or malformed
+//! input.
 
 use std::io::Write as _;
 use std::process::{Command, Stdio};
@@ -20,7 +24,7 @@ a- r+
 .end
 ";
 
-fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, i32) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_simc"))
         .args(args)
         .stdin(Stdio::piped())
@@ -35,14 +39,14 @@ fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&output.stdout).into_owned(),
         String::from_utf8_lossy(&output.stderr).into_owned(),
-        output.status.success(),
+        output.status.code().expect("binary not killed by signal"),
     )
 }
 
 #[test]
 fn analyze_reports_properties() {
-    let (stdout, _, ok) = run_with_stdin(&["analyze", "-"], D_ELEMENT);
-    assert!(ok, "{stdout}");
+    let (stdout, _, code) = run_with_stdin(&["analyze", "-"], D_ELEMENT);
+    assert_eq!(code, 0, "{stdout}");
     assert!(stdout.contains("states: 8"), "{stdout}");
     assert!(stdout.contains("CSC: false"), "{stdout}");
     assert!(stdout.contains("MC requirement: VIOLATED"), "{stdout}");
@@ -50,38 +54,40 @@ fn analyze_reports_properties() {
 
 #[test]
 fn reduce_inserts_one_signal() {
-    let (stdout, _, ok) = run_with_stdin(&["reduce", "-"], D_ELEMENT);
-    assert!(ok, "{stdout}");
+    let (stdout, _, code) = run_with_stdin(&["reduce", "-"], D_ELEMENT);
+    assert_eq!(code, 0, "{stdout}");
     assert!(stdout.contains("inserted 1 signal"), "{stdout}");
 }
 
 #[test]
 fn verify_passes_after_reduction() {
-    let (stdout, stderr, ok) = run_with_stdin(&["verify", "-"], D_ELEMENT);
-    assert!(ok, "{stdout} {stderr}");
+    let (stdout, stderr, code) = run_with_stdin(&["verify", "-"], D_ELEMENT);
+    assert_eq!(code, 0, "{stdout} {stderr}");
     assert!(stdout.contains("hazard-free"), "{stdout}");
     assert!(stderr.contains("inserted 1 state signal"), "{stderr}");
 }
 
 #[test]
 fn synth_prints_equations() {
-    let (stdout, _, ok) = run_with_stdin(&["synth", "-"], D_ELEMENT);
-    assert!(ok, "{stdout}");
+    let (stdout, _, code) = run_with_stdin(&["synth", "-"], D_ELEMENT);
+    assert_eq!(code, 0, "{stdout}");
     assert!(stdout.contains("Sa"), "{stdout}");
     assert!(stdout.contains("= S"), "{stdout}");
 }
 
 #[test]
 fn baseline_fails_on_csc_conflict() {
-    let (_, stderr, ok) = run_with_stdin(&["synth", "-", "--baseline"], D_ELEMENT);
-    assert!(!ok);
+    // A well-formed spec the baseline cannot implement: an *operational*
+    // failure, exit 1 — not a usage error.
+    let (_, stderr, code) = run_with_stdin(&["synth", "-", "--baseline"], D_ELEMENT);
+    assert_eq!(code, 1, "{stderr}");
     assert!(stderr.contains("state coding"), "{stderr}");
 }
 
 #[test]
 fn dot_outputs_graphviz() {
-    let (stdout, _, ok) = run_with_stdin(&["dot", "-"], D_ELEMENT);
-    assert!(ok);
+    let (stdout, _, code) = run_with_stdin(&["dot", "-"], D_ELEMENT);
+    assert_eq!(code, 0);
     assert!(stdout.contains("digraph sg"), "{stdout}");
 }
 
@@ -99,23 +105,30 @@ s3 b- s0
 .marking {s0}
 .end
 ";
-    let (stdout, _, ok) = run_with_stdin(&["analyze", "-"], sg_text);
-    assert!(ok, "{stdout}");
+    let (stdout, _, code) = run_with_stdin(&["analyze", "-"], sg_text);
+    assert_eq!(code, 0, "{stdout}");
     assert!(stdout.contains("states: 4"), "{stdout}");
     assert!(stdout.contains("MC requirement: satisfied"), "{stdout}");
 }
 
 #[test]
-fn unknown_command_errors() {
-    let (_, stderr, ok) = run_with_stdin(&["frobnicate", "-"], "");
-    assert!(!ok);
+fn unknown_command_exits_2() {
+    let (_, stderr, code) = run_with_stdin(&["frobnicate", "-"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn missing_spec_argument_exits_2() {
+    let (_, stderr, code) = run_with_stdin(&["analyze"], "");
+    assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("usage"), "{stderr}");
 }
 
 #[test]
 fn verilog_emission() {
-    let (stdout, _, ok) = run_with_stdin(&["synth", "-", "--verilog"], D_ELEMENT);
-    assert!(ok, "{stdout}");
+    let (stdout, _, code) = run_with_stdin(&["synth", "-", "--verilog"], D_ELEMENT);
+    assert_eq!(code, 0, "{stdout}");
     assert!(stdout.contains("module simc_celement"), "{stdout}");
     assert!(stdout.contains("module simc_top ("), "{stdout}");
     assert!(stdout.contains("endmodule"), "{stdout}");
@@ -123,8 +136,8 @@ fn verilog_emission() {
 
 #[test]
 fn stats_flag_reports_counters_and_spans() {
-    let (stdout, stderr, ok) = run_with_stdin(&["verify", "-", "--stats"], D_ELEMENT);
-    assert!(ok, "{stdout} {stderr}");
+    let (stdout, stderr, code) = run_with_stdin(&["verify", "-", "--stats"], D_ELEMENT);
+    assert_eq!(code, 0, "{stdout} {stderr}");
     assert!(stdout.contains("hazard-free"), "{stdout}");
     assert!(stderr.contains("counters:"), "{stderr}");
     assert!(stderr.contains("spans"), "{stderr}");
@@ -136,9 +149,9 @@ fn stats_flag_reports_counters_and_spans() {
 fn stats_json_writes_parseable_report() {
     let path = std::env::temp_dir().join(format!("simc_stats_{}.json", std::process::id()));
     let path_str = path.to_str().expect("utf-8 temp path");
-    let (stdout, stderr, ok) =
+    let (stdout, stderr, code) =
         run_with_stdin(&["verify", "-", "--stats-json", path_str], D_ELEMENT);
-    assert!(ok, "{stdout} {stderr}");
+    assert_eq!(code, 0, "{stdout} {stderr}");
     let text = std::fs::read_to_string(&path).expect("stats JSON written");
     std::fs::remove_file(&path).ok();
     let doc = simc::obs::json::parse(&text).expect("stats JSON parses");
@@ -151,39 +164,54 @@ fn stats_json_writes_parseable_report() {
 }
 
 #[test]
-fn stats_json_without_path_errors() {
-    let (_, stderr, ok) = run_with_stdin(&["verify", "-", "--stats-json"], D_ELEMENT);
-    assert!(!ok);
+fn stats_json_without_path_exits_2() {
+    let (_, stderr, code) = run_with_stdin(&["verify", "-", "--stats-json"], D_ELEMENT);
+    assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("--stats-json needs a file path"), "{stderr}");
 }
 
 #[test]
-fn unknown_flag_errors() {
-    let (_, stderr, ok) = run_with_stdin(&["verify", "-", "--bogus"], D_ELEMENT);
-    assert!(!ok);
+fn unknown_flag_exits_2() {
+    let (_, stderr, code) = run_with_stdin(&["verify", "-", "--bogus"], D_ELEMENT);
+    assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("unknown flag"), "{stderr}");
     assert!(stderr.contains("usage"), "{stderr}");
 }
 
 #[test]
-fn malformed_g_input_errors() {
-    let (_, stderr, ok) = run_with_stdin(&["analyze", "-"], ".graph\nnonsense here\n");
-    assert!(!ok);
+fn malformed_g_input_exits_2() {
+    let (_, stderr, code) = run_with_stdin(&["analyze", "-"], ".graph\nnonsense here\n");
+    assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("error"), "{stderr}");
 }
 
 #[test]
-fn malformed_sg_input_errors() {
+fn malformed_sg_input_exits_2_with_line_number() {
     let garbage = ".model x\n.state graph\nthis is not an edge line\n.end\n";
-    let (_, stderr, ok) = run_with_stdin(&["analyze", "-"], garbage);
-    assert!(!ok);
-    assert!(stderr.contains("error"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["analyze", "-"], garbage);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("line 3"), "{stderr}");
+}
+
+#[test]
+fn malformed_g_marking_exits_2_with_line_number() {
+    let garbage = ".model x\n.inputs a\n.outputs b\n.graph\na+ b+\n.marking { <q+,a+> }\n.end\n";
+    let (_, stderr, code) = run_with_stdin(&["analyze", "-"], garbage);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("line 6"), "{stderr}");
+}
+
+#[test]
+fn unreadable_file_exits_2() {
+    let (_, stderr, code) = run_with_stdin(&["analyze", "/nonexistent/simc_spec.g"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("reading"), "{stderr}");
 }
 
 #[test]
 fn builtin_benchmark_resolves_without_file() {
-    let (stdout, _, ok) = run_with_stdin(&["analyze", "benchmarks/Delement"], "");
-    assert!(ok, "{stdout}");
+    let (stdout, _, code) = run_with_stdin(&["analyze", "benchmarks/Delement"], "");
+    assert_eq!(code, 0, "{stdout}");
     assert!(stdout.contains("states:"), "{stdout}");
 }
 
@@ -202,7 +230,45 @@ b- a+
 .marking { <b-,a+> }
 .end
 ";
-    let (stdout, _, ok) = run_with_stdin(&["verify", "-", "--complex"], toggle);
-    assert!(ok, "{stdout}");
+    let (stdout, _, code) = run_with_stdin(&["verify", "-", "--complex"], toggle);
+    assert_eq!(code, 0, "{stdout}");
     assert!(stdout.contains("hazard-free"), "{stdout}");
+}
+
+#[test]
+fn fuzz_smoke_run_is_clean() {
+    let (stdout, stderr, code) =
+        run_with_stdin(&["fuzz", "--seed", "0xDAC94", "--iters", "10"], "");
+    assert_eq!(code, 0, "{stdout} {stderr}");
+    assert!(stdout.contains("10 case(s): 0 failure(s)"), "{stdout}");
+}
+
+#[test]
+fn fuzz_accepts_decimal_and_reports_stats() {
+    let (stdout, stderr, code) =
+        run_with_stdin(&["fuzz", "--seed", "7", "--iters", "5", "--stats"], "");
+    assert_eq!(code, 0, "{stdout} {stderr}");
+    assert!(stderr.contains("fuzz.cases"), "{stderr}");
+    assert!(stderr.contains("fuzz.faults_injected"), "{stderr}");
+}
+
+#[test]
+fn fuzz_bad_seed_exits_2() {
+    let (_, stderr, code) = run_with_stdin(&["fuzz", "--seed", "not-a-number"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--seed"), "{stderr}");
+}
+
+#[test]
+fn fuzz_zero_threads_exits_2() {
+    let (_, stderr, code) = run_with_stdin(&["fuzz", "--threads", "0"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--threads"), "{stderr}");
+}
+
+#[test]
+fn fuzz_flags_rejected_elsewhere() {
+    let (_, stderr, code) = run_with_stdin(&["verify", "-", "--seed", "3"], D_ELEMENT);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("only valid with `simc fuzz`"), "{stderr}");
 }

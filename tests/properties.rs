@@ -6,6 +6,7 @@ use std::sync::Mutex;
 use proptest::prelude::*;
 
 use simc::benchmarks::generators;
+use simc::fuzz::{self, GenConfig, Recipe, Shape};
 use simc::mc::synth::{synthesize, Target};
 use simc::mc::McCheck;
 use simc::netlist::{verify, VerifyOptions};
@@ -238,6 +239,55 @@ proptest! {
         }
     }
 
+    /// Delta-debugging shrinker invariants: the result of shrinking still
+    /// satisfies the failing predicate, is never larger than the
+    /// original, is 1-minimal, and still builds a valid state graph.
+    #[test]
+    fn shrinker_preserves_failure_and_minimality(
+        seed in any::<u64>(),
+        signals in 1usize..6,
+        concurrency in 0u64..101,
+        predicate in 0usize..3,
+    ) {
+        let mut rng = fuzz::Rng::new(seed);
+        let cfg = GenConfig { signals, concurrency, csc_injection: predicate == 0 };
+        let recipe = fuzz::random_recipe(&mut rng, cfg);
+
+        fn has_double(s: &Shape) -> bool {
+            match s {
+                Shape::Leaf { double, .. } => *double,
+                Shape::Seq(c) | Shape::Par(c) => c.iter().any(has_double),
+            }
+        }
+        fn has_par(s: &Shape) -> bool {
+            match s {
+                Shape::Leaf { .. } => false,
+                Shape::Par(_) => true,
+                Shape::Seq(c) => c.iter().any(has_par),
+            }
+        }
+        // Structural stand-ins for "fails some oracle": each depends on a
+        // feature shrinking tries hard to remove.
+        let fails = |r: &Recipe| match predicate {
+            0 => has_double(&r.shape),
+            1 => has_par(&r.shape),
+            _ => r.leaf_count() >= 2,
+        };
+        prop_assume!(fails(&recipe));
+
+        let (shrunk, steps) = fuzz::shrink(&recipe, fails);
+        prop_assert!(fails(&shrunk), "shrunk recipe no longer fails: {shrunk:?}");
+        prop_assert!(shrunk.size() <= recipe.size());
+        prop_assert!(steps == 0 || shrunk.size() < recipe.size());
+        // 1-minimal: no single further transform still fails.
+        for variant in fuzz::one_step_shrinks(&shrunk) {
+            prop_assert!(!fails(&variant), "not 1-minimal: {variant:?}");
+        }
+        // The repro still builds and stays well-formed.
+        let sg = fuzz::gen::to_state_graph(&shrunk).expect("shrunken recipe builds");
+        prop_assert!(sg.analysis().is_semimodular());
+    }
+
     /// Firing any enabled transition toggles exactly that signal's bit.
     #[test]
     fn firing_is_single_bit(n in 1usize..5) {
@@ -252,4 +302,25 @@ proptest! {
             }
         }
     }
+}
+
+/// Fixed-seed fuzz regression: the reference campaign stays clean and
+/// its outcome is byte-identical across thread counts — pinning both the
+/// oracle results and the determinism of the parallel synthesis path.
+#[test]
+fn fuzz_regression_fixed_seed_across_threads() {
+    let mut summaries = Vec::new();
+    for threads in [1, 2, 8] {
+        let report = fuzz::run(fuzz::FuzzConfig {
+            seed: 0xDAC94,
+            iters: 40,
+            threads,
+            ..fuzz::FuzzConfig::default()
+        });
+        assert!(report.is_ok(), "threads={threads}: {}", report.summary());
+        assert!(report.faults_injected > 0, "threads={threads}: no faults exercised");
+        summaries.push(report.summary());
+    }
+    assert_eq!(summaries[0], summaries[1]);
+    assert_eq!(summaries[1], summaries[2]);
 }
