@@ -6,9 +6,11 @@
 //! phase is wall-clock timed via `simc_obs` spans. A second, sequential
 //! pass re-runs every benchmark with the observability counters on and
 //! records the paper-table structural columns (states, inserted signals,
-//! gates, literals) plus the full counter report. The timed sweeps run
-//! with counters *off*, so the recorded timings measure the pipeline at
-//! its zero-overhead default.
+//! gates, literals) plus the full counter report. A third pass runs each
+//! benchmark twice through the typed pipeline over a shared artifact
+//! cache and records cold-vs-warm wall-clock (the `cache` section). The
+//! timed sweeps run with counters *off*, so the recorded timings measure
+//! the pipeline at its zero-overhead default.
 //!
 //! Usage: `repro_pipeline [--threads N] [--out PATH] [--markdown]
 //! [--smoke] [--check BASELINE]`
@@ -22,7 +24,7 @@
 //!   not regress more than 10% (plus a small absolute grace for
 //!   sub-millisecond phases); exits 1 on regression
 
-use simc_bench::profile::{counters_sweep, to_json, BenchmarkCounters, SuiteRun};
+use simc_bench::profile::{cache_sweep, counters_sweep, to_json, BenchmarkCounters, SuiteRun};
 use simc_bench::report::Table;
 use simc_benchmarks::suite;
 use simc_obs::json::{self, Value};
@@ -97,6 +99,7 @@ fn main() {
     let sequential = SuiteRun::sweep("sequential", &benchmarks, 1);
     let parallel = SuiteRun::sweep(&format!("parallel-{threads}"), &benchmarks, threads);
     let counters = counters_sweep(&benchmarks);
+    let cache = cache_sweep(&benchmarks);
 
     let mut table = Table::new(&[
         "example", "states", "reach ms", "regions ms", "cover ms", "assign ms", "verify ms",
@@ -131,6 +134,17 @@ fn main() {
         parallel.wall * 1e3,
         sequential.wall / parallel.wall
     );
+    let (cold_total, warm_total): (f64, f64) =
+        cache.iter().fold((0.0, 0.0), |(c, w), t| (c + t.cold, w + t.warm));
+    println!(
+        "artifact cache: cold {:.1} ms   warm {:.1} ms   speedup: {:.2}x",
+        cold_total * 1e3,
+        warm_total * 1e3,
+        cold_total / warm_total.max(1e-6)
+    );
+    for t in &cache {
+        assert!(t.identical, "{}: warm cached run diverged from cold", t.name);
+    }
 
     // Every thread count must produce identical results.
     for (s, p) in sequential.timings.iter().zip(&parallel.timings) {
@@ -144,7 +158,7 @@ fn main() {
         assert_eq!(s.states, c.states, "{}: state count differs in counter pass", s.name);
     }
 
-    let json = to_json(&[sequential.clone(), parallel], &counters);
+    let json = to_json(&[sequential.clone(), parallel], &counters, &cache);
     // Round-trip self-validation: the hand-rolled emitter must satisfy
     // the workspace's own parser before anything is written to disk.
     if let Err(e) = json::parse(&json) {

@@ -198,18 +198,86 @@ pub fn counters_sweep(benchmarks: &[Benchmark]) -> Vec<BenchmarkCounters> {
     benchmarks.iter().map(counters_benchmark).collect()
 }
 
+/// Cold/warm wall-clock of the cached typed pipeline for one benchmark.
+#[derive(Debug, Clone)]
+pub struct CacheTimings {
+    /// Benchmark name.
+    pub name: String,
+    /// First run: every stage computed and stored (seconds).
+    pub cold: f64,
+    /// Second run over the same cache: every artifact revived (seconds).
+    pub warm: f64,
+    /// Both runs produced byte-identical equations and verdicts.
+    pub identical: bool,
+}
+
+impl CacheTimings {
+    /// Cold-over-warm speedup (∞-safe: warm is floored at 1 µs).
+    pub fn speedup(&self) -> f64 {
+        self.cold / self.warm.max(1e-6)
+    }
+}
+
+/// Runs every benchmark twice through [`simc_pipeline::Pipeline`] over a
+/// shared in-memory cache and records cold-vs-warm wall-clock — the
+/// cache's headline number. Sequential by design: the warm run must find
+/// the cold run's artifacts in place.
+///
+/// # Panics
+///
+/// Panics if a suite benchmark fails reachability, synthesis or
+/// verification — the shipped suite is known-good.
+pub fn cache_sweep(benchmarks: &[Benchmark]) -> Vec<CacheTimings> {
+    use simc_cache::{Cache, MemCache};
+    use simc_pipeline::Pipeline;
+    use std::sync::Arc;
+
+    let cache: Arc<dyn Cache> = Arc::new(MemCache::new(64 << 20));
+    benchmarks
+        .iter()
+        .map(|b| {
+            let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
+            let run = |cache: Arc<dyn Cache>| {
+                let start = Instant::now();
+                let mut pipeline = Pipeline::from_sg(sg.clone()).with_cache(cache);
+                let equations = pipeline
+                    .implemented()
+                    .expect("suite benchmark synthesizes")
+                    .implementation()
+                    .equations();
+                let ok = pipeline.verified().expect("suite benchmark verifies").is_ok();
+                assert!(ok, "{}: synthesized netlist must verify", b.name);
+                (start.elapsed().as_secs_f64(), equations)
+            };
+            let (cold, cold_equations) = run(Arc::clone(&cache));
+            let (warm, warm_equations) = run(Arc::clone(&cache));
+            CacheTimings {
+                name: b.name.to_string(),
+                cold,
+                warm,
+                identical: cold_equations == warm_equations,
+            }
+        })
+        .collect()
+}
+
 /// Renders suite runs and the counter pass as a JSON document (the
 /// `BENCH_pipeline.json` schema):
 ///
 /// ```text
 /// { "runs": [ { label, threads, wall_s, benchmarks: [...] } ],
 ///   "counters": [ { name, states, signals_added, gates, literals,
-///                   pipeline: { "sat.solves": ..., ... } } ] }
+///                   pipeline: { "sat.solves": ..., ... } } ],
+///   "cache": [ { name, cold_s, warm_s, speedup, identical } ] }
 /// ```
 ///
-/// Pass an empty `counters` slice to omit the counters section (the
-/// timing-only legacy shape).
-pub fn to_json(runs: &[SuiteRun], counters: &[BenchmarkCounters]) -> String {
+/// Pass an empty `counters` (or `cache`) slice to omit that section —
+/// the timing-only legacy shape has neither.
+pub fn to_json(
+    runs: &[SuiteRun],
+    counters: &[BenchmarkCounters],
+    cache: &[CacheTimings],
+) -> String {
     let mut out = String::from("{\n  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let _ = write!(
@@ -271,6 +339,22 @@ pub fn to_json(runs: &[SuiteRun], counters: &[BenchmarkCounters]) -> String {
         }
         out.push_str("  ]");
     }
+    if !cache.is_empty() {
+        out.push_str(",\n  \"cache\": [\n");
+        for (i, c) in cache.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": {}, \"cold_s\": {:.6}, \"warm_s\": {:.6}, \"speedup\": {:.2}, \"identical\": {} }}{}",
+                json_str(&c.name),
+                c.cold,
+                c.warm,
+                c.speedup(),
+                c.identical,
+                if i + 1 < cache.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]");
+    }
     out.push_str("\n}\n");
     out
 }
@@ -323,14 +407,32 @@ mod tests {
 
     #[test]
     fn json_shape_and_escaping() {
-        let json = to_json(&[dummy_run()], &[]);
+        let json = to_json(&[dummy_run()], &[], &[]);
         assert!(json.contains("\"runs\""));
         assert!(json.contains("\"toggle \\\"x\\\"\""));
         assert!(json.contains("\"wall_s\": 1.000000"));
         assert!(json.contains("\"verified\": true"));
         assert!(!json.contains("\"counters\""));
+        assert!(!json.contains("\"cache\""));
         // The hand-rolled emitter must satisfy the workspace's own parser.
         simc_obs::json::parse(&json).expect("emitted JSON parses");
+    }
+
+    #[test]
+    fn json_cache_section_round_trips() {
+        let cache = CacheTimings {
+            name: "toggle".into(),
+            cold: 0.5,
+            warm: 0.005,
+            identical: true,
+        };
+        let json = to_json(&[dummy_run()], &[], &[cache]);
+        let doc = simc_obs::json::parse(&json).expect("emitted JSON parses");
+        let section = doc.get("cache").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(section.len(), 1);
+        assert_eq!(section[0].get("identical").and_then(|v| v.as_bool()), Some(true));
+        let speedup = section[0].get("speedup").and_then(|v| v.as_f64()).unwrap();
+        assert!((speedup - 100.0).abs() < 1e-9, "{speedup}");
     }
 
     #[test]
@@ -343,7 +445,7 @@ mod tests {
             literals: 5,
             counters: simc_obs::Counter::ALL.iter().map(|&c| (c, 7)).collect(),
         };
-        let json = to_json(&[dummy_run()], &[counters]);
+        let json = to_json(&[dummy_run()], &[counters], &[]);
         let doc = simc_obs::json::parse(&json).expect("emitted JSON parses");
         let section = doc.get("counters").and_then(|v| v.as_array()).unwrap();
         assert_eq!(section.len(), 1);

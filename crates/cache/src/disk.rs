@@ -1,0 +1,146 @@
+//! On-disk backend: one checksummed file per entry under a cache
+//! directory (`--cache-dir`).
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use crate::{Cache, Key};
+
+/// Entry file magic; bump the version to invalidate every old entry.
+const MAGIC: &str = "simc-cache.v1";
+
+/// A durable content-addressed store: each entry is a file named by the
+/// key's hex digest, framed with a magic line, the payload length and an
+/// FNV-1a checksum of the payload.
+///
+/// Corruption of any kind — truncation, bit flips, a foreign file, a
+/// half-written entry from a crashed process — fails the frame check and
+/// is **treated as a miss**; the stage recomputes and rewrites the entry.
+/// Writes go to a temporary file first and are renamed into place, so
+/// concurrent writers (the batch driver) never expose partial entries.
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the directory cannot be created.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir })
+    }
+
+    /// The directory entries are stored under.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &Key) -> PathBuf {
+        self.dir.join(format!("{}.simc", key.hex()))
+    }
+}
+
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash = (hash ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl Cache for DiskCache {
+    fn get(&self, key: &Key) -> Option<Vec<u8>> {
+        let raw = fs::read(self.entry_path(key)).ok()?;
+        // Frame: "simc-cache.v1 <len> <fnv64-hex>\n<payload>"
+        let newline = raw.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&raw[..newline]).ok()?;
+        let mut fields = header.split_whitespace();
+        if fields.next()? != MAGIC {
+            return None;
+        }
+        let len: usize = fields.next()?.parse().ok()?;
+        let checksum = u64::from_str_radix(fields.next()?, 16).ok()?;
+        if fields.next().is_some() {
+            return None;
+        }
+        let payload = &raw[newline + 1..];
+        if payload.len() != len || fnv64(payload) != checksum {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    fn put(&self, key: &Key, value: &[u8]) {
+        let final_path = self.entry_path(key);
+        let tmp_path = self
+            .dir
+            .join(format!(".tmp-{}-{}", key.hex(), std::process::id()));
+        let header = format!("{MAGIC} {} {:016x}\n", value.len(), fnv64(value));
+        let write = || -> std::io::Result<()> {
+            let mut file = fs::File::create(&tmp_path)?;
+            file.write_all(header.as_bytes())?;
+            file.write_all(value)?;
+            file.sync_data().ok();
+            drop(file);
+            fs::rename(&tmp_path, &final_path)
+        };
+        // A failed write is a dropped cache insert, not an error: the
+        // artifact is recomputed next time.
+        if write().is_err() {
+            let _ = fs::remove_file(&tmp_path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key_of;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("simc-cache-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let cache = DiskCache::new(&dir).expect("cache dir");
+        let key = key_of("t", &[b"k"]);
+        assert!(cache.get(&key).is_none());
+        cache.put(&key, b"hello artifact");
+        assert_eq!(cache.get(&key).as_deref(), Some(&b"hello artifact"[..]));
+        // A second cache over the same directory sees the entry.
+        let reopened = DiskCache::new(&dir).expect("cache dir");
+        assert_eq!(reopened.get(&key).as_deref(), Some(&b"hello artifact"[..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_entry_is_a_miss() {
+        let dir = temp_dir("corrupt");
+        let cache = DiskCache::new(&dir).expect("cache dir");
+        let key = key_of("t", &[b"k"]);
+        cache.put(&key, b"payload bytes");
+        let path = cache.entry_path(&key);
+        // Flip a payload byte: checksum mismatch -> miss.
+        let mut raw = std::fs::read(&path).expect("entry exists");
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&path, &raw).expect("rewrite");
+        assert!(cache.get(&key).is_none());
+        // Truncation -> miss.
+        cache.put(&key, b"payload bytes");
+        let raw = std::fs::read(&path).expect("entry exists");
+        std::fs::write(&path, &raw[..raw.len() - 3]).expect("rewrite");
+        assert!(cache.get(&key).is_none());
+        // Garbage file -> miss.
+        std::fs::write(&path, b"not a cache entry").expect("rewrite");
+        assert!(cache.get(&key).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,159 @@
+//! Sharded, byte-budgeted in-memory LRU backend.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::{Cache, Key};
+
+const SHARDS: usize = 16;
+
+/// One shard: a map plus a logical clock for LRU stamping.
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<[u8; 16], Entry>,
+    clock: u64,
+    bytes: usize,
+}
+
+struct Entry {
+    value: Vec<u8>,
+    stamp: u64,
+}
+
+/// An in-process content-addressed store with a global byte budget,
+/// sharded 16 ways by the key's first byte so concurrent pipeline workers
+/// rarely contend on the same lock.
+///
+/// Each shard evicts its least-recently-used entries (logical-clock
+/// stamps, refreshed on hit) whenever its share of the budget is
+/// exceeded; evictions are reported on the `cache.evictions` counter.
+pub struct MemCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget.
+    shard_budget: usize,
+}
+
+impl MemCache {
+    /// Creates a cache holding at most roughly `max_bytes` of values.
+    ///
+    /// A single value larger than a shard's share of the budget is stored
+    /// anyway (alone); the budget bounds steady-state growth, it is not a
+    /// hard allocation cap.
+    pub fn new(max_bytes: usize) -> Self {
+        MemCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_budget: (max_bytes / SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, key: &Key) -> &Mutex<Shard> {
+        &self.shards[usize::from(key.bytes()[0]) % SHARDS]
+    }
+
+    /// Total bytes of values currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard lock").bytes).sum()
+    }
+
+    /// Number of entries currently resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard lock").entries.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Cache for MemCache {
+    fn get(&self, key: &Key) -> Option<Vec<u8>> {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let clock = shard.clock;
+        let entry = shard.entries.get_mut(key.bytes())?;
+        entry.stamp = clock;
+        Some(entry.value.clone())
+    }
+
+    fn put(&self, key: &Key, value: &[u8]) {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some(old) = shard
+            .entries
+            .insert(*key.bytes(), Entry { value: value.to_vec(), stamp: clock })
+        {
+            shard.bytes -= old.value.len();
+        }
+        shard.bytes += value.len();
+        // Evict least-recently-stamped entries until back under budget,
+        // never evicting the entry just written.
+        while shard.bytes > self.shard_budget && shard.entries.len() > 1 {
+            let victim = shard
+                .entries
+                .iter()
+                .filter(|(k, _)| *k != key.bytes())
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(evicted) = shard.entries.remove(&victim) {
+                shard.bytes -= evicted.value.len();
+                simc_obs::add(simc_obs::Counter::CacheEvictions, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key_of;
+
+    #[test]
+    fn round_trips_and_overwrites() {
+        let cache = MemCache::new(1 << 16);
+        let key = key_of("t", &[b"k"]);
+        assert!(cache.get(&key).is_none());
+        cache.put(&key, b"one");
+        assert_eq!(cache.get(&key).as_deref(), Some(&b"one"[..]));
+        cache.put(&key, b"two");
+        assert_eq!(cache.get(&key).as_deref(), Some(&b"two"[..]));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_budget() {
+        // Budget of 64 bytes total -> 4 bytes per shard; values of 4 bytes
+        // mean each shard holds one entry at a time.
+        let cache = MemCache::new(64);
+        let keys: Vec<_> = (0..64u32)
+            .map(|i| key_of("t", &[&i.to_le_bytes()]))
+            .collect();
+        for key in &keys {
+            cache.put(key, b"fourb");
+        }
+        // Everything fit *at most* one per shard; resident set is bounded.
+        assert!(cache.len() <= SHARDS, "len = {}", cache.len());
+        assert!(cache.resident_bytes() <= SHARDS * 5 + 5);
+        // The most recently inserted key of some shard is still there.
+        let last = keys.last().expect("nonempty");
+        assert!(cache.get(last).is_some());
+    }
+
+    #[test]
+    fn hit_refreshes_lru_stamp() {
+        let cache = MemCache::new(16); // 1 byte per shard: single-entry shards
+        let a = key_of("t", &[b"a"]);
+        // Find a second key landing in the same shard as `a`.
+        let b = (0..1000u32)
+            .map(|i| key_of("t", &[&i.to_le_bytes()]))
+            .find(|k| k.bytes()[0] % 16 == a.bytes()[0] % 16 && k != &a)
+            .expect("colliding shard key exists");
+        cache.put(&a, b"aa");
+        cache.put(&b, b"bb");
+        // Shard budget is 1 byte -> only the newest entry survives.
+        assert!(cache.get(&a).is_none());
+        assert!(cache.get(&b).is_some());
+    }
+}

@@ -14,7 +14,7 @@
 //!
 //! Everything is seeded and deterministic ([`rng`]): a failing case
 //! replays from `(seed, case index)` alone, and the delta-debugging
-//! shrinker ([`shrink`]) reduces it to a 1-minimal recipe whose state
+//! shrinker ([`mod@shrink`]) reduces it to a 1-minimal recipe whose state
 //! graph is serialized as a self-contained `.sg` repro ([`runner`]).
 //!
 //! # Example

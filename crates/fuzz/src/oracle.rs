@@ -20,11 +20,12 @@
 //! every non-equivalent perturbation.
 
 use simc_cube::{minimize, Cover, Cube, MinimizeOptions};
-use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+use simc_mc::assign::ReduceOptions;
 use simc_mc::complex::synthesize_complex;
-use simc_mc::synth::{build_from_covers, cover_of, synthesize, Implementation, Target};
+use simc_mc::synth::{build_from_covers, cover_of, Implementation, Target};
 use simc_mc::{McCheck, ParallelSynth};
 use simc_netlist::{verify, VerifyOptions};
+use simc_pipeline::{ErrorKind, Pipeline};
 use simc_sg::{Dir, SignalId, StateGraph};
 
 use crate::gen::{self, Recipe};
@@ -139,42 +140,60 @@ pub fn check_case(
         }
     }
 
-    // Pick the SG actually synthesized: reduce first when MC is violated.
-    // Tighter budgets than the CLI default: the fuzzer prefers fast,
-    // bounded refusals (counted as skips) over minutes-long searches on
-    // adversarial multi-pulse specs.
+    // Oracle 1: MC satisfied ⟹ the verifier agrees (zero violations).
+    // The primary route is the same typed pipeline the CLI runs —
+    // elaborate (canonicalize), reduce when MC is violated, synthesize,
+    // verify — so fuzzing exercises the shipped code path end to end.
+    // Tighter reduction budgets than the CLI default: the fuzzer prefers
+    // fast, bounded refusals (counted as skips) over minutes-long
+    // searches on adversarial multi-pulse specs.
     let reduce_opts =
         ReduceOptions { max_signals: 4, max_candidates: 12, beam_width: 6, branch: 4, threads: 1 };
-    let working = if sequential.satisfied() {
-        sg.clone()
-    } else {
-        match reduce_to_mc(&sg, reduce_opts) {
-            Ok(result) => {
-                stats.reduced = true;
-                if !McCheck::new(&result.sg).report().satisfied() {
-                    return Err(Failure::new(
-                        OracleId::McVsVerify,
-                        "reduce_to_mc returned a graph that still violates MC",
-                    ));
-                }
-                result.sg
-            }
-            Err(_) => {
-                // Insertion budget exhausted: a legitimate refusal, not a
-                // disagreement. The synthesis oracles are skipped.
-                stats.skipped = true;
-                return Ok(stats);
-            }
+    let mut pipeline = Pipeline::from_sg(sg.clone())
+        .with_reduce_options(reduce_opts)
+        .with_target(Target::CElement);
+    let (working, implementation) = match pipeline.implemented() {
+        Ok(implemented) => {
+            stats.reduced = implemented.added_signals() > 0;
+            (implemented.working_sg().clone(), implemented.implementation().clone())
+        }
+        // A configured budget refusing the case (insertion budget
+        // exhausted) is legitimate, not a disagreement: the synthesis
+        // oracles are skipped.
+        Err(e) if e.kind() == ErrorKind::ResourceLimit => {
+            stats.skipped = true;
+            return Ok(stats);
+        }
+        Err(e) => {
+            return Err(Failure::new(
+                OracleId::McVsVerify,
+                format!("MC holds but pipeline synthesis failed: {e}"),
+            ));
         }
     };
-
-    // Oracle 1: MC satisfied ⟹ the verifier agrees (zero violations).
-    let implementation = synthesize(&working, Target::CElement).map_err(|e| {
-        Failure::new(OracleId::McVsVerify, format!("MC holds but synthesis failed: {e}"))
-    })?;
-    if !verify_clean(&implementation, &working, OracleId::McVsVerify, "C-element")? {
-        stats.skipped = true;
-        return Ok(stats);
+    match pipeline.verified() {
+        Ok(verdict) if verdict.is_ok() => {}
+        Ok(verdict) => {
+            return Err(Failure::new(
+                OracleId::McVsVerify,
+                format!(
+                    "C-element netlist has {} violation(s); first: {}",
+                    verdict.violations().len(),
+                    verdict.violations()[0]
+                ),
+            ));
+        }
+        // Composed-state budget blow-up: no verdict either way.
+        Err(e) if e.kind() == ErrorKind::ResourceLimit => {
+            stats.skipped = true;
+            return Ok(stats);
+        }
+        Err(e) => {
+            return Err(Failure::new(
+                OracleId::McVsVerify,
+                format!("C-element verification errored: {e}"),
+            ));
+        }
     }
 
     // Oracle 3b: N-thread synthesis is byte-identical.
@@ -198,13 +217,33 @@ pub fn check_case(
         }
     }
 
-    // Oracle 2: the RS-latch style of the same graph also verifies.
-    let rs = synthesize(&working, Target::RsLatch).map_err(|e| {
-        Failure::new(OracleId::CVsRs, format!("RS synthesis failed where C succeeded: {e}"))
-    })?;
-    if !verify_clean(&rs, &working, OracleId::CVsRs, "RS-latch")? {
-        stats.skipped = true;
-        return Ok(stats);
+    // Oracle 2: the RS-latch style of the same graph also verifies
+    // (through the same pipeline route, from the already-reduced graph).
+    let mut rs_pipeline = Pipeline::from_sg(working.clone())
+        .with_reduce_options(reduce_opts)
+        .with_target(Target::RsLatch);
+    match rs_pipeline.verified() {
+        Ok(verdict) if verdict.is_ok() => {}
+        Ok(verdict) => {
+            return Err(Failure::new(
+                OracleId::CVsRs,
+                format!(
+                    "RS-latch netlist has {} violation(s); first: {}",
+                    verdict.violations().len(),
+                    verdict.violations()[0]
+                ),
+            ));
+        }
+        Err(e) if e.kind() == ErrorKind::ResourceLimit => {
+            stats.skipped = true;
+            return Ok(stats);
+        }
+        Err(e) => {
+            return Err(Failure::new(
+                OracleId::CVsRs,
+                format!("RS synthesis failed where C succeeded: {e}"),
+            ));
+        }
     }
 
     // Oracle 1 (complex-gate corollary): CSC alone suffices for one
@@ -330,40 +369,6 @@ fn check_cover_equivalence(sg: &StateGraph) -> Result<(), Failure> {
         }
     }
     Ok(())
-}
-
-/// Synthesized implementation must verify with zero violations.
-///
-/// Returns `Ok(false)` when the verifier's composed-state budget blew up
-/// (the case is skipped, not failed) and `Ok(true)` on a clean pass.
-fn verify_clean(
-    implementation: &Implementation,
-    sg: &StateGraph,
-    oracle: OracleId,
-    style: &str,
-) -> Result<bool, Failure> {
-    let netlist = implementation
-        .to_netlist()
-        .map_err(|e| Failure::new(oracle, format!("{style} netlist construction failed: {e}")))?;
-    let report = match verify(&netlist, sg, VerifyOptions::default()) {
-        Ok(report) => report,
-        Err(simc_netlist::NetlistError::TooManyStates(_)) => return Ok(false),
-        Err(e) => {
-            return Err(Failure::new(oracle, format!("{style} verification errored: {e}")))
-        }
-    };
-    if report.is_ok() {
-        Ok(true)
-    } else {
-        let first = report.describe(&netlist, sg, &report.violations[0]);
-        Err(Failure::new(
-            oracle,
-            format!(
-                "{style} netlist has {} violation(s); first: {first}",
-                report.violations.len()
-            ),
-        ))
-    }
 }
 
 /// One cover perturbation of a synthesized implementation.

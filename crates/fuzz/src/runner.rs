@@ -4,9 +4,12 @@
 //! independent per-case stream ([`Rng::for_case`]), so any case replays
 //! in isolation from just `(seed, index)` — no need to re-run its
 //! predecessors. Failing cases are shrunk to 1-minimal recipes and
-//! serialized as SG repros via [`simc_sg::write_sg`].
+//! serialized as SG repros via [`simc_sg::canonical_sg`] — the same
+//! canonical form the pipeline elaborates to and the artifact cache
+//! hashes, so replaying a repro through `simc` reproduces the failing
+//! run's state numbering (and cache keys) exactly.
 
-use simc_sg::write_sg;
+use simc_sg::canonical_sg;
 
 use crate::gen::{self, random_recipe, GenConfig, Recipe};
 use crate::oracle::{check_case, OracleId};
@@ -137,7 +140,7 @@ pub fn run(cfg: FuzzConfig) -> FuzzReport {
                         .is_some_and(|f| f.oracle == oracle)
                 });
                 let repro_sg = gen::to_state_graph(&shrunk)
-                    .map(|sg| write_sg(&sg, "fuzz_repro"))
+                    .map(|sg| canonical_sg(&sg, "fuzz_repro"))
                     .unwrap_or_else(|e| format!("# spec does not build: {e}\n"));
                 report.failures.push(FailureReport {
                     case_index: index,

@@ -106,8 +106,10 @@ pub struct McReport {
 
 impl McReport {
     /// Assembles a report from precomputed entries (the parallel driver
-    /// computes them out-of-line).
-    pub(crate) fn from_entries(entries: Vec<McEntry>) -> Self {
+    /// computes them out-of-line, and artifact stores rebuild decoded
+    /// reports through it). Entries must be in signal order, up before
+    /// down, as produced by [`McCheck::report`].
+    pub fn from_entries(entries: Vec<McEntry>) -> Self {
         McReport { entries }
     }
 
@@ -209,6 +211,17 @@ impl<'g> McCheck<'g> {
     /// Computes the region decomposition of `sg`.
     pub fn new(sg: &'g StateGraph) -> Self {
         McCheck { sg, regions: sg.regions() }
+    }
+
+    /// Builds a checker from a precomputed region decomposition of the
+    /// same graph (e.g. one revived from an artifact store), skipping the
+    /// recompute that [`McCheck::new`] performs.
+    pub fn from_parts(sg: &'g StateGraph, regions: Regions) -> Self {
+        debug_assert!(regions.ers().all(|(_, er)| er
+            .states()
+            .iter()
+            .all(|s| s.index() < sg.state_count())));
+        McCheck { sg, regions }
     }
 
     /// The underlying state graph.

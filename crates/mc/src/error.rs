@@ -38,8 +38,9 @@ pub enum McError {
         source: simc_cube::CoverError,
     },
     /// An excitation function reached netlist construction with no cubes
-    /// at all (possible only through [`build_from_covers`]
-    /// (crate::synth::build_from_covers) with perturbed covers).
+    /// at all (possible only through
+    /// [`build_from_covers`](crate::synth::build_from_covers) with
+    /// perturbed covers).
     DegenerateFunction {
         /// Name of the signal with the empty function.
         signal: String,

@@ -150,6 +150,11 @@ counters! {
     FuzzFaultsInjected => ("fuzz.faults_injected", Sum),
     FuzzFaultsDetected => ("fuzz.faults_detected", Sum),
     FuzzShrinkSteps => ("fuzz.shrink_steps", Sum),
+    // The content-addressed artifact cache.
+    CacheHits => ("cache.hits", Sum),
+    CacheMisses => ("cache.misses", Sum),
+    CacheEvictions => ("cache.evictions", Sum),
+    CacheBytesWritten => ("cache.bytes_written", Sum),
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();

@@ -1,0 +1,312 @@
+//! Hand-rolled artifact codecs for the content-addressed cache.
+//!
+//! The workspace deliberately builds without a serialization dependency
+//! (see `crates/shims/README.md`), so cached artifacts use small
+//! line-oriented text formats. Every decoder is total: any structural
+//! mismatch returns `None`, which the pipeline treats as a cache miss
+//! and recomputes — a corrupted store can cost time, never correctness.
+//! Encoders and decoders round-trip exactly (`decode(encode(x)) == x`),
+//! which the property tests in `tests/cache.rs` pin down; that exactness
+//! is what makes cached and uncached runs byte-identical.
+
+use std::fmt::Write as _;
+
+use simc_cube::Cube;
+use simc_mc::cover::{FunctionCover, McEntry};
+use simc_mc::{McCubeFailure, McReport};
+use simc_sg::{Dir, ErId, SignalId, StateId};
+
+/// Revives a canonical `.sg` text payload (elaboration artifacts).
+pub fn decode_sg_text(bytes: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    if !text.starts_with(".model") || !text.contains(".state graph") {
+        return None;
+    }
+    Some(text.to_string())
+}
+
+fn dir_tag(dir: Dir) -> &'static str {
+    match dir {
+        Dir::Rise => "R",
+        Dir::Fall => "F",
+    }
+}
+
+fn parse_dir(tag: &str) -> Option<Dir> {
+    match tag {
+        "R" => Some(Dir::Rise),
+        "F" => Some(Dir::Fall),
+        _ => None,
+    }
+}
+
+fn write_cube(out: &mut String, cube: Cube) {
+    let _ = write!(out, " {:x} {:x}", cube.care_mask(), cube.value_mask());
+}
+
+fn parse_cube<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> Option<Cube> {
+    let care = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    let value = u64::from_str_radix(tokens.next()?, 16).ok()?;
+    if value & !care != 0 {
+        return None;
+    }
+    Some(Cube::from_masks(care, value))
+}
+
+/// Serializes an MC report (entry list with per-region covers or
+/// failures).
+pub fn encode_report(report: &McReport) -> Vec<u8> {
+    let mut out = String::from("simc.mcreport.v1\n");
+    let _ = writeln!(out, "entries {}", report.entries().len());
+    for entry in report.entries() {
+        let _ = write!(out, "e {} {}", entry.signal.index(), dir_tag(entry.dir));
+        match &entry.result {
+            Ok(FunctionCover::PerRegion { regions, cubes }) => {
+                let _ = write!(out, " per {}", regions.len());
+                for (region, cube) in regions.iter().zip(cubes) {
+                    let _ = write!(out, " {}", region.index());
+                    write_cube(&mut out, *cube);
+                }
+                out.push('\n');
+            }
+            Ok(FunctionCover::SingleLiteral(cube)) => {
+                out.push_str(" lit");
+                write_cube(&mut out, *cube);
+                out.push('\n');
+            }
+            Ok(FunctionCover::Plain(cubes)) => {
+                let _ = write!(out, " plain {}", cubes.len());
+                for cube in cubes {
+                    write_cube(&mut out, *cube);
+                }
+                out.push('\n');
+            }
+            Err(failures) => {
+                let _ = writeln!(out, " err {}", failures.len());
+                for (region, failure) in failures {
+                    match failure {
+                        McCubeFailure::NotCorrect { covered_outside } => {
+                            let _ = write!(out, "f {} nc {}", region.index(), covered_outside.len());
+                            for s in covered_outside {
+                                let _ = write!(out, " {}", s.index());
+                            }
+                            out.push('\n');
+                        }
+                        McCubeFailure::NotMonotonous { witness_edges } => {
+                            let _ = write!(out, "f {} nm {}", region.index(), witness_edges.len());
+                            for (u, v) in witness_edges {
+                                let _ = write!(out, " {} {}", u.index(), v.index());
+                            }
+                            out.push('\n');
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.into_bytes()
+}
+
+/// Decodes an MC report for a graph with the given dimensions; `None` on
+/// any mismatch.
+pub fn decode_report(bytes: &[u8], state_count: usize, signal_count: usize) -> Option<McReport> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != "simc.mcreport.v1" {
+        return None;
+    }
+    let count: usize = lines.next()?.strip_prefix("entries ")?.parse().ok()?;
+    let parse_state = |token: &str| -> Option<StateId> {
+        let index: usize = token.parse().ok()?;
+        if index >= state_count {
+            return None;
+        }
+        Some(StateId::new(index))
+    };
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut tokens = lines.next()?.split_whitespace();
+        if tokens.next()? != "e" {
+            return None;
+        }
+        let signal_index: usize = tokens.next()?.parse().ok()?;
+        if signal_index >= signal_count {
+            return None;
+        }
+        let signal = SignalId::new(signal_index);
+        let dir = parse_dir(tokens.next()?)?;
+        let result = match tokens.next()? {
+            "per" => {
+                let k: usize = tokens.next()?.parse().ok()?;
+                let mut regions = Vec::with_capacity(k);
+                let mut cubes = Vec::with_capacity(k);
+                for _ in 0..k {
+                    regions.push(ErId::new(tokens.next()?.parse().ok()?));
+                    cubes.push(parse_cube(&mut tokens)?);
+                }
+                Ok(FunctionCover::PerRegion { regions, cubes })
+            }
+            "lit" => Ok(FunctionCover::SingleLiteral(parse_cube(&mut tokens)?)),
+            "plain" => {
+                let k: usize = tokens.next()?.parse().ok()?;
+                let mut cubes = Vec::with_capacity(k);
+                for _ in 0..k {
+                    cubes.push(parse_cube(&mut tokens)?);
+                }
+                Ok(FunctionCover::Plain(cubes))
+            }
+            "err" => {
+                let k: usize = tokens.next()?.parse().ok()?;
+                let mut failures = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let mut ftokens = lines.next()?.split_whitespace();
+                    if ftokens.next()? != "f" {
+                        return None;
+                    }
+                    let region = ErId::new(ftokens.next()?.parse().ok()?);
+                    let failure = match ftokens.next()? {
+                        "nc" => {
+                            let m: usize = ftokens.next()?.parse().ok()?;
+                            let mut covered_outside = Vec::with_capacity(m);
+                            for _ in 0..m {
+                                covered_outside.push(parse_state(ftokens.next()?)?);
+                            }
+                            if ftokens.next().is_some() {
+                                return None;
+                            }
+                            McCubeFailure::NotCorrect { covered_outside }
+                        }
+                        "nm" => {
+                            let m: usize = ftokens.next()?.parse().ok()?;
+                            let mut witness_edges = Vec::with_capacity(m);
+                            for _ in 0..m {
+                                let u = parse_state(ftokens.next()?)?;
+                                let v = parse_state(ftokens.next()?)?;
+                                witness_edges.push((u, v));
+                            }
+                            if ftokens.next().is_some() {
+                                return None;
+                            }
+                            McCubeFailure::NotMonotonous { witness_edges }
+                        }
+                        _ => return None,
+                    };
+                    failures.push((region, failure));
+                }
+                Err(failures)
+            }
+            _ => return None,
+        };
+        if result.is_ok() && tokens.next().is_some() {
+            return None;
+        }
+        entries.push(McEntry { signal, dir, result });
+    }
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(McReport::from_entries(entries))
+}
+
+/// Serializes an MC-reduction result: insertion count, log lines and the
+/// canonical reduced graph.
+pub fn encode_reduce(canonical: &str, added: usize, log: &[String]) -> Vec<u8> {
+    let mut out = String::from("simc.reduce.v1\n");
+    let _ = writeln!(out, "added {}", added);
+    let _ = writeln!(out, "log {}", log.len());
+    for line in log {
+        // Log lines are single-line human-readable strings by
+        // construction; a newline would corrupt the frame, so strip it.
+        let _ = writeln!(out, "{}", line.replace('\n', " "));
+    }
+    let _ = writeln!(out, "sg {}", canonical.len());
+    out.push_str(canonical);
+    out.into_bytes()
+}
+
+/// Decodes an MC-reduction result: `(canonical_sg, added, log)`.
+pub fn decode_reduce(bytes: &[u8]) -> Option<(String, usize, Vec<String>)> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let rest = text.strip_prefix("simc.reduce.v1\n")?;
+    let (added_line, rest) = rest.split_once('\n')?;
+    let added: usize = added_line.strip_prefix("added ")?.parse().ok()?;
+    let (log_line, mut rest) = rest.split_once('\n')?;
+    let log_count: usize = log_line.strip_prefix("log ")?.parse().ok()?;
+    let mut log = Vec::with_capacity(log_count);
+    for _ in 0..log_count {
+        let (line, tail) = rest.split_once('\n')?;
+        log.push(line.to_string());
+        rest = tail;
+    }
+    let (sg_line, sg_text) = rest.split_once('\n')?;
+    let sg_len: usize = sg_line.strip_prefix("sg ")?.parse().ok()?;
+    if sg_text.len() != sg_len {
+        return None;
+    }
+    decode_sg_text(sg_text.as_bytes()).map(|canonical| (canonical, added, log))
+}
+
+/// Serializes a verification verdict with pre-rendered violation
+/// descriptions.
+pub fn encode_verdict(ok: bool, explored: usize, violations: &[String]) -> Vec<u8> {
+    let mut out = String::from("simc.verdict.v1\n");
+    let _ = writeln!(out, "ok {}", ok);
+    let _ = writeln!(out, "explored {}", explored);
+    let _ = writeln!(out, "violations {}", violations.len());
+    for violation in violations {
+        let _ = writeln!(out, "{}", violation.replace('\n', " "));
+    }
+    out.into_bytes()
+}
+
+/// Decodes a verification verdict: `(ok, explored, violations)`.
+pub fn decode_verdict(bytes: &[u8]) -> Option<(bool, usize, Vec<String>)> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let mut lines = text.lines();
+    if lines.next()? != "simc.verdict.v1" {
+        return None;
+    }
+    let ok: bool = lines.next()?.strip_prefix("ok ")?.parse().ok()?;
+    let explored: usize = lines.next()?.strip_prefix("explored ")?.parse().ok()?;
+    let count: usize = lines.next()?.strip_prefix("violations ")?.parse().ok()?;
+    let violations: Vec<String> = lines.by_ref().take(count).map(str::to_string).collect();
+    if violations.len() != count || lines.next().is_some() {
+        return None;
+    }
+    Some((ok, explored, violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_round_trips() {
+        let violations = vec!["disabled gate g3".to_string(), "stall at s7".to_string()];
+        let bytes = encode_verdict(false, 1234, &violations);
+        assert_eq!(decode_verdict(&bytes), Some((false, 1234, violations)));
+        let bytes = encode_verdict(true, 9, &[]);
+        assert_eq!(decode_verdict(&bytes), Some((true, 9, Vec::new())));
+    }
+
+    #[test]
+    fn verdict_rejects_truncation() {
+        let bytes = encode_verdict(false, 3, &["a".to_string(), "b".to_string()]);
+        let text = String::from_utf8(bytes).expect("utf8");
+        let truncated = text.trim_end_matches("b\n");
+        assert_eq!(decode_verdict(truncated.as_bytes()), None);
+        assert_eq!(decode_verdict(b"garbage"), None);
+    }
+
+    #[test]
+    fn reduce_round_trips() {
+        let canonical = ".model m\n.outputs a\n.state graph\ns0 a+ s1\ns1 a- s0\n.marking {s0}\n.end\n";
+        let log = vec!["inserted x0 between er(3) and qr(3)".to_string()];
+        let bytes = encode_reduce(canonical, 1, &log);
+        assert_eq!(decode_reduce(&bytes), Some((canonical.to_string(), 1, log)));
+        // Length-suffix mismatch -> miss.
+        let mut corrupted = bytes.clone();
+        corrupted.pop();
+        assert_eq!(decode_reduce(&corrupted), None);
+    }
+}

@@ -1,0 +1,609 @@
+//! Typed staged front end for the DAC'94 synthesis flow.
+//!
+//! [`Pipeline`] is the supported way to drive the pipeline end to end:
+//!
+//! ```
+//! use simc_pipeline::Pipeline;
+//!
+//! # fn main() -> Result<(), simc_pipeline::Error> {
+//! let sg = simc_benchmarks::figures::toggle();
+//! let mut pipeline = Pipeline::from_sg(sg).with_threads(2);
+//! let covered = pipeline.covered()?;
+//! assert!(covered.report().satisfied());
+//! let verified = pipeline.verified()?;
+//! assert!(verified.is_ok());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The stages form a chain of typed artifacts — [`Elaborated`] →
+//! [`Regioned`] → [`Covered`] → [`Implemented`] → [`Verified`] — and each
+//! runs **at most once per session**: asking for a later stage computes
+//! and memoizes every earlier one, and asking again returns the stored
+//! artifact. With [`Pipeline::with_cache`] the expensive stages are
+//! additionally memoized *across* sessions in a content-addressed
+//! [`Cache`]: elaboration, the region bundle, the
+//! minimized per-signal covers of the MC report, MC-reduction and the
+//! verification verdict. Keys hash the **canonical** serialized input
+//! (see [`simc_sg::canonical_sg`]) plus the stage options, so isomorphic
+//! inputs share artifacts and cached and uncached runs produce
+//! byte-identical results at any thread count.
+//!
+//! The older per-crate entry points (`simc_mc::synth::synthesize`,
+//! `simc_netlist::verify`, …) remain supported; the pipeline is a thin
+//! orchestration layer over them plus the cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod error;
+
+use std::sync::Arc;
+
+use simc_cache::{Cache, Key, KeyHasher};
+use simc_mc::assign::{reduce_to_mc, ReduceOptions};
+use simc_mc::parallel::ParallelSynth;
+use simc_mc::synth::{build_from_covers, Implementation, Target};
+use simc_mc::{McCheck, McReport};
+use simc_netlist::{verify, Netlist, VerifyOptions};
+use simc_sg::{canonical_sg, parse_sg, Regions, StateGraph};
+
+pub use error::{Error, ErrorKind};
+
+/// Model name given to canonicalized graphs; part of the hashed bytes,
+/// so it never varies between runs.
+const CANONICAL_MODEL: &str = "simc_canonical";
+
+/// What the pipeline was constructed from.
+enum Source {
+    /// Raw `.g` (STG) or `.sg` text, auto-detected.
+    Text(String),
+    /// An in-memory state graph.
+    Sg(StateGraph),
+}
+
+/// The elaborated state space: a canonical state graph.
+///
+/// All later stages (and all cache keys) are expressed relative to the
+/// canonical numbering, so a pipeline fed equivalent inputs — the same
+/// `.g` text, the reparsed output of a previous run, an isomorphic
+/// in-memory graph — lands on the same artifacts.
+#[derive(Debug)]
+pub struct Elaborated {
+    sg: StateGraph,
+    canonical: String,
+}
+
+impl Elaborated {
+    /// The canonical state graph.
+    pub fn sg(&self) -> &StateGraph {
+        &self.sg
+    }
+
+    /// The canonical `.sg` serialization (the bytes cache keys hash).
+    pub fn canonical_text(&self) -> &str {
+        &self.canonical
+    }
+}
+
+/// The region decomposition of the elaborated graph.
+#[derive(Debug)]
+pub struct Regioned {
+    regions: Regions,
+}
+
+impl Regioned {
+    /// The ER/QR/CFR bundle.
+    pub fn regions(&self) -> &Regions {
+        &self.regions
+    }
+}
+
+/// The monotonous-cover check of the elaborated graph: minimized
+/// per-signal covers or the per-region failures.
+#[derive(Debug)]
+pub struct Covered {
+    report: McReport,
+}
+
+impl Covered {
+    /// The MC report.
+    pub fn report(&self) -> &McReport {
+        &self.report
+    }
+}
+
+/// The synthesized implementation.
+///
+/// When the elaborated graph violates the MC requirement the pipeline
+/// first runs MC-reduction (state-signal insertion) and synthesizes from
+/// the reduced graph; [`Implemented::working_sg`] is the graph the
+/// netlist actually implements.
+#[derive(Debug)]
+pub struct Implemented {
+    implementation: Implementation,
+    netlist: Netlist,
+    working: StateGraph,
+    working_canonical: String,
+    working_report: McReport,
+    added: usize,
+    reduce_log: Vec<String>,
+}
+
+impl Implemented {
+    /// The gate-level implementation (equations, networks).
+    pub fn implementation(&self) -> &Implementation {
+        &self.implementation
+    }
+
+    /// The flat netlist of the implementation.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The (possibly reduced) graph the netlist implements.
+    pub fn working_sg(&self) -> &StateGraph {
+        &self.working
+    }
+
+    /// Canonical serialization of [`Implemented::working_sg`].
+    pub fn working_canonical_text(&self) -> &str {
+        &self.working_canonical
+    }
+
+    /// The (satisfied) MC report of [`Implemented::working_sg`] whose
+    /// covers the implementation was built from.
+    pub fn working_report(&self) -> &McReport {
+        &self.working_report
+    }
+
+    /// Number of state signals MC-reduction inserted (0 when the input
+    /// already satisfied the MC requirement).
+    pub fn added_signals(&self) -> usize {
+        self.added
+    }
+
+    /// One log line per insertion performed by MC-reduction.
+    pub fn reduce_log(&self) -> &[String] {
+        &self.reduce_log
+    }
+}
+
+/// The speed-independence verification verdict.
+///
+/// Violation descriptions are pre-rendered strings so a verdict revived
+/// from the cache prints byte-identically to a freshly computed one.
+#[derive(Debug)]
+pub struct Verified {
+    ok: bool,
+    explored: usize,
+    violations: Vec<String>,
+}
+
+impl Verified {
+    /// Whether the implementation is hazard-free.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Composed states explored by the verifier.
+    pub fn explored(&self) -> usize {
+        self.explored
+    }
+
+    /// Human-readable descriptions of each violation found.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+/// The staged synthesis driver. See the [crate docs](crate) for the
+/// stage chain and caching semantics.
+pub struct Pipeline {
+    source: Option<Source>,
+    threads: usize,
+    cache: Option<Arc<dyn Cache>>,
+    target: Target,
+    reduce_options: ReduceOptions,
+    verify_options: VerifyOptions,
+    elaborated: Option<Elaborated>,
+    regioned: Option<Regioned>,
+    covered: Option<Covered>,
+    implemented: Option<Implemented>,
+    verified: Option<Verified>,
+}
+
+impl Pipeline {
+    fn new(source: Source) -> Self {
+        Pipeline {
+            source: Some(source),
+            threads: 1,
+            cache: None,
+            target: Target::CElement,
+            reduce_options: ReduceOptions::default(),
+            verify_options: VerifyOptions::default(),
+            elaborated: None,
+            regioned: None,
+            covered: None,
+            implemented: None,
+            verified: None,
+        }
+    }
+
+    /// Starts a pipeline from an in-memory state graph.
+    pub fn from_sg(sg: StateGraph) -> Self {
+        Pipeline::new(Source::Sg(sg))
+    }
+
+    /// Starts a pipeline from specification text: an STG in `.g` format
+    /// or a state graph in `.sg` format, auto-detected via the
+    /// `.state graph` section marker. Parsing and reachability run at
+    /// [`Pipeline::elaborated`] time (and are cache-memoized).
+    pub fn from_text(text: impl Into<String>) -> Self {
+        Pipeline::new(Source::Text(text.into()))
+    }
+
+    /// Sets the worker-thread count for the cover search (results are
+    /// byte-identical for every thread count).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches a content-addressed artifact cache shared with other
+    /// pipelines (and, with a disk backend, other processes).
+    pub fn with_cache(mut self, cache: Arc<dyn Cache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Selects the latch style of the implementation (default:
+    /// [`Target::CElement`]).
+    pub fn with_target(mut self, target: Target) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Overrides the MC-reduction search budgets.
+    pub fn with_reduce_options(mut self, options: ReduceOptions) -> Self {
+        self.reduce_options = options;
+        self
+    }
+
+    /// Overrides the verifier's exploration budgets.
+    pub fn with_verify_options(mut self, options: VerifyOptions) -> Self {
+        self.verify_options = options;
+        self
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn cache_lookup(&self, key: &Key) -> Option<Vec<u8>> {
+        let cache = self.cache.as_deref()?;
+        simc_cache::lookup(cache, key)
+    }
+
+    fn cache_store(&self, key: &Key, value: &[u8]) {
+        if let Some(cache) = self.cache.as_deref() {
+            simc_cache::store(cache, key, value);
+        }
+    }
+
+    /// Stage 1 — parse (if text) and elaborate the state space, then
+    /// canonicalize. For text sources the elaboration result is cached
+    /// under a hash of the raw input bytes.
+    pub fn elaborated(&mut self) -> Result<&Elaborated, Error> {
+        if self.elaborated.is_none() {
+            let source = self.source.as_ref().expect("source present until elaborated");
+            let canonical = match source {
+                Source::Sg(sg) => canonical_sg(sg, CANONICAL_MODEL),
+                Source::Text(text) => {
+                    let key = simc_cache::key_of("elaborate.v1", &[text.as_bytes()]);
+                    let revived = self
+                        .cache_lookup(&key)
+                        .and_then(|bytes| codec::decode_sg_text(&bytes));
+                    match revived {
+                        Some(canonical) => canonical,
+                        None => {
+                            let sg = elaborate_text(text)?;
+                            let canonical = canonical_sg(&sg, CANONICAL_MODEL);
+                            self.cache_store(&key, canonical.as_bytes());
+                            canonical
+                        }
+                    }
+                }
+            };
+            // Reparsing the canonical text yields the canonical graph;
+            // `canonical_sg` guarantees the round trip is exact.
+            let sg = parse_sg(&canonical)?;
+            self.source = None;
+            self.elaborated = Some(Elaborated { sg, canonical });
+        }
+        Ok(self.elaborated.as_ref().expect("just elaborated"))
+    }
+
+    /// Stage 2 — the region decomposition (cached).
+    pub fn regioned(&mut self) -> Result<&Regioned, Error> {
+        if self.regioned.is_none() {
+            self.elaborated()?;
+            let elaborated = self.elaborated.as_ref().expect("elaborated");
+            let key = simc_cache::key_of("regions.v1", &[elaborated.canonical.as_bytes()]);
+            let revived = self.cache_lookup(&key).and_then(|bytes| {
+                Regions::from_cache_bytes(
+                    &bytes,
+                    elaborated.sg.state_count(),
+                    elaborated.sg.signal_count(),
+                )
+            });
+            let regions = match revived {
+                Some(regions) => regions,
+                None => {
+                    let regions = elaborated.sg.regions();
+                    self.cache_store(&key, &regions.to_cache_bytes());
+                    regions
+                }
+            };
+            self.regioned = Some(Regioned { regions });
+        }
+        Ok(self.regioned.as_ref().expect("just regioned"))
+    }
+
+    /// Stage 3 — the monotonous-cover check with minimized per-signal
+    /// covers (cached; thread-count-invariant).
+    pub fn covered(&mut self) -> Result<&Covered, Error> {
+        if self.covered.is_none() {
+            self.regioned()?;
+            let elaborated = self.elaborated.as_ref().expect("elaborated");
+            let regions = &self.regioned.as_ref().expect("regioned").regions;
+            let report = report_for(
+                &elaborated.sg,
+                &elaborated.canonical,
+                Some(regions),
+                self.threads,
+                self.cache.as_deref(),
+            );
+            self.covered = Some(Covered { report });
+        }
+        Ok(self.covered.as_ref().expect("just covered"))
+    }
+
+    /// Stage 4 — synthesis: MC-reduce if required, then build the
+    /// standard implementation from the (cached) covers.
+    pub fn implemented(&mut self) -> Result<&Implemented, Error> {
+        if self.implemented.is_none() {
+            self.covered()?;
+            let elaborated = self.elaborated.as_ref().expect("elaborated");
+            let report = &self.covered.as_ref().expect("covered").report;
+            let (working, working_canonical, added, reduce_log, working_report) =
+                if report.satisfied() {
+                    (
+                        elaborated.sg.clone(),
+                        elaborated.canonical.clone(),
+                        0,
+                        Vec::new(),
+                        report.clone(),
+                    )
+                } else {
+                    let (working, working_canonical, added, log) = self.reduce_stage()?;
+                    let report = report_for(
+                        &working,
+                        &working_canonical,
+                        None,
+                        self.threads,
+                        self.cache.as_deref(),
+                    );
+                    if !report.satisfied() {
+                        return Err(Error::Mc(simc_mc::McError::NotMonotonous {
+                            violations: report.violation_count(),
+                        }));
+                    }
+                    (working, working_canonical, added, log, report)
+                };
+            let implementation =
+                implementation_from_report(&working, &working_report, self.target);
+            let netlist = implementation.to_netlist().map_err(Error::Mc)?;
+            self.implemented = Some(Implemented {
+                implementation,
+                netlist,
+                working,
+                working_canonical,
+                working_report,
+                added,
+                reduce_log,
+            });
+        }
+        Ok(self.implemented.as_ref().expect("just implemented"))
+    }
+
+    /// Stage 5 — exhaustive speed-independence verification of the
+    /// implementation against its working graph (verdict cached).
+    pub fn verified(&mut self) -> Result<&Verified, Error> {
+        if self.verified.is_none() {
+            self.implemented()?;
+            let implemented = self.implemented.as_ref().expect("implemented");
+            let mut hasher = KeyHasher::new("verdict.v1");
+            hasher.update(implemented.working_canonical.as_bytes());
+            hasher.update(target_tag(self.target).as_bytes());
+            hasher.update_u64(self.verify_options.max_states as u64);
+            hasher.update_u64(self.verify_options.max_violations as u64);
+            hasher.update_u64(u64::from(self.verify_options.flag_clashes));
+            let key = hasher.finish();
+            let revived = self
+                .cache_lookup(&key)
+                .and_then(|bytes| codec::decode_verdict(&bytes));
+            let verified = match revived {
+                Some((ok, explored, violations)) => Verified { ok, explored, violations },
+                None => {
+                    let report =
+                        verify(&implemented.netlist, &implemented.working, self.verify_options)
+                            .map_err(Error::Netlist)?;
+                    let violations: Vec<String> = report
+                        .violations
+                        .iter()
+                        .map(|v| report.describe(&implemented.netlist, &implemented.working, v))
+                        .collect();
+                    let verified =
+                        Verified { ok: report.is_ok(), explored: report.explored, violations };
+                    self.cache_store(
+                        &key,
+                        &codec::encode_verdict(verified.ok, verified.explored, &verified.violations),
+                    );
+                    verified
+                }
+            };
+            self.verified = Some(verified);
+        }
+        Ok(self.verified.as_ref().expect("just verified"))
+    }
+
+    /// The MC-reduction sub-stage of [`Pipeline::implemented`] (cached).
+    fn reduce_stage(&mut self) -> Result<(StateGraph, String, usize, Vec<String>), Error> {
+        let elaborated = self.elaborated.as_ref().expect("elaborated");
+        let opts = self.reduce_options;
+        let mut hasher = KeyHasher::new("reduce.v1");
+        hasher.update(elaborated.canonical.as_bytes());
+        for field in [opts.max_signals, opts.max_candidates, opts.beam_width, opts.branch] {
+            hasher.update_u64(field as u64);
+        }
+        let key = hasher.finish();
+        if let Some((canonical, added, log)) = self
+            .cache_lookup(&key)
+            .and_then(|bytes| codec::decode_reduce(&bytes))
+        {
+            if let Ok(sg) = parse_sg(&canonical) {
+                return Ok((sg, canonical, added, log));
+            }
+        }
+        let result = reduce_to_mc(&elaborated.sg, opts).map_err(Error::Mc)?;
+        let canonical = canonical_sg(&result.sg, CANONICAL_MODEL);
+        // Work in the canonical numbering, like every other stage.
+        let sg = parse_sg(&canonical)?;
+        self.cache_store(&key, &codec::encode_reduce(&canonical, result.added, &result.log));
+        Ok((sg, canonical, result.added, result.log))
+    }
+}
+
+/// Parses `.g`/`.sg` text and elaborates the state space.
+fn elaborate_text(text: &str) -> Result<StateGraph, Error> {
+    if text.contains(".state graph") {
+        return parse_sg(text).map_err(Error::Sg);
+    }
+    let stg = simc_stg::parse_g(text).map_err(Error::Stg)?;
+    stg.to_state_graph().map_err(Error::Stg)
+}
+
+/// Computes (or revives) the MC report of `sg`, whose canonical
+/// serialization is `canonical`. `regions` skips the decomposition when
+/// the caller already holds it; the report itself is cached under a key
+/// independent of the thread count.
+fn report_for(
+    sg: &StateGraph,
+    canonical: &str,
+    regions: Option<&Regions>,
+    threads: usize,
+    cache: Option<&dyn Cache>,
+) -> McReport {
+    let key = simc_cache::key_of("mcreport.v1", &[canonical.as_bytes()]);
+    if let Some(cache) = cache {
+        if let Some(report) = simc_cache::lookup(cache, &key)
+            .and_then(|bytes| codec::decode_report(&bytes, sg.state_count(), sg.signal_count()))
+        {
+            return report;
+        }
+    }
+    let check = match regions {
+        Some(regions) => McCheck::from_parts(sg, regions.clone()),
+        None => McCheck::new(sg),
+    };
+    let report = ParallelSynth::new(threads).report(&check);
+    if let Some(cache) = cache {
+        simc_cache::store(cache, &key, &codec::encode_report(&report));
+    }
+    report
+}
+
+/// Pairs the up/down entries of a satisfied report and builds the
+/// implementation without re-running the cover search.
+fn implementation_from_report(
+    sg: &StateGraph,
+    report: &McReport,
+    target: Target,
+) -> Implementation {
+    let mut covers = Vec::with_capacity(report.entries().len() / 2);
+    let mut entries = report.entries().iter();
+    while let (Some(up), Some(down)) = (entries.next(), entries.next()) {
+        debug_assert_eq!(up.signal, down.signal);
+        let set = up.result.clone().expect("satisfied report");
+        let reset = down.result.clone().expect("satisfied report");
+        covers.push((up.signal, set, reset));
+    }
+    build_from_covers(sg, covers, target)
+}
+
+/// Stable tag naming a target in cache keys.
+fn target_tag(target: Target) -> &'static str {
+    match target {
+        Target::CElement => "c-element",
+        Target::RsLatch => "rs-latch",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simc_benchmarks::figures;
+
+    #[test]
+    fn stages_chain_and_memoize() {
+        let mut pipeline = Pipeline::from_sg(figures::toggle());
+        let canonical = pipeline.elaborated().expect("elaborates").canonical_text().to_string();
+        assert!(pipeline.covered().expect("covers").report().satisfied());
+        assert!(pipeline.verified().expect("verifies").is_ok());
+        // Stage artifacts are memoized: the canonical text is stable.
+        assert_eq!(pipeline.elaborated().expect("memoized").canonical_text(), canonical);
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_byte_for_byte() {
+        let cache: Arc<dyn Cache> = Arc::new(simc_cache::MemCache::new(1 << 20));
+        let sg = figures::figure4(); // violates MC -> exercises reduction
+        let mut plain = Pipeline::from_sg(sg.clone());
+        let mut cold = Pipeline::from_sg(sg.clone()).with_cache(Arc::clone(&cache));
+        let mut warm = Pipeline::from_sg(sg).with_cache(Arc::clone(&cache));
+        let equations = |p: &mut Pipeline| {
+            let implemented = p.implemented().expect("implements");
+            (
+                implemented.implementation().equations(),
+                implemented.added_signals(),
+                p.verified().expect("verifies").is_ok(),
+            )
+        };
+        let reference = equations(&mut plain);
+        assert_eq!(equations(&mut cold), reference);
+        assert_eq!(equations(&mut warm), reference);
+    }
+
+    #[test]
+    fn text_and_sg_sources_share_canonical_form() {
+        let sg = figures::figure1();
+        let text = simc_sg::write_sg(&sg, "renamed_model");
+        let mut from_sg = Pipeline::from_sg(sg);
+        let mut from_text = Pipeline::from_text(text);
+        assert_eq!(
+            from_sg.elaborated().expect("sg").canonical_text(),
+            from_text.elaborated().expect("text").canonical_text(),
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_parse_kind() {
+        let mut pipeline = Pipeline::from_text(".model x\n.state graph\nbad line\n.end\n");
+        let err = pipeline.elaborated().expect_err("malformed");
+        assert_eq!(err.kind(), ErrorKind::Parse);
+        assert!(err.to_string().contains("line"), "{err}");
+    }
+}

@@ -26,16 +26,21 @@ use crate::graph::{SgBuilder, StateGraph};
 use crate::signal::{Dir, SignalKind, Transition};
 use crate::StateCode;
 
-/// Serializes a state graph in `.sg` format. States are named `s0, s1, …`
-/// by id; the initial state carries the marking.
-pub fn write_sg(sg: &StateGraph, model_name: &str) -> String {
+/// The `.model`/`.inputs`/`.outputs`/`.internal` header shared by both
+/// serializers. Signals appear in declaration order, which also fixes the
+/// code-bit assignment on reparse.
+fn signal_header(sg: &StateGraph, model_name: &str, sorted: bool) -> String {
     let mut out = format!(".model {model_name}\n");
     let list = |kind: SignalKind| -> String {
-        sg.signal_ids()
+        let mut names: Vec<String> = sg
+            .signal_ids()
             .filter(|&s| sg.signal(s).kind() == kind)
             .map(|s| sg.signal(s).name().to_string())
-            .collect::<Vec<_>>()
-            .join(" ")
+            .collect();
+        if sorted {
+            names.sort_unstable();
+        }
+        names.join(" ")
     };
     let inputs = list(SignalKind::Input);
     if !inputs.is_empty() {
@@ -49,6 +54,13 @@ pub fn write_sg(sg: &StateGraph, model_name: &str) -> String {
     if !internal.is_empty() {
         out.push_str(&format!(".internal {internal}\n"));
     }
+    out
+}
+
+/// Serializes a state graph in `.sg` format. States are named `s0, s1, …`
+/// by id; the initial state carries the marking.
+pub fn write_sg(sg: &StateGraph, model_name: &str) -> String {
+    let mut out = signal_header(sg, model_name, false);
     out.push_str(".state graph\n");
     for s in sg.state_ids() {
         for &(t, next) in sg.succs(s) {
@@ -62,6 +74,68 @@ pub fn write_sg(sg: &StateGraph, model_name: &str) -> String {
         }
     }
     out.push_str(&format!(".marking {{s{}}}\n.end\n", sg.initial().index()));
+    out
+}
+
+/// Serializes a state graph in *canonical* `.sg` form.
+///
+/// Signal declarations are listed name-sorted within each kind, and
+/// states are renumbered by breadth-first discovery order from the
+/// initial state, visiting each state's outgoing edges ordered by
+/// (signal name, rise-before-fall); arcs are listed grouped by source
+/// state in that same order. Everything is keyed on signal *names*, so
+/// two in-memory graphs that differ only in internal state or signal
+/// numbering serialize to identical bytes, and [`parse_sg`] reconstructs
+/// a graph whose state ids coincide with the canonical numbering —
+/// canonicalizing a reparsed canonical graph reproduces the text byte
+/// for byte.
+///
+/// This is the **single canonical form** shared by content-addressed
+/// cache keys and by the fuzzer's `.sg` repro emission, so hashing and
+/// repro replay always agree on the graph they describe.
+pub fn canonical_sg(sg: &StateGraph, model_name: &str) -> String {
+    let n = sg.state_count();
+    let sorted_succs = |s: crate::graph::StateId| {
+        let mut edges = sg.succs(s).to_vec();
+        edges.sort_by(|&(a, _), &(b, _)| {
+            sg.signal(a.signal)
+                .name()
+                .cmp(sg.signal(b.signal).name())
+                .then_with(|| (a.dir == Dir::Fall).cmp(&(b.dir == Dir::Fall)))
+        });
+        edges
+    };
+    // Renumber by BFS; `SgBuilder` guarantees full reachability from the
+    // initial state, so the traversal discovers every state.
+    let mut renumber = vec![usize::MAX; n];
+    let mut bfs = Vec::with_capacity(n);
+    renumber[sg.initial().index()] = 0;
+    bfs.push(sg.initial());
+    let mut head = 0;
+    while head < bfs.len() {
+        let s = bfs[head];
+        head += 1;
+        for (_, next) in sorted_succs(s) {
+            if renumber[next.index()] == usize::MAX {
+                renumber[next.index()] = bfs.len();
+                bfs.push(next);
+            }
+        }
+    }
+    let mut out = signal_header(sg, model_name, true);
+    out.push_str(".state graph\n");
+    for &s in &bfs {
+        for (t, next) in sorted_succs(s) {
+            out.push_str(&format!(
+                "s{} {}{} s{}\n",
+                renumber[s.index()],
+                sg.signal(t.signal).name(),
+                t.dir.sign(),
+                renumber[next.index()]
+            ));
+        }
+    }
+    out.push_str(".marking {s0}\n.end\n");
     out
 }
 

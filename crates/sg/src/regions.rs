@@ -12,6 +12,14 @@ use crate::signal::{Dir, SignalId, Transition};
 pub struct ErId(pub(crate) u32);
 
 impl ErId {
+    /// Creates a region id from a raw index (as reported by
+    /// [`ErId::index`]). Region ids are only meaningful relative to the
+    /// [`Regions`] analysis they came from; this constructor exists so
+    /// external artifact stores can round-trip region-attributed data.
+    pub fn new(index: usize) -> Self {
+        ErId(index as u32)
+    }
+
     /// The raw index of this region.
     pub fn index(self) -> usize {
         self.0 as usize
@@ -128,6 +136,116 @@ impl Regions {
             by_signal[er.signal().index()].push(ErId(i as u32));
         }
         Regions { ers, qrs, cfrs, cfr_sets, by_signal }
+    }
+
+    /// Serializes the analysis for an external artifact store.
+    ///
+    /// Only the excitation and quiescent regions are stored; the derived
+    /// CFR tables and per-signal index are rebuilt by
+    /// [`Regions::from_cache_bytes`] exactly as [`Regions::compute`]
+    /// builds them, so a decoded analysis is indistinguishable from the
+    /// original.
+    pub fn to_cache_bytes(&self) -> Vec<u8> {
+        use std::fmt::Write as _;
+        let mut out = String::from("simc.regions.v1\n");
+        let _ = writeln!(out, "count {}", self.ers.len());
+        for (er, qr) in self.ers.iter().zip(&self.qrs) {
+            let _ = write!(out, "er {} {} {}", er.signal.index(), er.dir.sign(), er.occurrence);
+            for s in &er.states {
+                let _ = write!(out, " {}", s.index());
+            }
+            out.push_str("\nqr");
+            for s in qr {
+                let _ = write!(out, " {}", s.index());
+            }
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes an analysis previously serialized with
+    /// [`Regions::to_cache_bytes`] for a graph with `state_count` states
+    /// and `signal_count` signals.
+    ///
+    /// Returns `None` on any structural mismatch (truncation, bad tokens,
+    /// out-of-range ids, unsorted region states) so corrupted store
+    /// entries degrade to a recompute instead of a panic.
+    pub fn from_cache_bytes(
+        bytes: &[u8],
+        state_count: usize,
+        signal_count: usize,
+    ) -> Option<Regions> {
+        let text = std::str::from_utf8(bytes).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != "simc.regions.v1" {
+            return None;
+        }
+        let count: usize = lines.next()?.strip_prefix("count ")?.parse().ok()?;
+        let parse_states = |tokens: std::str::SplitWhitespace<'_>| -> Option<Vec<StateId>> {
+            let mut states = Vec::new();
+            for token in tokens {
+                let index: usize = token.parse().ok()?;
+                if index >= state_count {
+                    return None;
+                }
+                states.push(StateId(index as u32));
+            }
+            if states.windows(2).any(|w| w[0] >= w[1]) {
+                return None;
+            }
+            Some(states)
+        };
+        let mut ers = Vec::with_capacity(count);
+        let mut qrs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut tokens = lines.next()?.split_whitespace();
+            if tokens.next()? != "er" {
+                return None;
+            }
+            let signal_index: usize = tokens.next()?.parse().ok()?;
+            if signal_index >= signal_count {
+                return None;
+            }
+            let dir = match tokens.next()? {
+                "+" => Dir::Rise,
+                "-" => Dir::Fall,
+                _ => return None,
+            };
+            let occurrence: u32 = tokens.next()?.parse().ok()?;
+            let states = parse_states(tokens)?;
+            if states.is_empty() {
+                return None;
+            }
+            ers.push(ExcitationRegion {
+                signal: SignalId(signal_index as u32),
+                dir,
+                occurrence,
+                states,
+            });
+            let mut tokens = lines.next()?.split_whitespace();
+            if tokens.next()? != "qr" {
+                return None;
+            }
+            qrs.push(parse_states(tokens)?);
+        }
+        if lines.next().is_some() {
+            return None;
+        }
+        let mut cfrs = Vec::with_capacity(ers.len());
+        let mut cfr_sets = Vec::with_capacity(ers.len());
+        for (er, qr) in ers.iter().zip(&qrs) {
+            let mut cfr: Vec<StateId> = er.states().to_vec();
+            cfr.extend_from_slice(qr);
+            cfr.sort_unstable();
+            cfr.dedup();
+            cfr_sets.push(BitSet::from_ids(state_count, cfr.iter().copied()));
+            cfrs.push(cfr);
+        }
+        let mut by_signal = vec![Vec::new(); signal_count];
+        for (i, er) in ers.iter().enumerate() {
+            by_signal[er.signal().index()].push(ErId(i as u32));
+        }
+        Some(Regions { ers, qrs, cfrs, cfr_sets, by_signal })
     }
 
     /// All excitation regions.

@@ -8,12 +8,19 @@ cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release"
 cargo build --release
+# `crates/bench` is outside default-members; build its repro binaries
+# explicitly so the smoke checks below run current code, not a stale
+# artifact.
+cargo build --release -p simc-bench
 
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> simc fuzz --seed 0xDAC94 --iters 200"
 # Fixed-seed differential-fuzzing smoke: exits nonzero on any oracle
@@ -27,5 +34,24 @@ echo "==> repro_pipeline --smoke --check BENCH_pipeline.json"
 smoke_out="$(mktemp)"
 trap 'rm -f "$smoke_out"' EXIT
 ./target/release/repro_pipeline --smoke --check BENCH_pipeline.json --out "$smoke_out"
+
+echo "==> simc batch cold/warm over the built-in suite"
+# Batch smoke with a shared on-disk artifact cache: the warm second pass
+# must be byte-identical to the cold first pass and must actually hit
+# the cache (no recomputation).
+batch_dir="$(mktemp -d)"
+trap 'rm -f "$smoke_out"; rm -rf "$batch_dir"' EXIT
+printf 'benchmarks/*\n' > "$batch_dir/manifest.txt"
+./target/release/simc batch "$batch_dir/manifest.txt" \
+    --cache-dir "$batch_dir/cache" > "$batch_dir/cold.json"
+./target/release/simc batch "$batch_dir/manifest.txt" \
+    --cache-dir "$batch_dir/cache" \
+    --stats-json "$batch_dir/warm_stats.json" > "$batch_dir/warm.json"
+cmp "$batch_dir/cold.json" "$batch_dir/warm.json" \
+    || { echo "error: warm batch output differs from cold" >&2; exit 1; }
+grep -q '"jobs_failed": 0' "$batch_dir/cold.json" \
+    || { echo "error: batch jobs failed" >&2; exit 1; }
+grep -q '"cache.misses": 0' "$batch_dir/warm_stats.json" \
+    || { echo "error: warm batch pass missed the cache" >&2; exit 1; }
 
 echo "==> ci: all green"

@@ -5,7 +5,16 @@
 //! (DAC 1994): synthesis of hazard-free asynchronous circuits from state
 //! graphs using only AND gates, OR gates and asynchronous latches.
 //!
-//! This facade crate re-exports the workspace's public API:
+//! The supported entry point is the typed staged [`Pipeline`]: it drives
+//! parsing → elaboration → region analysis → monotonous covers →
+//! synthesis → verification, memoizes each stage per session, and — with
+//! [`Pipeline::with_cache`] — memoizes the expensive artifacts across
+//! sessions in a content-addressed [`cache`]. Failures surface as the
+//! unified [`Error`] with a stable [`Error::kind`]. Import the common
+//! surface in one line via [`prelude`].
+//!
+//! This facade crate also re-exports the per-crate APIs, which remain
+//! supported as lower-level building blocks:
 //!
 //! * [`sg`] — state graphs, behavioural and region analysis;
 //! * [`cube`] — Boolean cube algebra and two-level covers;
@@ -18,11 +27,14 @@
 //! * [`mc`] — the paper's contribution: Monotonous Cover theory,
 //!   standard C-/RS-implementation synthesis, the Beerel–Meng-style
 //!   baseline, and MC-reduction by state-signal insertion;
+//! * [`cache`] — the content-addressed artifact cache (in-memory LRU and
+//!   on-disk backends);
+//! * [`pipeline`] — the staged driver re-exported at the crate root;
 //! * [`benchmarks`] — the paper's figures as executable state graphs, a
 //!   reconstructed Table 1 benchmark suite, and scalable generators;
 //! * [`obs`] — pipeline observability: hierarchical timing spans and
-//!   typed counters across SAT, cover search, beam search and
-//!   verification;
+//!   typed counters across SAT, cover search, beam search, verification
+//!   and the artifact cache;
 //! * [`fuzz`] — differential fuzzing: seeded random specifications,
 //!   agreement oracles over independent pipeline routes, fault
 //!   injection, and a delta-debugging shrinker.
@@ -30,15 +42,16 @@
 //! # Quickstart
 //!
 //! ```
-//! use simc::sg::{SignalKind, StateGraph};
-//! use simc::mc::McCheck;
+//! use simc::prelude::*;
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // The paper's Figure 4: a persistent SG that still violates the
-//! // Monotonous Cover requirement.
-//! let sg = simc::benchmarks::figures::figure4();
-//! let report = McCheck::new(&sg).report();
-//! assert!(!report.satisfied());
+//! # fn main() -> Result<(), simc::Error> {
+//! // The paper's Figure 4 violates the Monotonous Cover requirement;
+//! // the pipeline reduces it by state-signal insertion, synthesizes a
+//! // standard C-element implementation, and verifies it hazard-free.
+//! let mut pipeline = Pipeline::from_sg(simc::benchmarks::figures::figure4());
+//! assert!(!pipeline.covered()?.report().satisfied());
+//! assert!(pipeline.implemented()?.added_signals() > 0);
+//! assert!(pipeline.verified()?.is_ok());
 //! # Ok(())
 //! # }
 //! ```
@@ -46,11 +59,41 @@
 #![forbid(unsafe_code)]
 
 pub use simc_benchmarks as benchmarks;
+pub use simc_cache as cache;
 pub use simc_cube as cube;
 pub use simc_fuzz as fuzz;
 pub use simc_obs as obs;
 pub use simc_mc as mc;
 pub use simc_netlist as netlist;
+pub use simc_pipeline as pipeline;
 pub use simc_sat as sat;
 pub use simc_sg as sg;
 pub use simc_stg as stg;
+
+pub use simc_pipeline::{
+    Covered, Elaborated, Error, ErrorKind, Implemented, Pipeline, Regioned, Verified,
+};
+
+/// One-line import of the supported API surface.
+///
+/// ```
+/// use simc::prelude::*;
+/// ```
+///
+/// Brings in the staged [`Pipeline`] with its artifact types, the
+/// unified [`Error`]/[`ErrorKind`], the cache backends, and the handful
+/// of domain types almost every caller touches (state graphs, targets,
+/// reports). Anything deeper lives under the per-crate modules
+/// (`simc::mc`, `simc::sg`, …), which remain supported.
+pub mod prelude {
+    pub use simc_cache::{Cache, DiskCache, Key, LayeredCache, MemCache};
+    pub use simc_mc::assign::ReduceOptions;
+    pub use simc_mc::synth::Target;
+    pub use simc_mc::{McCheck, McReport};
+    pub use simc_netlist::{Netlist, VerifyOptions};
+    pub use simc_pipeline::{
+        Covered, Elaborated, Error, ErrorKind, Implemented, Pipeline, Regioned, Verified,
+    };
+    pub use simc_sg::{canonical_sg, parse_sg, write_sg, SignalKind, StateGraph};
+    pub use simc_stg::{parse_g, Stg};
+}

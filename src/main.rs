@@ -6,6 +6,7 @@
 //! simc synth   <spec.g> [--rs] [--baseline] [--share] [--complex] [--verilog]
 //! simc verify  <spec.g> [--rs] [--baseline]             full flow + verdict
 //! simc dot     <spec.g>                 Graphviz of the state graph
+//! simc batch   <manifest> [--threads <n>] [--out <path>]    run many specs
 //! simc fuzz    [--seed <n>] [--iters <n>] [--threads <n>]   differential fuzzing
 //! ```
 //!
@@ -16,22 +17,37 @@
 //!
 //! Every subcommand accepts `--stats` (pipeline counters and phase
 //! timings on stderr) and `--stats-json <path>` (the same report as a
-//! JSON document).
+//! JSON document). Every spec-processing subcommand accepts
+//! `--cache-dir <dir>`, an on-disk content-addressed artifact cache that
+//! memoizes elaboration, region analysis, cover minimization,
+//! MC-reduction and verification verdicts across runs; cached and
+//! uncached runs produce byte-identical output.
+//!
+//! `simc batch` reads a manifest with one spec per line (`#` comments,
+//! `--rs` per line, `benchmarks/*` expands the built-in suite), runs the
+//! full flow for each job in parallel over a shared cache, and emits a
+//! deterministic JSON summary.
 //!
 //! Exit codes: `0` success, `1` operational failure (hazards found, CSC
-//! violation, oracle disagreement), `2` usage error or malformed input.
+//! violation, oracle disagreement, failed batch job), `2` usage error or
+//! malformed input.
+//!
+//! Since the pipeline rework the subcommands run on [`simc::Pipeline`];
+//! spec numbering in outputs is the canonical (BFS-renumbered) form, so
+//! isomorphic inputs print identically.
 
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use simc::mc::assign::{reduce_to_mc, ReduceOptions};
+use simc::cache::{Cache, DiskCache, LayeredCache, MemCache};
 use simc::mc::baseline::synthesize_baseline;
 use simc::mc::gen::synthesize_generalized;
-use simc::mc::synth::{synthesize, Implementation, Target};
-use simc::mc::McCheck;
+use simc::mc::parallel::parallel_map;
+use simc::mc::synth::Target;
 use simc::netlist::{verify, VerifyOptions};
 use simc::sg::StateGraph;
-use simc::stg::parse_g;
+use simc::{ErrorKind, Pipeline};
 
 /// A CLI failure carrying its exit code.
 enum CliError {
@@ -50,6 +66,17 @@ impl CliError {
 
     fn failure(message: impl Into<String>) -> Self {
         CliError::Failure(message.into())
+    }
+}
+
+/// Maps a pipeline error to the CLI exit-code contract: parse-kind
+/// errors are usage errors (exit 2), everything else is operational
+/// (exit 1).
+fn cli_error(error: simc::Error, context: &str) -> CliError {
+    let message = format!("{context}: {error}");
+    match error.kind() {
+        ErrorKind::Parse => CliError::usage(message),
+        _ => CliError::failure(message),
     }
 }
 
@@ -73,7 +100,10 @@ const KNOWN_FLAGS: &[&str] =
     &["--rs", "--baseline", "--share", "--complex", "--verilog", "--stats"];
 
 /// Flags that take a value, only meaningful for `simc fuzz`.
-const FUZZ_VALUE_FLAGS: &[&str] = &["--seed", "--iters", "--threads"];
+const FUZZ_VALUE_FLAGS: &[&str] = &["--seed", "--iters"];
+
+/// In-memory cache budget fronting the on-disk store (per process).
+const MEM_CACHE_BYTES: usize = 32 << 20;
 
 fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
@@ -84,6 +114,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let rest = args.get(rest_from..).unwrap_or_default();
     let mut flags: Vec<&str> = Vec::new();
     let mut stats_json: Option<&str> = None;
+    let mut cache_dir: Option<&str> = None;
+    let mut out_path: Option<&str> = None;
+    let mut threads: Option<&str> = None;
     let mut fuzz_values: Vec<(&str, &str)> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
@@ -93,6 +126,44 @@ fn run(args: &[String]) -> Result<(), CliError> {
             stats_json = Some(rest.get(i).ok_or_else(|| {
                 CliError::usage(format!("--stats-json needs a file path\n{}", usage()))
             })?);
+        } else if arg == "--cache-dir" {
+            if command == "fuzz" {
+                return Err(CliError::usage(format!(
+                    "`--cache-dir` is not valid with `simc fuzz`\n{}",
+                    usage()
+                )));
+            }
+            i += 1;
+            cache_dir = Some(rest.get(i).ok_or_else(|| {
+                CliError::usage(format!("--cache-dir needs a directory path\n{}", usage()))
+            })?);
+        } else if arg == "--out" {
+            if command != "batch" {
+                return Err(CliError::usage(format!(
+                    "`--out` is only valid with `simc batch`\n{}",
+                    usage()
+                )));
+            }
+            i += 1;
+            out_path = Some(rest.get(i).ok_or_else(|| {
+                CliError::usage(format!("--out needs a file path\n{}", usage()))
+            })?);
+        } else if arg == "--threads" {
+            if command != "fuzz" && command != "batch" {
+                return Err(CliError::usage(format!(
+                    "`--threads` is only valid with `simc fuzz` or `simc batch`\n{}",
+                    usage()
+                )));
+            }
+            i += 1;
+            let value = rest.get(i).ok_or_else(|| {
+                CliError::usage(format!("{arg} needs a value\n{}", usage()))
+            })?;
+            if command == "fuzz" {
+                fuzz_values.push((arg, value));
+            } else {
+                threads = Some(value);
+            }
         } else if FUZZ_VALUE_FLAGS.contains(&arg) {
             if command != "fuzz" {
                 return Err(CliError::usage(format!(
@@ -117,12 +188,18 @@ fn run(args: &[String]) -> Result<(), CliError> {
         simc::obs::set_stats(true);
     }
     let target = if flags.contains(&"--rs") { Target::RsLatch } else { Target::CElement };
+    let cache = make_cache(cache_dir)?;
     let result = match command.as_str() {
-        "analyze" => analyze(&load(args.get(1))?),
-        "reduce" => reduce(&load(args.get(1))?),
-        "synth" => synth(&load(args.get(1))?, target, &flags),
-        "verify" => do_verify(&load(args.get(1))?, target, &flags),
-        "dot" => load(args.get(1)).map(|sg| println!("{}", sg.to_dot())),
+        "analyze" => analyze(pipeline_for(args.get(1), target, &cache)?),
+        "reduce" => reduce(pipeline_for(args.get(1), target, &cache)?),
+        "synth" => synth(pipeline_for(args.get(1), target, &cache)?, target, &flags),
+        "verify" => do_verify(pipeline_for(args.get(1), target, &cache)?, target, &flags),
+        "dot" => {
+            let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
+            println!("{}", pipeline.elaborated().expect("elaborated eagerly").sg().to_dot());
+            Ok(())
+        }
+        "batch" => batch(args.get(1), target, &cache, threads, out_path),
         "fuzz" => fuzz(&fuzz_values),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -144,7 +221,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
 fn usage() -> String {
     "usage: simc <analyze|reduce|synth|verify|dot> <spec.g|spec.sg|benchmarks/<name>|-> \
      [--rs] [--baseline] [--share] [--complex] [--verilog] \
-     [--stats] [--stats-json <path>]\n       \
+     [--cache-dir <dir>] [--stats] [--stats-json <path>]\n       \
+     simc batch <manifest> [--rs] [--threads <n>] [--cache-dir <dir>] [--out <path>] [--stats]\n       \
      simc fuzz [--seed <n>] [--iters <n>] [--threads <n>] [--stats]"
         .to_string()
 }
@@ -156,6 +234,14 @@ fn parse_u64(text: &str) -> Option<u64> {
     } else {
         text.parse().ok()
     }
+}
+
+/// Opens the layered artifact cache when `--cache-dir` was given.
+fn make_cache(cache_dir: Option<&str>) -> Result<Option<Arc<dyn Cache>>, CliError> {
+    let Some(dir) = cache_dir else { return Ok(None) };
+    let disk = DiskCache::new(dir)
+        .map_err(|e| CliError::failure(format!("opening cache dir {dir}: {e}")))?;
+    Ok(Some(Arc::new(LayeredCache::new(MemCache::new(MEM_CACHE_BYTES), disk))))
 }
 
 fn fuzz(values: &[(&str, &str)]) -> Result<(), CliError> {
@@ -206,36 +292,60 @@ fn fuzz(values: &[(&str, &str)]) -> Result<(), CliError> {
     }
 }
 
-fn load(path: Option<&String>) -> Result<StateGraph, CliError> {
+/// A loaded specification: raw text, or an already-built state graph
+/// (the built-in benchmark fallback).
+enum Spec {
+    Text(String),
+    Sg(StateGraph),
+}
+
+/// Loads a spec argument: `-` is stdin, a readable file is its text, and
+/// `benchmarks/<name>` falls back to the built-in Table 1 suite.
+fn load_spec(path: Option<&String>) -> Result<(Spec, String), CliError> {
     let path = path.ok_or_else(|| CliError::usage(usage()))?;
-    let text = if path == "-" {
+    if path == "-" {
         let mut buffer = String::new();
         std::io::stdin()
             .read_to_string(&mut buffer)
             .map_err(|e| CliError::usage(format!("reading stdin: {e}")))?;
-        buffer
-    } else {
-        match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            // Fall back to the built-in Table 1 suite: `benchmarks/<name>`
-            // works without the specs existing on disk.
-            Err(e) => match builtin_benchmark(path) {
-                Some(stg) => {
-                    return stg
-                        .to_state_graph()
-                        .map_err(|e| CliError::usage(format!("reachability of {path}: {e}")))
-                }
-                None => return Err(CliError::usage(format!("reading {path}: {e}"))),
-            },
-        }
-    };
-    if text.contains(".state graph") {
-        return simc::sg::parse_sg(&text)
-            .map_err(|e| CliError::usage(format!("parsing {path}: {e}")));
+        return Ok((Spec::Text(buffer), path.clone()));
     }
-    let stg = parse_g(&text).map_err(|e| CliError::usage(format!("parsing {path}: {e}")))?;
-    stg.to_state_graph()
-        .map_err(|e| CliError::usage(format!("reachability of {path}: {e}")))
+    match std::fs::read_to_string(path) {
+        Ok(text) => Ok((Spec::Text(text), path.clone())),
+        // Fall back to the built-in Table 1 suite: `benchmarks/<name>`
+        // works without the specs existing on disk.
+        Err(e) => match builtin_benchmark(path) {
+            Some(stg) => {
+                let sg = stg
+                    .to_state_graph()
+                    .map_err(|e| CliError::usage(format!("reachability of {path}: {e}")))?;
+                Ok((Spec::Sg(sg), path.clone()))
+            }
+            None => Err(CliError::usage(format!("reading {path}: {e}"))),
+        },
+    }
+}
+
+/// Builds a pipeline for a spec argument and eagerly elaborates it so
+/// parse errors carry the spec path and exit 2.
+fn pipeline_for(
+    path: Option<&String>,
+    target: Target,
+    cache: &Option<Arc<dyn Cache>>,
+) -> Result<Pipeline, CliError> {
+    let (spec, label) = load_spec(path)?;
+    let mut pipeline = match spec {
+        Spec::Text(text) => Pipeline::from_text(text),
+        Spec::Sg(sg) => Pipeline::from_sg(sg),
+    };
+    pipeline = pipeline.with_target(target);
+    if let Some(cache) = cache {
+        pipeline = pipeline.with_cache(Arc::clone(cache));
+    }
+    pipeline
+        .elaborated()
+        .map_err(|e| cli_error(e, &format!("parsing {label}")))?;
+    Ok(pipeline)
 }
 
 /// Resolves `benchmarks/<name>` (or a bare suite name) against the
@@ -248,7 +358,8 @@ fn builtin_benchmark(path: &str) -> Option<simc::stg::Stg> {
         .map(|b| b.stg)
 }
 
-fn analyze(sg: &StateGraph) -> Result<(), CliError> {
+fn analyze(mut pipeline: Pipeline) -> Result<(), CliError> {
+    let sg = pipeline.elaborated().expect("elaborated eagerly").sg().clone();
     println!("states: {}", sg.state_count());
     println!("edges:  {}", sg.edge_count());
     let inputs: Vec<&str> = sg
@@ -269,59 +380,47 @@ fn analyze(sg: &StateGraph) -> Result<(), CliError> {
     println!("output distributive: {}", analysis.is_output_distributive());
     println!("CSC: {}", analysis.has_csc());
     println!("USC: {}", analysis.has_usc());
-    let regions = sg.regions();
+    let regions = pipeline.regioned().map_err(|e| cli_error(e, "region analysis"))?.regions();
     println!("excitation regions: {}", regions.er_count());
-    println!("output persistent: {}", regions.is_output_persistent(sg));
-    let report = McCheck::new(sg).report();
+    println!("output persistent: {}", regions.is_output_persistent(&sg));
+    let report = pipeline.covered().map_err(|e| cli_error(e, "cover check"))?.report();
     println!(
         "MC requirement: {}",
         if report.satisfied() { "satisfied" } else { "VIOLATED" }
     );
-    print!("{}", report.render(sg));
+    print!("{}", report.render(&sg));
     Ok(())
 }
 
-fn reduce(sg: &StateGraph) -> Result<(), CliError> {
-    let result = reduce_to_mc(sg, ReduceOptions::default())
-        .map_err(|e| CliError::failure(e.to_string()))?;
+fn reduce(mut pipeline: Pipeline) -> Result<(), CliError> {
+    let before = pipeline.elaborated().expect("elaborated eagerly").sg().state_count();
+    let implemented = pipeline.implemented().map_err(|e| cli_error(e, "MC-reduction"))?;
     println!(
         "inserted {} signal(s); {} -> {} states",
-        result.added,
-        sg.state_count(),
-        result.sg.state_count()
+        implemented.added_signals(),
+        before,
+        implemented.working_sg().state_count()
     );
-    for line in &result.log {
+    for line in implemented.reduce_log() {
         println!("  {line}");
     }
     println!();
-    print!("{}", McCheck::new(&result.sg).report().render(&result.sg));
+    print!("{}", implemented.working_report().render(implemented.working_sg()));
     Ok(())
 }
 
-fn reduced_or_original(sg: &StateGraph) -> Result<StateGraph, CliError> {
-    if McCheck::new(sg).report().satisfied() {
-        Ok(sg.clone())
-    } else {
-        let result = reduce_to_mc(sg, ReduceOptions::default())
-            .map_err(|e| CliError::failure(e.to_string()))?;
-        eprintln!("note: inserted {} state signal(s) to satisfy MC", result.added);
-        Ok(result.sg)
+/// Prints the insertion note `verify`/`synth` emit when the spec needed
+/// MC-reduction.
+fn note_insertions(added: usize) {
+    if added > 0 {
+        eprintln!("note: inserted {added} state signal(s) to satisfy MC");
     }
 }
 
-fn build(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<Implementation, CliError> {
-    if flags.contains(&"--baseline") {
-        synthesize_baseline(sg, target).map_err(|e| CliError::failure(e.to_string()))
-    } else if flags.contains(&"--share") {
-        synthesize_generalized(sg, target).map_err(|e| CliError::failure(e.to_string()))
-    } else {
-        synthesize(sg, target).map_err(|e| CliError::failure(e.to_string()))
-    }
-}
-
-fn synth(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), CliError> {
+fn synth(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(), CliError> {
     if flags.contains(&"--complex") {
         // Complex-gate style: CSC suffices, no insertion needed.
+        let sg = pipeline.elaborated().expect("elaborated eagerly").sg();
         let netlist = simc::mc::complex::synthesize_complex(sg)
             .map_err(|e| CliError::failure(e.to_string()))?;
         if flags.contains(&"--verilog") {
@@ -333,27 +432,54 @@ fn synth(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), CliError
         eprintln!("{}", netlist.stats());
         return Ok(());
     }
-    let working = if flags.contains(&"--baseline") {
-        sg.clone()
-    } else {
-        reduced_or_original(sg)?
-    };
-    let implementation = build(&working, target, flags)?;
-    let netlist = implementation
-        .to_netlist()
-        .map_err(|e| CliError::failure(e.to_string()))?;
+    if flags.contains(&"--baseline") {
+        // The baseline route deliberately skips MC-reduction: it fails
+        // (exit 1) exactly where Beerel–Meng-style synthesis would.
+        let sg = pipeline.elaborated().expect("elaborated eagerly").sg();
+        let implementation =
+            synthesize_baseline(sg, target).map_err(|e| CliError::failure(e.to_string()))?;
+        let netlist = implementation
+            .to_netlist()
+            .map_err(|e| CliError::failure(e.to_string()))?;
+        if flags.contains(&"--verilog") {
+            print!("{}", simc::netlist::primitive_library());
+            print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
+        } else {
+            print!("{}", implementation.equations());
+        }
+        eprintln!("{}", netlist.stats());
+        return Ok(());
+    }
+    let implemented = pipeline.implemented().map_err(|e| cli_error(e, "synthesis"))?;
+    note_insertions(implemented.added_signals());
+    if flags.contains(&"--share") {
+        let implementation = synthesize_generalized(implemented.working_sg(), target)
+            .map_err(|e| CliError::failure(e.to_string()))?;
+        let netlist = implementation
+            .to_netlist()
+            .map_err(|e| CliError::failure(e.to_string()))?;
+        if flags.contains(&"--verilog") {
+            print!("{}", simc::netlist::primitive_library());
+            print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
+        } else {
+            print!("{}", implementation.equations());
+        }
+        eprintln!("{}", netlist.stats());
+        return Ok(());
+    }
     if flags.contains(&"--verilog") {
         print!("{}", simc::netlist::primitive_library());
-        print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
+        print!("{}", simc::netlist::to_verilog(implemented.netlist(), "simc_top"));
     } else {
-        print!("{}", implementation.equations());
+        print!("{}", implemented.implementation().equations());
     }
-    eprintln!("{}", netlist.stats());
+    eprintln!("{}", implemented.netlist().stats());
     Ok(())
 }
 
-fn do_verify(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), CliError> {
+fn do_verify(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(), CliError> {
     if flags.contains(&"--complex") {
+        let sg = pipeline.elaborated().expect("elaborated eagerly").sg();
         let netlist = simc::mc::complex::synthesize_complex(sg)
             .map_err(|e| CliError::failure(e.to_string()))?;
         let report = verify(&netlist, sg, VerifyOptions::default())
@@ -369,28 +495,304 @@ fn do_verify(sg: &StateGraph, target: Target, flags: &[&str]) -> Result<(), CliE
             Err(CliError::failure(format!("{} violation(s) found", report.violations.len())))
         };
     }
-    let working = if flags.contains(&"--baseline") {
-        sg.clone()
-    } else {
-        reduced_or_original(sg)?
-    };
-    let implementation = build(&working, target, flags)?;
-    let netlist = implementation
-        .to_netlist()
-        .map_err(|e| CliError::failure(e.to_string()))?;
-    let report = verify(&netlist, &working, VerifyOptions::default())
-        .map_err(|e| CliError::failure(e.to_string()))?;
+    if flags.contains(&"--baseline") || flags.contains(&"--share") {
+        // The alternative synthesis routes are not pipeline stages; run
+        // the verifier directly against their netlists.
+        let (implementation, working) = if flags.contains(&"--baseline") {
+            let sg = pipeline.elaborated().expect("elaborated eagerly").sg().clone();
+            let implementation =
+                synthesize_baseline(&sg, target).map_err(|e| CliError::failure(e.to_string()))?;
+            (implementation, sg)
+        } else {
+            let implemented = pipeline.implemented().map_err(|e| cli_error(e, "synthesis"))?;
+            note_insertions(implemented.added_signals());
+            let implementation = synthesize_generalized(implemented.working_sg(), target)
+                .map_err(|e| CliError::failure(e.to_string()))?;
+            (implementation, implemented.working_sg().clone())
+        };
+        let netlist = implementation
+            .to_netlist()
+            .map_err(|e| CliError::failure(e.to_string()))?;
+        let report = verify(&netlist, &working, VerifyOptions::default())
+            .map_err(|e| CliError::failure(e.to_string()))?;
+        println!(
+            "{} ({} composed states explored)",
+            if report.is_ok() { "hazard-free" } else { "HAZARDOUS" },
+            report.explored
+        );
+        for violation in &report.violations {
+            println!("  {}", report.describe(&netlist, &working, violation));
+        }
+        return if report.is_ok() {
+            Ok(())
+        } else {
+            Err(CliError::failure(format!("{} violation(s) found", report.violations.len())))
+        };
+    }
+    let added = pipeline
+        .implemented()
+        .map_err(|e| cli_error(e, "synthesis"))?
+        .added_signals();
+    note_insertions(added);
+    let verified = pipeline.verified().map_err(|e| cli_error(e, "verification"))?;
     println!(
         "{} ({} composed states explored)",
-        if report.is_ok() { "hazard-free" } else { "HAZARDOUS" },
-        report.explored
+        if verified.is_ok() { "hazard-free" } else { "HAZARDOUS" },
+        verified.explored()
     );
-    for violation in &report.violations {
-        println!("  {}", report.describe(&netlist, &working, violation));
+    for violation in verified.violations() {
+        println!("  {violation}");
     }
-    if report.is_ok() {
+    if verified.is_ok() {
         Ok(())
     } else {
-        Err(CliError::failure(format!("{} violation(s) found", report.violations.len())))
+        Err(CliError::failure(format!("{} violation(s) found", verified.violations().len())))
     }
+}
+
+/// One batch job: a spec reference plus its synthesis target.
+struct BatchJob {
+    spec: String,
+    target: Target,
+}
+
+/// The outcome of one batch job, ready for JSON rendering.
+struct JobOutcome {
+    spec: String,
+    target: Target,
+    result: Result<JobMetrics, (ErrorKind, String)>,
+}
+
+/// Synthesis and verification metrics of a successful job.
+struct JobMetrics {
+    states: usize,
+    working_states: usize,
+    added: usize,
+    mc_satisfied: bool,
+    cubes: usize,
+    literals: u32,
+    and_gates: usize,
+    or_gates: usize,
+    latch_rails: usize,
+    other_gates: usize,
+    verified: bool,
+    explored: usize,
+    violations: usize,
+}
+
+fn batch(
+    manifest: Option<&String>,
+    default_target: Target,
+    cache: &Option<Arc<dyn Cache>>,
+    threads: Option<&str>,
+    out_path: Option<&str>,
+) -> Result<(), CliError> {
+    let manifest_path = manifest.ok_or_else(|| CliError::usage(usage()))?;
+    let threads = match threads {
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(value) => {
+            let parsed = parse_u64(value).ok_or_else(|| {
+                CliError::usage(format!("--threads needs an unsigned integer, got `{value}`"))
+            })?;
+            if parsed == 0 {
+                return Err(CliError::usage("--threads must be at least 1".to_string()));
+            }
+            parsed as usize
+        }
+    };
+    let text = std::fs::read_to_string(manifest_path)
+        .map_err(|e| CliError::usage(format!("reading {manifest_path}: {e}")))?;
+    let jobs = parse_manifest(&text, manifest_path, default_target)?;
+    let outcomes = parallel_map(&jobs, threads, |job| run_job(job, cache));
+    let ok = outcomes.iter().filter(|o| o.result.as_ref().is_ok_and(|m| m.verified)).count();
+    let failed = outcomes.len() - ok;
+    let json = render_batch_json(manifest_path, &outcomes);
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| CliError::failure(format!("writing {path}: {e}")))?;
+            eprintln!("batch: {ok}/{} job(s) ok; summary written to {path}", outcomes.len());
+        }
+        None => print!("{json}"),
+    }
+    if failed == 0 {
+        Ok(())
+    } else {
+        Err(CliError::failure(format!("{failed} of {} batch job(s) failed", outcomes.len())))
+    }
+}
+
+/// Parses a batch manifest: one spec per line, `#` comments, optional
+/// per-line `--rs`, and `benchmarks/*` expanding the built-in suite.
+fn parse_manifest(
+    text: &str,
+    path: &str,
+    default_target: Target,
+) -> Result<Vec<BatchJob>, CliError> {
+    let mut jobs = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut spec: Option<&str> = None;
+        let mut target = default_target;
+        for token in line.split_whitespace() {
+            match token {
+                "--rs" => target = Target::RsLatch,
+                "--celement" => target = Target::CElement,
+                token if token.starts_with("--") => {
+                    return Err(CliError::usage(format!(
+                        "{path} line {}: unknown option `{token}`",
+                        index + 1
+                    )));
+                }
+                token => {
+                    if spec.is_some() {
+                        return Err(CliError::usage(format!(
+                            "{path} line {}: more than one spec on a line",
+                            index + 1
+                        )));
+                    }
+                    spec = Some(token);
+                }
+            }
+        }
+        let spec = spec.ok_or_else(|| {
+            CliError::usage(format!("{path} line {}: no spec named", index + 1))
+        })?;
+        if spec == "-" {
+            return Err(CliError::usage(format!(
+                "{path} line {}: stdin (`-`) is not valid in a manifest",
+                index + 1
+            )));
+        }
+        if spec == "benchmarks/*" {
+            jobs.extend(simc::benchmarks::suite::all().into_iter().map(|b| BatchJob {
+                spec: format!("benchmarks/{}", b.name),
+                target,
+            }));
+        } else {
+            jobs.push(BatchJob { spec: spec.to_string(), target });
+        }
+    }
+    if jobs.is_empty() {
+        return Err(CliError::usage(format!("{path}: manifest names no jobs")));
+    }
+    Ok(jobs)
+}
+
+/// Runs one batch job through the full pipeline. Parallelism is across
+/// jobs, so each job's pipeline is single-threaded; the shared cache
+/// still deduplicates work between isomorphic jobs.
+fn run_job(job: &BatchJob, cache: &Option<Arc<dyn Cache>>) -> JobOutcome {
+    let outcome = |result| JobOutcome { spec: job.spec.clone(), target: job.target, result };
+    let spec = match load_spec(Some(&job.spec)) {
+        Ok((spec, _)) => spec,
+        Err(CliError::Usage(m)) | Err(CliError::Failure(m)) => {
+            return outcome(Err((ErrorKind::Parse, m)));
+        }
+    };
+    let mut pipeline = match spec {
+        Spec::Text(text) => Pipeline::from_text(text),
+        Spec::Sg(sg) => Pipeline::from_sg(sg),
+    };
+    pipeline = pipeline.with_target(job.target).with_threads(1);
+    if let Some(cache) = cache {
+        pipeline = pipeline.with_cache(Arc::clone(cache));
+    }
+    let run = |pipeline: &mut Pipeline| -> Result<JobMetrics, simc::Error> {
+        let states = pipeline.elaborated()?.sg().state_count();
+        let mc_satisfied = pipeline.covered()?.report().satisfied();
+        let implemented = pipeline.implemented()?;
+        let working_states = implemented.working_sg().state_count();
+        let added = implemented.added_signals();
+        let cubes = implemented.implementation().cube_count();
+        let literals = implemented.implementation().literal_count();
+        let stats = implemented.netlist().stats();
+        let (and_gates, or_gates, latch_rails, other_gates) =
+            (stats.and_gates, stats.or_gates, stats.latch_rails, stats.other_gates);
+        let verified = pipeline.verified()?;
+        Ok(JobMetrics {
+            states,
+            working_states,
+            added,
+            mc_satisfied,
+            cubes,
+            literals,
+            and_gates,
+            or_gates,
+            latch_rails,
+            other_gates,
+            verified: verified.is_ok(),
+            explored: verified.explored(),
+            violations: verified.violations().len(),
+        })
+    };
+    outcome(run(&mut pipeline).map_err(|e| (e.kind(), e.to_string())))
+}
+
+fn target_name(target: Target) -> &'static str {
+    match target {
+        Target::CElement => "c-element",
+        Target::RsLatch => "rs-latch",
+    }
+}
+
+/// Renders the deterministic batch summary (no timings, stable order).
+fn render_batch_json(manifest_path: &str, outcomes: &[JobOutcome]) -> String {
+    use std::fmt::Write as _;
+    let escape = simc::obs::json::escape;
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"manifest\": {},", escape(manifest_path));
+    let ok = outcomes.iter().filter(|o| o.result.as_ref().is_ok_and(|m| m.verified)).count();
+    let _ = writeln!(out, "  \"jobs_total\": {},", outcomes.len());
+    let _ = writeln!(out, "  \"jobs_ok\": {},", ok);
+    let _ = writeln!(out, "  \"jobs_failed\": {},", outcomes.len() - ok);
+    out.push_str("  \"jobs\": [\n");
+    for (index, outcome) in outcomes.iter().enumerate() {
+        out.push_str("    {");
+        let _ = write!(out, "\"spec\": {}, ", escape(&outcome.spec));
+        let _ = write!(out, "\"target\": {}, ", escape(target_name(outcome.target)));
+        match &outcome.result {
+            Ok(m) => {
+                let _ = write!(
+                    out,
+                    "\"status\": \"ok\", \"states\": {}, \"working_states\": {}, \
+                     \"added_signals\": {}, \"mc_satisfied\": {}, \"cubes\": {}, \
+                     \"literals\": {}, \"and_gates\": {}, \"or_gates\": {}, \
+                     \"latch_rails\": {}, \"other_gates\": {}, \"verified\": {}, \
+                     \"explored\": {}, \"violations\": {}",
+                    m.states,
+                    m.working_states,
+                    m.added,
+                    m.mc_satisfied,
+                    m.cubes,
+                    m.literals,
+                    m.and_gates,
+                    m.or_gates,
+                    m.latch_rails,
+                    m.other_gates,
+                    m.verified,
+                    m.explored,
+                    m.violations
+                );
+            }
+            Err((kind, message)) => {
+                let _ = write!(
+                    out,
+                    "\"status\": \"error\", \"kind\": {}, \"error\": {}",
+                    escape(&kind.to_string()),
+                    escape(message)
+                );
+            }
+        }
+        out.push('}');
+        if index + 1 < outcomes.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

@@ -1,0 +1,191 @@
+//! Integration tests of the content-addressed artifact cache: cached
+//! and uncached pipeline runs must be byte-identical, under memory
+//! pressure (LRU eviction) and on-disk persistence alike, and a
+//! corrupted store must only ever cost recomputation, never correctness.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use simc::benchmarks::figures;
+use simc::prelude::*;
+
+/// Everything observable about one full pipeline run, rendered to bytes.
+#[derive(Debug, PartialEq, Eq)]
+struct RunArtifacts {
+    canonical_sg: String,
+    mc_satisfied: bool,
+    report_render: String,
+    added_signals: usize,
+    equations: String,
+    verilog: String,
+    verified: bool,
+    explored: usize,
+    violations: Vec<String>,
+}
+
+/// Drives a pipeline through every stage and captures its artifacts.
+fn run_pipeline(mut pipeline: Pipeline) -> RunArtifacts {
+    let canonical_sg = pipeline.elaborated().expect("elaborates").canonical_text().to_string();
+    let covered = pipeline.covered().expect("covers");
+    let mc_satisfied = covered.report().satisfied();
+    let implemented = pipeline.implemented().expect("implements");
+    let report_render =
+        implemented.working_report().render(implemented.working_sg());
+    let added_signals = implemented.added_signals();
+    let equations = implemented.implementation().equations();
+    let verilog = simc::netlist::to_verilog(implemented.netlist(), "simc_top");
+    let verified = pipeline.verified().expect("verifies");
+    RunArtifacts {
+        canonical_sg,
+        mc_satisfied,
+        report_render,
+        added_signals,
+        equations,
+        verilog,
+        verified: verified.is_ok(),
+        explored: verified.explored(),
+        violations: verified.violations().to_vec(),
+    }
+}
+
+/// The state graphs exercised: one MC-satisfying (no reduction) and one
+/// MC-violating (reduction inserts a state signal).
+fn subjects() -> Vec<(&'static str, StateGraph)> {
+    vec![("toggle", figures::toggle()), ("figure4", figures::figure4())]
+}
+
+#[test]
+fn cold_and_warm_runs_are_byte_identical() {
+    for (name, sg) in subjects() {
+        let plain = run_pipeline(Pipeline::from_sg(sg.clone()));
+        let cache: Arc<dyn Cache> = Arc::new(MemCache::new(16 << 20));
+        let cold =
+            run_pipeline(Pipeline::from_sg(sg.clone()).with_cache(Arc::clone(&cache)));
+        let warm = run_pipeline(Pipeline::from_sg(sg).with_cache(cache));
+        assert_eq!(plain, cold, "{name}: cold cached run differs from uncached");
+        assert_eq!(cold, warm, "{name}: warm cached run differs from cold");
+    }
+}
+
+#[test]
+fn thread_counts_do_not_change_cached_artifacts() {
+    for (name, sg) in subjects() {
+        let cache: Arc<dyn Cache> = Arc::new(MemCache::new(16 << 20));
+        let baseline = run_pipeline(Pipeline::from_sg(sg.clone()).with_threads(1));
+        for threads in [1usize, 2, 8] {
+            let run = run_pipeline(
+                Pipeline::from_sg(sg.clone())
+                    .with_threads(threads)
+                    .with_cache(Arc::clone(&cache)),
+            );
+            assert_eq!(baseline, run, "{name}: {threads}-thread cached run differs");
+        }
+    }
+}
+
+#[test]
+fn lru_eviction_only_costs_recomputation() {
+    for (name, sg) in subjects() {
+        // A budget far below one artifact: every store is evicted almost
+        // immediately, so later stages run against a cache that keeps
+        // forgetting — results must not change.
+        let tiny: Arc<dyn Cache> = Arc::new(MemCache::new(64));
+        let plain = run_pipeline(Pipeline::from_sg(sg.clone()));
+        let starved =
+            run_pipeline(Pipeline::from_sg(sg.clone()).with_cache(Arc::clone(&tiny)));
+        let starved_again = run_pipeline(Pipeline::from_sg(sg).with_cache(tiny));
+        assert_eq!(plain, starved, "{name}: starved cache changed results");
+        assert_eq!(starved, starved_again, "{name}: starved rerun changed results");
+    }
+}
+
+/// A scratch directory removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir()
+            .join(format!("simc-cache-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn disk_cache_round_trips_across_reopens() {
+    let dir = TempDir::new("roundtrip");
+    let sg = figures::figure4();
+    let plain = run_pipeline(Pipeline::from_sg(sg.clone()));
+    let cold = {
+        let cache: Arc<dyn Cache> =
+            Arc::new(DiskCache::new(dir.path()).expect("open disk cache"));
+        run_pipeline(Pipeline::from_sg(sg.clone()).with_cache(cache))
+    };
+    // A fresh handle over the same directory — everything revives from
+    // the on-disk entries written by the cold run.
+    let warm = {
+        let cache: Arc<dyn Cache> =
+            Arc::new(DiskCache::new(dir.path()).expect("reopen disk cache"));
+        run_pipeline(Pipeline::from_sg(sg).with_cache(cache))
+    };
+    assert_eq!(plain, cold, "cold disk-cached run differs from uncached");
+    assert_eq!(cold, warm, "reopened disk cache changed results");
+    let entries = std::fs::read_dir(dir.path()).expect("read cache dir").count();
+    assert!(entries > 0, "cold run wrote no cache entries");
+}
+
+#[test]
+fn corrupted_disk_entries_are_treated_as_misses() {
+    let dir = TempDir::new("corrupt");
+    let sg = figures::figure4();
+    let cold = {
+        let cache: Arc<dyn Cache> =
+            Arc::new(DiskCache::new(dir.path()).expect("open disk cache"));
+        run_pipeline(Pipeline::from_sg(sg.clone()).with_cache(cache))
+    };
+    // Flip one payload byte in every entry; half-truncate every second.
+    let mut corrupted = 0usize;
+    for entry in std::fs::read_dir(dir.path()).expect("read cache dir") {
+        let path = entry.expect("dir entry").path();
+        let mut bytes = std::fs::read(&path).expect("read entry");
+        if corrupted.is_multiple_of(2) {
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+        } else {
+            bytes.truncate(bytes.len() / 2);
+        }
+        std::fs::write(&path, &bytes).expect("write corrupted entry");
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "no entries to corrupt");
+    let recovered = {
+        let cache: Arc<dyn Cache> =
+            Arc::new(DiskCache::new(dir.path()).expect("reopen disk cache"));
+        run_pipeline(Pipeline::from_sg(sg).with_cache(cache))
+    };
+    assert_eq!(cold, recovered, "corrupted cache entries changed results");
+}
+
+#[test]
+fn text_and_sg_sources_share_cached_artifacts() {
+    // An isomorphic `.sg` rendering with different state numbering and a
+    // different model name must hit the artifacts the SG-sourced run
+    // cached, because both canonicalize to the same form.
+    let sg = figures::figure4();
+    let text = simc::sg::write_sg(&sg, "renamed_model");
+    let cache: Arc<dyn Cache> = Arc::new(MemCache::new(16 << 20));
+    let from_sg = run_pipeline(Pipeline::from_sg(sg).with_cache(Arc::clone(&cache)));
+    let from_text = run_pipeline(Pipeline::from_text(text).with_cache(cache));
+    assert_eq!(from_sg, from_text, "text- and sg-sourced runs diverged");
+}

@@ -272,3 +272,123 @@ fn fuzz_flags_rejected_elsewhere() {
     assert_eq!(code, 2, "{stderr}");
     assert!(stderr.contains("only valid with `simc fuzz`"), "{stderr}");
 }
+
+/// A scratch directory removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("simc_cli_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn file(&self, name: &str) -> String {
+        self.0.join(name).to_str().expect("utf-8 temp path").to_string()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn batch_warm_cache_run_is_byte_identical_and_hits() {
+    let tmp = TempDir::new("batch");
+    let manifest = tmp.file("manifest.txt");
+    std::fs::write(&manifest, "# smoke manifest\nbenchmarks/Delement\nbenchmarks/Delement --rs\n")
+        .expect("write manifest");
+    let cache_dir = tmp.file("cache");
+    let stats_cold = tmp.file("cold.json");
+    let stats_warm = tmp.file("warm.json");
+    let run = |stats: &str| {
+        run_with_stdin(
+            &["batch", &manifest, "--cache-dir", &cache_dir, "--threads", "2", "--stats-json", stats],
+            "",
+        )
+    };
+    let (cold_out, cold_err, cold_code) = run(&stats_cold);
+    assert_eq!(cold_code, 0, "{cold_out} {cold_err}");
+    let (warm_out, warm_err, warm_code) = run(&stats_warm);
+    assert_eq!(warm_code, 0, "{warm_out} {warm_err}");
+    assert_eq!(cold_out, warm_out, "warm batch output differs from cold");
+    assert!(cold_out.contains("\"status\": \"ok\""), "{cold_out}");
+    assert!(cold_out.contains("\"jobs_failed\": 0"), "{cold_out}");
+    let warm_stats = std::fs::read_to_string(&stats_warm).expect("warm stats written");
+    let doc = simc::obs::json::parse(&warm_stats).expect("stats JSON parses");
+    let hits = doc
+        .get("counters")
+        .and_then(|c| c.get("cache.hits"))
+        .and_then(simc::obs::json::Value::as_u64);
+    assert!(hits.is_some_and(|n| n > 0), "cache.hits missing or zero in {warm_stats}");
+    let misses = doc
+        .get("counters")
+        .and_then(|c| c.get("cache.misses"))
+        .and_then(simc::obs::json::Value::as_u64);
+    assert_eq!(misses, Some(0), "warm run should not miss: {warm_stats}");
+}
+
+#[test]
+fn batch_summary_written_to_out_file() {
+    let tmp = TempDir::new("batch_out");
+    let manifest = tmp.file("manifest.txt");
+    std::fs::write(&manifest, "benchmarks/Delement\n").expect("write manifest");
+    let out = tmp.file("summary.json");
+    let (stdout, stderr, code) =
+        run_with_stdin(&["batch", &manifest, "--threads", "1", "--out", &out], "");
+    assert_eq!(code, 0, "{stdout} {stderr}");
+    let summary = std::fs::read_to_string(&out).expect("summary written");
+    let doc = simc::obs::json::parse(&summary).expect("summary JSON parses");
+    assert_eq!(
+        doc.get("jobs_total").and_then(simc::obs::json::Value::as_u64),
+        Some(1),
+        "{summary}"
+    );
+}
+
+#[test]
+fn batch_manifest_with_unknown_option_exits_2() {
+    let tmp = TempDir::new("batch_bad");
+    let manifest = tmp.file("manifest.txt");
+    std::fs::write(&manifest, "benchmarks/Delement --frobnicate\n").expect("write manifest");
+    let (_, stderr, code) = run_with_stdin(&["batch", &manifest], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("unknown option"), "{stderr}");
+    assert!(stderr.contains("line 1"), "{stderr}");
+}
+
+#[test]
+fn batch_with_failing_job_exits_1() {
+    let tmp = TempDir::new("batch_fail");
+    let manifest = tmp.file("manifest.txt");
+    std::fs::write(&manifest, "benchmarks/Delement\n/nonexistent/simc_spec.g\n")
+        .expect("write manifest");
+    let (stdout, stderr, code) = run_with_stdin(&["batch", &manifest], "");
+    assert_eq!(code, 1, "{stdout} {stderr}");
+    assert!(stdout.contains("\"status\": \"error\""), "{stdout}");
+    assert!(stderr.contains("1 of 2 batch job(s) failed"), "{stderr}");
+}
+
+#[test]
+fn out_flag_rejected_outside_batch() {
+    let (_, stderr, code) = run_with_stdin(&["verify", "-", "--out", "x.json"], D_ELEMENT);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("only valid with `simc batch`"), "{stderr}");
+}
+
+#[test]
+fn cache_dir_verify_is_byte_identical_across_runs() {
+    let tmp = TempDir::new("cache_dir");
+    let cache_dir = tmp.file("cache");
+    let run = || run_with_stdin(&["verify", "-", "--cache-dir", &cache_dir], D_ELEMENT);
+    let (cold_out, cold_err, cold_code) = run();
+    assert_eq!(cold_code, 0, "{cold_out} {cold_err}");
+    let (warm_out, warm_err, warm_code) = run();
+    assert_eq!(warm_code, 0, "{warm_out} {warm_err}");
+    assert_eq!(cold_out, warm_out, "warm verify stdout differs from cold");
+    assert!(cold_out.contains("hazard-free"), "{cold_out}");
+    assert!(warm_err.contains("inserted 1 state signal"), "{warm_err}");
+}
