@@ -24,14 +24,17 @@
 //!   not regress more than 10% (plus a small absolute grace for
 //!   sub-millisecond phases); exits 1 on regression
 
-use simc_bench::profile::{cache_sweep, counters_sweep, to_json, BenchmarkCounters, SuiteRun};
+use simc_bench::profile::{
+    cache_sweep, counters_sweep, to_json_with_history, BenchmarkCounters, SuiteRun,
+};
 use simc_bench::report::Table;
 use simc_benchmarks::suite;
 use simc_obs::json::{self, Value};
 
-/// Benchmarks profiled under `--smoke`: one trivial and one
-/// insertion-heavy spec, so the gate exercises both pipeline halves.
-const SMOKE_SET: &[&str] = &["duplicator", "berkel3"];
+/// Benchmarks profiled under `--smoke`: one trivial spec and the two
+/// insertion-heavy sequencers, so the gate exercises both pipeline halves
+/// and the state-assignment hot path at its deepest.
+const SMOKE_SET: &[&str] = &["duplicator", "berkel3", "ganesh_8"];
 
 /// Relative regression tolerance for `--check`.
 const CHECK_RELATIVE: f64 = 0.10;
@@ -39,6 +42,15 @@ const CHECK_RELATIVE: f64 = 0.10;
 /// Absolute grace in seconds: sub-millisecond phases jitter far beyond
 /// 10% between runs, so small absolute drift is never a regression.
 const CHECK_ABSOLUTE_S: f64 = 0.05;
+
+/// Relative regression tolerance for the state-assignment phase alone.
+/// `assign_s` dominates every nontrivial benchmark, so it gets its own,
+/// tighter-in-absolute-terms gate: a >20% slowdown on a sequencer (e.g.
+/// `ganesh_8`) fails even when the 10%+50ms total gate would absorb it.
+const CHECK_ASSIGN_RELATIVE: f64 = 0.20;
+
+/// Absolute grace for the assign gate (scheduler jitter on short runs).
+const CHECK_ASSIGN_ABSOLUTE_S: f64 = 0.02;
 
 fn usage() -> ! {
     eprintln!(
@@ -158,7 +170,29 @@ fn main() {
         assert_eq!(s.states, c.states, "{}: state count differs in counter pass", s.name);
     }
 
-    let json = to_json(&[sequential.clone(), parallel], &counters, &cache);
+    // Preserve a before/after view of the state-assignment phase: if the
+    // output path already holds a baseline, compare its sequential
+    // `assign_s` per benchmark against this run's.
+    let before_after: Vec<(String, f64, f64)> = std::fs::read_to_string(&out_path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .map(|old| {
+            let old_seq = sequential_benchmarks(&old);
+            sequential
+                .timings
+                .iter()
+                .filter_map(|t| {
+                    let before = old_seq
+                        .iter()
+                        .find(|b| b.get("name").and_then(Value::as_str) == Some(&t.name))?
+                        .get("assign_s")
+                        .and_then(Value::as_f64)?;
+                    Some((t.name.clone(), before, t.assign))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let json = to_json_with_history(&[sequential.clone(), parallel], &counters, &cache, &before_after);
     // Round-trip self-validation: the hand-rolled emitter must satisfy
     // the workspace's own parser before anything is written to disk.
     if let Err(e) = json::parse(&json) {
@@ -182,6 +216,21 @@ fn main() {
     }
 }
 
+/// The `benchmarks` array of the `sequential` run in a parsed
+/// `BENCH_pipeline.json` document (empty when the shape is unexpected).
+fn sequential_benchmarks(doc: &Value) -> Vec<&Value> {
+    doc.get("runs")
+        .and_then(Value::as_array)
+        .and_then(|runs| {
+            runs.iter()
+                .find(|r| r.get("label").and_then(Value::as_str) == Some("sequential"))
+        })
+        .and_then(|r| r.get("benchmarks"))
+        .and_then(Value::as_array)
+        .map(|b| b.iter().collect())
+        .unwrap_or_default()
+}
+
 /// Compares the sequential run and counter pass against a committed
 /// `BENCH_pipeline.json`. Structural columns and pipeline counters are
 /// deterministic and must match exactly; wall-clock totals may drift
@@ -198,18 +247,7 @@ fn check_against_baseline(
     let mut problems = Vec::new();
     let mut checked = 0usize;
 
-    let base_seq: Vec<&Value> = doc
-        .get("runs")
-        .and_then(Value::as_array)
-        .and_then(|runs| {
-            runs.iter().find(|r| {
-                r.get("label").and_then(Value::as_str) == Some("sequential")
-            })
-        })
-        .and_then(|r| r.get("benchmarks"))
-        .and_then(Value::as_array)
-        .map(|b| b.iter().collect())
-        .unwrap_or_default();
+    let base_seq = sequential_benchmarks(&doc);
     for t in &sequential.timings {
         let Some(base) = base_seq
             .iter()
@@ -239,6 +277,19 @@ fn check_against_baseline(
                     base_total,
                     CHECK_RELATIVE * 100.0,
                     CHECK_ABSOLUTE_S * 1e3
+                ));
+            }
+        }
+        if let Some(base_assign) = base.get("assign_s").and_then(Value::as_f64) {
+            let limit = base_assign * (1.0 + CHECK_ASSIGN_RELATIVE) + CHECK_ASSIGN_ABSOLUTE_S;
+            if t.assign > limit {
+                problems.push(format!(
+                    "{}: assign {:.4}s exceeds baseline {:.4}s by more than {:.0}% + {:.0}ms",
+                    t.name,
+                    t.assign,
+                    base_assign,
+                    CHECK_ASSIGN_RELATIVE * 100.0,
+                    CHECK_ASSIGN_ABSOLUTE_S * 1e3
                 ));
             }
         }

@@ -278,6 +278,18 @@ pub fn to_json(
     counters: &[BenchmarkCounters],
     cache: &[CacheTimings],
 ) -> String {
+    to_json_with_history(runs, counters, cache, &[])
+}
+
+/// [`to_json`] with an optional `assign_before_after` section: one entry
+/// per benchmark whose state-assignment time in the baseline being
+/// replaced (`before_s`) is compared against this run (`after_s`).
+pub fn to_json_with_history(
+    runs: &[SuiteRun],
+    counters: &[BenchmarkCounters],
+    cache: &[CacheTimings],
+    before_after: &[(String, f64, f64)],
+) -> String {
     let mut out = String::from("{\n  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
         let _ = write!(
@@ -351,6 +363,21 @@ pub fn to_json(
                 c.speedup(),
                 c.identical,
                 if i + 1 < cache.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]");
+    }
+    if !before_after.is_empty() {
+        out.push_str(",\n  \"assign_before_after\": [\n");
+        for (i, (name, before, after)) in before_after.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": {}, \"before_s\": {:.6}, \"after_s\": {:.6}, \"speedup\": {:.2} }}{}",
+                json_str(name),
+                before,
+                after,
+                before / after.max(1e-9),
+                if i + 1 < before_after.len() { "," } else { "" }
             );
         }
         out.push_str("  ]");

@@ -147,8 +147,13 @@ pub fn check_case(
     // Tighter reduction budgets than the CLI default: the fuzzer prefers
     // fast, bounded refusals (counted as skips) over minutes-long
     // searches on adversarial multi-pulse specs.
-    let reduce_opts =
-        ReduceOptions { max_signals: 4, max_candidates: 12, beam_width: 6, branch: 4, threads: 1 };
+    let reduce_opts = ReduceOptions {
+        max_signals: 4,
+        max_candidates: 12,
+        beam_width: 6,
+        branch: 4,
+        ..ReduceOptions::default()
+    };
     let mut pipeline = Pipeline::from_sg(sg.clone())
         .with_reduce_options(reduce_opts)
         .with_target(Target::CElement);

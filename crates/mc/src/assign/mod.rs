@@ -44,11 +44,26 @@ pub struct ReduceOptions {
     /// Worker threads for beam-node expansion (1 = sequential). Results
     /// are identical for every thread count.
     pub threads: usize,
+    /// Number of alternative solver configurations raced when the primary
+    /// configuration finds no candidate at all for a beam node (0
+    /// disables the portfolio). Each configuration enumerates from a
+    /// different phase bias; every race runs all configurations to
+    /// completion and takes the first non-empty one in configuration
+    /// order, so results — and the obs counters — are identical for every
+    /// thread count.
+    pub portfolio: usize,
 }
 
 impl Default for ReduceOptions {
     fn default() -> Self {
-        ReduceOptions { max_signals: 8, max_candidates: 32, beam_width: 18, branch: 8, threads: 1 }
+        ReduceOptions {
+            max_signals: 8,
+            max_candidates: 12,
+            beam_width: 6,
+            branch: 3,
+            threads: 1,
+            portfolio: 3,
+        }
     }
 }
 
@@ -69,18 +84,48 @@ pub struct ReduceResult {
 /// many conflicting codes still makes net progress (sequencer-style specs
 /// need exactly such intermediate steps).
 fn score(check: &McCheck<'_>) -> (usize, usize, usize) {
-    let report = check.report();
+    score_of_report(&check.report())
+}
+
+/// [`score`] from an already-computed report (avoids re-deriving it when
+/// the caller needs both).
+fn score_of_report(report: &crate::cover::McReport) -> (usize, usize, usize) {
     let functions = report.violation_count();
     let failures = report.region_failures();
     let regions = failures.len();
-    let bad: usize = failures
-        .iter()
-        .map(|(_, f)| match f {
-            McCubeFailure::NotCorrect { covered_outside } => covered_outside.len(),
-            McCubeFailure::NotMonotonous { witness_edges } => witness_edges.len(),
-        })
-        .sum();
+    let bad: usize = failures.iter().map(|(_, f)| failure_mass(f)).sum();
     (functions, regions, bad)
+}
+
+fn failure_mass(f: &McCubeFailure) -> usize {
+    match f {
+        McCubeFailure::NotCorrect { covered_outside } => covered_outside.len(),
+        McCubeFailure::NotMonotonous { witness_edges } => witness_edges.len(),
+    }
+}
+
+/// [`score`] with an early abort: returns `None` as soon as the partial
+/// violation mass strictly exceeds `bound`. The candidate filter only
+/// keeps expansions whose mass is at most the parent's, so aborted scores
+/// are exactly the ones it would reject — most models fail the bound
+/// within the first violating function, skipping the bulk of the cover
+/// computation on the hot path.
+fn score_bounded(check: &McCheck<'_>, bound: usize) -> Option<(usize, usize, usize)> {
+    let _span = simc_obs::span("cover");
+    let (mut functions, mut regions, mut bad) = (0usize, 0usize, 0usize);
+    for a in check.sg().non_input_signals() {
+        for dir in [simc_sg::Dir::Rise, simc_sg::Dir::Fall] {
+            if let Err(failures) = check.function_cover(a, dir) {
+                functions += 1;
+                regions += failures.len();
+                bad += failures.iter().map(|(_, f)| failure_mass(f)).sum::<usize>();
+                if functions + regions + bad > bound {
+                    return None;
+                }
+            }
+        }
+    }
+    Some((functions, regions, bad))
 }
 
 /// Transforms `sg` into an MC-satisfying state graph by inserting state
@@ -134,26 +179,50 @@ pub fn reduce_to_mc(sg: &StateGraph, opts: ReduceOptions) -> Result<ReduceResult
             return Err(McError::SignalBudgetExceeded { budget: opts.max_signals });
         }
         let last_scores: Vec<_> = beam.iter().map(|n| n.score).collect();
-        if simc_obs::counters_enabled() {
-            simc_obs::add(simc_obs::Counter::BeamNodesExpanded, beam.len() as u64);
-        }
-        // Beam nodes expand independently; fan them across the pool. The
-        // pool is assembled in beam order, so the search is deterministic
+        // Beam nodes expand independently; fan them across the pool in
+        // fixed-size batches. After each batch, if some candidate already
+        // solves the graph, the remaining siblings are skipped — they
+        // could only add alternatives the next iteration would discard.
+        // The batch size is a constant (not tied to `opts.threads`), so
+        // the early-exit point — and with it the result — is identical
         // for every thread count.
-        let expansions = crate::parallel::parallel_map(&beam, opts.threads, |node| {
-            let check = McCheck::new(&node.sg);
-            let name = fresh_name(&node.sg, depth);
-            let cands =
-                search::candidate_insertions(&check, &name, opts.max_candidates, opts.branch);
-            (name, cands)
-        });
+        const NODE_BATCH: usize = 4;
         let mut pool: Vec<Node> = Vec::new();
-        for (node, (name, cands)) in beam.iter().zip(expansions) {
-            for cand in cands {
-                let mut log = node.log.clone();
-                log.push(format!("inserted `{name}`: {}", cand.description));
-                pool.push(Node { sg: cand.sg, score: cand.score, log });
+        let mut expanded_nodes = 0usize;
+        'depth: for batch in beam.chunks(NODE_BATCH) {
+            // Candidate search walks each node's state set per examined
+            // model: states × edges approximates a node's work, keeping
+            // figure-sized graphs inline while real benchmarks fan out.
+            let work: u64 = batch
+                .iter()
+                .map(|n| n.sg.state_count() as u64 * n.sg.edge_count() as u64)
+                .sum();
+            let expansions = crate::parallel::parallel_map_sized(batch, opts.threads, work, |node| {
+                let check = McCheck::new(&node.sg);
+                let name = fresh_name(&node.sg, depth);
+                let mut cands =
+                    search::candidate_insertions(&check, &name, opts.max_candidates, opts.branch);
+                if cands.is_empty() && opts.portfolio > 0 {
+                    cands = portfolio_rescue(&check, &name, &opts);
+                }
+                (name, cands)
+            });
+            expanded_nodes += batch.len();
+            let mut solved = false;
+            for (node, (name, cands)) in batch.iter().zip(expansions) {
+                for cand in cands {
+                    let mut log = node.log.clone();
+                    log.push(format!("inserted `{name}`: {}", cand.description));
+                    solved = solved || cand.score.0 == 0;
+                    pool.push(Node { sg: cand.sg, score: cand.score, log });
+                }
             }
+            if solved {
+                break 'depth;
+            }
+        }
+        if simc_obs::counters_enabled() {
+            simc_obs::add(simc_obs::Counter::BeamNodesExpanded, expanded_nodes as u64);
         }
         if pool.is_empty() {
             return Err(McError::InsertionFailed {
@@ -180,6 +249,39 @@ pub fn reduce_to_mc(sg: &StateGraph, opts: ReduceOptions) -> Result<ReduceResult
         beam = pool;
     }
     unreachable!("loop returns within the budget bound")
+}
+
+/// Races the alternative solver configurations for a beam node whose
+/// primary search came up empty. All configurations run to completion —
+/// racing changes wall-clock only — and the winner is the first non-empty
+/// result in configuration order, so the outcome (and every counter) is
+/// deterministic for any thread count.
+fn portfolio_rescue(
+    check: &McCheck<'_>,
+    name: &str,
+    opts: &ReduceOptions,
+) -> Vec<search::Candidate> {
+    if simc_obs::counters_enabled() {
+        simc_obs::add(simc_obs::Counter::PortfolioRaces, 1);
+    }
+    let configs: Vec<u64> = (1..=opts.portfolio as u64).collect();
+    let mut results = crate::parallel::parallel_map(&configs, opts.threads, |&config| {
+        search::candidate_insertions_config(check, name, opts.max_candidates, opts.branch, config)
+    });
+    for (i, cands) in results.iter_mut().enumerate() {
+        if !cands.is_empty() {
+            if simc_obs::counters_enabled() {
+                let win = match i {
+                    0 => simc_obs::Counter::PortfolioWinsCfg1,
+                    1 => simc_obs::Counter::PortfolioWinsCfg2,
+                    _ => simc_obs::Counter::PortfolioWinsCfg3,
+                };
+                simc_obs::add(win, 1);
+            }
+            return std::mem::take(cands);
+        }
+    }
+    Vec::new()
 }
 
 fn fresh_name(sg: &StateGraph, round: usize) -> String {

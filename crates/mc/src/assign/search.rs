@@ -4,7 +4,7 @@ use simc_sat::{Lit, SatResult, Solver, Var};
 use simc_sg::{ErId, StateGraph, StateId};
 
 use crate::assign::expand::{expand, Assignment, Phase};
-use crate::assign::score;
+use crate::assign::{score_bounded, score_of_report};
 use crate::cover::{McCheck, McCubeFailure};
 
 /// Total violation mass: the search's progress measure. Strictly
@@ -34,13 +34,20 @@ impl Encoding {
     }
 
     fn blocking_clause(&self, model: &simc_sat::Model, n: usize) -> Vec<Lit> {
+        // The phase vector is determined by the excitation bits plus one
+        // phase bit: along any edge `v[next] = v[s] ⊕ (e[s] ∧ ¬e[next])`
+        // (the only v-changing transitions are Up→One and Down→Zero), and
+        // reachable state graphs are connected. Blocking the e-vector and
+        // a single v anchor therefore blocks exactly this assignment.
+        let mut lits = vec![Lit::with_polarity(self.v[0], !model.value(self.v[0]))];
+        lits.extend((0..n).map(|i| Lit::with_polarity(self.e[i], !model.value(self.e[i]))));
+        lits
+    }
+
+    /// Compact memo key for one decoded assignment (2 bits per state).
+    fn model_key(&self, model: &simc_sat::Model, n: usize) -> Vec<u8> {
         (0..n)
-            .flat_map(|i| {
-                [
-                    Lit::with_polarity(self.v[i], !model.value(self.v[i])),
-                    Lit::with_polarity(self.e[i], !model.value(self.e[i])),
-                ]
-            })
+            .map(|i| u8::from(model.value(self.v[i])) | (u8::from(model.value(self.e[i])) << 1))
             .collect()
     }
 }
@@ -103,9 +110,11 @@ fn base_solver(sg: &StateGraph) -> (Solver, Encoding) {
 /// Adds the violation-targeting constraints for a failing region: the
 /// region is phase-constant (`Zero` or `One`) and each targeted bad state
 /// takes the *opposite* stable phase, so the new signal's literal
-/// separates them.
+/// separates them. All clauses are guarded by `act` so the problem can be
+/// retracted from the shared solver.
 fn add_targeting(
     solver: &mut Solver,
+    act: Lit,
     enc: &Encoding,
     check: &McCheck<'_>,
     er: ErId,
@@ -114,31 +123,36 @@ fn add_targeting(
 ) {
     let region = check.regions().er(er);
     let first = region.states()[0];
+    // Mirror symmetry break: flipping every v bit maps Zero↔One and
+    // Up↔Down and preserves the base system and all relative ties, so
+    // each candidate has an equal-scoring mirror twin. Pin the anchor to
+    // the low side to enumerate one representative per pair.
+    solver.add_clause_under(act, [Lit::neg(enc.v[first.index()])]);
     let tie = |solver: &mut Solver, s: StateId, equal: bool| {
-        solver.add_clause([Lit::neg(enc.e[s.index()])]);
+        solver.add_clause_under(act, [Lit::neg(enc.e[s.index()])]);
         if s == first {
             return;
         }
         if equal {
             // v[s] ↔ v[first]
-            solver.add_clause([
-                Lit::neg(enc.v[s.index()]),
-                Lit::pos(enc.v[first.index()]),
-            ]);
-            solver.add_clause([
-                Lit::pos(enc.v[s.index()]),
-                Lit::neg(enc.v[first.index()]),
-            ]);
+            solver.add_clause_under(
+                act,
+                [Lit::neg(enc.v[s.index()]), Lit::pos(enc.v[first.index()])],
+            );
+            solver.add_clause_under(
+                act,
+                [Lit::pos(enc.v[s.index()]), Lit::neg(enc.v[first.index()])],
+            );
         } else {
             // v[s] ≠ v[first]
-            solver.add_clause([
-                Lit::pos(enc.v[s.index()]),
-                Lit::pos(enc.v[first.index()]),
-            ]);
-            solver.add_clause([
-                Lit::neg(enc.v[s.index()]),
-                Lit::neg(enc.v[first.index()]),
-            ]);
+            solver.add_clause_under(
+                act,
+                [Lit::pos(enc.v[s.index()]), Lit::pos(enc.v[first.index()])],
+            );
+            solver.add_clause_under(
+                act,
+                [Lit::neg(enc.v[s.index()]), Lit::neg(enc.v[first.index()])],
+            );
         }
     };
     for &s in region.states() {
@@ -155,8 +169,8 @@ fn add_targeting(
 /// Adds the *degenerate-function* targeting (the paper's own Figure 1 →
 /// Figure 3 transformation): make the new signal usable as a single
 /// literal covering the whole failing excitation function correctly
-/// (Section IV note 2). With `high_region = false` the regions sit at
-/// `x = 0` (literal `x̄`) and the forbidden states at `x = 1`:
+/// (Section IV note 2). The regions sit at `x = 0` (literal `x̄`) and the
+/// forbidden states at `x = 1`:
 ///
 /// * every region state takes phase `Zero` or `Down` (an `x = 0` copy
 ///   exists and keeps the region's transition);
@@ -164,13 +178,17 @@ fn add_targeting(
 /// * excited-forbidden states (the opposite excitation regions) take
 ///   `One`, or `Up` with all their own-signal successors at `One` — the
 ///   blocked low-copy edge removes the excitation from the `x = 0` copy.
+///
+/// The `x = 1`-region dual is the v-mirror of this system and yields
+/// mirror-twin candidates with identical scores, so it is not generated.
+/// All clauses are guarded by `act` so the problem can be retracted.
 fn add_degenerate_targeting(
     solver: &mut Solver,
+    act: Lit,
     enc: &Encoding,
     check: &McCheck<'_>,
     signal: simc_sg::SignalId,
     dir: simc_sg::Dir,
-    high_region: bool,
 ) {
     let sg = check.sg();
     let regions = check.regions();
@@ -184,15 +202,9 @@ fn add_degenerate_targeting(
             continue;
         }
         for &s in region.states() {
-            if high_region {
-                // phase ∈ {One, Up}: v ⊕ e
-                solver.add_clause([Lit::pos(v(s)), Lit::pos(e(s))]);
-                solver.add_clause([Lit::neg(v(s)), Lit::neg(e(s))]);
-            } else {
-                // phase ∈ {Zero, Down}: v ↔ e
-                solver.add_clause([Lit::neg(v(s)), Lit::pos(e(s))]);
-                solver.add_clause([Lit::pos(v(s)), Lit::neg(e(s))]);
-            }
+            // phase ∈ {Zero, Down}: v ↔ e
+            solver.add_clause_under(act, [Lit::neg(v(s)), Lit::pos(e(s))]);
+            solver.add_clause_under(act, [Lit::pos(v(s)), Lit::neg(e(s))]);
         }
     }
     // Forbidden sets (Def. 16): for an up-function, `0-set` (stable at
@@ -204,18 +216,11 @@ fn add_degenerate_targeting(
         let stable_forbidden = value == dir.value_before() && !excited;
         let excited_forbidden = value == dir.value_after() && excited;
         if stable_forbidden {
-            if high_region {
-                // must be Zero
-                solver.add_clause([Lit::neg(v(s))]);
-                solver.add_clause([Lit::neg(e(s))]);
-            } else {
-                // must be One
-                solver.add_clause([Lit::pos(v(s))]);
-                solver.add_clause([Lit::neg(e(s))]);
-            }
+            // must be One
+            solver.add_clause_under(act, [Lit::pos(v(s))]);
+            solver.add_clause_under(act, [Lit::neg(e(s))]);
         } else if excited_forbidden {
-            // One, or Up with every own-signal successor at One (mirrored
-            // for high regions: Zero, or Down with successors at Zero).
+            // One, or Up with every own-signal successor at One.
             let targets: Vec<StateId> = sg
                 .succs(s)
                 .iter()
@@ -223,29 +228,16 @@ fn add_degenerate_targeting(
                 .map(|&(_, t)| t)
                 .collect();
             let z = solver.new_var();
-            if high_region {
-                // z → Down(s) ∧ targets Zero
-                solver.add_clause([Lit::neg(z), Lit::pos(v(s))]);
-                solver.add_clause([Lit::neg(z), Lit::pos(e(s))]);
-                for &t in &targets {
-                    solver.add_clause([Lit::neg(z), Lit::neg(v(t))]);
-                    solver.add_clause([Lit::neg(z), Lit::neg(e(t))]);
-                }
-                // Zero(s) ∨ z
-                solver.add_clause([Lit::neg(v(s)), Lit::pos(z)]);
-                solver.add_clause([Lit::neg(e(s)), Lit::pos(z)]);
-            } else {
-                // z → Up(s) ∧ targets One
-                solver.add_clause([Lit::neg(z), Lit::neg(v(s))]);
-                solver.add_clause([Lit::neg(z), Lit::pos(e(s))]);
-                for &t in &targets {
-                    solver.add_clause([Lit::neg(z), Lit::pos(v(t))]);
-                    solver.add_clause([Lit::neg(z), Lit::neg(e(t))]);
-                }
-                // One(s) ∨ z
-                solver.add_clause([Lit::pos(v(s)), Lit::pos(z)]);
-                solver.add_clause([Lit::neg(e(s)), Lit::pos(z)]);
+            // z → Up(s) ∧ targets One
+            solver.add_clause_under(act, [Lit::neg(z), Lit::neg(v(s))]);
+            solver.add_clause_under(act, [Lit::neg(z), Lit::pos(e(s))]);
+            for &t in &targets {
+                solver.add_clause_under(act, [Lit::neg(z), Lit::pos(v(t))]);
+                solver.add_clause_under(act, [Lit::neg(z), Lit::neg(e(t))]);
             }
+            // One(s) ∨ z
+            solver.add_clause_under(act, [Lit::pos(v(s)), Lit::pos(z)]);
+            solver.add_clause_under(act, [Lit::neg(e(s)), Lit::pos(z)]);
         }
     }
 }
@@ -256,22 +248,29 @@ fn add_degenerate_targeting(
 /// over repeated rounds.
 fn add_group_split(
     solver: &mut Solver,
+    act: Lit,
     enc: &Encoding,
     low: &[StateId],
     high: &[StateId],
 ) {
     let first = low[0];
+    // Mirror symmetry break (see `add_targeting`): pin the low half low.
+    solver.add_clause_under(act, [Lit::neg(enc.v[first.index()])]);
     let tie = |solver: &mut Solver, s: StateId, equal: bool| {
-        solver.add_clause([Lit::neg(enc.e[s.index()])]);
+        solver.add_clause_under(act, [Lit::neg(enc.e[s.index()])]);
         if s == first {
             return;
         }
         if equal {
-            solver.add_clause([Lit::neg(enc.v[s.index()]), Lit::pos(enc.v[first.index()])]);
-            solver.add_clause([Lit::pos(enc.v[s.index()]), Lit::neg(enc.v[first.index()])]);
+            solver
+                .add_clause_under(act, [Lit::neg(enc.v[s.index()]), Lit::pos(enc.v[first.index()])]);
+            solver
+                .add_clause_under(act, [Lit::pos(enc.v[s.index()]), Lit::neg(enc.v[first.index()])]);
         } else {
-            solver.add_clause([Lit::pos(enc.v[s.index()]), Lit::pos(enc.v[first.index()])]);
-            solver.add_clause([Lit::neg(enc.v[s.index()]), Lit::neg(enc.v[first.index()])]);
+            solver
+                .add_clause_under(act, [Lit::pos(enc.v[s.index()]), Lit::pos(enc.v[first.index()])]);
+            solver
+                .add_clause_under(act, [Lit::neg(enc.v[s.index()]), Lit::neg(enc.v[first.index()])]);
         }
     };
     for &s in low {
@@ -325,6 +324,16 @@ pub(super) struct Candidate {
     pub(super) score: (usize, usize, usize),
 }
 
+/// Once a problem has contributed at least one pool candidate, abandon it
+/// after this many consecutive models that fail to add another: targeted
+/// enumerations front-load their useful models, and the post-discovery
+/// tail is where the pre-incremental search burned most of its scoring
+/// time. Problems that have not produced anything yet keep their full
+/// `max_candidates` budget — some (e.g. the duplicator benchmark's
+/// winning split) need a long run of rejected models before the first
+/// useful one appears.
+const STAGNATION_WINDOW: usize = 6;
+
 /// Tries SAT-feasible assignments targeted at each failing region /
 /// function and returns the `keep` best-scoring expansions (whether or
 /// not they improve on the current score — the beam search decides).
@@ -334,9 +343,25 @@ pub(super) fn candidate_insertions(
     max_candidates: usize,
     keep: usize,
 ) -> Vec<Candidate> {
+    candidate_insertions_config(check, name, max_candidates, keep, 0)
+}
+
+/// [`candidate_insertions`] under an explicit solver configuration.
+///
+/// Config 0 is the primary deterministic configuration; nonzero configs
+/// start each problem from a different phase bias and are raced by the
+/// portfolio fallback when the primary finds no candidate at all.
+pub(super) fn candidate_insertions_config(
+    check: &McCheck<'_>,
+    name: &str,
+    max_candidates: usize,
+    keep: usize,
+    config: u64,
+) -> Vec<Candidate> {
     let sg = check.sg();
     let report = check.report();
-    let parent_score = score(check);
+    let parent_score = score_of_report(&report);
+    let parent_sum = sum(parent_score);
     let mut pool: Vec<Candidate> = Vec::new();
 
     // Each "problem" is one constraint system to enumerate candidates from.
@@ -346,7 +371,7 @@ pub(super) fn candidate_insertions(
         Separate { er: ErId, same: Vec<StateId>, others: Vec<StateId>, label: String },
         /// Strategy B: make the whole function a single x-literal
         /// (the paper's Figure 1 → Figure 3 transformation).
-        Degenerate { signal: simc_sg::SignalId, dir: simc_sg::Dir, high: bool, label: String },
+        Degenerate { signal: simc_sg::SignalId, dir: simc_sg::Dir, label: String },
         /// Strategy C: split a binary-code conflict group into two stable
         /// halves — one counter bit over repeated rounds.
         GroupSplit { low: Vec<StateId>, high: Vec<StateId>, label: String },
@@ -395,14 +420,13 @@ pub(super) fn candidate_insertions(
             if entry.dir == simc_sg::Dir::Rise { "S" } else { "R" },
             sg.signal(entry.signal).name()
         );
-        for high in [false, true] {
-            problems.push(Problem::Degenerate {
-                signal: entry.signal,
-                dir: entry.dir,
-                high,
-                label: format!("{fname} as single x-literal (region at x={})", u8::from(high)),
-            });
-        }
+        // Only the x=0-region orientation: the x=1 dual is its v-mirror
+        // and would enumerate equal-scoring twins.
+        problems.push(Problem::Degenerate {
+            signal: entry.signal,
+            dir: entry.dir,
+            label: format!("{fname} as single x-literal (region at x=0)"),
+        });
         if let Err(failures) = &entry.result {
             for (er, failure) in failures {
                 let bad = bad_states(failure);
@@ -440,54 +464,94 @@ pub(super) fn candidate_insertions(
         }
     }
 
+    // One incremental solver for the whole search: each problem's
+    // targeting goes in under a fresh activation literal and is retracted
+    // afterwards, so conflict clauses learned on the shared base system
+    // (edge compatibility, toggling) transfer across problems instead of
+    // being rediscovered from scratch per candidate.
+    let (mut solver, enc) = base_solver(sg);
+    // Assignments already scored (problems overlap; identical phase
+    // vectors expand to identical graphs and can only duplicate).
+    let mut seen = std::collections::HashSet::new();
     for problem in &problems {
-        let (mut solver, enc) = base_solver(sg);
+        let act = solver.activation();
         let label = match problem {
             Problem::Separate { er, same, others, label } => {
-                add_targeting(&mut solver, &enc, check, *er, same, others);
-                label.clone()
+                add_targeting(&mut solver, act, &enc, check, *er, same, others);
+                label
             }
-            Problem::Degenerate { signal, dir, high, label } => {
-                add_degenerate_targeting(&mut solver, &enc, check, *signal, *dir, *high);
-                label.clone()
+            Problem::Degenerate { signal, dir, label } => {
+                add_degenerate_targeting(&mut solver, act, &enc, check, *signal, *dir);
+                label
             }
             Problem::GroupSplit { low, high, label } => {
-                add_group_split(&mut solver, &enc, low, high);
-                label.clone()
+                add_group_split(&mut solver, act, &enc, low, high);
+                label
             }
         };
+        // A fixed phase baseline per problem keeps the enumeration order
+        // independent of whatever the previous problem converged to.
+        solver.reset_polarities();
+        if config != 0 {
+            solver.scramble_polarities(0x5eed ^ config.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
         let mut examined = 0;
+        let mut stagnant = 0;
+        let mut pushed = 0usize;
         let mut solved = false;
-        while examined < max_candidates {
+        // Once the pool already holds `keep` candidates, later problems
+        // compete only to displace them — give them a trickle budget
+        // instead of the full enumeration.
+        let budget =
+            if pool.len() >= keep { max_candidates.min(STAGNATION_WINDOW) } else { max_candidates };
+        while examined < budget && (pushed == 0 || stagnant < STAGNATION_WINDOW) {
             if examined % 4 == 3 {
                 // Spread the enumeration across the assignment space.
-                solver.scramble_polarities(0x9e37 + examined as u64);
+                solver.scramble_polarities(0x9e37 + examined as u64 + (config << 16));
             }
-            match solver.solve() {
+            let sp = simc_obs::span("assign_sat");
+            let outcome = solver.solve_with_assumptions(&[act]);
+            sp.finish();
+            match outcome {
                 SatResult::Sat(model) => {
                     examined += 1;
+                    stagnant += 1;
                     if simc_obs::counters_enabled() {
                         simc_obs::add(simc_obs::Counter::BeamModelsExamined, 1);
                     }
-                    solver.add_clause(enc.blocking_clause(&model, sg.state_count()));
+                    solver.add_clause_under(
+                        act,
+                        enc.blocking_clause(&model, sg.state_count()),
+                    );
+                    if !seen.insert(enc.model_key(&model, sg.state_count())) {
+                        continue;
+                    }
                     let asg = enc.decode(&model, sg.state_count());
                     if asg.validate(sg).is_err() {
                         continue;
                     }
-                    let Ok(expanded) = expand(sg, &asg, name) else {
-                        continue;
-                    };
-                    if !expanded.analysis().is_output_semimodular() {
+                    let sp = simc_obs::span("assign_expand");
+                    let expanded = expand(sg, &asg, name);
+                    let semimod = expanded
+                        .as_ref()
+                        .map(|x| x.analysis().is_output_semimodular())
+                        .unwrap_or(false);
+                    sp.finish();
+                    let Ok(expanded) = expanded else { continue };
+                    if !semimod {
                         continue;
                     }
                     let new_check = McCheck::new(&expanded);
-                    let new_score = score(&new_check);
                     // Require progress: strictly lower total violation
                     // mass, or an equal-mass step that reduces the tuple
-                    // (an extra useless signal never helps).
-                    let improves = sum(new_score) < sum(parent_score)
-                        || (sum(new_score) == sum(parent_score)
-                            && new_score < parent_score);
+                    // (an extra useless signal never helps). The bounded
+                    // scorer aborts — and we reject — exactly when the
+                    // mass exceeds the parent's.
+                    let Some(new_score) = score_bounded(&new_check, parent_sum) else {
+                        continue;
+                    };
+                    let improves = sum(new_score) < parent_sum
+                        || (sum(new_score) == parent_sum && new_score < parent_score);
                     if !improves {
                         continue;
                     }
@@ -498,6 +562,8 @@ pub(super) fn candidate_insertions(
                     if duplicate {
                         continue;
                     }
+                    stagnant = 0;
+                    pushed += 1;
                     if new_score.0 == 0 {
                         solved = true;
                     }
@@ -506,10 +572,14 @@ pub(super) fn candidate_insertions(
                         description: format!("targeting {label} → {new_score:?}"),
                         score: new_score,
                     });
+                    if solved {
+                        break;
+                    }
                 }
                 SatResult::Unsat => break,
             }
         }
+        solver.retract(act);
         // A fully solved graph is good enough; stop probing problems.
         if solved {
             break;
@@ -544,7 +614,7 @@ mod tests {
     fn figure1_insertion_found() {
         let sg = figures::figure1();
         let check = McCheck::new(&sg);
-        let current = score(&check);
+        let current = crate::assign::score(&check);
         assert!(current.0 > 0);
         let found = candidate_insertions(&check, "x", 24, 4);
         assert!(!found.is_empty());

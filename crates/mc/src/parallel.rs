@@ -15,17 +15,57 @@ use crate::cover::{McCheck, McReport};
 use crate::error::McError;
 use crate::synth::{build_from_covers, Implementation, Target};
 
+/// Estimated work (in [`parallel_map_sized`]'s abstract units — roughly
+/// "state visits") below which a whole map is cheaper than spawning even
+/// one scoped thread, so it always runs inline. Calibrated on the
+/// benchmark suite: a trivial cover report costs a few microseconds,
+/// spawning and joining a scoped pool costs tens.
+pub const INLINE_WORK_UNITS: u64 = 4096;
+
+/// [`parallel_map`] with an estimated total work size: maps whose
+/// `work_units` fall below [`INLINE_WORK_UNITS`] run inline regardless of
+/// `threads`, so trivially small jobs — a cover report on a 30-state
+/// benchmark — never pay thread-spawn overhead that exceeds the work
+/// itself. Results are identical either way; only wall-clock changes.
+pub fn parallel_map_sized<T, R, F>(items: &[T], threads: usize, work_units: u64, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if work_units < INLINE_WORK_UNITS { 1 } else { threads };
+    parallel_map(items, threads, f)
+}
+
 /// Maps `f` over `items` on `threads` OS threads, preserving input order.
 ///
 /// Work is distributed dynamically (an atomic next-item counter), so
 /// uneven item costs — one hard SAT search among many trivial ones — do
 /// not idle whole threads. With `threads <= 1`, or fewer than two items,
-/// runs inline with no thread spawned.
+/// runs inline with no thread spawned. Callers that can estimate their
+/// work cheaply should prefer [`parallel_map_sized`].
 ///
 /// # Panics
 ///
 /// Propagates the first worker panic.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    // CPU-bound work gains nothing from more workers than hardware
+    // threads — oversubscription just adds scheduler overhead (a 4-worker
+    // request on a 1-core machine ran the beam search ~2× slower). The
+    // clamp never changes results, only wall-clock.
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    parallel_map_exact(items, threads.min(hw), f)
+}
+
+/// [`parallel_map`] without the hardware clamp: spawns exactly
+/// `threads` workers (tests use it to exercise the scoped-thread
+/// machinery regardless of the machine running them).
+pub(crate) fn parallel_map_exact<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -105,11 +145,16 @@ impl ParallelSynth {
             .iter()
             .flat_map(|&a| [(a, Dir::Rise), (a, Dir::Fall)])
             .collect();
-        let entries = parallel_map(&functions, self.threads, |&(a, dir)| crate::cover::McEntry {
-            signal: a,
-            dir,
-            result: check.function_cover(a, dir),
-        });
+        // Each function's search walks the state set a bounded number of
+        // times; states × functions approximates the total work well
+        // enough to keep suite-sized reports inline.
+        let work = check.sg().state_count() as u64 * functions.len() as u64;
+        let entries =
+            parallel_map_sized(&functions, self.threads, work, |&(a, dir)| crate::cover::McEntry {
+                signal: a,
+                dir,
+                result: check.function_cover(a, dir),
+            });
         McReport::from_entries(entries)
     }
 
@@ -151,9 +196,12 @@ mod tests {
 
     #[test]
     fn parallel_map_preserves_order() {
+        // `parallel_map_exact` so the scoped-thread machinery actually
+        // runs even on single-core machines (the public entry point
+        // clamps to hardware parallelism).
         let items: Vec<usize> = (0..100).collect();
         for threads in [1, 2, 3, 8] {
-            let out = parallel_map(&items, threads, |&i| i * 2);
+            let out = parallel_map_exact(&items, threads, |&i| i * 2);
             assert_eq!(out, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
         }
     }
@@ -161,8 +209,19 @@ mod tests {
     #[test]
     fn parallel_map_handles_empty_and_single() {
         let empty: Vec<u32> = Vec::new();
-        assert!(parallel_map(&empty, 8, |&i| i).is_empty());
-        assert_eq!(parallel_map(&[7u32], 8, |&i| i + 1), vec![8]);
+        assert!(parallel_map_exact(&empty, 8, |&i| i).is_empty());
+        assert_eq!(parallel_map_exact(&[7u32], 8, |&i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn sized_map_runs_small_work_inline() {
+        // Below the inline threshold the sized variant must not spawn —
+        // observable through identical results and no panics; above it,
+        // it defers to `parallel_map`.
+        let items: Vec<usize> = (0..10).collect();
+        let small = parallel_map_sized(&items, 8, INLINE_WORK_UNITS - 1, |&i| i + 1);
+        let large = parallel_map_sized(&items, 8, INLINE_WORK_UNITS, |&i| i + 1);
+        assert_eq!(small, large);
     }
 
     #[test]

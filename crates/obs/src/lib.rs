@@ -122,6 +122,13 @@ counters! {
     SatConflicts => ("sat.conflicts", Sum),
     SatDecisions => ("sat.decisions", Sum),
     SatPropagations => ("sat.propagations", Sum),
+    // Incremental-solver activity: learned-clause database churn and
+    // assumption-based reuse of a warm solver.
+    SatLearnedKept => ("sat.learned_kept", Sum),
+    SatLearnedDeleted => ("sat.learned_deleted", Sum),
+    SatDbReductions => ("sat.db_reductions", Sum),
+    SatMinimizedLits => ("sat.minimized_lits", Sum),
+    SatAssumptionReuses => ("sat.assumption_reuses", Sum),
     // The MC cover search.
     CoverCubesChecked => ("cover.cubes_checked", Sum),
     CoverCubesRejected => ("cover.cubes_rejected", Sum),
@@ -134,6 +141,12 @@ counters! {
     BeamDeduped => ("beam.deduped", Sum),
     BeamPruned => ("beam.pruned", Sum),
     BeamSignalsInserted => ("beam.signals_inserted", Sum),
+    // Portfolio fallback races when a beam node finds no candidate under
+    // the primary solver configuration; wins are per fallback config.
+    PortfolioRaces => ("portfolio.races", Sum),
+    PortfolioWinsCfg1 => ("portfolio.wins_cfg1", Sum),
+    PortfolioWinsCfg2 => ("portfolio.wins_cfg2", Sum),
+    PortfolioWinsCfg3 => ("portfolio.wins_cfg3", Sum),
     // Exhaustive composed-state verification.
     VerifyStates => ("verify.states_explored", Sum),
     VerifyEvents => ("verify.events_explored", Sum),

@@ -32,14 +32,23 @@ type ClauseRef = usize;
 #[derive(Debug, Clone)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Learned by conflict analysis (eligible for database reduction).
+    learned: bool,
+    /// Bumped whenever the clause participates in conflict analysis;
+    /// low-activity learned clauses are deleted by [`Solver::reduce_db`].
+    activity: f64,
 }
 
 /// A conflict-driven clause-learning SAT solver.
 ///
 /// Supports incremental use: clauses may be added between `solve` calls,
-/// and [`Solver::solve_with_assumptions`] checks satisfiability under
-/// temporary unit assumptions (used for solution enumeration and
-/// minimization loops in the synthesis engine).
+/// [`Solver::solve_with_assumptions`] checks satisfiability under
+/// temporary unit assumptions, and [`Solver::add_clause_under`] /
+/// [`Solver::retract`] group clauses under activation literals so callers
+/// can retire candidate-specific constraints while keeping the learned
+/// clauses that transfer. Learned clauses are minimized at creation and
+/// aged out of the database by activity, so long incremental sessions do
+/// not accumulate every clause ever derived.
 #[derive(Debug, Default)]
 pub struct Solver {
     clauses: Vec<Clause>,
@@ -53,17 +62,34 @@ pub struct Solver {
     prop_head: usize,
     activity: Vec<f64>,
     var_inc: f64,
+    cla_inc: f64,
     polarity: Vec<bool>,
     ok: bool,
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    solves: u64,
+    /// Learned clauses currently in the database.
+    learned_count: usize,
+    /// Learned-clause budget before the next database reduction
+    /// (grows geometrically; 0 = not yet initialized).
+    max_learned: usize,
+    /// Level-0 trail length at the last satisfied-clause sweep; a longer
+    /// trail means new top-level units (e.g. retractions) to simplify by.
+    simplified_at: usize,
+    /// Failed-assumption subset of the last UNSAT assumption solve.
+    last_core: Vec<Lit>,
+    // Lifetime work metrics beyond the basic three.
+    minimized_lits: u64,
+    db_reductions: u64,
+    learned_deleted: u64,
+    learned_kept: u64,
 }
 
 impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
-        Solver { ok: true, var_inc: 1.0, ..Default::default() }
+        Solver { ok: true, var_inc: 1.0, cla_inc: 1.0, ..Default::default() }
     }
 
     /// Number of variables created so far.
@@ -74,6 +100,11 @@ impl Solver {
     /// Number of problem + learned clauses currently stored.
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Number of learned clauses currently stored.
+    pub fn learned_count(&self) -> usize {
+        self.learned_count
     }
 
     /// Total conflicts encountered across all solves (a work metric).
@@ -92,6 +123,11 @@ impl Solver {
         self.propagations
     }
 
+    /// Total learned-clause database reductions across all solves.
+    pub fn db_reduction_count(&self) -> u64 {
+        self.db_reductions
+    }
+
     /// Scrambles the saved decision polarities deterministically.
     ///
     /// Model-enumeration loops (solve, block, repeat) otherwise revisit
@@ -108,6 +144,18 @@ impl Solver {
         }
     }
 
+    /// Resets all saved decision polarities to the initial bias (false).
+    ///
+    /// Enumeration loops that share one incremental solver across many
+    /// sub-problems call this at each sub-problem boundary so the model
+    /// order within a sub-problem does not depend on the phases the
+    /// previous sub-problem happened to leave behind.
+    pub fn reset_polarities(&mut self) {
+        for p in &mut self.polarity {
+            *p = false;
+        }
+    }
+
     /// Creates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var(self.assign.len() as u32);
@@ -119,6 +167,43 @@ impl Solver {
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         v
+    }
+
+    /// Creates a fresh activation literal for a retractable clause group.
+    ///
+    /// Add the group with [`Solver::add_clause_under`], enable it by
+    /// passing the literal to [`Solver::solve_with_assumptions`], and
+    /// retire it with [`Solver::retract`]. Clauses learned while the
+    /// group was active remain valid afterwards: they are implied by the
+    /// guarded clauses themselves, and once retracted they are satisfied
+    /// at the top level and swept out of the database.
+    pub fn activation(&mut self) -> Lit {
+        Lit::pos(self.new_var())
+    }
+
+    /// Adds a clause that is only active while `act` is assumed true.
+    ///
+    /// Encoded as `¬act ∨ clause`, the standard activation-literal guard.
+    pub fn add_clause_under(&mut self, act: Lit, lits: impl IntoIterator<Item = Lit>) {
+        self.add_clause(lits.into_iter().chain(std::iter::once(!act)));
+    }
+
+    /// Permanently disables every clause guarded by `act`.
+    ///
+    /// Adds the unit `¬act`; the guarded clauses become satisfied at the
+    /// top level and are removed by the next simplification sweep.
+    pub fn retract(&mut self, act: Lit) {
+        self.add_clause([!act]);
+    }
+
+    /// The subset of assumptions responsible for the last
+    /// [`Solver::solve_with_assumptions`] returning [`SatResult::Unsat`].
+    ///
+    /// Empty when the formula is unsatisfiable regardless of assumptions.
+    /// The core is sound (the formula is UNSAT under exactly these
+    /// assumptions) but not guaranteed minimal.
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.last_core
     }
 
     /// Adds a clause (a disjunction of literals).
@@ -157,7 +242,7 @@ impl Solver {
                 let cref = self.clauses.len();
                 self.watches[simplified[0].code()].push(cref);
                 self.watches[simplified[1].code()].push(cref);
-                self.clauses.push(Clause { lits: simplified });
+                self.clauses.push(Clause { lits: simplified, learned: false, activity: 0.0 });
             }
         }
     }
@@ -169,12 +254,18 @@ impl Solver {
 
     /// Solves under temporary unit assumptions.
     ///
-    /// The assumptions hold only for this call; the clause database is
-    /// unchanged afterwards. When the observability sink is enabled,
-    /// every call reports its problem size and search-effort deltas
-    /// (conflicts, decisions, propagations) to `simc-obs`.
+    /// The assumptions hold only for this call; the clause database keeps
+    /// only what conflict analysis learned. On an UNSAT answer,
+    /// [`Solver::unsat_core`] reports the failed assumption subset. When
+    /// the observability sink is enabled, every call reports its problem
+    /// size and search-effort deltas (conflicts, decisions, propagations,
+    /// minimized literals, database reductions) to `simc-obs`.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
         let before = (self.conflicts, self.decisions, self.propagations);
+        let before_db =
+            (self.minimized_lits, self.db_reductions, self.learned_deleted, self.learned_kept);
+        let reused = self.solves > 0;
+        self.solves += 1;
         let result = self.solve_inner(assumptions);
         if simc_obs::counters_enabled() {
             use simc_obs::Counter;
@@ -184,18 +275,33 @@ impl Solver {
             simc_obs::add(Counter::SatConflicts, self.conflicts - before.0);
             simc_obs::add(Counter::SatDecisions, self.decisions - before.1);
             simc_obs::add(Counter::SatPropagations, self.propagations - before.2);
+            simc_obs::add(Counter::SatMinimizedLits, self.minimized_lits - before_db.0);
+            simc_obs::add(Counter::SatDbReductions, self.db_reductions - before_db.1);
+            simc_obs::add(Counter::SatLearnedDeleted, self.learned_deleted - before_db.2);
+            simc_obs::add(Counter::SatLearnedKept, self.learned_kept - before_db.3);
+            if reused && !assumptions.is_empty() {
+                simc_obs::add(Counter::SatAssumptionReuses, 1);
+            }
         }
         result
     }
 
     fn solve_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         self.cancel_until(0);
+        self.last_core.clear();
         if !self.ok {
             return SatResult::Unsat;
         }
         if self.propagate().is_some() {
             self.ok = false;
             return SatResult::Unsat;
+        }
+        if self.trail.len() > self.simplified_at {
+            self.simplify();
+        }
+        if self.max_learned == 0 {
+            let problem = self.clauses.len() - self.learned_count;
+            self.max_learned = (problem / 2).max(256);
         }
         let mut restart_idx = 0u32;
         let mut budget = 64 * luby(restart_idx);
@@ -215,6 +321,17 @@ impl Solver {
                     restart_idx += 1;
                     budget = 64 * luby(restart_idx);
                     self.cancel_until(0);
+                    // Learned units may still be pending; reduction needs
+                    // the top-level propagation fixpoint.
+                    if self.propagate().is_some() {
+                        self.ok = false;
+                        self.last_core.clear();
+                        return SatResult::Unsat;
+                    }
+                    if self.learned_count >= self.max_learned {
+                        self.reduce_db();
+                        self.max_learned += self.max_learned / 10;
+                    }
                 }
             }
         }
@@ -315,6 +432,119 @@ impl Solver {
         }
     }
 
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        self.clauses[cref].activity += self.cla_inc;
+        if self.clauses[cref].activity > 1e20 {
+            for c in &mut self.clauses {
+                if c.learned {
+                    c.activity *= 1e-20;
+                }
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Removes clauses satisfied at the top level (retracted activation
+    /// groups in particular) and rebuilds the watch lists.
+    ///
+    /// Must be called at decision level 0 with propagation at fixpoint.
+    fn simplify(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        // Top-level reasons are never dereferenced (conflict analysis stops
+        // at level-0 literals); clearing them means no clause is pinned.
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            self.reason[v] = None;
+        }
+        let satisfied: Vec<bool> = self
+            .clauses
+            .iter()
+            .map(|c| c.lits.iter().any(|&l| self.lit_value(l) == Some(true)))
+            .collect();
+        self.rebuild_clause_db(&satisfied);
+        self.simplified_at = self.trail.len();
+    }
+
+    /// Deletes the less active half of the non-binary learned clauses.
+    ///
+    /// Binary learned clauses are always kept (cheap and strong), as is
+    /// anything satisfied-free and active. Reason clauses cannot be
+    /// deleted: reduction runs at decision level 0, where every reason
+    /// slot has just been cleared because top-level reasons are never
+    /// dereferenced again.
+    fn reduce_db(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var().index();
+            self.reason[v] = None;
+        }
+        let mut delete: Vec<bool> = self
+            .clauses
+            .iter()
+            .map(|c| c.lits.iter().any(|&l| self.lit_value(l) == Some(true)))
+            .collect();
+        // Rank the remaining non-binary learned clauses by activity
+        // (ties broken by age: older first) and mark the bottom half.
+        let mut ranked: Vec<(f64, ClauseRef)> = self
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.learned && c.lits.len() > 2 && !delete[*i])
+            .map(|(i, c)| (c.activity, i))
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for &(_, cref) in ranked.iter().take(ranked.len() / 2) {
+            delete[cref] = true;
+        }
+        self.rebuild_clause_db(&delete);
+        self.simplified_at = self.trail.len();
+        self.db_reductions += 1;
+        self.learned_kept += self.learned_count as u64;
+    }
+
+    /// Drops every clause marked in `delete`, compacting storage,
+    /// remapping reasons and rebuilding the watch lists.
+    fn rebuild_clause_db(&mut self, delete: &[bool]) {
+        let mut remap: Vec<Option<ClauseRef>> = vec![None; self.clauses.len()];
+        let mut kept: Vec<Clause> = Vec::with_capacity(self.clauses.len());
+        for (i, clause) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if delete[i] {
+                if clause.learned {
+                    self.learned_deleted += 1;
+                    self.learned_count -= 1;
+                }
+                continue;
+            }
+            remap[i] = Some(kept.len());
+            kept.push(clause);
+        }
+        self.clauses = kept;
+        for r in &mut self.reason {
+            *r = r.and_then(|cref| remap[cref]);
+        }
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (i, clause) in self.clauses.iter_mut().enumerate() {
+            // An unsatisfied clause at the propagation fixpoint has at
+            // least two unassigned literals; watch two of them so future
+            // propagation wakes the clause up.
+            let mut slot = 0;
+            for k in 0..clause.lits.len() {
+                if self.assign[clause.lits[k].var().index()].is_none() {
+                    clause.lits.swap(slot, k);
+                    slot += 1;
+                    if slot == 2 {
+                        break;
+                    }
+                }
+            }
+            debug_assert!(slot == 2, "kept clause must have two free literals");
+            self.watches[clause.lits[0].code()].push(i);
+            self.watches[clause.lits[1].code()].push(i);
+        }
+    }
+
     /// First-UIP conflict analysis; returns (learned clause, backtrack level).
     fn analyze(&mut self, conflict: ClauseRef) -> (Vec<Lit>, u32) {
         let mut learned: Vec<Lit> = vec![Lit(0)]; // placeholder for the UIP
@@ -327,6 +557,9 @@ impl Solver {
         let mut p: Option<Lit> = None;
         let current = self.decision_level();
         let uip = loop {
+            if self.clauses[cref].learned {
+                self.bump_clause(cref);
+            }
             let clause_lits = self.clauses[cref].lits.clone();
             for q in clause_lits {
                 if Some(q) == p {
@@ -361,6 +594,29 @@ impl Solver {
             p = Some(next);
         };
         learned[0] = !uip;
+        // Local clause minimization (Sörensson/Biere): a non-UIP literal is
+        // redundant when its reason is covered by the rest of the clause
+        // and top-level facts. `seen` marks exactly the remaining literals;
+        // reasons point strictly earlier on the trail, so simultaneous
+        // removal cannot be circular.
+        let mut j = 1;
+        for i in 1..learned.len() {
+            let l = learned[i];
+            let v = l.var().index();
+            let redundant = self.reason[v].is_some_and(|r| {
+                self.clauses[r].lits.iter().all(|&q| {
+                    q.var().index() == v
+                        || self.level[q.var().index()] == 0
+                        || seen[q.var().index()]
+                })
+            });
+            if !redundant {
+                learned[j] = l;
+                j += 1;
+            }
+        }
+        self.minimized_lits += (learned.len() - j) as u64;
+        learned.truncate(j);
         // Backtrack level: maximum level among the other literals.
         let bt = learned[1..]
             .iter()
@@ -379,6 +635,68 @@ impl Solver {
         (learned, bt)
     }
 
+    /// Resolves a conflict inside the assumption prefix into the subset of
+    /// assumptions that caused it (MiniSat's `analyzeFinal`).
+    fn analyze_final(&mut self, conflict: ClauseRef) {
+        let mut core = Vec::new();
+        if self.decision_level() > 0 {
+            let mut seen = vec![false; self.num_vars()];
+            for k in 0..self.clauses[conflict].lits.len() {
+                let v = self.clauses[conflict].lits[k].var().index();
+                if self.level[v] > 0 {
+                    seen[v] = true;
+                }
+            }
+            for i in (self.trail_lim[0]..self.trail.len()).rev() {
+                let l = self.trail[i];
+                if !seen[l.var().index()] {
+                    continue;
+                }
+                match self.reason[l.var().index()] {
+                    // Decisions in the assumption prefix are assumptions.
+                    None => core.push(l),
+                    Some(r) => {
+                        for k in 0..self.clauses[r].lits.len() {
+                            let v = self.clauses[r].lits[k].var().index();
+                            if self.level[v] > 0 {
+                                seen[v] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            core.reverse();
+        }
+        self.last_core = core;
+    }
+
+    /// Builds the core for an assumption found already false when placed.
+    fn analyze_final_failed(&mut self, failed: Lit) {
+        let mut core = vec![failed];
+        if self.decision_level() > 0 {
+            let mut seen = vec![false; self.num_vars()];
+            seen[failed.var().index()] = true;
+            for i in (self.trail_lim[0]..self.trail.len()).rev() {
+                let l = self.trail[i];
+                if !seen[l.var().index()] {
+                    continue;
+                }
+                match self.reason[l.var().index()] {
+                    None => core.push(l),
+                    Some(r) => {
+                        for k in 0..self.clauses[r].lits.len() {
+                            let v = self.clauses[r].lits[k].var().index();
+                            if self.level[v] > 0 {
+                                seen[v] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.last_core = core;
+    }
+
     fn learn(&mut self, lits: Vec<Lit>) -> Option<ClauseRef> {
         match lits.len() {
             1 => None,
@@ -386,7 +704,8 @@ impl Solver {
                 let cref = self.clauses.len();
                 self.watches[lits[0].code()].push(cref);
                 self.watches[lits[1].code()].push(cref);
-                self.clauses.push(Clause { lits });
+                self.clauses.push(Clause { lits, learned: true, activity: self.cla_inc });
+                self.learned_count += 1;
                 Some(cref)
             }
         }
@@ -414,6 +733,9 @@ impl Solver {
                     // Conflict within (or below) the assumption prefix.
                     if self.decision_level() == 0 {
                         self.ok = false;
+                        self.last_core.clear();
+                    } else {
+                        self.analyze_final(conflict);
                     }
                     return SearchOutcome::Unsat;
                 }
@@ -423,9 +745,14 @@ impl Solver {
                 let asserting = learned[0];
                 let cref = self.learn(learned);
                 if !self.enqueue(asserting, cref) {
+                    // The asserting literal is falsified inside the
+                    // assumption prefix; over-approximate the core with
+                    // the full assumption set (sound, not minimal).
+                    self.last_core = assumptions.to_vec();
                     return SearchOutcome::Unsat;
                 }
                 self.var_inc *= 1.0 / 0.95;
+                self.cla_inc *= 1.0 / 0.999;
                 if local_conflicts >= budget {
                     return SearchOutcome::Restart;
                 }
@@ -439,7 +766,10 @@ impl Solver {
                             // Dummy level so assumption counting stays aligned.
                             self.trail_lim.push(self.trail.len());
                         }
-                        Some(false) => return SearchOutcome::Unsat,
+                        Some(false) => {
+                            self.analyze_final_failed(a);
+                            return SearchOutcome::Unsat;
+                        }
                         None => {
                             self.trail_lim.push(self.trail.len());
                             let ok = self.enqueue(a, None);
@@ -458,6 +788,45 @@ impl Solver {
                     }
                 }
             }
+        }
+    }
+
+    /// Validates internal invariants; panics on violation. Test-only aid
+    /// for pinning clause-database consistency across incremental use.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        for (i, c) in self.clauses.iter().enumerate() {
+            assert!(c.lits.len() >= 2, "clause {i} shorter than 2 literals");
+            for &l in &c.lits[..2] {
+                assert!(
+                    self.watches[l.code()].contains(&i),
+                    "clause {i} not on watch list of {l}"
+                );
+            }
+        }
+        for (v, r) in self.reason.iter().enumerate() {
+            if let Some(cref) = r {
+                assert!(*cref < self.clauses.len(), "reason of v{v} dangles");
+                let var = Var(v as u32);
+                assert!(
+                    self.clauses[*cref].lits.iter().any(|l| l.var() == var),
+                    "reason clause of v{v} does not mention it"
+                );
+            }
+        }
+        for (code, watchers) in self.watches.iter().enumerate() {
+            for &cref in watchers {
+                assert!(cref < self.clauses.len(), "watch list {code} dangles");
+            }
+        }
+    }
+
+    /// Forces an immediate database reduction (test-only aid).
+    #[doc(hidden)]
+    pub fn force_db_reduction(&mut self) {
+        self.cancel_until(0);
+        if self.ok && self.propagate().is_none() {
+            self.reduce_db();
         }
     }
 }
@@ -735,6 +1104,78 @@ mod tests {
         let m2 = s.solve().model().unwrap();
         let differing = vars.iter().filter(|&&v| m1.value(v) != m2.value(v)).count();
         assert!(differing > 0, "scrambling had no effect");
+        // Resetting restores the all-false bias.
+        s.reset_polarities();
+        let m3 = s.solve().model().unwrap();
+        assert!(vars.iter().all(|&v| !m3.value(v)));
+    }
+
+    #[test]
+    fn activation_groups_retract() {
+        // x ∨ y with a group forcing ¬x; retracting frees x again.
+        let mut s = Solver::new();
+        let (vx, x, _) = pos(&mut s);
+        let (_, y, _) = pos(&mut s);
+        s.add_clause([x, y]);
+        let act = s.activation();
+        s.add_clause_under(act, [!x]);
+        let m = s.solve_with_assumptions(&[act]).model().unwrap();
+        assert!(!m.value(vx));
+        assert!(m.satisfies(y));
+        // Without the assumption the guard is inert.
+        s.add_clause([x]); // now force x
+        assert!(s.solve().is_sat());
+        // Under the assumption the groups now conflict and name the culprit.
+        assert_eq!(s.solve_with_assumptions(&[act]), SatResult::Unsat);
+        assert_eq!(s.unsat_core(), [act]);
+        // Retraction keeps the formula satisfiable and sweeps the group.
+        s.retract(act);
+        assert!(s.solve().is_sat());
+        s.debug_validate();
+    }
+
+    #[test]
+    fn unsat_core_subsets_assumptions() {
+        // a→b, b→c ; assuming {a, ¬c, d} the core must avoid the
+        // irrelevant d.
+        let mut s = Solver::new();
+        let (_, a, na) = pos(&mut s);
+        let (_, b, nb) = pos(&mut s);
+        let (_, c, nc) = pos(&mut s);
+        let (_, d, _) = pos(&mut s);
+        s.add_clause([na, b]);
+        s.add_clause([nb, c]);
+        assert_eq!(s.solve_with_assumptions(&[a, nc, d]), SatResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        assert!(core.contains(&a) || core.contains(&nc), "core names a culprit");
+        assert!(!core.contains(&d), "irrelevant assumption in core");
+        for l in &core {
+            assert!([a, nc, d].contains(l), "core literal is not an assumption");
+        }
+        // Solving under the reported core alone is still UNSAT.
+        assert_eq!(s.solve_with_assumptions(&core), SatResult::Unsat);
+    }
+
+    #[test]
+    fn db_reduction_keeps_verdicts() {
+        // Pigeonhole keeps the solver busy enough to learn; force a
+        // reduction mid-session and re-check both polarities of use.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..4)
+            .map(|_| (0..3).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                for (a, b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!*a, !*b]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        s.debug_validate();
     }
 
     #[test]

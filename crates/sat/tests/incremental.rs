@@ -1,0 +1,113 @@
+//! Property-based validation of the incremental solving API: activation
+//! groups and retraction, assumption cores, and learned-clause database
+//! reduction, each checked against fresh-solver references on the same
+//! random instances as `random.rs`.
+
+use proptest::prelude::*;
+use simc_sat::{Lit, SatResult, Solver, Var};
+
+/// A clause is a small non-empty set of literals over `vars` variables.
+fn arb_instance(vars: usize) -> impl Strategy<Value = Vec<Vec<i32>>> {
+    let literal = (1..=vars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = proptest::collection::vec(literal, 1..=3);
+    proptest::collection::vec(clause, 0..=4 * vars)
+}
+
+fn add_all(solver: &mut Solver, vs: &[Var], clauses: &[Vec<i32>]) {
+    for clause in clauses {
+        solver.add_clause(
+            clause
+                .iter()
+                .map(|&l| Lit::with_polarity(vs[(l.unsigned_abs() - 1) as usize], l > 0)),
+        );
+    }
+}
+
+fn add_group(solver: &mut Solver, act: Lit, vs: &[Var], clauses: &[Vec<i32>]) {
+    for clause in clauses {
+        solver.add_clause_under(
+            act,
+            clause
+                .iter()
+                .map(|&l| Lit::with_polarity(vs[(l.unsigned_abs() - 1) as usize], l > 0)),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One incremental solver working through a sequence of retractable
+    /// constraint groups gives the same verdict, group by group, as a
+    /// fresh solver built from scratch for each group — and retracting
+    /// everything restores the base formula's verdict with a consistent
+    /// clause database.
+    #[test]
+    fn activation_groups_match_fresh_solvers(
+        base in arb_instance(7),
+        groups in proptest::collection::vec(arb_instance(7), 1..=3),
+    ) {
+        let vars = 7;
+        let mut inc = Solver::new();
+        let vs: Vec<Var> = (0..vars).map(|_| inc.new_var()).collect();
+        add_all(&mut inc, &vs, &base);
+        let base_verdict = inc.solve().is_sat();
+        for group in &groups {
+            let act = inc.activation();
+            add_group(&mut inc, act, &vs, group);
+            let got = inc.solve_with_assumptions(&[act]).is_sat();
+            let mut fresh = Solver::new();
+            let fvs: Vec<Var> = (0..vars).map(|_| fresh.new_var()).collect();
+            add_all(&mut fresh, &fvs, &base);
+            add_all(&mut fresh, &fvs, group);
+            prop_assert_eq!(got, fresh.solve().is_sat());
+            inc.retract(act);
+            inc.debug_validate();
+        }
+        // All groups retracted: the base formula is intact — learned
+        // clauses may remain, but they are consequences of base ∪
+        // retracted activations and cannot change the verdict.
+        prop_assert_eq!(inc.solve().is_sat(), base_verdict);
+        inc.debug_validate();
+    }
+
+    /// Forcing a learned-clause database reduction never changes
+    /// verdicts and leaves every internal invariant intact (in
+    /// particular, no reason clause of a level-0 fact is dangling).
+    #[test]
+    fn db_reduction_preserves_verdict(clauses in arb_instance(8)) {
+        let vars = 8;
+        let mut solver = Solver::new();
+        let vs: Vec<Var> = (0..vars).map(|_| solver.new_var()).collect();
+        add_all(&mut solver, &vs, &clauses);
+        let before = solver.solve().is_sat();
+        solver.force_db_reduction();
+        solver.debug_validate();
+        prop_assert_eq!(solver.solve().is_sat(), before);
+        // And again under an assumption, exercising the assumption path
+        // over a reduced database.
+        let under = solver.solve_with_assumptions(&[Lit::pos(vs[0])]);
+        let mut fresh = Solver::new();
+        let fvs: Vec<Var> = (0..vars).map(|_| fresh.new_var()).collect();
+        add_all(&mut fresh, &fvs, &clauses);
+        fresh.add_clause([Lit::pos(fvs[0])]);
+        prop_assert_eq!(under.is_sat(), fresh.solve().is_sat());
+    }
+
+    /// The reported unsat core is a subset of the assumptions that is
+    /// itself sufficient for unsatisfiability.
+    #[test]
+    fn unsat_core_is_sufficient(clauses in arb_instance(6)) {
+        let vars = 6;
+        let mut solver = Solver::new();
+        let vs: Vec<Var> = (0..vars).map(|_| solver.new_var()).collect();
+        add_all(&mut solver, &vs, &clauses);
+        let assumptions: Vec<Lit> = vs.iter().map(|&v| Lit::pos(v)).collect();
+        if let SatResult::Unsat = solver.solve_with_assumptions(&assumptions) {
+            let core: Vec<Lit> = solver.unsat_core().to_vec();
+            prop_assert!(core.iter().all(|l| assumptions.contains(l)));
+            let again = solver.solve_with_assumptions(&core);
+            prop_assert!(!again.is_sat(), "core must reproduce UNSAT");
+        }
+    }
+}

@@ -28,9 +28,11 @@ echo "==> simc fuzz --seed 0xDAC94 --iters 200"
 ./target/release/simc fuzz --seed 0xDAC94 --iters 200
 
 echo "==> repro_pipeline --smoke --check BENCH_pipeline.json"
-# 2-benchmark smoke sweep; fails on malformed JSON or on counters /
-# structural columns diverging from the committed baseline, or timings
-# regressing more than 10% (+50ms grace).
+# 3-benchmark smoke sweep (duplicator, berkel3, ganesh_8); fails on
+# malformed JSON or on counters / structural columns diverging from the
+# committed baseline, on totals regressing more than 10% (+50ms grace),
+# or on the state-assignment phase (`assign_s`) regressing more than 20%
+# (+20ms grace) — the ganesh_8 assign gate.
 smoke_out="$(mktemp)"
 trap 'rm -f "$smoke_out"' EXIT
 ./target/release/repro_pipeline --smoke --check BENCH_pipeline.json --out "$smoke_out"

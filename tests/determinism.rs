@@ -69,6 +69,38 @@ fn mc_reduction_identical_across_thread_counts() {
     }
 }
 
+#[test]
+fn portfolio_reduction_identical_across_thread_counts() {
+    // The portfolio fallback races differently-phase-biased solver
+    // configurations; the race must not leak scheduling into results.
+    // Synthesize the reduced graph to a netlist and compare the rendered
+    // text byte for byte across thread counts, portfolio on and off-size.
+    for b in suite::all().into_iter().take(4) {
+        let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
+        let netlist_of = |opts: ReduceOptions| {
+            let reduced = reduce_to_mc(&sg, opts).expect("reduces");
+            let implementation =
+                synthesize(&reduced.sg, Target::CElement).expect("synthesizes");
+            format!(
+                "{}\n{}\n{:?}",
+                write_sg(&reduced.sg, b.name),
+                implementation.equations(),
+                implementation.to_netlist().map(|nl| nl.stats().to_string())
+            )
+        };
+        let baseline =
+            netlist_of(ReduceOptions { threads: 1, portfolio: 3, ..ReduceOptions::default() });
+        for threads in THREADS {
+            let got = netlist_of(ReduceOptions {
+                threads,
+                portfolio: 3,
+                ..ReduceOptions::default()
+            });
+            assert_eq!(got, baseline, "{}: {threads} threads diverged", b.name);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
