@@ -25,10 +25,11 @@
 //!   sub-millisecond phases); exits 1 on regression
 
 use simc_bench::profile::{
-    cache_sweep, counters_sweep, to_json_with_history, BenchmarkCounters, SuiteRun,
+    cache_sweep, counters_sweep, scale_sweep, to_json_with_history, BenchmarkCounters,
+    ScaleTimings, SuiteRun,
 };
 use simc_bench::report::Table;
-use simc_benchmarks::suite;
+use simc_benchmarks::{scale, suite};
 use simc_obs::json::{self, Value};
 
 /// Benchmarks profiled under `--smoke`: one trivial spec and the two
@@ -43,14 +44,18 @@ const CHECK_RELATIVE: f64 = 0.10;
 /// 10% between runs, so small absolute drift is never a regression.
 const CHECK_ABSOLUTE_S: f64 = 0.05;
 
-/// Relative regression tolerance for the state-assignment phase alone.
-/// `assign_s` dominates every nontrivial benchmark, so it gets its own,
-/// tighter-in-absolute-terms gate: a >20% slowdown on a sequencer (e.g.
-/// `ganesh_8`) fails even when the 10%+50ms total gate would absorb it.
-const CHECK_ASSIGN_RELATIVE: f64 = 0.20;
+/// Relative regression tolerance for the hot pipeline phases — state
+/// assignment, reachability and verification — each gated on its own.
+/// `assign_s` dominates the sequencers and `reach_s`/`verify_s` the
+/// scale family, so a >20% slowdown in any of them fails even when the
+/// 10%+50ms total gate would absorb it.
+const CHECK_PHASE_RELATIVE: f64 = 0.20;
 
-/// Absolute grace for the assign gate (scheduler jitter on short runs).
-const CHECK_ASSIGN_ABSOLUTE_S: f64 = 0.02;
+/// Absolute grace for the phase gates (scheduler jitter on short runs).
+const CHECK_PHASE_ABSOLUTE_S: f64 = 0.02;
+
+/// Phases gated per benchmark with the 20%+20ms rule.
+const CHECKED_PHASES: &[&str] = &["assign_s", "reach_s", "verify_s"];
 
 fn usage() -> ! {
     eprintln!(
@@ -112,6 +117,12 @@ fn main() {
     let parallel = SuiteRun::sweep(&format!("parallel-{threads}"), &benchmarks, threads);
     let counters = counters_sweep(&benchmarks);
     let cache = cache_sweep(&benchmarks);
+    let mut scale_members = scale::all();
+    if smoke {
+        // The widest members dominate the sweep; CI gates on the smallest.
+        scale_members.retain(|m| m.width <= 13);
+    }
+    let scale_timings = scale_sweep(&scale_members);
 
     let mut table = Table::new(&[
         "example", "states", "reach ms", "regions ms", "cover ms", "assign ms", "verify ms",
@@ -157,6 +168,18 @@ fn main() {
     for t in &cache {
         assert!(t.identical, "{}: warm cached run diverged from cold", t.name);
     }
+    for s in &scale_timings {
+        println!(
+            "scale {}: {} spec states, verify full {:.1} ms ({} states) -> reduced {:.1} ms ({} states)",
+            s.name,
+            s.spec_states,
+            s.verify_full * 1e3,
+            s.explored_full,
+            s.verify_reduced * 1e3,
+            s.explored_reduced
+        );
+        assert!(s.verified, "{}: scale member must verify hazard-free", s.name);
+    }
 
     // Every thread count must produce identical results.
     for (s, p) in sequential.timings.iter().zip(&parallel.timings) {
@@ -192,7 +215,13 @@ fn main() {
                 .collect()
         })
         .unwrap_or_default();
-    let json = to_json_with_history(&[sequential.clone(), parallel], &counters, &cache, &before_after);
+    let json = to_json_with_history(
+        &[sequential.clone(), parallel],
+        &counters,
+        &cache,
+        &before_after,
+        &scale_timings,
+    );
     // Round-trip self-validation: the hand-rolled emitter must satisfy
     // the workspace's own parser before anything is written to disk.
     if let Err(e) = json::parse(&json) {
@@ -203,7 +232,7 @@ fn main() {
     println!("wrote {out_path}");
 
     if let Some(baseline) = check_path {
-        match check_against_baseline(&baseline, &sequential, &counters) {
+        match check_against_baseline(&baseline, &sequential, &counters, &scale_timings) {
             Ok(n) => println!("check: {n} benchmark(s) within tolerance of {baseline}"),
             Err(problems) => {
                 for p in &problems {
@@ -240,6 +269,7 @@ fn check_against_baseline(
     path: &str,
     sequential: &SuiteRun,
     counters: &[BenchmarkCounters],
+    scale: &[ScaleTimings],
 ) -> Result<usize, Vec<String>> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
@@ -280,16 +310,21 @@ fn check_against_baseline(
                 ));
             }
         }
-        if let Some(base_assign) = base.get("assign_s").and_then(Value::as_f64) {
-            let limit = base_assign * (1.0 + CHECK_ASSIGN_RELATIVE) + CHECK_ASSIGN_ABSOLUTE_S;
-            if t.assign > limit {
+        for &phase in CHECKED_PHASES {
+            let Some(base_phase) = base.get(phase).and_then(Value::as_f64) else { continue };
+            let now = match phase {
+                "assign_s" => t.assign,
+                "reach_s" => t.reach,
+                "verify_s" => t.verify,
+                _ => unreachable!("unknown checked phase"),
+            };
+            let limit = base_phase * (1.0 + CHECK_PHASE_RELATIVE) + CHECK_PHASE_ABSOLUTE_S;
+            if now > limit {
                 problems.push(format!(
-                    "{}: assign {:.4}s exceeds baseline {:.4}s by more than {:.0}% + {:.0}ms",
+                    "{}: {phase} {now:.4}s exceeds baseline {base_phase:.4}s by more than {:.0}% + {:.0}ms",
                     t.name,
-                    t.assign,
-                    base_assign,
-                    CHECK_ASSIGN_RELATIVE * 100.0,
-                    CHECK_ASSIGN_ABSOLUTE_S * 1e3
+                    CHECK_PHASE_RELATIVE * 100.0,
+                    CHECK_PHASE_ABSOLUTE_S * 1e3
                 ));
             }
         }
@@ -326,6 +361,48 @@ fn check_against_baseline(
                         counter.name(),
                         value,
                         pipeline.get(counter.name()).and_then(Value::as_u64)
+                    ));
+                }
+            }
+        }
+    }
+
+    if let Some(base_scale) = doc.get("scale").and_then(Value::as_array) {
+        for s in scale {
+            let Some(base) = base_scale
+                .iter()
+                .find(|b| b.get("name").and_then(Value::as_str) == Some(&s.name))
+            else {
+                continue;
+            };
+            checked += 1;
+            // Deterministic columns match exactly; the reduced
+            // exploration size is part of the engine's contract.
+            for (field, value) in
+                [("spec_states", s.spec_states), ("explored", s.explored_reduced)]
+            {
+                if base.get(field).and_then(Value::as_u64) != Some(value as u64) {
+                    problems.push(format!(
+                        "{}: {field} {value} != baseline {:?}",
+                        s.name,
+                        base.get(field).and_then(Value::as_u64)
+                    ));
+                }
+            }
+            if base.get("verified").and_then(Value::as_bool) != Some(s.verified) {
+                problems.push(format!("{}: scale verdict differs from baseline", s.name));
+            }
+            for (phase, now) in [("reach_s", s.reach), ("verify_s", s.verify_reduced)] {
+                let Some(base_phase) = base.get(phase).and_then(Value::as_f64) else {
+                    continue;
+                };
+                let limit = base_phase * (1.0 + CHECK_PHASE_RELATIVE) + CHECK_PHASE_ABSOLUTE_S;
+                if now > limit {
+                    problems.push(format!(
+                        "{}: {phase} {now:.4}s exceeds baseline {base_phase:.4}s by more than {:.0}% + {:.0}ms",
+                        s.name,
+                        CHECK_PHASE_RELATIVE * 100.0,
+                        CHECK_PHASE_ABSOLUTE_S * 1e3
                     ));
                 }
             }

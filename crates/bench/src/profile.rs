@@ -198,6 +198,90 @@ pub fn counters_sweep(benchmarks: &[Benchmark]) -> Vec<BenchmarkCounters> {
     benchmarks.iter().map(counters_benchmark).collect()
 }
 
+/// Wall-clock and exploration sizes for one scale-family member: the
+/// pre-PR exploration (`verify_full`) against the stubborn-set-reduced
+/// one (`verify_reduced`) — the symbolic engine's before/after.
+#[derive(Debug, Clone)]
+pub struct ScaleTimings {
+    /// Benchmark name (`scale-ring-<width>`).
+    pub name: String,
+    /// Reachable spec states.
+    pub spec_states: usize,
+    /// STG reachability seconds (arena-based frontier BFS).
+    pub reach: f64,
+    /// Region analysis + cover search + synthesis seconds.
+    pub synth: f64,
+    /// Verification seconds with partial-order reduction (the default).
+    pub verify_reduced: f64,
+    /// Composed states explored under reduction.
+    pub explored_reduced: usize,
+    /// Verification seconds with reduction disabled.
+    pub verify_full: f64,
+    /// Composed states explored without reduction.
+    pub explored_full: usize,
+    /// Both runs verified hazard-free (they must agree).
+    pub verified: bool,
+}
+
+/// Profiles the committed scale family: synthesizes each member once and
+/// verifies it twice — reduced and full — so the JSON records the
+/// reduction's effect on the same netlist.
+///
+/// # Panics
+///
+/// Panics if a member fails reachability or synthesis, or if the reduced
+/// and full verdicts disagree — all are regressions.
+pub fn scale_sweep(members: &[simc_benchmarks::scale::ScaleBenchmark]) -> Vec<ScaleTimings> {
+    simc_obs::set_timing(true);
+    members
+        .iter()
+        .map(|m| {
+            let span = simc_obs::span("scale_reach");
+            let sg = m.stg.to_state_graph().expect("scale member reaches");
+            let reach = span.finish().as_secs_f64();
+
+            let span = simc_obs::span("scale_synth");
+            let netlist = simc_mc::synth::synthesize(&sg, Target::CElement)
+                .expect("scale member synthesizes")
+                .to_netlist()
+                .expect("scale netlist builds");
+            let synth = span.finish().as_secs_f64();
+
+            let span = simc_obs::span("scale_verify_reduced");
+            let reduced = verify(&netlist, &sg, VerifyOptions::default())
+                .expect("reduced verification runs");
+            let verify_reduced = span.finish().as_secs_f64();
+
+            let span = simc_obs::span("scale_verify_full");
+            let full = verify(
+                &netlist,
+                &sg,
+                VerifyOptions { reduction: false, ..VerifyOptions::default() },
+            )
+            .expect("full verification runs");
+            let verify_full = span.finish().as_secs_f64();
+
+            assert_eq!(
+                reduced.is_ok(),
+                full.is_ok(),
+                "{}: reduced and full verdicts disagree",
+                m.name
+            );
+            ScaleTimings {
+                name: m.name.to_string(),
+                spec_states: sg.state_count(),
+                reach,
+                synth,
+                verify_reduced,
+                explored_reduced: reduced.explored,
+                verify_full,
+                explored_full: full.explored,
+                verified: reduced.is_ok(),
+            }
+        })
+        .collect()
+}
+
 /// Cold/warm wall-clock of the cached typed pipeline for one benchmark.
 #[derive(Debug, Clone)]
 pub struct CacheTimings {
@@ -278,17 +362,20 @@ pub fn to_json(
     counters: &[BenchmarkCounters],
     cache: &[CacheTimings],
 ) -> String {
-    to_json_with_history(runs, counters, cache, &[])
+    to_json_with_history(runs, counters, cache, &[], &[])
 }
 
-/// [`to_json`] with an optional `assign_before_after` section: one entry
+/// [`to_json`] with an optional `assign_before_after` section (one entry
 /// per benchmark whose state-assignment time in the baseline being
-/// replaced (`before_s`) is compared against this run (`after_s`).
+/// replaced (`before_s`) is compared against this run (`after_s`)) and
+/// the scale-family sections: `scale` holds the per-member profile and
+/// `symbolic_before_after` the full-vs-reduced verification comparison.
 pub fn to_json_with_history(
     runs: &[SuiteRun],
     counters: &[BenchmarkCounters],
     cache: &[CacheTimings],
     before_after: &[(String, f64, f64)],
+    scale: &[ScaleTimings],
 ) -> String {
     let mut out = String::from("{\n  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
@@ -382,6 +469,39 @@ pub fn to_json_with_history(
         }
         out.push_str("  ]");
     }
+    if !scale.is_empty() {
+        out.push_str(",\n  \"scale\": [\n");
+        for (i, s) in scale.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": {}, \"spec_states\": {}, \"reach_s\": {:.6}, \"synth_s\": {:.6}, \"verify_s\": {:.6}, \"explored\": {}, \"verified\": {} }}{}",
+                json_str(&s.name),
+                s.spec_states,
+                s.reach,
+                s.synth,
+                s.verify_reduced,
+                s.explored_reduced,
+                s.verified,
+                if i + 1 < scale.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ],\n  \"symbolic_before_after\": [\n");
+        for (i, s) in scale.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": {}, \"before_s\": {:.6}, \"after_s\": {:.6}, \"before_states\": {}, \"after_states\": {}, \"speedup\": {:.2}, \"state_reduction\": {:.2} }}{}",
+                json_str(&s.name),
+                s.verify_full,
+                s.verify_reduced,
+                s.explored_full,
+                s.explored_reduced,
+                s.verify_full / s.verify_reduced.max(1e-9),
+                s.explored_full as f64 / (s.explored_reduced.max(1)) as f64,
+                if i + 1 < scale.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]");
+    }
     out.push_str("\n}\n");
     out
 }
@@ -460,6 +580,29 @@ mod tests {
         assert_eq!(section[0].get("identical").and_then(|v| v.as_bool()), Some(true));
         let speedup = section[0].get("speedup").and_then(|v| v.as_f64()).unwrap();
         assert!((speedup - 100.0).abs() < 1e-9, "{speedup}");
+    }
+
+    #[test]
+    fn json_scale_sections_round_trip() {
+        let scale = ScaleTimings {
+            name: "scale-ring-13".into(),
+            spec_states: 16384,
+            reach: 0.02,
+            synth: 0.1,
+            verify_reduced: 0.01,
+            explored_reduced: 2090,
+            verify_full: 0.2,
+            explored_full: 32769,
+            verified: true,
+        };
+        let json = to_json_with_history(&[dummy_run()], &[], &[], &[], &[scale]);
+        let doc = simc_obs::json::parse(&json).expect("emitted JSON parses");
+        let section = doc.get("scale").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(section[0].get("spec_states").and_then(|v| v.as_u64()), Some(16384));
+        let ba = doc.get("symbolic_before_after").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(ba[0].get("before_states").and_then(|v| v.as_u64()), Some(32769));
+        let speedup = ba[0].get("speedup").and_then(|v| v.as_f64()).unwrap();
+        assert!((speedup - 20.0).abs() < 1e-9, "{speedup}");
     }
 
     #[test]

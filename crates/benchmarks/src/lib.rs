@@ -11,7 +11,9 @@
 //! * [`generators`] — scalable synthetic workloads (Muller pipelines,
 //!   independent toggles, choice rings) for the scaling experiments;
 //! * [`extras`] — classics beyond the paper's suite (the VME bus
-//!   controller, micropipeline control) for extra validation.
+//!   controller, micropipeline control) for extra validation;
+//! * [`scale`] — committed large instances (10⁵–10⁶ reachable states)
+//!   of the fuzz two-phase ring for the symbolic-engine experiments.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,4 +21,5 @@
 pub mod extras;
 pub mod figures;
 pub mod generators;
+pub mod scale;
 pub mod suite;

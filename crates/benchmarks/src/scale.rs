@@ -1,0 +1,113 @@
+//! Committed large-state-space benchmarks (`benchmarks/scale-*`).
+//!
+//! The family scales the fuzz two-phase ring into fixed, named instances
+//! big enough to exercise the symbolic state-space engine: `width`
+//! handshake signals run *concurrently* between two synchronizer
+//! transitions (`z+` after every rise, `z-` after every fall), so the
+//! reachable marking space is `2^(width+1)` states — every subset of
+//! lanes may have fired within a phase. Signals alternate input/output,
+//! giving the verifier both environment choice and gate interleavings to
+//! reduce.
+//!
+//! Like the fuzz ring, every cycle of the marked graph carries exactly
+//! one token (live, 1-safe by construction) and `z` distinguishes the
+//! phases, so the specs have CSC and synthesize without state-signal
+//! insertion; the cost is pure state-space volume. The widest committed
+//! members are far beyond what the pre-arena explicit-map exploration
+//! and unreduced verification handled within CI budgets.
+
+use simc_sg::SignalKind;
+use simc_stg::{Stg, StgBuilder, StgError};
+
+/// A named member of the scale family.
+pub struct ScaleBenchmark {
+    /// CLI-visible name (`benchmarks/<name>`).
+    pub name: &'static str,
+    /// Concurrency width (the SG has `2^(width+1)` states).
+    pub width: usize,
+    /// The spec.
+    pub stg: Stg,
+}
+
+/// Widths of the committed instances. The CI smoke member (13 ⇒ 16 384
+/// states) stays cheap; the headline members (16, 17 ⇒ 131 072 and
+/// 262 144 states) clear the 10⁵-state bar.
+pub const WIDTHS: &[usize] = &[13, 16, 17];
+
+/// A two-phase synchronizer ring of `width` concurrent handshakes.
+///
+/// Lane `i` contributes `s<i>+` to the rising phase and `s<i>-` to the
+/// falling one; `z+` waits on every rise, `z-` on every fall, and the
+/// marked places sit on the `z- → s<i>+` back edges. Even lanes are
+/// inputs, odd lanes outputs.
+///
+/// # Errors
+///
+/// Fails only on internal construction errors (never for `1 ≤ width ≤ 60`).
+pub fn ring(width: usize) -> Result<Stg, StgError> {
+    assert!(width >= 1, "ring needs at least one lane");
+    let mut b = StgBuilder::new(format!("scale-ring-{width}"));
+    for i in 0..width {
+        let kind = if i % 2 == 0 { SignalKind::Input } else { SignalKind::Output };
+        b.add_signal(&format!("s{i}"), kind)?;
+    }
+    b.add_signal("z", SignalKind::Output)?;
+    let zp = b.add_transition("z+")?;
+    let zm = b.add_transition("z-")?;
+    for i in 0..width {
+        let sip = b.add_transition(&format!("s{i}+"))?;
+        let sim = b.add_transition(&format!("s{i}-"))?;
+        let back = b.arc_tt(zm, sip);
+        b.mark_place(back);
+        b.arc_tt(sip, zp);
+        b.arc_tt(zp, sim);
+        b.arc_tt(sim, zm);
+    }
+    b.set_initial_values(0);
+    b.build()
+}
+
+/// All committed scale instances, widest last.
+///
+/// # Panics
+///
+/// Never: construction is infallible for the committed widths.
+pub fn all() -> Vec<ScaleBenchmark> {
+    WIDTHS
+        .iter()
+        .map(|&width| ScaleBenchmark {
+            name: match width {
+                13 => "scale-ring-13",
+                16 => "scale-ring-16",
+                17 => "scale-ring-17",
+                _ => unreachable!("committed widths are named statically"),
+            },
+            width,
+            stg: ring(width).expect("committed widths build"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_state_count_is_two_to_width_plus_one() {
+        for width in 1..=8 {
+            let sg = ring(width).unwrap().to_state_graph().unwrap();
+            assert_eq!(sg.state_count(), 1 << (width + 1), "width={width}");
+            assert!(sg.analysis().is_output_semimodular(), "width={width}");
+            assert!(sg.analysis().has_csc(), "width={width}");
+        }
+    }
+
+    #[test]
+    fn committed_names_resolve_and_agree_with_widths() {
+        let members = all();
+        assert_eq!(members.len(), WIDTHS.len());
+        for m in &members {
+            assert_eq!(m.name, format!("scale-ring-{}", m.width));
+        }
+    }
+}

@@ -116,6 +116,22 @@ impl<'a> Bindings<'a> {
         self.input_net[sig.index()]
     }
 
+    /// The spec input signal a net reads, if it is a primary input net.
+    pub(crate) fn net_input_signal(&self, net: NetId) -> Option<SignalId> {
+        match self.source[net.index()] {
+            NetSource::SpecInput(sig) => Some(sig),
+            _ => None,
+        }
+    }
+
+    /// The gate driving a net (through either rail), if gate-driven.
+    pub(crate) fn net_driver_gate(&self, net: NetId) -> Option<GateId> {
+        match self.source[net.index()] {
+            NetSource::SpecInput(_) => None,
+            NetSource::Gate(g) | NetSource::GateInv(g) => Some(GateId(g)),
+        }
+    }
+
     /// Resolves a net's value from the spec state and gate bitset.
     pub(crate) fn net_value(&self, net: NetId, spec: StateId, bits: u128) -> bool {
         match self.source[net.index()] {

@@ -30,6 +30,7 @@ mod error;
 mod gate;
 mod model;
 pub mod sim;
+mod stubborn;
 pub mod timed;
 mod verify;
 pub mod verilog;

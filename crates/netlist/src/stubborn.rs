@@ -1,0 +1,623 @@
+//! Stubborn-set partial-order reduction for composed-state verification.
+//!
+//! The verifier explores the composition of a netlist with the mirror
+//! environment of its spec. Under the interleaving semantics, `k`
+//! concurrently excited independent gates generate `2^k` composed states
+//! that differ only in firing order; every interleaving reaches the same
+//! final state and exhibits the same local violations. A *stubborn set*
+//! (Valmari) prunes this: at each state, compute a set `S` of actions
+//! closed under
+//!
+//! * **D1** — for every *enabled* action in `S`, every action that can
+//!   *disable* it or that it can disable (plus spec-level non-diamond
+//!   classes for bound/input transitions) is in `S`;
+//! * **D2** — for every *disabled* action in `S`, some *necessary
+//!   enabling set* — actions of which one must fire before it can become
+//!   enabled — is in `S`;
+//!
+//! and explore only the enabled actions of `S`. Deadlocks (and hence
+//! `Stall` verdicts) are preserved exactly; local per-state checks
+//! (unexpected outputs, disablings, clashes) still run over *all* events
+//! of every visited state, and any violation found under reduction makes
+//! the caller rerun full exploration so reported verdicts and witnesses
+//! always match the unreduced verifier (cross-checked by the suite and
+//! fuzz property tests).
+//!
+//! Actions are *directed*: each of the ≤128 gates contributes a rise and
+//! a fall action, and the ≤128 spec transition classes (signal ×
+//! direction) are directed already. Direction is what keeps the sets
+//! small: a rising gate output pushes a monotone reader's target one way
+//! only, so merely *enabling* the reader never drags it into `S` — only
+//! the direction it can disable does, and that twin's necessary enabling
+//! set is the singleton "fire the other way first". Non-input classes
+//! act through their bound gate; input classes are environment actions.
+//! All sets are `u128` masks, so the closure is a handful of bitwise ops
+//! per step. Whenever a spec class is added to `S`, it is replaced by
+//! its signal's *current-direction* representative — the only class of
+//! that signal that can fire before its twin — keeping NES chains
+//! directed too.
+
+use simc_sg::{SignalId, StateGraph, StateId};
+
+use crate::binding::Bindings;
+use crate::gate::GateKind;
+use crate::model::{GateId, NetId, Netlist};
+
+/// An action id: directed gates are `g*2 + dir`, classes are `256 + c`.
+/// Direction bit 1 is a falling output, matching the class convention.
+type Action = u16;
+
+const CLASS_BASE: Action = 256;
+
+/// A mask over directed gate actions.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirMask {
+    /// Gates acting by a rising output.
+    up: u128,
+    /// Gates acting by a falling output.
+    down: u128,
+}
+
+impl DirMask {
+    fn set(&mut self, g: usize, fall: bool) {
+        if fall {
+            self.down |= 1 << g;
+        } else {
+            self.up |= 1 << g;
+        }
+    }
+}
+
+/// Directed dependents of one directed action: gate actions plus
+/// already-directed input classes.
+#[derive(Debug, Clone, Copy, Default)]
+struct Deps {
+    gates: DirMask,
+    classes: u128,
+}
+
+/// Monotonicity of a gate's target in one input literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sign {
+    /// Literal true pushes the target up (AND/OR families, set rails).
+    Plus,
+    /// Literal true pushes the target down (NAND/NOR/NOT, reset rails).
+    Minus,
+    /// Unknown shape — treat both directions as dependent.
+    Both,
+}
+
+/// The class (signal × direction) of a transition: `signal*2`, plus 1 for
+/// falling.
+pub(crate) fn class_of(t: simc_sg::Transition) -> usize {
+    t.signal.index() * 2 + usize::from(t.dir == simc_sg::Dir::Fall)
+}
+
+/// Monotonicity sign and literal inversion of gate input position `i`.
+fn input_sign(kind: GateKind, i: usize) -> (Sign, bool) {
+    match kind {
+        GateKind::And { inverted } | GateKind::Or { inverted } => {
+            (Sign::Plus, inverted >> i & 1 == 1)
+        }
+        GateKind::Nand { inverted } | GateKind::Nor { inverted } => {
+            (Sign::Minus, inverted >> i & 1 == 1)
+        }
+        GateKind::Buf => (Sign::Plus, false),
+        GateKind::Not => (Sign::Minus, false),
+        GateKind::CElement { inverted } => (
+            if i == 0 { Sign::Plus } else { Sign::Minus },
+            inverted >> i & 1 == 1,
+        ),
+        GateKind::Complex { .. } => (Sign::Both, false),
+    }
+}
+
+/// Static dependency tables for one (netlist, spec) pair.
+pub(crate) struct StubbornCtx {
+    /// Per class: classes that fail the commuting-diamond test somewhere
+    /// in the spec (symmetric; conservative).
+    class_dep: Vec<u128>,
+    /// Per class: classes whose firing enables it somewhere in the spec.
+    enablers: Vec<u128>,
+    /// Per class: the directed action of the gate bound to its signal.
+    class_gates: Vec<DirMask>,
+    /// Per directed gate action: directed writer actions that can disable
+    /// it (push its target back toward its current output).
+    disablers: Vec<Deps>,
+    /// Per directed gate action: directed reader actions it can disable.
+    reader_dep: Vec<DirMask>,
+    /// Per input class: directed reader actions its firing can disable.
+    class_readers: Vec<DirMask>,
+}
+
+impl StubbornCtx {
+    /// Precomputes the dependency tables. Cost is linear in the spec's
+    /// edges plus a per-state scan over pairs of co-enabled classes.
+    pub(crate) fn build(nl: &Netlist, sg: &StateGraph, comp: &Bindings<'_>) -> Self {
+        let n_states = sg.state_count();
+        let n_classes = sg.signal_count() * 2;
+        let n_gates = nl.gate_count();
+
+        // CSR of spec edges sorted by class, for O(log k) diamond probes.
+        let mut offsets = vec![0u32; n_states + 1];
+        for s in sg.state_ids() {
+            offsets[s.index() + 1] = offsets[s.index()] + sg.succs(s).len() as u32;
+        }
+        let mut entries: Vec<(u16, u32)> = Vec::with_capacity(offsets[n_states] as usize);
+        let mut enabled_classes = vec![0u128; n_states];
+        for s in sg.state_ids() {
+            let base = entries.len();
+            for &(t, next) in sg.succs(s) {
+                let c = class_of(t);
+                enabled_classes[s.index()] |= 1 << c;
+                entries.push((c as u16, next.index() as u32));
+            }
+            entries[base..].sort_unstable();
+        }
+        let edges_of = |s: u32| -> &[(u16, u32)] {
+            &entries[offsets[s as usize] as usize..offsets[s as usize + 1] as usize]
+        };
+        let fire_class = |s: u32, c: u16| -> Option<u32> {
+            let es = edges_of(s);
+            es.binary_search_by_key(&c, |&(ec, _)| ec).ok().map(|i| es[i].1)
+        };
+
+        // Diamond scan: two classes are dependent unless, at every state
+        // where both are enabled, firing them in either order exists and
+        // lands in the same state.
+        let mut class_dep = vec![0u128; n_classes];
+        for s in 0..n_states as u32 {
+            let es = edges_of(s);
+            for i in 0..es.len() {
+                for j in i + 1..es.len() {
+                    let (c1, s1) = es[i];
+                    let (c2, s2) = es[j];
+                    if class_dep[c1 as usize] >> c2 & 1 == 1 {
+                        continue;
+                    }
+                    let a = fire_class(s1, c2);
+                    if a.is_none() || a != fire_class(s2, c1) {
+                        class_dep[c1 as usize] |= 1 << c2;
+                        class_dep[c2 as usize] |= 1 << c1;
+                    }
+                }
+            }
+        }
+
+        // Enabling scan: which classes' firings switch a class on.
+        let mut enablers = vec![0u128; n_classes];
+        for s in 0..n_states as u32 {
+            for &(c1, next) in edges_of(s) {
+                let mut newly =
+                    enabled_classes[next as usize] & !enabled_classes[s as usize];
+                while newly != 0 {
+                    let c = newly.trailing_zeros() as usize;
+                    enablers[c] |= 1 << c1;
+                    newly &= newly - 1;
+                }
+            }
+        }
+
+        // Structural tables over the netlist, directed. `readers` lists
+        // (reader gate, input position) per net so polarity is exact even
+        // when one net feeds a gate twice with both polarities.
+        let mut readers: Vec<Vec<(u32, u32)>> = vec![Vec::new(); nl.net_count()];
+        for g in nl.gate_ids() {
+            for (i, &n) in nl.gate_inputs(g).iter().enumerate() {
+                readers[n.index()].push((g.index() as u32, i as u32));
+            }
+        }
+
+        // A net moving in `net_fall` direction can disable which directed
+        // reader actions? A literal pushed down breaks targets of 1
+        // (rises) for Plus readers and targets of 0 (falls) for Minus.
+        let reader_breaks = |net: NetId, net_fall: bool, out: &mut DirMask| {
+            for &(h, i) in &readers[net.index()] {
+                let (sign, inv) = input_sign(nl.gate_kind(GateId(h)), i as usize);
+                let lit_fall = net_fall != inv;
+                match sign {
+                    Sign::Plus => out.set(h as usize, !lit_fall),
+                    Sign::Minus => out.set(h as usize, lit_fall),
+                    Sign::Both => {
+                        out.set(h as usize, false);
+                        out.set(h as usize, true);
+                    }
+                }
+            }
+        };
+
+        // The directed writer action that moves `net` in `net_fall`
+        // direction: an input class or the driver gate (complement rails
+        // invert the direction).
+        let writer_action = |net: NetId, net_fall: bool, deps: &mut Deps| {
+            if let Some(sig) = comp.net_input_signal(net) {
+                deps.classes |= 1 << (sig.index() * 2 + usize::from(net_fall));
+            } else if let Some(d) = comp.net_driver_gate(net) {
+                let inverted_rail = nl.gate_comp_output(d) == Some(net);
+                deps.gates.set(d.index(), net_fall != inverted_rail);
+            }
+        };
+
+        let mut disablers = vec![Deps::default(); n_gates * 2];
+        let mut reader_dep = vec![DirMask::default(); n_gates * 2];
+        for g in nl.gate_ids() {
+            for dir_fall in [false, true] {
+                let a = g.index() * 2 + usize::from(dir_fall);
+                // Disablers: writers pushing the target back toward the
+                // current output — down for a rise action, up for a fall.
+                for (i, &n) in nl.gate_inputs(g).iter().enumerate() {
+                    let (sign, inv) = input_sign(nl.gate_kind(g), i);
+                    match sign {
+                        Sign::Plus => writer_action(n, dir_fall == inv, &mut disablers[a]),
+                        Sign::Minus => writer_action(n, dir_fall != inv, &mut disablers[a]),
+                        Sign::Both => {
+                            writer_action(n, false, &mut disablers[a]);
+                            writer_action(n, true, &mut disablers[a]);
+                        }
+                    }
+                }
+                // Readers this directed firing can disable.
+                reader_breaks(nl.gate_output(g), dir_fall, &mut reader_dep[a]);
+                if let Some(rail) = nl.gate_comp_output(g) {
+                    reader_breaks(rail, !dir_fall, &mut reader_dep[a]);
+                }
+            }
+        }
+
+        let mut class_readers = vec![DirMask::default(); n_classes];
+        let mut class_gates = vec![DirMask::default(); n_classes];
+        for (c, breaks) in class_readers.iter_mut().enumerate() {
+            let sig = SignalId::new(c / 2);
+            if let Some(net) = comp.input_net(sig) {
+                reader_breaks(net, c & 1 == 1, breaks);
+            }
+        }
+        for g in nl.gate_ids() {
+            if let Some(sig) = comp.bound_signal(g) {
+                class_gates[sig.index() * 2].set(g.index(), false);
+                class_gates[sig.index() * 2 + 1].set(g.index(), true);
+            }
+        }
+
+        StubbornCtx {
+            class_dep,
+            enablers,
+            class_gates,
+            disablers,
+            reader_dep,
+            class_readers,
+        }
+    }
+
+    /// Actions to explore at a composed state, as a `(gates, classes)`
+    /// mask pair: the enabled part of the smallest stubborn set found
+    /// from up to four seeds. `excited` is the excited-gate mask,
+    /// `enabled_inputs` the mask of spec-enabled input classes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn reduced_actions(
+        &self,
+        comp: &Bindings<'_>,
+        nl: &Netlist,
+        sg: &StateGraph,
+        spec: StateId,
+        bits: u128,
+        excited: u128,
+        enabled_inputs: u128,
+    ) -> (u128, u128) {
+        // Candidate seeds: gates first — they tend to have the narrowest
+        // dependency cones. An excited gate's enabled direction follows
+        // its current output: high output ⇒ the fall action.
+        let mut seeds: [Action; 4] = [0; 4];
+        let mut n_seeds = 0;
+        let mut rest = excited;
+        while rest != 0 && n_seeds < seeds.len() {
+            let g = rest.trailing_zeros() as usize;
+            seeds[n_seeds] = (g * 2) as Action + Action::from(bits >> g & 1 == 1);
+            n_seeds += 1;
+            rest &= rest - 1;
+        }
+        let mut rest = enabled_inputs;
+        while rest != 0 && n_seeds < seeds.len() {
+            seeds[n_seeds] = CLASS_BASE + rest.trailing_zeros() as Action;
+            n_seeds += 1;
+            rest &= rest - 1;
+        }
+        let mut best: Option<(u32, u128, u128)> = None;
+        for &seed in &seeds[..n_seeds] {
+            let (s_gates, s_classes) =
+                self.closure(comp, nl, sg, spec, bits, excited, enabled_inputs, seed);
+            let width = (s_gates & excited).count_ones()
+                + (s_classes & enabled_inputs).count_ones();
+            if best.is_none_or(|(w, _, _)| width < w) {
+                best = Some((width, s_gates, s_classes));
+            }
+            if width == 1 {
+                break;
+            }
+        }
+        match best {
+            Some((_, a, b)) => (a, b),
+            // No enabled action at all — the caller handles the stall.
+            None => (!0, !0),
+        }
+    }
+
+    /// D1/D2 closure from one seed action. Returns the *enabled
+    /// projection*: gate ids whose enabled direction is in the set, plus
+    /// the class mask.
+    #[allow(clippy::too_many_arguments)]
+    fn closure(
+        &self,
+        comp: &Bindings<'_>,
+        nl: &Netlist,
+        sg: &StateGraph,
+        spec: StateId,
+        bits: u128,
+        excited: u128,
+        enabled_inputs: u128,
+        seed: Action,
+    ) -> (u128, u128) {
+        let mut set = ActionSet { up: 0, down: 0, classes: 0, work: Vec::with_capacity(16) };
+        match seed.checked_sub(CLASS_BASE) {
+            Some(c) => self.add_class(comp, sg, spec, bits, c as usize, &mut set),
+            None => set.add_gate(seed as usize / 2, seed & 1 == 1),
+        }
+
+        while let Some(action) = set.work.pop() {
+            if let Some(c) = action.checked_sub(CLASS_BASE) {
+                let c = c as usize;
+                if enabled_inputs >> c & 1 == 1 {
+                    // D1: readers it can disable + spec-level dependence.
+                    set.add_dir_mask(self.class_readers[c]);
+                    self.add_class_mask(comp, sg, spec, bits, self.class_dep[c], &mut set);
+                } else {
+                    // D2: one of its spec-level enablers must fire first.
+                    self.add_class_mask(comp, sg, spec, bits, self.enablers[c], &mut set);
+                }
+            } else {
+                let (g, fall) = (action as usize / 2, action & 1 == 1);
+                let output_high = bits >> g & 1 == 1;
+                if excited >> g & 1 == 1 && output_high == fall {
+                    // Enabled. D1: writers that can disable it, readers it
+                    // can disable, and spec-level interference of its own
+                    // transition class when bound.
+                    let deps = self.disablers[action as usize];
+                    set.add_dir_mask(deps.gates);
+                    set.add_input_classes(deps.classes);
+                    set.add_dir_mask(self.reader_dep[action as usize]);
+                    if let Some(sig) = comp.bound_signal(GateId(g as u32)) {
+                        let cg = sig.index() * 2 + usize::from(fall);
+                        self.add_class_mask(
+                            comp,
+                            sg,
+                            spec,
+                            bits,
+                            self.class_dep[cg],
+                            &mut set,
+                        );
+                    }
+                } else if output_high != fall {
+                    // D2, wrong level: the twin must fire first.
+                    set.add_gate(g, !fall);
+                } else {
+                    // D2, right level but unexcited: a blocking input must
+                    // move first.
+                    self.gate_nes(comp, nl, GateId(g as u32), fall, spec, bits, &mut set);
+                }
+            }
+        }
+        ((set.up & !bits) | (set.down & bits), set.classes)
+    }
+
+    /// Adds a spec class to the set: non-input classes route to their
+    /// bound gate's matching direction; input classes redirect to the
+    /// signal's current-direction representative.
+    fn add_class(
+        &self,
+        comp: &Bindings<'_>,
+        sg: &StateGraph,
+        spec: StateId,
+        bits: u128,
+        c: usize,
+        set: &mut ActionSet,
+    ) {
+        let bound = self.class_gates[c];
+        if bound.up != 0 || bound.down != 0 {
+            set.add_dir_mask(bound);
+            return;
+        }
+        let sig = SignalId::new(c / 2);
+        let value = match comp.input_net(sig) {
+            Some(net) => comp.net_value(net, spec, bits),
+            None => sg.code(spec).value(sig),
+        };
+        set.add_input_class(sig.index() * 2 + usize::from(value));
+    }
+
+    fn add_class_mask(
+        &self,
+        comp: &Bindings<'_>,
+        sg: &StateGraph,
+        spec: StateId,
+        bits: u128,
+        mut mask: u128,
+        set: &mut ActionSet,
+    ) {
+        while mask != 0 {
+            let c = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.add_class(comp, sg, spec, bits, c, set);
+        }
+    }
+
+    /// Necessary enabling set of a right-level but unexcited directed
+    /// gate action: a blocked input that *must* move (toward the needed
+    /// core value) before the target can flip. Any already-in-set
+    /// candidate satisfies D2 for free; otherwise the first candidate
+    /// joins. Falls back to all writers when no single input is
+    /// necessary.
+    #[allow(clippy::too_many_arguments)]
+    fn gate_nes(
+        &self,
+        comp: &Bindings<'_>,
+        nl: &Netlist,
+        g: GateId,
+        fall: bool,
+        spec: StateId,
+        bits: u128,
+        set: &mut ActionSet,
+    ) {
+        let inputs = nl.gate_inputs(g);
+        let writer_of = |net: NetId, net_fall: bool| -> Option<Action> {
+            if let Some(sig) = comp.net_input_signal(net) {
+                Some(CLASS_BASE + (sig.index() * 2 + usize::from(net_fall)) as Action)
+            } else {
+                comp.net_driver_gate(net).map(|d| {
+                    let inverted_rail = nl.gate_comp_output(d) == Some(net);
+                    (d.index() * 2) as Action + Action::from(net_fall != inverted_rail)
+                })
+            }
+        };
+        let add_action = |a: Option<Action>, set: &mut ActionSet| match a {
+            Some(a) if a >= CLASS_BASE => set.add_input_class((a - CLASS_BASE) as usize),
+            Some(a) => set.add_gate(a as usize / 2, a & 1 == 1),
+            None => {}
+        };
+        let literal = |i: usize, inverted: u64| -> bool {
+            comp.net_value(inputs[i], spec, bits) != (inverted >> i & 1 == 1)
+        };
+        // Move literal `i` toward `lit_high`: the directed writer action.
+        let mover = |i: usize, inverted: u64, lit_high: bool| -> Option<Action> {
+            writer_of(inputs[i], lit_high == (inverted >> i & 1 == 1))
+        };
+        // Each candidate is a singleton NES; prefer one already in `S`.
+        let cheapest =
+            |candidates: &mut dyn Iterator<Item = Option<Action>>, set: &mut ActionSet| {
+                let mut first = None;
+                for a in candidates.flatten() {
+                    if set.contains(a) {
+                        return true;
+                    }
+                    if first.is_none() {
+                        first = Some(a);
+                    }
+                }
+                match first {
+                    Some(a) => {
+                        add_action(Some(a), set);
+                        true
+                    }
+                    None => false,
+                }
+            };
+        let all_writers = |set: &mut ActionSet| {
+            for &n in inputs {
+                add_action(writer_of(n, false), set);
+                add_action(writer_of(n, true), set);
+            }
+        };
+        // The AND/OR core value this directed action needs.
+        let (inverted, core_is_and) = match nl.gate_kind(g) {
+            GateKind::And { inverted } | GateKind::Nand { inverted } => (inverted, true),
+            GateKind::Or { inverted } | GateKind::Nor { inverted } => (inverted, false),
+            GateKind::Buf | GateKind::Not => (0, true),
+            GateKind::CElement { inverted } => {
+                // Rise needs (set, reset) = (1, 0); fall needs (0, 1).
+                // Every blocked side is necessary on its own.
+                let (want_set, want_reset) = (!fall, fall);
+                let mut candidates = [None, None];
+                if literal(0, inverted) != want_set {
+                    candidates[0] = mover(0, inverted, want_set);
+                }
+                if literal(1, inverted) != want_reset {
+                    candidates[1] = mover(1, inverted, want_reset);
+                }
+                if !cheapest(&mut candidates.into_iter(), set) {
+                    all_writers(set);
+                }
+                return;
+            }
+            GateKind::Complex { .. } => {
+                all_writers(set);
+                return;
+            }
+        };
+        let inverting =
+            matches!(nl.gate_kind(g), GateKind::Nand { .. } | GateKind::Nor { .. } | GateKind::Not);
+        let core_target = fall == inverting;
+        // AND needs 1 / OR needs 0: every blocked literal is necessary.
+        // AND needs 0 / OR needs 1: any literal flip suffices, so only
+        // the full writer set is necessary.
+        if core_target == core_is_and {
+            let want_lit = core_is_and;
+            let mut candidates = (0..inputs.len())
+                .filter(|&i| literal(i, inverted) != want_lit)
+                .map(|i| mover(i, inverted, want_lit));
+            if !cheapest(&mut candidates, set) {
+                all_writers(set);
+            }
+        } else {
+            all_writers(set);
+        }
+    }
+}
+
+/// The stubborn set under construction: directed gate and input-class
+/// masks plus the closure worklist.
+struct ActionSet {
+    up: u128,
+    down: u128,
+    classes: u128,
+    work: Vec<Action>,
+}
+
+impl ActionSet {
+    fn contains(&self, action: Action) -> bool {
+        match action.checked_sub(CLASS_BASE) {
+            Some(c) => self.classes >> c & 1 == 1,
+            None => {
+                let mask = if action & 1 == 1 { self.down } else { self.up };
+                mask >> (action / 2) & 1 == 1
+            }
+        }
+    }
+
+    fn add_gate(&mut self, g: usize, fall: bool) {
+        let mask = if fall { &mut self.down } else { &mut self.up };
+        if *mask >> g & 1 == 0 {
+            *mask |= 1 << g;
+            self.work.push((g * 2) as Action + Action::from(fall));
+        }
+    }
+
+    fn add_dir_mask(&mut self, mask: DirMask) {
+        let mut rest = mask.up & !self.up;
+        while rest != 0 {
+            let g = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            self.add_gate(g, false);
+        }
+        let mut rest = mask.down & !self.down;
+        while rest != 0 {
+            let g = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            self.add_gate(g, true);
+        }
+    }
+
+    fn add_input_class(&mut self, c: usize) {
+        if self.classes >> c & 1 == 0 {
+            self.classes |= 1 << c;
+            self.work.push(CLASS_BASE + c as Action);
+        }
+    }
+
+    fn add_input_classes(&mut self, mut mask: u128) {
+        mask &= !self.classes;
+        while mask != 0 {
+            let c = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.add_input_class(c);
+        }
+    }
+}

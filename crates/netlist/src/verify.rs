@@ -9,14 +9,13 @@
 //! hazard (semi-modularity violation, cf. Beerel & Meng 1992 as cited by
 //! the paper).
 
-use std::collections::HashMap;
-
-use simc_sg::{Dir, StateGraph, StateId, Transition};
+use simc_sg::{Dir, StateArena, StateGraph, StateId, Transition};
 
 use crate::binding::Bindings;
 use crate::error::NetlistError;
 use crate::gate::GateKind;
 use crate::model::{GateId, Netlist};
+use crate::stubborn::{class_of, StubbornCtx};
 
 /// One atomic event of the composed system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -153,11 +152,24 @@ pub struct VerifyOptions {
     /// excitation networks settle; real logic errors surface as `Stall` or
     /// `UnexpectedOutput` regardless. Enable for extra diagnostics.
     pub flag_clashes: bool,
+    /// Prune independent interleavings with stubborn-set partial-order
+    /// reduction (on by default). Every reported violation is re-derived
+    /// from a full exploration, so verdicts and witness traces are
+    /// identical to `reduction: false` — only the state count explored for
+    /// *clean* circuits shrinks. Automatically disabled when
+    /// `flag_clashes` is set (clash detection is a per-state property of
+    /// the whole space).
+    pub reduction: bool,
 }
 
 impl Default for VerifyOptions {
     fn default() -> Self {
-        VerifyOptions { max_states: 1 << 20, max_violations: 8, flag_clashes: false }
+        VerifyOptions {
+            max_states: 1 << 20,
+            max_violations: 8,
+            flag_clashes: false,
+            reduction: true,
+        }
     }
 }
 
@@ -179,25 +191,49 @@ pub fn verify(
 ) -> Result<VerifyReport, NetlistError> {
     let _span = simc_obs::span("verify");
     let comp = Bindings::new(nl, sg)?;
+    if opts.reduction && !opts.flag_clashes {
+        let ctx = StubbornCtx::build(nl, sg, &comp);
+        let report = explore(nl, sg, &comp, opts, Some(&ctx))?;
+        // The reduced search visits a subset of the composed space, so a
+        // clean run is a clean verdict, but violations (including the
+        // dead-transition post-pass, whose `fired` set is incomplete
+        // under reduction) are re-derived from the full space to keep
+        // verdicts and witness traces identical to `reduction: false`.
+        if report.violations.is_empty() {
+            return Ok(report);
+        }
+    }
+    explore(nl, sg, &comp, opts, None)
+}
+
+/// One BFS exploration of the composed state space; with `stubborn` set,
+/// only the enabled actions of each state's stubborn set are expanded
+/// (all per-state checks still run over every event).
+fn explore(
+    nl: &Netlist,
+    sg: &StateGraph,
+    comp: &Bindings<'_>,
+    opts: VerifyOptions,
+    stubborn: Option<&StubbornCtx>,
+) -> Result<VerifyReport, NetlistError> {
     let spec0 = sg.initial();
     let bits0 = comp.initial_bits(spec0)?;
 
-    // BFS over composed states.
-    type Key = (StateId, u128);
-    let mut index: HashMap<Key, usize> = HashMap::new();
+    // BFS over composed states: (spec state, gate bits) keys intern to
+    // dense handles in visit order, so the handle sequence *is* the queue
+    // and `parents` is a flat array.
+    let mut arena: StateArena<(u64, u128)> = StateArena::with_capacity(1 << 10);
     let mut parents: Vec<Option<(usize, Event)>> = Vec::new();
-    let mut keys: Vec<Key> = Vec::new();
-    let mut queue = std::collections::VecDeque::new();
 
-    index.insert((spec0, bits0), 0);
+    arena.intern((spec0.index() as u64, bits0));
     parents.push(None);
-    keys.push((spec0, bits0));
-    queue.push_back(0usize);
 
     let mut violations = Vec::new();
     let mut fired: std::collections::HashSet<Transition> = std::collections::HashSet::new();
     let mut events_explored: u64 = 0;
     let mut peak_frontier: u64 = 1;
+    let mut stubborn_reduced: u64 = 0;
+    let mut full_expansions: u64 = 0;
     let trace_of = |idx: usize, parents: &[Option<(usize, Event)>]| -> Vec<Event> {
         let mut t = Vec::new();
         let mut cur = idx;
@@ -209,8 +245,12 @@ pub fn verify(
         t
     };
 
-    'bfs: while let Some(cur) = queue.pop_front() {
-        let (spec, bits) = keys[cur];
+    let mut cursor: u32 = 0;
+    'bfs: while (cursor as usize) < arena.len() {
+        let cur = cursor as usize;
+        let (spec_raw, bits) = arena.get(cursor);
+        let spec = StateId::new(spec_raw as usize);
+        cursor += 1;
         let excited: Vec<GateId> = nl
             .gate_ids()
             .filter(|&g| comp.is_excited(g, spec, bits))
@@ -298,6 +338,26 @@ pub fn verify(
             continue;
         }
 
+        // Stubborn-set filter: expand only the enabled actions of the
+        // stubborn set; every event above still went through the local
+        // checks, and the successor filter is what prunes interleavings.
+        let (explore_gates, explore_classes) = match stubborn {
+            Some(ctx) if events.len() > 1 => {
+                let excited_mask =
+                    excited.iter().fold(0u128, |m, &g| m | 1 << g.index());
+                let mut enabled_inputs = 0u128;
+                for &(t, _) in sg.succs(spec) {
+                    if !sg.signal(t.signal).kind().is_non_input() {
+                        enabled_inputs |= 1 << class_of(t);
+                    }
+                }
+                ctx.reduced_actions(comp, nl, sg, spec, bits, excited_mask, enabled_inputs)
+            }
+            _ => (!0u128, !0u128),
+        };
+        let mut expanded = 0usize;
+        let total_events = events.len();
+
         for (event, next_spec_opt, new_bits) in events {
             events_explored += 1;
             let next_spec = next_spec_opt.unwrap_or(spec);
@@ -318,18 +378,27 @@ pub fn verify(
                     }
                 }
             }
-            let key = (next_spec, new_bits);
-            if let std::collections::hash_map::Entry::Vacant(entry) = index.entry(key) {
-                if keys.len() >= opts.max_states {
+            let in_stubborn = match event {
+                Event::Input(t) => explore_classes >> class_of(t) & 1 == 1,
+                Event::Gate(g) => explore_gates >> g.index() & 1 == 1,
+            };
+            if !in_stubborn {
+                continue;
+            }
+            expanded += 1;
+            let (handle, fresh) = arena.intern((next_spec.index() as u64, new_bits));
+            if fresh {
+                if handle as usize >= opts.max_states {
                     return Err(NetlistError::TooManyStates(opts.max_states));
                 }
-                let idx = keys.len();
-                entry.insert(idx);
-                keys.push(key);
                 parents.push(Some((cur, event)));
-                queue.push_back(idx);
-                peak_frontier = peak_frontier.max(queue.len() as u64);
+                peak_frontier = peak_frontier.max((arena.len() - cursor as usize) as u64);
             }
+        }
+        if expanded < total_events {
+            stubborn_reduced += 1;
+        } else if total_events > 1 {
+            full_expansions += 1;
         }
     }
 
@@ -358,12 +427,16 @@ pub fn verify(
 
     if simc_obs::counters_enabled() {
         use simc_obs::Counter;
-        simc_obs::add(Counter::VerifyStates, keys.len() as u64);
+        simc_obs::add(Counter::VerifyStates, arena.len() as u64);
         simc_obs::add(Counter::VerifyEvents, events_explored);
         simc_obs::record_max(Counter::VerifyPeakFrontier, peak_frontier);
         simc_obs::add(Counter::VerifyViolations, violations.len() as u64);
+        simc_obs::add(Counter::ArenaStatesInterned, arena.len() as u64);
+        simc_obs::add(Counter::VerifyStubbornReduced, stubborn_reduced);
+        simc_obs::add(Counter::VerifyFullExpansions, full_expansions);
+        simc_obs::record_max(Counter::ArenaPeakBytes, arena.heap_bytes() as u64);
     }
-    Ok(VerifyReport { violations, explored: keys.len() })
+    Ok(VerifyReport { violations, explored: arena.len() })
 }
 
 #[cfg(test)]

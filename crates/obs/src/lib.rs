@@ -147,11 +147,19 @@ counters! {
     PortfolioWinsCfg1 => ("portfolio.wins_cfg1", Sum),
     PortfolioWinsCfg2 => ("portfolio.wins_cfg2", Sum),
     PortfolioWinsCfg3 => ("portfolio.wins_cfg3", Sum),
+    // The symbolic state-space layer: interning arenas and frontier BFS.
+    ArenaStatesInterned => ("arena.states_interned", Sum),
+    ArenaPeakBytes => ("arena.peak_bytes", Max),
+    ReachFrontierDeduped => ("reach.frontier_deduped", Sum),
     // Exhaustive composed-state verification.
     VerifyStates => ("verify.states_explored", Sum),
     VerifyEvents => ("verify.events_explored", Sum),
     VerifyPeakFrontier => ("verify.peak_frontier", Max),
     VerifyViolations => ("verify.violations", Sum),
+    // Stubborn-set partial-order reduction inside verification: states
+    // where the reduced successor set was explored vs. fully expanded.
+    VerifyStubbornReduced => ("verify.stubborn_reduced", Sum),
+    VerifyFullExpansions => ("verify.full_expansions", Sum),
     // Monte-Carlo random walks.
     WalkSteps => ("walk.steps", Sum),
     WalkViolations => ("walk.violations", Sum),

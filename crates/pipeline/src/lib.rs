@@ -431,6 +431,7 @@ impl Pipeline {
             hasher.update_u64(self.verify_options.max_states as u64);
             hasher.update_u64(self.verify_options.max_violations as u64);
             hasher.update_u64(u64::from(self.verify_options.flag_clashes));
+            hasher.update_u64(u64::from(self.verify_options.reduction));
             let key = hasher.finish();
             let revived = self
                 .cache_lookup(&key)

@@ -1,0 +1,271 @@
+//! Interned state arenas: dense `u32` handles over wide state keys.
+//!
+//! Explicit reachability and composed-state verification both spend most
+//! of their time asking "have I seen this state before?". A
+//! `HashMap<Key, u32>` answers that with a heap-allocated table of
+//! 16–32-byte entries and a hash probe per *visit*, not per *state* — on
+//! graphs with millions of edges the map dominates both time and memory.
+//!
+//! [`StateArena`] splits the two concerns:
+//!
+//! * **storage** — keys live in fixed-size chunks ([`CHUNK`] keys each),
+//!   appended in interning order, so handle `h` is the `h`-th distinct
+//!   state ever seen and lookup by handle is two indexations with no
+//!   pointer chasing of a map bucket;
+//! * **membership** — a flat open-addressing index of `u32` handles
+//!   (empty slots are `u32::MAX`) keyed by a 64-bit mix of the state key.
+//!   The index holds no keys, only handles, so growth rehashes 4 bytes
+//!   per state and the load factor stays below ½.
+//!
+//! Because handles are assigned densely in first-visit order, a
+//! breadth-first frontier is just a half-open handle range — the "next"
+//! frontier of a BFS level is `level_end..arena.len()`, with
+//! deduplication falling out of interning itself. Characteristic sets
+//! over handles (visited, in-frontier, in-region) are [`BitSet`]s whose
+//! blocks line up with the chunked storage.
+//!
+//! [`BitSet`]: crate::BitSet
+
+/// Keys a [`StateArena`] can intern: compact copyable state encodings
+/// with a good 64-bit mix.
+pub trait ArenaKey: Copy + Eq {
+    /// A well-distributed 64-bit hash of the key.
+    fn mix64(self) -> u64;
+}
+
+/// `splitmix64` finalizer — a full-avalanche mix for word-sized keys.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ArenaKey for u64 {
+    fn mix64(self) -> u64 {
+        splitmix64(self)
+    }
+}
+
+impl ArenaKey for u128 {
+    fn mix64(self) -> u64 {
+        splitmix64(self as u64) ^ splitmix64((self >> 64) as u64).rotate_left(32)
+    }
+}
+
+/// Composed-state keys: a small discrete component (e.g. a spec state id)
+/// paired with a wide bit vector (e.g. gate outputs).
+impl ArenaKey for (u64, u128) {
+    fn mix64(self) -> u64 {
+        splitmix64(self.0) ^ self.1.mix64().rotate_left(17)
+    }
+}
+
+/// Keys per storage chunk (a power of two so handle → chunk is a shift).
+pub const CHUNK: usize = 1 << 12;
+
+/// Empty slot marker in the open-addressing index.
+const EMPTY: u32 = u32::MAX;
+
+/// An interning arena over state keys. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct StateArena<K: ArenaKey> {
+    /// Chunked key storage; chunk `i` holds handles `i*CHUNK..`.
+    chunks: Vec<Vec<K>>,
+    /// Open-addressing index of handles, `EMPTY`-initialized.
+    table: Vec<u32>,
+    /// `table.len() - 1`; the table length is a power of two.
+    mask: usize,
+    len: usize,
+}
+
+impl<K: ArenaKey> Default for StateArena<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: ArenaKey> StateArena<K> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        StateArena { chunks: Vec::new(), table: vec![EMPTY; 64], mask: 63, len: 0 }
+    }
+
+    /// An empty arena pre-sized for about `states` distinct keys.
+    pub fn with_capacity(states: usize) -> Self {
+        let table_len = (states * 2).next_power_of_two().max(64);
+        let mut chunks = Vec::with_capacity(states.div_ceil(CHUNK));
+        chunks.push(Vec::with_capacity(CHUNK.min(states.max(1))));
+        StateArena { chunks, table: vec![EMPTY; table_len], mask: table_len - 1, len: 0 }
+    }
+
+    /// Number of distinct keys interned so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no key has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The key behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle >= self.len()`.
+    #[inline]
+    pub fn get(&self, handle: u32) -> K {
+        let i = handle as usize;
+        assert!(i < self.len, "handle {i} out of arena bounds {}", self.len);
+        self.chunks[i / CHUNK][i % CHUNK]
+    }
+
+    /// The handle of `key`, if it has been interned.
+    #[inline]
+    pub fn lookup(&self, key: K) -> Option<u32> {
+        let mut slot = key.mix64() as usize & self.mask;
+        loop {
+            let h = self.table[slot];
+            if h == EMPTY {
+                return None;
+            }
+            if self.get_unchecked(h) == key {
+                return Some(h);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Interns `key`, returning its dense handle and whether it was new.
+    ///
+    /// Handles are assigned in first-intern order starting from 0, so the
+    /// keys interned during one BFS level occupy a contiguous handle
+    /// range.
+    #[inline]
+    pub fn intern(&mut self, key: K) -> (u32, bool) {
+        if self.len * 2 >= self.table.len() {
+            self.grow();
+        }
+        let mut slot = key.mix64() as usize & self.mask;
+        loop {
+            let h = self.table[slot];
+            if h == EMPTY {
+                let handle = self.len as u32;
+                self.push_key(key);
+                self.table[slot] = handle;
+                return (handle, true);
+            }
+            if self.get_unchecked(h) == key {
+                return (h, false);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Handles in interning order.
+    pub fn handles(&self) -> impl Iterator<Item = u32> {
+        0..self.len as u32
+    }
+
+    /// Heap bytes currently held (key chunks plus the handle index) — the
+    /// arena's contribution to peak memory accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.capacity() * std::mem::size_of::<K>()).sum::<usize>()
+            + self.table.capacity() * std::mem::size_of::<u32>()
+    }
+
+    #[inline]
+    fn get_unchecked(&self, handle: u32) -> K {
+        let i = handle as usize;
+        self.chunks[i / CHUNK][i % CHUNK]
+    }
+
+    fn push_key(&mut self, key: K) {
+        if self.len.is_multiple_of(CHUNK) && self.len / CHUNK == self.chunks.len() {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        self.chunks[self.len / CHUNK].push(key);
+        self.len += 1;
+    }
+
+    /// Doubles the handle index and reinserts every handle. Keys never
+    /// move: only 4-byte handles rehash.
+    fn grow(&mut self) {
+        let new_len = self.table.len() * 2;
+        let mask = new_len - 1;
+        let mut table = vec![EMPTY; new_len];
+        for h in 0..self.len as u32 {
+            let mut slot = self.get_unchecked(h).mix64() as usize & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = h;
+        }
+        self.table = table;
+        self.mask = mask;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut arena: StateArena<u64> = StateArena::new();
+        assert!(arena.is_empty());
+        let (a, new_a) = arena.intern(42);
+        let (b, new_b) = arena.intern(7);
+        let (a2, again) = arena.intern(42);
+        assert_eq!((a, new_a), (0, true));
+        assert_eq!((b, new_b), (1, true));
+        assert_eq!((a2, again), (0, false));
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(0), 42);
+        assert_eq!(arena.get(1), 7);
+    }
+
+    #[test]
+    fn lookup_matches_intern() {
+        let mut arena: StateArena<u128> = StateArena::new();
+        assert_eq!(arena.lookup(5), None);
+        let (h, _) = arena.intern(5);
+        assert_eq!(arena.lookup(5), Some(h));
+        assert_eq!(arena.lookup(6), None);
+    }
+
+    #[test]
+    fn growth_preserves_handles_across_chunks() {
+        let mut arena: StateArena<u64> = StateArena::new();
+        let n = CHUNK * 2 + 123;
+        for i in 0..n as u64 {
+            let (h, new) = arena.intern(i * i + 1);
+            assert_eq!(h as u64, i);
+            assert!(new);
+        }
+        assert_eq!(arena.len(), n);
+        for i in 0..n as u64 {
+            assert_eq!(arena.get(i as u32), i * i + 1);
+            assert_eq!(arena.lookup(i * i + 1), Some(i as u32));
+        }
+        assert!(arena.heap_bytes() >= n * std::mem::size_of::<u64>());
+    }
+
+    #[test]
+    fn composed_keys_distinguish_components() {
+        let mut arena: StateArena<(u64, u128)> = StateArena::new();
+        let (a, _) = arena.intern((1, 0));
+        let (b, _) = arena.intern((0, 1));
+        assert_ne!(a, b);
+        assert_eq!(arena.lookup((1, 0)), Some(a));
+    }
+
+    #[test]
+    fn with_capacity_pre_sizes() {
+        let arena: StateArena<u64> = StateArena::with_capacity(10_000);
+        assert!(arena.is_empty());
+        assert!(arena.heap_bytes() >= 20_000 * 4);
+    }
+}

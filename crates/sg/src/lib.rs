@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bitset;
 mod code;
 pub mod equiv;
@@ -53,6 +54,7 @@ pub mod props;
 pub mod regions;
 mod signal;
 
+pub use arena::{ArenaKey, StateArena};
 pub use bitset::BitSet;
 pub use code::StateCode;
 pub use error::SgError;

@@ -92,7 +92,11 @@ pub struct Regions {
     /// Constant-function region `ER ∪ QR` per ER, sorted, parallel to
     /// `ers` — cached here because cover checking queries it constantly.
     cfrs: Vec<Vec<StateId>>,
-    /// The same CFRs as dense bitsets for O(1) membership.
+    /// Characteristic sets parallel to `ers`: ER, QR and CFR membership as
+    /// dense bitsets, so region queries are block-wise bit ops instead of
+    /// per-state binary searches.
+    er_sets: Vec<BitSet>,
+    qr_sets: Vec<BitSet>,
     cfr_sets: Vec<BitSet>,
     /// Region ids grouped by signal, indexed by `SignalId`.
     by_signal: Vec<Vec<ErId>>,
@@ -120,22 +124,38 @@ impl Regions {
             }
         }
         let qrs: Vec<Vec<StateId>> = ers.iter().map(|er| quiescent_of(sg, er)).collect();
-        let n = sg.state_count();
+        Regions::from_parts(ers, qrs, sg.state_count(), sg.signal_count())
+    }
+
+    /// Builds the derived tables (CFRs, characteristic bitsets, per-signal
+    /// index) from the primary ER/QR data. Shared by [`Regions::compute`]
+    /// and [`Regions::from_cache_bytes`] so decoded analyses are
+    /// indistinguishable from freshly computed ones.
+    fn from_parts(
+        ers: Vec<ExcitationRegion>,
+        qrs: Vec<Vec<StateId>>,
+        state_count: usize,
+        signal_count: usize,
+    ) -> Regions {
         let mut cfrs = Vec::with_capacity(ers.len());
+        let mut er_sets = Vec::with_capacity(ers.len());
+        let mut qr_sets = Vec::with_capacity(ers.len());
         let mut cfr_sets = Vec::with_capacity(ers.len());
         for (er, qr) in ers.iter().zip(&qrs) {
             let mut cfr: Vec<StateId> = er.states().to_vec();
             cfr.extend_from_slice(qr);
             cfr.sort_unstable();
             cfr.dedup();
-            cfr_sets.push(BitSet::from_ids(n, cfr.iter().copied()));
+            er_sets.push(BitSet::from_ids(state_count, er.states().iter().copied()));
+            qr_sets.push(BitSet::from_ids(state_count, qr.iter().copied()));
+            cfr_sets.push(BitSet::from_ids(state_count, cfr.iter().copied()));
             cfrs.push(cfr);
         }
-        let mut by_signal = vec![Vec::new(); sg.signal_count()];
+        let mut by_signal = vec![Vec::new(); signal_count];
         for (i, er) in ers.iter().enumerate() {
             by_signal[er.signal().index()].push(ErId(i as u32));
         }
-        Regions { ers, qrs, cfrs, cfr_sets, by_signal }
+        Regions { ers, qrs, cfrs, er_sets, qr_sets, cfr_sets, by_signal }
     }
 
     /// Serializes the analysis for an external artifact store.
@@ -231,21 +251,7 @@ impl Regions {
         if lines.next().is_some() {
             return None;
         }
-        let mut cfrs = Vec::with_capacity(ers.len());
-        let mut cfr_sets = Vec::with_capacity(ers.len());
-        for (er, qr) in ers.iter().zip(&qrs) {
-            let mut cfr: Vec<StateId> = er.states().to_vec();
-            cfr.extend_from_slice(qr);
-            cfr.sort_unstable();
-            cfr.dedup();
-            cfr_sets.push(BitSet::from_ids(state_count, cfr.iter().copied()));
-            cfrs.push(cfr);
-        }
-        let mut by_signal = vec![Vec::new(); signal_count];
-        for (i, er) in ers.iter().enumerate() {
-            by_signal[er.signal().index()].push(ErId(i as u32));
-        }
-        Some(Regions { ers, qrs, cfrs, cfr_sets, by_signal })
+        Some(Regions::from_parts(ers, qrs, state_count, signal_count))
     }
 
     /// All excitation regions.
@@ -287,7 +293,7 @@ impl Regions {
         self.ers_of_signal(sig)
             .iter()
             .copied()
-            .find(|&id| self.er(id).contains(s))
+            .find(|&id| self.er_sets[id.index()].contains(s))
     }
 
     /// The quiescent region `QR(±a_j)` following the given ER
@@ -306,6 +312,16 @@ impl Regions {
     /// The same CFR as a dense bitset, for O(1) membership tests.
     pub fn cfr_set(&self, id: ErId) -> &BitSet {
         &self.cfr_sets[id.index()]
+    }
+
+    /// The ER as a dense characteristic bitset over all states.
+    pub fn er_set(&self, id: ErId) -> &BitSet {
+        &self.er_sets[id.index()]
+    }
+
+    /// The QR as a dense characteristic bitset over all states.
+    pub fn qr_set(&self, id: ErId) -> &BitSet {
+        &self.qr_sets[id.index()]
     }
 
     /// Minimal states of the ER (Definition 8): states with no predecessor

@@ -1,0 +1,160 @@
+//! Invariant tests for the symbolic state-space primitives: the interning
+//! arena, characteristic bitsets, and the region-analysis cache round-trip
+//! that rebuilds them.
+
+use simc_sg::arena::{ArenaKey, StateArena, CHUNK};
+use simc_sg::{BitSet, SignalKind, StateGraph, StateId};
+
+/// Deterministic xorshift64* stream so the test never depends on ambient
+/// randomness yet exercises duplicate-heavy, clustered key patterns.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[test]
+fn arena_agrees_with_hashmap_reference() {
+    let mut rng = Rng(0xDAC94);
+    let mut arena: StateArena<u128> = StateArena::new();
+    let mut reference = std::collections::HashMap::new();
+    // Clustered keys (small modulus) force many duplicate interns and
+    // probe collisions; spread keys force growth across chunks.
+    for i in 0..3 * CHUNK {
+        let key = if i % 3 == 0 {
+            u128::from(rng.next() % 97)
+        } else {
+            u128::from(rng.next()) << 64 | u128::from(rng.next())
+        };
+        let (handle, fresh) = arena.intern(key);
+        let expected_len = reference.len();
+        match reference.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                assert!(!fresh);
+                assert_eq!(handle, *e.get());
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                assert!(fresh);
+                assert_eq!(handle as usize, expected_len);
+                e.insert(handle);
+            }
+        }
+        assert_eq!(arena.get(handle), key);
+    }
+    assert_eq!(arena.len(), reference.len());
+    for (&key, &handle) in &reference {
+        assert_eq!(arena.lookup(key), Some(handle));
+        assert_eq!(arena.get(handle), key);
+    }
+}
+
+#[test]
+fn arena_handles_iterate_in_intern_order() {
+    let mut arena: StateArena<u64> = StateArena::with_capacity(100);
+    for i in 0..100u64 {
+        arena.intern(i * 3 + 1);
+    }
+    let keys: Vec<u64> = arena.handles().map(|h| arena.get(h)).collect();
+    let expected: Vec<u64> = (0..100).map(|i| i * 3 + 1).collect();
+    assert_eq!(keys, expected);
+}
+
+#[test]
+fn arena_key_mix_separates_composed_components() {
+    // The composed key must not collapse (a, b) with (b, a) or shifted
+    // variants — a weak mix here would silently merge verifier states.
+    let pairs: Vec<(u64, u128)> = vec![(0, 0), (0, 1), (1, 0), (1, 1), (2, 1 << 64), (2, 1)];
+    let mut mixes: Vec<u64> = pairs.iter().map(|p| p.mix64()).collect();
+    mixes.sort_unstable();
+    mixes.dedup();
+    assert_eq!(mixes.len(), pairs.len(), "mix64 collided on {pairs:?}");
+}
+
+#[test]
+fn bitset_round_trips_ids() {
+    let mut rng = Rng(7);
+    let n = 10_000;
+    let mut ids: Vec<StateId> =
+        (0..n).filter(|_| rng.next().is_multiple_of(4)).map(StateId::new).collect();
+    let set = BitSet::from_ids(n, ids.iter().copied());
+    assert_eq!(set.count(), ids.len());
+    let back: Vec<StateId> = set.iter().collect();
+    ids.sort_unstable();
+    assert_eq!(back, ids);
+    for s in (0..n).map(StateId::new) {
+        assert_eq!(set.contains(s), ids.binary_search(&s).is_ok());
+    }
+}
+
+#[test]
+fn bitset_union_matches_set_union() {
+    let n = 500;
+    let a_ids: Vec<StateId> = (0..n).step_by(3).map(StateId::new).collect();
+    let b_ids: Vec<StateId> = (0..n).step_by(5).map(StateId::new).collect();
+    let mut a = BitSet::from_ids(n, a_ids.iter().copied());
+    let b = BitSet::from_ids(n, b_ids.iter().copied());
+    assert!(a.intersects(&b)); // both contain 0 and 15
+    a.union_with(&b);
+    for s in (0..n).map(StateId::new) {
+        assert_eq!(a.contains(s), s.index() % 3 == 0 || s.index() % 5 == 0);
+    }
+}
+
+fn figure1() -> StateGraph {
+    StateGraph::from_starred_codes(
+        &[
+            ("a", SignalKind::Input),
+            ("b", SignalKind::Input),
+            ("c", SignalKind::Output),
+            ("d", SignalKind::Output),
+        ],
+        &[
+            "0*0*00", "100*0*", "010*0", "1*010*", "100*1", "0*110", "1*0*11",
+            "1110*", "1*111", "011*1", "01*01", "0001*", "0010*", "00*11",
+        ],
+        "0*0*00",
+    )
+    .unwrap()
+}
+
+#[test]
+fn characteristic_sets_match_region_membership() {
+    let sg = figure1();
+    let regions = sg.regions();
+    for (id, er) in regions.ers() {
+        let er_set = regions.er_set(id);
+        let qr_set = regions.qr_set(id);
+        let cfr_set = regions.cfr_set(id);
+        for s in sg.state_ids() {
+            assert_eq!(er_set.contains(s), er.contains(s));
+            assert_eq!(qr_set.contains(s), regions.qr(id).binary_search(&s).is_ok());
+            // CFR = ER ∪ QR as a block-wise identity.
+            assert_eq!(cfr_set.contains(s), er_set.contains(s) || qr_set.contains(s));
+        }
+        assert_eq!(er_set.count(), er.len());
+        assert_eq!(cfr_set.count(), regions.cfr(id).len());
+    }
+}
+
+#[test]
+fn regions_cache_round_trip_rebuilds_characteristic_sets() {
+    let sg = figure1();
+    let regions = sg.regions();
+    let bytes = regions.to_cache_bytes();
+    let decoded = simc_sg::Regions::from_cache_bytes(&bytes, sg.state_count(), sg.signal_count())
+        .expect("cache bytes round-trip");
+    assert_eq!(decoded.er_count(), regions.er_count());
+    for (id, er) in regions.ers() {
+        assert_eq!(decoded.er(id).states(), er.states());
+        assert_eq!(decoded.er_set(id).words(), regions.er_set(id).words());
+        assert_eq!(decoded.qr_set(id).words(), regions.qr_set(id).words());
+        assert_eq!(decoded.cfr_set(id).words(), regions.cfr_set(id).words());
+    }
+}

@@ -199,6 +199,15 @@ impl Stg {
         self.transition_ids().filter(|&t| self.is_enabled(m, t)).collect()
     }
 
+    /// Collects the transitions enabled in `m` into `out` (cleared first).
+    ///
+    /// Allocation-free variant of [`Stg::enabled`] for callers that probe
+    /// millions of markings with a reusable scratch buffer.
+    pub fn enabled_into(&self, m: Marking, out: &mut Vec<TransId>) {
+        out.clear();
+        out.extend(self.transition_ids().filter(|&t| self.is_enabled(m, t)));
+    }
+
     /// Fires `t` from `m`.
     ///
     /// # Errors

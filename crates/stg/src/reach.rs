@@ -1,11 +1,16 @@
 //! Reachability analysis: STG → state graph.
+//!
+//! Exploration runs as a frontier-based BFS over an interning
+//! [`StateArena`]: markings intern to dense `u32` handles in first-visit
+//! order, so each BFS level is the contiguous handle range minted by the
+//! previous one and frontier deduplication falls out of interning itself —
+//! no per-state hash-map entries, no queue, no per-state `enabled()`
+//! allocation.
 
-use std::collections::{HashMap, VecDeque};
-
-use simc_sg::{SgBuilder, SignalId, StateCode, StateGraph, Transition};
+use simc_sg::{SgBuilder, SignalId, StateArena, StateCode, StateGraph, Transition};
 
 use crate::error::StgError;
-use crate::net::{Marking, Stg};
+use crate::net::{Marking, Stg, TransId};
 
 /// Default cap on the number of reachable markings explored.
 const STATE_BUDGET: usize = 1 << 20;
@@ -53,36 +58,45 @@ impl Stg {
                 .map_err(StgError::Sg)?;
         }
 
-        let m0 = self.initial_marking();
-        let mut ids: HashMap<Marking, simc_sg::StateId> = HashMap::new();
-        let mut codes: HashMap<Marking, StateCode> = HashMap::new();
+        // Markings intern to dense handles; handle order is first-visit
+        // (BFS) order, so handle h and builder state h are the same state
+        // and `codes` is a flat array instead of a marking-keyed map.
+        let mut arena: StateArena<u128> = StateArena::with_capacity(1 << 10);
+        let mut codes: Vec<StateCode> = Vec::with_capacity(1 << 10);
+        let mut ids: Vec<simc_sg::StateId> = Vec::with_capacity(1 << 10);
+        let (h0, _) = arena.intern(self.initial_marking().0);
         let s0 = builder.add_state(initial_code);
         builder.set_initial(s0);
-        ids.insert(m0, s0);
-        codes.insert(m0, initial_code);
+        codes.push(initial_code);
+        ids.push(s0);
 
-        let mut queue = VecDeque::new();
-        queue.push_back(m0);
         let mut edges: Vec<(simc_sg::StateId, Transition, simc_sg::StateId)> = Vec::new();
-
-        while let Some(m) = queue.pop_front() {
-            let code = codes[&m];
-            let from_id = ids[&m];
-            let enabled = self.enabled(m);
-            // Auto-conflict detection: two enabled transitions of one signal.
-            for (i, &ta) in enabled.iter().enumerate() {
-                for &tb in &enabled[i + 1..] {
-                    if self.label(ta).signal == self.label(tb).signal {
-                        return Err(StgError::AutoConflict {
-                            signal: self
-                                .signal(self.label(ta).signal)
-                                .name()
-                                .to_string(),
-                        });
-                    }
+        let mut enabled: Vec<TransId> = Vec::new();
+        let mut frontier_dups: u64 = 0;
+        let mut cursor = h0;
+        while (cursor as usize) < arena.len() {
+            let m = Marking(arena.get(cursor));
+            let code = codes[cursor as usize];
+            let from_id = ids[cursor as usize];
+            cursor += 1;
+            self.enabled_into(m, &mut enabled);
+            // Auto-conflict detection: two enabled transitions of one
+            // signal. Signal indices fit in 64 bits (builder enforces the
+            // signal cap above), so one mask word replaces the pair scan.
+            let mut excited_signals: u64 = 0;
+            for &t in &enabled {
+                let bit = 1u64 << self.label(t).signal.index();
+                if excited_signals & bit != 0 {
+                    return Err(StgError::AutoConflict {
+                        signal: self
+                            .signal(self.label(t).signal)
+                            .name()
+                            .to_string(),
+                    });
                 }
+                excited_signals |= bit;
             }
-            for t in enabled {
+            for &t in &enabled {
                 let label = self.label(t);
                 if code.value(label.signal) != label.dir.value_before() {
                     return Err(StgError::Inconsistent {
@@ -91,32 +105,40 @@ impl Stg {
                 }
                 let next_marking = self.fire(m, t)?;
                 let next_code = code.toggled(label.signal);
-                match codes.get(&next_marking) {
-                    Some(&existing) if existing != next_code => {
-                        return Err(StgError::AmbiguousValues)
+                let (h, fresh) = arena.intern(next_marking.0);
+                if fresh {
+                    // `h` is the pre-intern state count, so this is the
+                    // same "budget reached and a new state appeared" test
+                    // the map-based exploration made.
+                    if h as usize >= budget {
+                        return Err(StgError::TooManyStates(budget));
                     }
-                    Some(_) => {}
-                    None => {
-                        if ids.len() >= budget {
-                            return Err(StgError::TooManyStates(budget));
-                        }
-                        let id = builder.add_state(next_code);
-                        ids.insert(next_marking, id);
-                        codes.insert(next_marking, next_code);
-                        queue.push_back(next_marking);
+                    let id = builder.add_state(next_code);
+                    codes.push(next_code);
+                    ids.push(id);
+                } else {
+                    frontier_dups += 1;
+                    if codes[h as usize] != next_code {
+                        return Err(StgError::AmbiguousValues);
                     }
                 }
                 edges.push((
                     from_id,
                     Transition { signal: label.signal, dir: label.dir },
-                    ids[&next_marking],
+                    ids[h as usize],
                 ));
             }
         }
 
         if simc_obs::counters_enabled() {
-            simc_obs::add(simc_obs::Counter::ReachStates, ids.len() as u64);
+            simc_obs::add(simc_obs::Counter::ReachStates, arena.len() as u64);
             simc_obs::add(simc_obs::Counter::ReachEdges, edges.len() as u64);
+            simc_obs::add(simc_obs::Counter::ArenaStatesInterned, arena.len() as u64);
+            simc_obs::add(simc_obs::Counter::ReachFrontierDeduped, frontier_dups);
+            simc_obs::record_max(
+                simc_obs::Counter::ArenaPeakBytes,
+                arena.heap_bytes() as u64,
+            );
         }
         for (from, t, to) in edges {
             builder.add_edge(from, t, to).map_err(StgError::Sg)?;
@@ -126,19 +148,24 @@ impl Stg {
 
     /// Infers initial signal values: BFS over markings; the first firing
     /// of each signal fixes its pre-value (`+` ⇒ starts at 0).
+    ///
+    /// Uses the same interning-arena frontier as the main exploration:
+    /// handles are minted in BFS order, so walking them by index visits
+    /// markings exactly as the old explicit queue did.
     fn infer_initial_values(&self, budget: usize) -> Result<StateCode, StgError> {
         let mut code = StateCode::zero();
         let mut known = vec![false; self.signal_count()];
-        let mut seen: HashMap<Marking, ()> = HashMap::new();
-        let mut queue = VecDeque::new();
-        let m0 = self.initial_marking();
-        seen.insert(m0, ());
-        queue.push_back(m0);
-        while let Some(m) = queue.pop_front() {
+        let mut seen: StateArena<u128> = StateArena::new();
+        let (mut cursor, _) = seen.intern(self.initial_marking().0);
+        let mut enabled: Vec<TransId> = Vec::new();
+        while (cursor as usize) < seen.len() {
+            let m = Marking(seen.get(cursor));
+            cursor += 1;
             if known.iter().all(|&k| k) {
                 break;
             }
-            for t in self.enabled(m) {
+            self.enabled_into(m, &mut enabled);
+            for &t in &enabled {
                 let label = self.label(t);
                 let idx = label.signal.index();
                 if !known[idx] {
@@ -149,9 +176,7 @@ impl Stg {
                 if seen.len() >= budget {
                     return Err(StgError::TooManyStates(budget));
                 }
-                if seen.insert(next, ()).is_none() {
-                    queue.push_back(next);
-                }
+                seen.intern(next.0);
             }
         }
         Ok(code)

@@ -37,12 +37,34 @@ smoke_out="$(mktemp)"
 trap 'rm -f "$smoke_out"' EXIT
 ./target/release/repro_pipeline --smoke --check BENCH_pipeline.json --out "$smoke_out"
 
+echo "==> scale-family smoke: synthesize + verify scale-ring-16"
+# Bounded symbolic-engine smoke: a 131 072-state spec must synthesize
+# and verify hazard-free within the CI budget — tractable only with the
+# arena-based reachability and stubborn-set reduction. Byte-identical
+# output across thread counts guards the parallel determinism contract.
+scale_dir="$(mktemp -d)"
+trap 'rm -f "$smoke_out"; rm -rf "$scale_dir"' EXIT
+for t in 1 2 8; do
+    ./target/release/simc synth benchmarks/scale-ring-16 --threads "$t" \
+        > "$scale_dir/synth_$t.out"
+    ./target/release/simc verify benchmarks/scale-ring-16 --threads "$t" \
+        > "$scale_dir/verify_$t.out"
+    grep -q 'hazard-free' "$scale_dir/verify_$t.out" \
+        || { echo "error: scale-ring-16 failed to verify with $t thread(s)" >&2; exit 1; }
+done
+cmp "$scale_dir/synth_1.out" "$scale_dir/synth_2.out" \
+    && cmp "$scale_dir/synth_1.out" "$scale_dir/synth_8.out" \
+    || { echo "error: scale netlists differ across thread counts" >&2; exit 1; }
+cmp "$scale_dir/verify_1.out" "$scale_dir/verify_2.out" \
+    && cmp "$scale_dir/verify_1.out" "$scale_dir/verify_8.out" \
+    || { echo "error: scale verification differs across thread counts" >&2; exit 1; }
+
 echo "==> simc batch cold/warm over the built-in suite"
 # Batch smoke with a shared on-disk artifact cache: the warm second pass
 # must be byte-identical to the cold first pass and must actually hit
 # the cache (no recomputation).
 batch_dir="$(mktemp -d)"
-trap 'rm -f "$smoke_out"; rm -rf "$batch_dir"' EXIT
+trap 'rm -f "$smoke_out"; rm -rf "$scale_dir" "$batch_dir"' EXIT
 printf 'benchmarks/*\n' > "$batch_dir/manifest.txt"
 ./target/release/simc batch "$batch_dir/manifest.txt" \
     --cache-dir "$batch_dir/cache" > "$batch_dir/cold.json"

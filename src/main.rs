@@ -13,7 +13,11 @@
 //! `<spec>` is an STG in the SIS/petrify `.g` format or a state graph in
 //! the `.sg` format (auto-detected via `.state graph`); `-` reads stdin;
 //! `benchmarks/<name>` resolves a member of the built-in Table 1 suite
-//! when no such file exists on disk.
+//! (or the large `scale-ring-*` family) when no such file exists on disk.
+//!
+//! `--dot <path>` writes a Graphviz export alongside any spec-processing
+//! subcommand: the state graph for `analyze`/`dot`, the synthesized
+//! netlist for `synth`/`verify` — so large repros stay inspectable.
 //!
 //! Every subcommand accepts `--stats` (pipeline counters and phase
 //! timings on stderr) and `--stats-json <path>` (the same report as a
@@ -114,6 +118,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let rest = args.get(rest_from..).unwrap_or_default();
     let mut flags: Vec<&str> = Vec::new();
     let mut stats_json: Option<&str> = None;
+    let mut dot_path: Option<&str> = None;
     let mut cache_dir: Option<&str> = None;
     let mut out_path: Option<&str> = None;
     let mut threads: Option<&str> = None;
@@ -125,6 +130,17 @@ fn run(args: &[String]) -> Result<(), CliError> {
             i += 1;
             stats_json = Some(rest.get(i).ok_or_else(|| {
                 CliError::usage(format!("--stats-json needs a file path\n{}", usage()))
+            })?);
+        } else if arg == "--dot" {
+            if command == "fuzz" || command == "batch" {
+                return Err(CliError::usage(format!(
+                    "`--dot` is not valid with `simc {command}`\n{}",
+                    usage()
+                )));
+            }
+            i += 1;
+            dot_path = Some(rest.get(i).ok_or_else(|| {
+                CliError::usage(format!("--dot needs a file path\n{}", usage()))
             })?);
         } else if arg == "--cache-dir" {
             if command == "fuzz" {
@@ -149,9 +165,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 CliError::usage(format!("--out needs a file path\n{}", usage()))
             })?);
         } else if arg == "--threads" {
-            if command != "fuzz" && command != "batch" {
+            if !matches!(command.as_str(), "fuzz" | "batch" | "synth" | "verify") {
                 return Err(CliError::usage(format!(
-                    "`--threads` is only valid with `simc fuzz` or `simc batch`\n{}",
+                    "`--threads` is only valid with `simc synth`, `simc verify`, `simc fuzz` or `simc batch`\n{}",
                     usage()
                 )));
             }
@@ -189,14 +205,48 @@ fn run(args: &[String]) -> Result<(), CliError> {
     }
     let target = if flags.contains(&"--rs") { Target::RsLatch } else { Target::CElement };
     let cache = make_cache(cache_dir)?;
+    let pipeline_threads = match threads {
+        Some(value) if matches!(command.as_str(), "synth" | "verify") => {
+            let parsed = value.parse::<u64>().map_err(|_| {
+                CliError::usage(format!("--threads needs an unsigned integer, got `{value}`"))
+            })?;
+            if parsed == 0 {
+                return Err(CliError::usage("--threads must be at least 1".to_string()));
+            }
+            Some(parsed as usize)
+        }
+        _ => None,
+    };
     let result = match command.as_str() {
-        "analyze" => analyze(pipeline_for(args.get(1), target, &cache)?),
+        "analyze" => {
+            let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
+            write_dot(dot_path, || {
+                pipeline.elaborated().expect("elaborated eagerly").sg().to_dot()
+            })?;
+            analyze(pipeline)
+        }
         "reduce" => reduce(pipeline_for(args.get(1), target, &cache)?),
-        "synth" => synth(pipeline_for(args.get(1), target, &cache)?, target, &flags),
-        "verify" => do_verify(pipeline_for(args.get(1), target, &cache)?, target, &flags),
+        "synth" => {
+            let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
+            if let Some(n) = pipeline_threads {
+                pipeline = pipeline.with_threads(n);
+            }
+            synth(pipeline, target, &flags, dot_path)
+        }
+        "verify" => {
+            let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
+            if let Some(n) = pipeline_threads {
+                pipeline = pipeline.with_threads(n);
+            }
+            do_verify(pipeline, target, &flags, dot_path)
+        }
         "dot" => {
             let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
-            println!("{}", pipeline.elaborated().expect("elaborated eagerly").sg().to_dot());
+            let rendered = pipeline.elaborated().expect("elaborated eagerly").sg().to_dot();
+            match dot_path {
+                Some(_) => write_dot(dot_path, || rendered)?,
+                None => println!("{rendered}"),
+            }
             Ok(())
         }
         "batch" => batch(args.get(1), target, &cache, threads, out_path),
@@ -220,8 +270,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
 
 fn usage() -> String {
     "usage: simc <analyze|reduce|synth|verify|dot> <spec.g|spec.sg|benchmarks/<name>|-> \
-     [--rs] [--baseline] [--share] [--complex] [--verilog] \
-     [--cache-dir <dir>] [--stats] [--stats-json <path>]\n       \
+     [--rs] [--baseline] [--share] [--complex] [--verilog] [--dot <path>] \
+     [--threads <n>] [--cache-dir <dir>] [--stats] [--stats-json <path>]\n       \
      simc batch <manifest> [--rs] [--threads <n>] [--cache-dir <dir>] [--out <path>] [--stats]\n       \
      simc fuzz [--seed <n>] [--iters <n>] [--threads <n>] [--stats]"
         .to_string()
@@ -349,13 +399,27 @@ fn pipeline_for(
 }
 
 /// Resolves `benchmarks/<name>` (or a bare suite name) against the
-/// built-in reconstructed Table 1 suite.
+/// built-in reconstructed Table 1 suite and the large scale family.
+/// Scale members resolve by name only — `benchmarks/*` in a batch
+/// manifest deliberately expands to the suite alone, so routine batches
+/// stay cheap.
 fn builtin_benchmark(path: &str) -> Option<simc::stg::Stg> {
     let name = path.strip_prefix("benchmarks/").unwrap_or(path);
-    simc::benchmarks::suite::all()
+    if let Some(b) = simc::benchmarks::suite::all().into_iter().find(|b| b.name == name) {
+        return Some(b.stg);
+    }
+    simc::benchmarks::scale::all()
         .into_iter()
         .find(|b| b.name == name)
         .map(|b| b.stg)
+}
+
+/// Writes a Graphviz export when `--dot <path>` was given; the render
+/// closure only runs when needed.
+fn write_dot(path: Option<&str>, render: impl FnOnce() -> String) -> Result<(), CliError> {
+    let Some(path) = path else { return Ok(()) };
+    std::fs::write(path, render())
+        .map_err(|e| CliError::failure(format!("writing {path}: {e}")))
 }
 
 fn analyze(mut pipeline: Pipeline) -> Result<(), CliError> {
@@ -417,12 +481,18 @@ fn note_insertions(added: usize) {
     }
 }
 
-fn synth(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(), CliError> {
+fn synth(
+    mut pipeline: Pipeline,
+    target: Target,
+    flags: &[&str],
+    dot_path: Option<&str>,
+) -> Result<(), CliError> {
     if flags.contains(&"--complex") {
         // Complex-gate style: CSC suffices, no insertion needed.
         let sg = pipeline.elaborated().expect("elaborated eagerly").sg();
         let netlist = simc::mc::complex::synthesize_complex(sg)
             .map_err(|e| CliError::failure(e.to_string()))?;
+        write_dot(dot_path, || netlist.to_dot())?;
         if flags.contains(&"--verilog") {
             print!("{}", simc::netlist::primitive_library());
             print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
@@ -441,6 +511,7 @@ fn synth(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(), C
         let netlist = implementation
             .to_netlist()
             .map_err(|e| CliError::failure(e.to_string()))?;
+        write_dot(dot_path, || netlist.to_dot())?;
         if flags.contains(&"--verilog") {
             print!("{}", simc::netlist::primitive_library());
             print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
@@ -458,6 +529,7 @@ fn synth(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(), C
         let netlist = implementation
             .to_netlist()
             .map_err(|e| CliError::failure(e.to_string()))?;
+        write_dot(dot_path, || netlist.to_dot())?;
         if flags.contains(&"--verilog") {
             print!("{}", simc::netlist::primitive_library());
             print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
@@ -467,6 +539,7 @@ fn synth(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(), C
         eprintln!("{}", netlist.stats());
         return Ok(());
     }
+    write_dot(dot_path, || implemented.netlist().to_dot())?;
     if flags.contains(&"--verilog") {
         print!("{}", simc::netlist::primitive_library());
         print!("{}", simc::netlist::to_verilog(implemented.netlist(), "simc_top"));
@@ -477,11 +550,17 @@ fn synth(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(), C
     Ok(())
 }
 
-fn do_verify(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(), CliError> {
+fn do_verify(
+    mut pipeline: Pipeline,
+    target: Target,
+    flags: &[&str],
+    dot_path: Option<&str>,
+) -> Result<(), CliError> {
     if flags.contains(&"--complex") {
         let sg = pipeline.elaborated().expect("elaborated eagerly").sg();
         let netlist = simc::mc::complex::synthesize_complex(sg)
             .map_err(|e| CliError::failure(e.to_string()))?;
+        write_dot(dot_path, || netlist.to_dot())?;
         let report = verify(&netlist, sg, VerifyOptions::default())
             .map_err(|e| CliError::failure(e.to_string()))?;
         println!(
@@ -513,6 +592,7 @@ fn do_verify(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(
         let netlist = implementation
             .to_netlist()
             .map_err(|e| CliError::failure(e.to_string()))?;
+        write_dot(dot_path, || netlist.to_dot())?;
         let report = verify(&netlist, &working, VerifyOptions::default())
             .map_err(|e| CliError::failure(e.to_string()))?;
         println!(
@@ -534,6 +614,10 @@ fn do_verify(mut pipeline: Pipeline, target: Target, flags: &[&str]) -> Result<(
         .map_err(|e| cli_error(e, "synthesis"))?
         .added_signals();
     note_insertions(added);
+    // Export before the verdict so hazardous repros stay inspectable.
+    write_dot(dot_path, || {
+        pipeline.implemented().expect("implemented above").netlist().to_dot()
+    })?;
     let verified = pipeline.verified().map_err(|e| cli_error(e, "verification"))?;
     println!(
         "{} ({} composed states explored)",

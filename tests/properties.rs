@@ -304,6 +304,80 @@ proptest! {
     }
 }
 
+/// Partial-order reduction soundness: the stubborn-set reduced verifier
+/// returns the same verdict and the same violation list as full
+/// exploration, on every suite benchmark and on 200 fixed-seed
+/// fuzz-generated specs. Reduction may only change *how many* composed
+/// states are visited, never what is reported.
+#[test]
+fn reduced_verification_matches_full_exploration() {
+    use simc::mc::assign::{reduce_to_mc, ReduceOptions};
+
+    fn check_both(name: &str, sg: &StateGraph) {
+        let Ok(implementation) = synthesize(sg, Target::CElement) else { return };
+        let Ok(netlist) = implementation.to_netlist() else { return };
+        let opts = VerifyOptions { max_states: 1 << 18, ..VerifyOptions::default() };
+        let reduced = verify(&netlist, sg, VerifyOptions { reduction: true, ..opts });
+        let full = verify(&netlist, sg, VerifyOptions { reduction: false, ..opts });
+        match (reduced, full) {
+            (Ok(r), Ok(f)) => {
+                assert_eq!(r.is_ok(), f.is_ok(), "{name}: verdicts disagree");
+                assert_eq!(
+                    format!("{:?}", r.violations),
+                    format!("{:?}", f.violations),
+                    "{name}: violation lists disagree"
+                );
+                assert!(
+                    r.explored <= f.explored,
+                    "{name}: reduction explored more ({} > {})",
+                    r.explored,
+                    f.explored
+                );
+            }
+            // Budget blow-ups must at least agree in kind.
+            (r, f) => assert_eq!(r.is_err(), f.is_err(), "{name}: error-ness disagrees"),
+        }
+    }
+
+    for b in simc::benchmarks::suite::all() {
+        let sg = b.stg.to_state_graph().expect("suite benchmark reaches");
+        let reduced = reduce_to_mc(&sg, ReduceOptions::default())
+            .expect("suite benchmark reduces");
+        check_both(b.name, &reduced.sg);
+    }
+
+    let mut rng = fuzz::Rng::new(0x50EED_DAC94);
+    let budget = ReduceOptions {
+        max_signals: 4,
+        max_candidates: 12,
+        beam_width: 6,
+        branch: 4,
+        ..ReduceOptions::default()
+    };
+    let mut checked = 0;
+    let mut case = 0;
+    while checked < 200 {
+        case += 1;
+        let cfg = GenConfig {
+            signals: 1 + case % 5,
+            concurrency: (case as u64 * 37) % 101,
+            csc_injection: case % 3 == 0,
+        };
+        let recipe = fuzz::random_recipe(&mut rng, cfg);
+        let Ok(sg) = fuzz::gen::to_state_graph(&recipe) else { continue };
+        let working = if McCheck::new(&sg).report().satisfied() {
+            sg
+        } else {
+            match reduce_to_mc(&sg, budget) {
+                Ok(reduced) => reduced.sg,
+                Err(_) => continue,
+            }
+        };
+        check_both(&format!("fuzz case {case}"), &working);
+        checked += 1;
+    }
+}
+
 /// Fixed-seed fuzz regression: the reference campaign stays clean and
 /// its outcome is byte-identical across thread counts — pinning both the
 /// oracle results and the determinism of the parallel synthesis path.
