@@ -10,7 +10,10 @@
 //! benchmark twice through the typed pipeline over a shared artifact
 //! cache and records cold-vs-warm wall-clock (the `cache` section). The
 //! timed sweeps run with counters *off*, so the recorded timings measure
-//! the pipeline at its zero-overhead default.
+//! the pipeline at its zero-overhead default. A final deterministic pass
+//! compares coverage-guided fuzz campaigns against fresh-only generation
+//! at a fixed budget (the `fuzz_coverage` section) and fails unless the
+//! campaign reaches at least twice the fresh-only edge count.
 //!
 //! Usage: `repro_pipeline [--threads N] [--out PATH] [--markdown]
 //! [--smoke] [--check BASELINE]`
@@ -25,8 +28,8 @@
 //!   sub-millisecond phases); exits 1 on regression
 
 use simc_bench::profile::{
-    cache_sweep, counters_sweep, scale_sweep, to_json_with_history, BenchmarkCounters,
-    ScaleTimings, SuiteRun,
+    cache_sweep, counters_sweep, fuzz_coverage_sweep, scale_sweep, to_json_with_history,
+    BenchmarkCounters, FuzzCoverage, ScaleTimings, SuiteRun,
 };
 use simc_bench::report::Table;
 use simc_benchmarks::{scale, suite};
@@ -56,6 +59,14 @@ const CHECK_PHASE_ABSOLUTE_S: f64 = 0.02;
 
 /// Phases gated per benchmark with the 20%+20ms rule.
 const CHECKED_PHASES: &[&str] = &["assign_s", "reach_s", "verify_s"];
+
+/// Seed of the fuzz-coverage comparison (the CI campaign seed).
+const FUZZ_COVERAGE_SEED: u64 = 0xDAC94;
+
+/// Case budget of the fuzz-coverage comparison. At this budget the
+/// coverage-guided campaign must clear the reproduction's ≥2× gate over
+/// fresh-only generation.
+const FUZZ_COVERAGE_ITERS: u64 = 256;
 
 fn usage() -> ! {
     eprintln!(
@@ -123,6 +134,7 @@ fn main() {
         scale_members.retain(|m| m.width <= 13);
     }
     let scale_timings = scale_sweep(&scale_members);
+    let fuzz_coverage = fuzz_coverage_sweep(FUZZ_COVERAGE_SEED, FUZZ_COVERAGE_ITERS);
 
     let mut table = Table::new(&[
         "example", "states", "reach ms", "regions ms", "cover ms", "assign ms", "verify ms",
@@ -180,6 +192,19 @@ fn main() {
         );
         assert!(s.verified, "{}: scale member must verify hazard-free", s.name);
     }
+    println!(
+        "fuzz coverage @ {} cases: campaign {} edges vs fresh {} edges ({:.2}x, corpus {})",
+        fuzz_coverage.iters,
+        fuzz_coverage.campaign_edges,
+        fuzz_coverage.fresh_edges,
+        fuzz_coverage.ratio(),
+        fuzz_coverage.corpus_size
+    );
+    assert!(
+        fuzz_coverage.ratio() >= 2.0,
+        "coverage-guided campaign must reach at least 2x the fresh-only edges, got {:.2}x",
+        fuzz_coverage.ratio()
+    );
 
     // Every thread count must produce identical results.
     for (s, p) in sequential.timings.iter().zip(&parallel.timings) {
@@ -221,6 +246,7 @@ fn main() {
         &cache,
         &before_after,
         &scale_timings,
+        Some(&fuzz_coverage),
     );
     // Round-trip self-validation: the hand-rolled emitter must satisfy
     // the workspace's own parser before anything is written to disk.
@@ -232,7 +258,13 @@ fn main() {
     println!("wrote {out_path}");
 
     if let Some(baseline) = check_path {
-        match check_against_baseline(&baseline, &sequential, &counters, &scale_timings) {
+        match check_against_baseline(
+            &baseline,
+            &sequential,
+            &counters,
+            &scale_timings,
+            &fuzz_coverage,
+        ) {
             Ok(n) => println!("check: {n} benchmark(s) within tolerance of {baseline}"),
             Err(problems) => {
                 for p in &problems {
@@ -270,6 +302,7 @@ fn check_against_baseline(
     sequential: &SuiteRun,
     counters: &[BenchmarkCounters],
     scale: &[ScaleTimings],
+    fuzz: &FuzzCoverage,
 ) -> Result<usize, Vec<String>> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
@@ -403,6 +436,28 @@ fn check_against_baseline(
                         s.name,
                         CHECK_PHASE_RELATIVE * 100.0,
                         CHECK_PHASE_ABSOLUTE_S * 1e3
+                    ));
+                }
+            }
+        }
+    }
+
+    // The coverage comparison is a pure function of (seed, iters) — the
+    // committed numbers must reproduce exactly.
+    if let Some(base_fuzz) = doc.get("fuzz_coverage") {
+        let same_budget = base_fuzz.get("seed").and_then(Value::as_u64) == Some(fuzz.seed)
+            && base_fuzz.get("iters").and_then(Value::as_u64) == Some(fuzz.iters);
+        if same_budget {
+            checked += 1;
+            for (field, value) in [
+                ("campaign_edges", fuzz.campaign_edges),
+                ("fresh_edges", fuzz.fresh_edges),
+                ("corpus_size", fuzz.corpus_size),
+            ] {
+                if base_fuzz.get(field).and_then(Value::as_u64) != Some(value as u64) {
+                    problems.push(format!(
+                        "fuzz_coverage: {field} {value} != baseline {:?}",
+                        base_fuzz.get(field).and_then(Value::as_u64)
                     ));
                 }
             }

@@ -345,6 +345,77 @@ pub fn cache_sweep(benchmarks: &[Benchmark]) -> Vec<CacheTimings> {
         .collect()
 }
 
+/// Coverage comparison between a coverage-guided fuzz campaign and
+/// fresh-only generation at the same case budget — the campaign engine's
+/// headline number (distinct quotiented state-graph edges reached).
+#[derive(Debug, Clone)]
+pub struct FuzzCoverage {
+    /// Master seed both sweeps derive from.
+    pub seed: u64,
+    /// Case budget both sweeps spend.
+    pub iters: u64,
+    /// Distinct edges the coverage-guided campaign reached.
+    pub campaign_edges: usize,
+    /// Distinct edges fresh-only generation reached at the same budget.
+    pub fresh_edges: usize,
+    /// Corpus entries the campaign accumulated.
+    pub corpus_size: usize,
+    /// The campaign's per-round coverage curve (cases, edges).
+    pub curve: Vec<(u64, usize)>,
+    /// Fresh-only generation's curve at the same round boundaries.
+    pub fresh_curve: Vec<(u64, usize)>,
+}
+
+impl FuzzCoverage {
+    /// Campaign-over-fresh edge ratio (the ≥2× reproduction gate).
+    pub fn ratio(&self) -> f64 {
+        self.campaign_edges as f64 / self.fresh_edges.max(1) as f64
+    }
+}
+
+/// Runs a coverage-guided campaign (oracles off — only state graphs and
+/// signatures are computed) and a fresh-only sweep with the *same* seed
+/// and budget, and records the edges each reached. Fully deterministic:
+/// both sweeps are pure functions of `(seed, iters)`.
+pub fn fuzz_coverage_sweep(seed: u64, iters: u64) -> FuzzCoverage {
+    use simc_fuzz::{gen, run_campaign, signature, CampaignConfig, CoverageMap, Rng};
+
+    let config = CampaignConfig { seed, iters, oracles: false, ..CampaignConfig::default() };
+    let report = run_campaign(&config).expect("in-memory campaign cannot hit the filesystem");
+
+    // Fresh-only baseline: the campaign's own fresh-case generator,
+    // replayed for every index (what the campaign would do with no
+    // corpus feedback), merged into its own coverage map.
+    let mut fresh = CoverageMap::new();
+    let mut fresh_curve = Vec::with_capacity(report.curve.len());
+    let mut next_round = report.curve.iter().map(|p| p.cases).peekable();
+    for index in 0..iters {
+        let mut rng = Rng::for_case(seed, index);
+        let gen_cfg = gen::GenConfig {
+            signals: rng.range(1, config.max_signals as u64) as usize,
+            concurrency: rng.range(0, 100),
+            csc_injection: rng.percent(25),
+        };
+        let recipe = gen::random_recipe(&mut rng, gen_cfg);
+        let sg = gen::to_state_graph(&recipe).expect("generated recipes are live and 1-safe");
+        fresh.merge(&signature(&sg));
+        if next_round.peek() == Some(&(index + 1)) {
+            next_round.next();
+            fresh_curve.push((index + 1, fresh.len()));
+        }
+    }
+
+    FuzzCoverage {
+        seed,
+        iters,
+        campaign_edges: report.edges_covered,
+        fresh_edges: fresh.len(),
+        corpus_size: report.corpus_size,
+        curve: report.curve.iter().map(|p| (p.cases, p.edges)).collect(),
+        fresh_curve,
+    }
+}
+
 /// Renders suite runs and the counter pass as a JSON document (the
 /// `BENCH_pipeline.json` schema):
 ///
@@ -362,20 +433,23 @@ pub fn to_json(
     counters: &[BenchmarkCounters],
     cache: &[CacheTimings],
 ) -> String {
-    to_json_with_history(runs, counters, cache, &[], &[])
+    to_json_with_history(runs, counters, cache, &[], &[], None)
 }
 
 /// [`to_json`] with an optional `assign_before_after` section (one entry
 /// per benchmark whose state-assignment time in the baseline being
-/// replaced (`before_s`) is compared against this run (`after_s`)) and
-/// the scale-family sections: `scale` holds the per-member profile and
-/// `symbolic_before_after` the full-vs-reduced verification comparison.
+/// replaced (`before_s`) is compared against this run (`after_s`)), the
+/// scale-family sections (`scale` holds the per-member profile and
+/// `symbolic_before_after` the full-vs-reduced verification comparison),
+/// and the `fuzz_coverage` section comparing coverage-guided campaigns
+/// against fresh-only generation.
 pub fn to_json_with_history(
     runs: &[SuiteRun],
     counters: &[BenchmarkCounters],
     cache: &[CacheTimings],
     before_after: &[(String, f64, f64)],
     scale: &[ScaleTimings],
+    fuzz: Option<&FuzzCoverage>,
 ) -> String {
     let mut out = String::from("{\n  \"runs\": [\n");
     for (i, run) in runs.iter().enumerate() {
@@ -502,6 +576,27 @@ pub fn to_json_with_history(
         }
         out.push_str("  ]");
     }
+    if let Some(f) = fuzz {
+        let curve = |points: &[(u64, usize)]| {
+            points
+                .iter()
+                .map(|(cases, edges)| format!("[{cases}, {edges}]"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let _ = write!(
+            out,
+            ",\n  \"fuzz_coverage\": {{\n    \"seed\": {},\n    \"iters\": {},\n    \"campaign_edges\": {},\n    \"fresh_edges\": {},\n    \"ratio\": {:.2},\n    \"corpus_size\": {},\n    \"campaign_curve\": [{}],\n    \"fresh_curve\": [{}]\n  }}",
+            f.seed,
+            f.iters,
+            f.campaign_edges,
+            f.fresh_edges,
+            f.ratio(),
+            f.corpus_size,
+            curve(&f.curve),
+            curve(&f.fresh_curve)
+        );
+    }
     out.push_str("\n}\n");
     out
 }
@@ -595,7 +690,7 @@ mod tests {
             explored_full: 32769,
             verified: true,
         };
-        let json = to_json_with_history(&[dummy_run()], &[], &[], &[], &[scale]);
+        let json = to_json_with_history(&[dummy_run()], &[], &[], &[], &[scale], None);
         let doc = simc_obs::json::parse(&json).expect("emitted JSON parses");
         let section = doc.get("scale").and_then(|v| v.as_array()).unwrap();
         assert_eq!(section[0].get("spec_states").and_then(|v| v.as_u64()), Some(16384));
@@ -603,6 +698,47 @@ mod tests {
         assert_eq!(ba[0].get("before_states").and_then(|v| v.as_u64()), Some(32769));
         let speedup = ba[0].get("speedup").and_then(|v| v.as_f64()).unwrap();
         assert!((speedup - 20.0).abs() < 1e-9, "{speedup}");
+    }
+
+    #[test]
+    fn json_fuzz_coverage_section_round_trips() {
+        let fuzz = FuzzCoverage {
+            seed: 0xDAC94,
+            iters: 32,
+            campaign_edges: 300,
+            fresh_edges: 150,
+            corpus_size: 24,
+            curve: vec![(16, 200), (32, 300)],
+            fresh_curve: vec![(16, 120), (32, 150)],
+        };
+        let json = to_json_with_history(&[dummy_run()], &[], &[], &[], &[], Some(&fuzz));
+        let doc = simc_obs::json::parse(&json).expect("emitted JSON parses");
+        let section = doc.get("fuzz_coverage").unwrap();
+        assert_eq!(section.get("campaign_edges").and_then(|v| v.as_u64()), Some(300));
+        assert_eq!(section.get("fresh_edges").and_then(|v| v.as_u64()), Some(150));
+        let ratio = section.get("ratio").and_then(|v| v.as_f64()).unwrap();
+        assert!((ratio - 2.0).abs() < 1e-9, "{ratio}");
+        let curve = section.get("campaign_curve").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(curve.len(), 2);
+    }
+
+    #[test]
+    fn fuzz_coverage_sweep_is_deterministic_and_guided_wins() {
+        let a = fuzz_coverage_sweep(0xDAC94, 48);
+        let b = fuzz_coverage_sweep(0xDAC94, 48);
+        assert_eq!(a.campaign_edges, b.campaign_edges);
+        assert_eq!(a.fresh_edges, b.fresh_edges);
+        assert_eq!(a.curve, b.curve);
+        assert_eq!(a.fresh_curve, b.fresh_curve);
+        assert!(
+            a.campaign_edges > a.fresh_edges,
+            "campaign {} should beat fresh {}",
+            a.campaign_edges,
+            a.fresh_edges
+        );
+        // Both curves end at their sweep totals.
+        assert_eq!(a.curve.last(), Some(&(48, a.campaign_edges)));
+        assert_eq!(a.fresh_curve.last(), Some(&(48, a.fresh_edges)));
     }
 
     #[test]

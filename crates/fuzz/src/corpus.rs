@@ -1,0 +1,427 @@
+//! The campaign corpus: recipes that discovered new coverage.
+//!
+//! A corpus entry is a [`Recipe`] serialized to a small line-based text
+//! form and addressed by the content hash of those bytes (the same
+//! [`simc_cache::KeyHasher`] construction the artifact cache keys on, in
+//! its own `fuzz.recipe.v1` domain). On disk a corpus is a directory of
+//! `<hex>.recipe` files fanned out over two-character shard directories
+//! — `ab/abcdef….recipe` — so large corpora stay filesystem-friendly.
+//!
+//! Loading is *order-independent by construction*: entries are sorted by
+//! key before use, so the in-memory corpus (and everything downstream —
+//! mutation donor choices, coverage replay, the campaign summary) is
+//! identical no matter which order the files came off the directory
+//! walk. A corrupt or unparsable entry is skipped like a cache miss,
+//! never an error.
+//!
+//! # Serialized form
+//!
+//! ```text
+//! recipe v1
+//! kinds i o i
+//! (seq (leaf 0) (par (double 1) (leaf 2)))
+//! ```
+//!
+//! `kinds` lists one `i`/`o` per handshake signal; the s-expression uses
+//! `(leaf N)` for a plain handshake, `(double N)` for a CSC-violating
+//! full pulse per phase, and `(seq …)`/`(par …)` for composition.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use simc_cache::{Key, KeyHasher};
+use simc_sg::SignalKind;
+
+use crate::gen::{Recipe, Shape};
+
+/// Content-hash domain for recipe bytes.
+const RECIPE_DOMAIN: &str = "fuzz.recipe.v1";
+
+/// File extension of on-disk entries.
+const RECIPE_EXT: &str = "recipe";
+
+/// Serializes a recipe to its canonical corpus text.
+pub fn serialize_recipe(recipe: &Recipe) -> String {
+    fn shape(s: &Shape, out: &mut String) {
+        match s {
+            Shape::Leaf { signal, double } => {
+                out.push_str(if *double { "(double " } else { "(leaf " });
+                out.push_str(&signal.to_string());
+                out.push(')');
+            }
+            Shape::Seq(children) | Shape::Par(children) => {
+                out.push_str(if matches!(s, Shape::Seq(_)) { "(seq" } else { "(par" });
+                for child in children {
+                    out.push(' ');
+                    shape(child, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+    let mut out = String::from("recipe v1\nkinds");
+    for kind in &recipe.kinds {
+        out.push(' ');
+        out.push(match kind {
+            SignalKind::Input => 'i',
+            // Recipes only name handshake signals; anything non-input the
+            // generator produced is an output.
+            SignalKind::Output | SignalKind::Internal => 'o',
+        });
+    }
+    out.push('\n');
+    shape(&recipe.shape, &mut out);
+    out.push('\n');
+    out
+}
+
+/// Parses the canonical corpus text back into a recipe.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformation; corpus
+/// loading treats any error as a skipped entry.
+pub fn parse_recipe(text: &str) -> Result<Recipe, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("recipe v1") => {}
+        other => return Err(format!("bad header {other:?}")),
+    }
+    let kinds_line = lines.next().ok_or("missing kinds line")?;
+    let mut kind_tokens = kinds_line.split_whitespace();
+    if kind_tokens.next() != Some("kinds") {
+        return Err(format!("bad kinds line `{kinds_line}`"));
+    }
+    let mut kinds = Vec::new();
+    for token in kind_tokens {
+        kinds.push(match token {
+            "i" => SignalKind::Input,
+            "o" => SignalKind::Output,
+            other => return Err(format!("unknown kind `{other}`")),
+        });
+    }
+    if kinds.is_empty() {
+        return Err("no signals".to_string());
+    }
+    let shape_line = lines.next().ok_or("missing shape line")?;
+    let tokens = tokenize(shape_line)?;
+    let mut pos = 0usize;
+    let shape = parse_shape(&tokens, &mut pos, kinds.len())?;
+    if pos != tokens.len() {
+        return Err(format!("trailing tokens after shape: {:?}", &tokens[pos..]));
+    }
+    validate(&shape, kinds.len())?;
+    Ok(Recipe { shape, kinds })
+}
+
+/// Splits an s-expression into `(`, `)` and word tokens.
+fn tokenize(text: &str) -> Result<Vec<String>, String> {
+    let mut tokens = Vec::new();
+    let mut word = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | ')' => {
+                if !word.is_empty() {
+                    tokens.push(std::mem::take(&mut word));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !word.is_empty() {
+                    tokens.push(std::mem::take(&mut word));
+                }
+            }
+            c if c.is_ascii_alphanumeric() => word.push(c),
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    if !word.is_empty() {
+        tokens.push(word);
+    }
+    Ok(tokens)
+}
+
+fn parse_shape(tokens: &[String], pos: &mut usize, signals: usize) -> Result<Shape, String> {
+    if tokens.get(*pos).map(String::as_str) != Some("(") {
+        return Err(format!("expected `(` at token {}", *pos));
+    }
+    *pos += 1;
+    let head = tokens.get(*pos).ok_or("unterminated form")?.clone();
+    *pos += 1;
+    let shape = match head.as_str() {
+        "leaf" | "double" => {
+            let number = tokens.get(*pos).ok_or("leaf needs a signal number")?;
+            let signal: usize =
+                number.parse().map_err(|_| format!("bad signal number `{number}`"))?;
+            if signal >= signals {
+                return Err(format!("signal {signal} out of range (have {signals})"));
+            }
+            *pos += 1;
+            Shape::Leaf { signal, double: head == "double" }
+        }
+        "seq" | "par" => {
+            let mut children = Vec::new();
+            while tokens.get(*pos).map(String::as_str) == Some("(") {
+                children.push(parse_shape(tokens, pos, signals)?);
+            }
+            if children.len() < 2 {
+                return Err(format!("`{head}` needs at least two children"));
+            }
+            if head == "seq" {
+                Shape::Seq(children)
+            } else {
+                Shape::Par(children)
+            }
+        }
+        other => return Err(format!("unknown form `{other}`")),
+    };
+    if tokens.get(*pos).map(String::as_str) != Some(")") {
+        return Err(format!("expected `)` at token {}", *pos));
+    }
+    *pos += 1;
+    Ok(shape)
+}
+
+/// Checks the generator invariant the STG builder relies on: every
+/// signal appears in exactly one leaf (duplicate transitions would fail
+/// construction; missing ones leave dead kinds).
+fn validate(shape: &Shape, signals: usize) -> Result<(), String> {
+    fn collect(s: &Shape, seen: &mut Vec<bool>) -> Result<(), String> {
+        match s {
+            Shape::Leaf { signal, .. } => {
+                if seen[*signal] {
+                    return Err(format!("signal {signal} appears in more than one leaf"));
+                }
+                seen[*signal] = true;
+                Ok(())
+            }
+            Shape::Seq(c) | Shape::Par(c) => c.iter().try_for_each(|s| collect(s, seen)),
+        }
+    }
+    let mut seen = vec![false; signals];
+    collect(shape, &mut seen)?;
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(format!("signal {missing} has no leaf"));
+    }
+    Ok(())
+}
+
+/// The content-hash key of a recipe (over its serialized bytes).
+pub fn recipe_key(recipe: &Recipe) -> Key {
+    let mut hasher = KeyHasher::new(RECIPE_DOMAIN);
+    hasher.update(serialize_recipe(recipe).as_bytes());
+    hasher.finish()
+}
+
+/// One corpus member.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The recipe that discovered new coverage.
+    pub recipe: Recipe,
+    /// Its content-hash address.
+    pub key: Key,
+}
+
+/// An in-memory corpus, optionally mirrored to a directory.
+///
+/// Entries are deduplicated by content key. Pre-existing on-disk entries
+/// load first, sorted by key; entries added during a run append in
+/// discovery order — both orders are deterministic for a fixed seed, so
+/// donor selection (which indexes into this list) replays exactly.
+#[derive(Debug, Default)]
+pub struct Corpus {
+    entries: Vec<CorpusEntry>,
+    seen: BTreeSet<Key>,
+    dir: Option<PathBuf>,
+}
+
+impl Corpus {
+    /// An empty corpus with no disk mirror.
+    pub fn in_memory() -> Self {
+        Corpus::default()
+    }
+
+    /// Opens (creating if needed) an on-disk corpus directory and loads
+    /// every parsable `.recipe` entry, sorted by key.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or traversal failures; unparsable entry
+    /// *contents* are skipped, not errors.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut files: Vec<PathBuf> = Vec::new();
+        for shard in std::fs::read_dir(&dir)? {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(&shard)? {
+                let path = entry?.path();
+                if path.extension().and_then(|e| e.to_str()) == Some(RECIPE_EXT) {
+                    files.push(path);
+                }
+            }
+        }
+        let mut loaded: Vec<CorpusEntry> = files
+            .iter()
+            .filter_map(|path| {
+                let text = std::fs::read_to_string(path).ok()?;
+                let recipe = parse_recipe(&text).ok()?;
+                Some(CorpusEntry { key: recipe_key(&recipe), recipe })
+            })
+            .collect();
+        // Key order, not directory order: the load is deterministic no
+        // matter how the filesystem enumerates entries.
+        loaded.sort_by_key(|e| *e.key.bytes());
+        loaded.dedup_by_key(|e| *e.key.bytes());
+        let seen = loaded.iter().map(|e| e.key).collect();
+        Ok(Corpus { entries: loaded, seen, dir: Some(dir) })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, pre-existing (key-sorted) first, then in discovery
+    /// order.
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// One entry by index.
+    pub fn get(&self, index: usize) -> &CorpusEntry {
+        &self.entries[index]
+    }
+
+    /// Adds a recipe; returns whether it was new. New entries are
+    /// mirrored to disk when the corpus has a directory.
+    ///
+    /// # Errors
+    ///
+    /// Disk-mirror write failures (in-memory corpora never fail).
+    pub fn add(&mut self, recipe: Recipe) -> io::Result<bool> {
+        let key = recipe_key(&recipe);
+        if !self.seen.insert(key) {
+            return Ok(false);
+        }
+        if let Some(dir) = &self.dir {
+            let hex = key.hex();
+            let shard = dir.join(&hex[..2]);
+            std::fs::create_dir_all(&shard)?;
+            std::fs::write(
+                shard.join(format!("{hex}.{RECIPE_EXT}")),
+                serialize_recipe(&recipe),
+            )?;
+        }
+        self.entries.push(CorpusEntry { recipe, key });
+        Ok(true)
+    }
+}
+
+/// The shard subdirectory and file name of one key (exposed for tests
+/// and tooling that inspect a corpus directory).
+pub fn entry_path(dir: &Path, key: &Key) -> PathBuf {
+    let hex = key.hex();
+    dir.join(&hex[..2]).join(format!("{hex}.{RECIPE_EXT}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(signal: usize) -> Shape {
+        Shape::Leaf { signal, double: false }
+    }
+
+    fn sample() -> Recipe {
+        Recipe {
+            shape: Shape::Seq(vec![
+                leaf(0),
+                Shape::Par(vec![Shape::Leaf { signal: 1, double: true }, leaf(2)]),
+            ]),
+            kinds: vec![SignalKind::Input, SignalKind::Output, SignalKind::Input],
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let recipe = sample();
+        let text = serialize_recipe(&recipe);
+        let back = parse_recipe(&text).unwrap();
+        assert_eq!(back, recipe);
+        assert_eq!(serialize_recipe(&back), text);
+    }
+
+    #[test]
+    fn keys_are_content_addressed() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(recipe_key(&a), recipe_key(&sample()));
+        b.kinds[0] = SignalKind::Output;
+        assert_ne!(recipe_key(&a), recipe_key(&b));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        for bad in [
+            "",
+            "recipe v2\nkinds i\n(leaf 0)\n",
+            "recipe v1\nkinds i\n(leaf 1)\n",                  // out of range
+            "recipe v1\nkinds i i\n(seq (leaf 0) (leaf 0))\n", // duplicate leaf
+            "recipe v1\nkinds i i\n(leaf 0)\n",                // signal 1 unused
+            "recipe v1\nkinds i\n(seq (leaf 0))\n",            // 1-child seq
+            "recipe v1\nkinds i\n(frob 0)\n",
+            "recipe v1\nkinds q\n(leaf 0)\n",
+        ] {
+            assert!(parse_recipe(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn corpus_deduplicates_by_content() {
+        let mut corpus = Corpus::in_memory();
+        assert!(corpus.add(sample()).unwrap());
+        assert!(!corpus.add(sample()).unwrap());
+        assert_eq!(corpus.len(), 1);
+    }
+
+    #[test]
+    fn disk_corpus_reloads_sorted_regardless_of_write_order() {
+        let scratch = std::env::temp_dir().join(format!("simc_corpus_{}", std::process::id()));
+        std::fs::remove_dir_all(&scratch).ok();
+        let recipes = [
+            Recipe { shape: leaf(0), kinds: vec![SignalKind::Input] },
+            Recipe { shape: leaf(0), kinds: vec![SignalKind::Output] },
+            sample(),
+        ];
+        // Write in one order into A, the reverse into B.
+        let mut a = Corpus::open(scratch.join("a")).unwrap();
+        for r in &recipes {
+            a.add(r.clone()).unwrap();
+        }
+        let mut b = Corpus::open(scratch.join("b")).unwrap();
+        for r in recipes.iter().rev() {
+            b.add(r.clone()).unwrap();
+        }
+        let keys = |c: &Corpus| c.entries().iter().map(|e| e.key).collect::<Vec<_>>();
+        let reloaded_a = Corpus::open(scratch.join("a")).unwrap();
+        let reloaded_b = Corpus::open(scratch.join("b")).unwrap();
+        assert_eq!(keys(&reloaded_a), keys(&reloaded_b), "load order must be key order");
+        assert_eq!(reloaded_a.len(), recipes.len());
+        // A corrupt entry is skipped like a miss.
+        let victim = entry_path(&scratch.join("a"), &reloaded_a.get(0).key);
+        std::fs::write(&victim, "recipe v9\ngarbage\n").unwrap();
+        let salvaged = Corpus::open(scratch.join("a")).unwrap();
+        assert_eq!(salvaged.len(), recipes.len() - 1);
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+}

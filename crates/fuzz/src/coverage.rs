@@ -1,0 +1,238 @@
+//! Coverage signatures: packed from→to edge sets over a quotiented
+//! state graph.
+//!
+//! A long seeded-random campaign keeps re-exploring the same easy SG
+//! shapes: the hazard-free worst case is exponential (Ikenmeyer et al.),
+//! so scenario *diversity* — not volume — is what finds bugs. The
+//! campaign engine therefore tracks, per case, which *structural*
+//! transition patterns the case's state graph exercises, and keeps only
+//! inputs that discovered new structure.
+//!
+//! Concrete states are useless as coverage targets (every case has a
+//! different state space), so states are quotiented into small abstract
+//! classes first: a state's class packs its excitation profile (how many
+//! signals are excited, how many of those the circuit must implement)
+//! and its code population, each capped into a few bits. An SG edge then
+//! becomes a packed `(graph bucket, from-class, to-class, fired-signal
+//! kind, direction)` word — the *coverage signature* of a case is the
+//! sorted, deduplicated set of those words over all its edges.
+//!
+//! The signature is a pure function of the state graph — no RNG, no
+//! iteration order, no threads — so it is byte-identical across thread
+//! and shard counts, and two isomorphic graphs (which the canonical
+//! `.sg` form maps to the same bytes) always produce the same signature.
+
+use std::collections::BTreeSet;
+
+use simc_sg::{SignalKind, StateGraph};
+
+/// Caps a count into `bits` bits (values ≥ the cap all land on the cap:
+/// "that many or more" is one class).
+#[inline]
+fn cap(value: usize, bits: u32) -> u32 {
+    (value as u32).min((1 << bits) - 1)
+}
+
+/// The quotient class of one state: `excited count (3 bits) | excited
+/// non-input count (2 bits) | code popcount (3 bits)` — 8 bits total.
+fn state_class(sg: &StateGraph, s: simc_sg::StateId) -> u32 {
+    let mut excited = 0usize;
+    let mut excited_noninput = 0usize;
+    for sig in sg.signal_ids() {
+        if sg.is_excited(s, sig) {
+            excited += 1;
+            if sg.signal(sig).kind() != SignalKind::Input {
+                excited_noninput += 1;
+            }
+        }
+    }
+    let popcount = sg.code(s).bits().count_ones() as usize;
+    (cap(excited, 3) << 5) | (cap(excited_noninput, 2) << 3) | cap(popcount, 3)
+}
+
+/// The packed edge word: `graph bucket (3 bits) | from class (8) |
+/// to class (8) | fired-signal kind (2) | direction (1)` — 22 bits.
+fn pack_edge(bucket: u32, from: u32, to: u32, kind: SignalKind, rise: bool) -> u32 {
+    let kind_bits = match kind {
+        SignalKind::Input => 0,
+        SignalKind::Output => 1,
+        SignalKind::Internal => 2,
+    };
+    (bucket << 19) | (from << 11) | (to << 3) | (kind_bits << 1) | u32::from(rise)
+}
+
+/// The coverage signature of one case: the sorted, deduplicated packed
+/// edge set of its quotiented state graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    edges: Vec<u32>,
+}
+
+impl Signature {
+    /// The signature of nothing — used for cases whose spec failed to
+    /// build (itself an oracle failure).
+    pub fn empty() -> Self {
+        Signature { edges: Vec::new() }
+    }
+
+    /// The packed edges, sorted ascending, no duplicates.
+    pub fn edges(&self) -> &[u32] {
+        &self.edges
+    }
+
+    /// Number of distinct packed edges the case exercises.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the signature is empty (only a degenerate SG).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Computes the coverage signature of a state graph.
+pub fn signature(sg: &StateGraph) -> Signature {
+    let bucket = cap(sg.signal_count(), 3);
+    let mut classes = vec![0u32; sg.state_count()];
+    for s in sg.state_ids() {
+        classes[s.index()] = state_class(sg, s);
+    }
+    let mut edges: Vec<u32> = Vec::with_capacity(sg.edge_count());
+    for s in sg.state_ids() {
+        for &(t, next) in sg.succs(s) {
+            edges.push(pack_edge(
+                bucket,
+                classes[s.index()],
+                classes[next.index()],
+                sg.signal(t.signal).kind(),
+                t.dir == simc_sg::Dir::Rise,
+            ));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Signature { edges }
+}
+
+/// The campaign-global set of covered packed edges.
+///
+/// Backed by a `BTreeSet` so iteration (and therefore any rendering) is
+/// deterministic regardless of insertion order.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageMap {
+    edges: BTreeSet<u32>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        CoverageMap::default()
+    }
+
+    /// Merges one case's signature; returns how many of its edges were
+    /// new. Merging is idempotent and order-independent: any interleaving
+    /// of the same signatures yields the same final set.
+    pub fn merge(&mut self, sig: &Signature) -> usize {
+        let mut fresh = 0usize;
+        for &edge in sig.edges() {
+            if self.edges.insert(edge) {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
+    /// Number of distinct covered edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether nothing is covered yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{to_state_graph, Recipe, Shape};
+    use simc_sg::SignalKind;
+
+    fn leaf(signal: usize) -> Shape {
+        Shape::Leaf { signal, double: false }
+    }
+
+    fn sig_of(recipe: &Recipe) -> Signature {
+        signature(&to_state_graph(recipe).expect("recipe builds"))
+    }
+
+    #[test]
+    fn signature_is_sorted_and_deduped() {
+        let recipe = Recipe {
+            shape: Shape::Par(vec![leaf(0), leaf(1)]),
+            kinds: vec![SignalKind::Input, SignalKind::Output],
+        };
+        let sig = sig_of(&recipe);
+        assert!(!sig.is_empty());
+        assert!(sig.edges().windows(2).all(|w| w[0] < w[1]), "{:?}", sig.edges());
+    }
+
+    #[test]
+    fn signature_is_a_pure_function_of_the_recipe() {
+        let recipe = Recipe {
+            shape: Shape::Seq(vec![leaf(0), Shape::Par(vec![leaf(1), leaf(2)])]),
+            kinds: vec![SignalKind::Input, SignalKind::Output, SignalKind::Input],
+        };
+        assert_eq!(sig_of(&recipe), sig_of(&recipe));
+    }
+
+    #[test]
+    fn different_shapes_cover_different_edges() {
+        let seq = Recipe {
+            shape: Shape::Seq(vec![leaf(0), leaf(1)]),
+            kinds: vec![SignalKind::Input, SignalKind::Output],
+        };
+        let par = Recipe {
+            shape: Shape::Par(vec![leaf(0), leaf(1)]),
+            kinds: vec![SignalKind::Input, SignalKind::Output],
+        };
+        assert_ne!(sig_of(&seq), sig_of(&par));
+    }
+
+    #[test]
+    fn coverage_map_merge_is_order_independent() {
+        let recipes = [
+            Recipe { shape: leaf(0), kinds: vec![SignalKind::Input] },
+            Recipe {
+                shape: Shape::Par(vec![leaf(0), leaf(1)]),
+                kinds: vec![SignalKind::Output, SignalKind::Input],
+            },
+            Recipe {
+                shape: Shape::Seq(vec![leaf(0), leaf(1), leaf(2)]),
+                kinds: vec![SignalKind::Input; 3],
+            },
+        ];
+        let sigs: Vec<Signature> = recipes.iter().map(sig_of).collect();
+        let mut forward = CoverageMap::new();
+        for s in &sigs {
+            forward.merge(s);
+        }
+        let mut backward = CoverageMap::new();
+        for s in sigs.iter().rev() {
+            backward.merge(s);
+        }
+        assert_eq!(forward.edges, backward.edges);
+    }
+
+    #[test]
+    fn merge_counts_only_new_edges() {
+        let recipe = Recipe { shape: leaf(0), kinds: vec![SignalKind::Output] };
+        let sig = sig_of(&recipe);
+        let mut map = CoverageMap::new();
+        assert_eq!(map.merge(&sig), sig.len());
+        assert_eq!(map.merge(&sig), 0, "second merge must find nothing new");
+        assert_eq!(map.len(), sig.len());
+    }
+}

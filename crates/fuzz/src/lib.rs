@@ -17,6 +17,14 @@
 //! shrinker ([`mod@shrink`]) reduces it to a 1-minimal recipe whose state
 //! graph is serialized as a self-contained `.sg` repro ([`runner`]).
 //!
+//! Campaigns can also be *coverage-guided* ([`runner::run_campaign`]):
+//! each case's state graph is quotiented into a packed edge signature
+//! ([`coverage`]), recipes that discover new edges enter a
+//! content-addressed corpus ([`corpus`]), and later cases mutate corpus
+//! entries ([`mod@mutate`]) instead of always generating fresh — reaching
+//! structural diversity a fresh-only campaign never finds at the same
+//! budget, while staying byte-identical across 1/2/8 shards.
+//!
 //! # Example
 //!
 //! ```
@@ -29,14 +37,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
+pub mod coverage;
 pub mod gen;
+pub mod mutate;
 pub mod oracle;
 pub mod rng;
 pub mod runner;
 pub mod shrink;
 
+pub use corpus::{parse_recipe, recipe_key, serialize_recipe, Corpus, CorpusEntry};
+pub use coverage::{signature, CoverageMap, Signature};
 pub use gen::{random_recipe, GenConfig, Recipe, Shape};
+pub use mutate::{mutate, Mutation, MAX_MUTANT_SIGNALS};
 pub use oracle::{check_case, CaseStats, Failure, OracleId};
 pub use rng::Rng;
-pub use runner::{run, FailureReport, FuzzConfig, FuzzReport};
+pub use runner::{
+    run, run_campaign, CampaignConfig, CampaignReport, CurvePoint, FailureReport, FuzzConfig,
+    FuzzReport,
+};
 pub use shrink::{one_step_shrinks, shrink};

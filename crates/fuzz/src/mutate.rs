@@ -1,0 +1,340 @@
+//! Recipe-level mutators for coverage-guided campaigns.
+//!
+//! A mutation takes a *base* recipe (drawn from the corpus) and, for
+//! splicing, a *donor* (another corpus entry), and produces a new
+//! well-formed recipe. Every mutator preserves the generator invariants
+//! the STG construction relies on, so mutants are live, 1-safe and
+//! buildable by construction:
+//!
+//! - each signal appears in exactly one leaf (splices offset the donor's
+//!   signals past the base's, then renumber densely);
+//! - `Seq`/`Par` nodes keep at least two children;
+//! - at most one leaf is a CSC-violating double;
+//! - at most [`MAX_MUTANT_SIGNALS`] handshake signals, so mutants stay
+//!   within the state-space budget while still reaching graph-size
+//!   buckets the fresh generator (capped lower) never visits.
+//!
+//! All randomness flows through the caller's [`Rng`] stream, so a
+//! campaign's mutation sequence replays exactly from its seed.
+
+use simc_sg::SignalKind;
+
+use crate::gen::{Recipe, Shape};
+use crate::rng::Rng;
+use crate::shrink::{one_step_shrinks, renumber};
+
+/// Signal cap for mutants. Fresh generation tops out lower (the CLI
+/// default is 4), so mutation is what reaches the largest graph buckets.
+pub const MAX_MUTANT_SIGNALS: usize = 6;
+
+/// The four mutation strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Replace a random subtree of the base with a random subtree of the
+    /// donor.
+    Splice,
+    /// Apply one random shrinking transform (drop a child, serialize a
+    /// `Par`, single a double) — or grow when already minimal.
+    Resize,
+    /// Wrap a random subtree in `Seq`/`Par` with a brand-new signal.
+    LeafInject,
+    /// Toggle the CSC-violation double: clear it if present, plant one
+    /// otherwise.
+    PhaseFlip,
+}
+
+/// Number of nodes in the shape (preorder address space).
+fn node_count(shape: &Shape) -> usize {
+    match shape {
+        Shape::Leaf { .. } => 1,
+        Shape::Seq(c) | Shape::Par(c) => 1 + c.iter().map(node_count).sum::<usize>(),
+    }
+}
+
+/// The subtree at preorder index `index`.
+fn subtree(shape: &Shape, index: usize) -> &Shape {
+    fn walk<'a>(s: &'a Shape, index: usize, next: &mut usize) -> Option<&'a Shape> {
+        if *next == index {
+            return Some(s);
+        }
+        *next += 1;
+        match s {
+            Shape::Leaf { .. } => None,
+            Shape::Seq(c) | Shape::Par(c) => c.iter().find_map(|ch| walk(ch, index, next)),
+        }
+    }
+    let mut next = 0;
+    walk(shape, index, &mut next).expect("preorder index in range")
+}
+
+/// The shape with the subtree at preorder index `index` replaced.
+fn replace_subtree(shape: &Shape, index: usize, replacement: &Shape) -> Shape {
+    fn walk(s: &Shape, index: usize, next: &mut usize, replacement: &Shape) -> Shape {
+        if *next == index {
+            // Consume the whole replaced subtree's preorder range so no
+            // later node can match `index` again.
+            *next += node_count(s);
+            return replacement.clone();
+        }
+        *next += 1;
+        match s {
+            Shape::Leaf { .. } => s.clone(),
+            Shape::Seq(c) => {
+                Shape::Seq(c.iter().map(|ch| walk(ch, index, next, replacement)).collect())
+            }
+            Shape::Par(c) => {
+                Shape::Par(c.iter().map(|ch| walk(ch, index, next, replacement)).collect())
+            }
+        }
+    }
+    let mut next = 0;
+    walk(shape, index, &mut next, replacement)
+}
+
+/// Shifts every leaf's signal index up by `by`.
+fn offset_signals(shape: &Shape, by: usize) -> Shape {
+    match shape {
+        Shape::Leaf { signal, double } => Shape::Leaf { signal: signal + by, double: *double },
+        Shape::Seq(c) => Shape::Seq(c.iter().map(|s| offset_signals(s, by)).collect()),
+        Shape::Par(c) => Shape::Par(c.iter().map(|s| offset_signals(s, by)).collect()),
+    }
+}
+
+/// Clears every double after the first (preorder): the generator's
+/// at-most-one-double invariant, which a splice of two double-carrying
+/// recipes would otherwise break.
+fn clamp_doubles(shape: &mut Shape, seen: &mut bool) {
+    match shape {
+        Shape::Leaf { double, .. } => {
+            if *double {
+                if *seen {
+                    *double = false;
+                } else {
+                    *seen = true;
+                }
+            }
+        }
+        Shape::Seq(c) | Shape::Par(c) => c.iter_mut().for_each(|s| clamp_doubles(s, seen)),
+    }
+}
+
+/// Shrinks until the recipe fits the signal cap. Dropping a child always
+/// exists while more than one leaf remains and removes at least one
+/// signal after renumbering, so this terminates.
+fn limit_signals(rng: &mut Rng, mut recipe: Recipe) -> Recipe {
+    while recipe.kinds.len() > MAX_MUTANT_SIGNALS {
+        let slimmer: Vec<Recipe> = one_step_shrinks(&recipe)
+            .into_iter()
+            .filter(|r| r.kinds.len() < recipe.kinds.len())
+            .collect();
+        recipe = slimmer[rng.below(slimmer.len() as u64) as usize].clone();
+    }
+    recipe
+}
+
+fn splice(rng: &mut Rng, base: &Recipe, donor: &Recipe) -> Recipe {
+    let target = rng.below(node_count(&base.shape) as u64) as usize;
+    let source = rng.below(node_count(&donor.shape) as u64) as usize;
+    let graft = offset_signals(subtree(&donor.shape, source), base.kinds.len());
+    let mut shape = replace_subtree(&base.shape, target, &graft);
+    clamp_doubles(&mut shape, &mut false);
+    let mut kinds = base.kinds.clone();
+    kinds.extend_from_slice(&donor.kinds);
+    limit_signals(rng, renumber(shape, &kinds))
+}
+
+fn leaf_inject(rng: &mut Rng, base: &Recipe) -> Recipe {
+    if base.kinds.len() >= MAX_MUTANT_SIGNALS {
+        // No room for a new signal; fall back to a shrinking resize.
+        return resize(rng, base);
+    }
+    let fresh = base.kinds.len();
+    let leaf = Shape::Leaf { signal: fresh, double: false };
+    let index = rng.below(node_count(&base.shape) as u64) as usize;
+    let host = subtree(&base.shape, index).clone();
+    let pair =
+        if rng.percent(50) { Shape::Par(vec![host, leaf]) } else { Shape::Seq(vec![host, leaf]) };
+    let shape = replace_subtree(&base.shape, index, &pair);
+    let mut kinds = base.kinds.clone();
+    kinds.push(if rng.percent(50) { SignalKind::Input } else { SignalKind::Output });
+    Recipe { shape, kinds }
+}
+
+fn resize(rng: &mut Rng, base: &Recipe) -> Recipe {
+    let variants = one_step_shrinks(base);
+    if variants.is_empty() {
+        // A lone single leaf has nothing to shrink — grow instead.
+        return leaf_inject(rng, base);
+    }
+    variants[rng.below(variants.len() as u64) as usize].clone()
+}
+
+fn phase_flip(rng: &mut Rng, base: &Recipe) -> Recipe {
+    fn has_double(s: &Shape) -> bool {
+        match s {
+            Shape::Leaf { double, .. } => *double,
+            Shape::Seq(c) | Shape::Par(c) => c.iter().any(has_double),
+        }
+    }
+    fn set_all(s: &mut Shape, value: bool, target: Option<usize>, leaf_index: &mut usize) {
+        match s {
+            Shape::Leaf { double, .. } => {
+                match target {
+                    Some(t) if t == *leaf_index => *double = value,
+                    Some(_) => {}
+                    None => *double = value,
+                }
+                *leaf_index += 1;
+            }
+            Shape::Seq(c) | Shape::Par(c) => {
+                c.iter_mut().for_each(|s| set_all(s, value, target, leaf_index));
+            }
+        }
+    }
+    let mut shape = base.shape.clone();
+    if has_double(&shape) {
+        set_all(&mut shape, false, None, &mut 0);
+    } else {
+        let target = rng.below(base.leaf_count() as u64) as usize;
+        set_all(&mut shape, true, Some(target), &mut 0);
+    }
+    Recipe { shape, kinds: base.kinds.clone() }
+}
+
+/// Applies one mutation drawn from `rng` to `base`, splicing from
+/// `donor` when the Splice strategy comes up.
+pub fn mutate(rng: &mut Rng, base: &Recipe, donor: &Recipe) -> Recipe {
+    simc_obs::add(simc_obs::Counter::FuzzMutations, 1);
+    let strategy = match rng.below(4) {
+        0 => Mutation::Splice,
+        1 => Mutation::Resize,
+        2 => Mutation::LeafInject,
+        _ => Mutation::PhaseFlip,
+    };
+    apply(rng, strategy, base, donor)
+}
+
+/// Applies one specific strategy (exposed for property tests that sweep
+/// every mutator).
+pub fn apply(rng: &mut Rng, strategy: Mutation, base: &Recipe, donor: &Recipe) -> Recipe {
+    match strategy {
+        Mutation::Splice => splice(rng, base, donor),
+        Mutation::Resize => resize(rng, base),
+        Mutation::LeafInject => leaf_inject(rng, base),
+        Mutation::PhaseFlip => phase_flip(rng, base),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_recipe, to_state_graph, GenConfig};
+
+    /// Checks the generator invariants a mutant must preserve.
+    fn assert_well_formed(recipe: &Recipe, context: &str) {
+        assert!(!recipe.kinds.is_empty(), "{context}: no signals");
+        assert!(
+            recipe.kinds.len() <= MAX_MUTANT_SIGNALS,
+            "{context}: {} signals over cap",
+            recipe.kinds.len()
+        );
+        // Each signal in exactly one leaf, densely numbered.
+        let mut seen = vec![0usize; recipe.kinds.len()];
+        fn count(s: &Shape, seen: &mut Vec<usize>, context: &str) {
+            match s {
+                Shape::Leaf { signal, .. } => {
+                    assert!(*signal < seen.len(), "{context}: signal {signal} out of range");
+                    seen[*signal] += 1;
+                }
+                Shape::Seq(c) | Shape::Par(c) => {
+                    assert!(c.len() >= 2, "{context}: under-two-children node");
+                    c.iter().for_each(|s| count(s, seen, context));
+                }
+            }
+        }
+        count(&recipe.shape, &mut seen, context);
+        assert!(seen.iter().all(|&n| n == 1), "{context}: leaf multiset {seen:?}");
+        // At most one double.
+        fn doubles(s: &Shape) -> usize {
+            match s {
+                Shape::Leaf { double, .. } => usize::from(*double),
+                Shape::Seq(c) | Shape::Par(c) => c.iter().map(doubles).sum(),
+            }
+        }
+        assert!(doubles(&recipe.shape) <= 1, "{context}: multiple doubles");
+        // And the STG actually builds live/1-safe.
+        let sg = to_state_graph(recipe)
+            .unwrap_or_else(|e| panic!("{context}: mutant fails to build: {e}"));
+        assert!(sg.analysis().is_semimodular(), "{context}: mutant not semimodular");
+    }
+
+    #[test]
+    fn every_mutator_preserves_generator_invariants() {
+        let mut rng = Rng::new(0xBEEF);
+        let strategies =
+            [Mutation::Splice, Mutation::Resize, Mutation::LeafInject, Mutation::PhaseFlip];
+        for i in 0..120u64 {
+            let base = random_recipe(
+                &mut Rng::for_case(11, i),
+                GenConfig { signals: 1 + (i % 4) as usize, concurrency: 50, csc_injection: i % 3 == 0 },
+            );
+            let donor = random_recipe(
+                &mut Rng::for_case(13, i),
+                GenConfig { signals: 1 + (i % 5) as usize, concurrency: 70, csc_injection: i % 2 == 0 },
+            );
+            for &strategy in &strategies {
+                let mutant = apply(&mut rng, strategy, &base, &donor);
+                assert_well_formed(&mutant, &format!("case {i} {strategy:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_streams_replay_deterministically() {
+        let base = random_recipe(&mut Rng::new(5), GenConfig::default());
+        let donor = random_recipe(&mut Rng::new(6), GenConfig::default());
+        let run = |seed| {
+            let mut rng = Rng::new(seed);
+            (0..16).map(|_| mutate(&mut rng, &base, &donor)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn phase_flip_toggles_the_double() {
+        let mut rng = Rng::new(0);
+        let clean = Recipe {
+            shape: Shape::Seq(vec![
+                Shape::Leaf { signal: 0, double: false },
+                Shape::Leaf { signal: 1, double: false },
+            ]),
+            kinds: vec![SignalKind::Input, SignalKind::Output],
+        };
+        let flipped = phase_flip(&mut rng, &clean);
+        fn doubles(s: &Shape) -> usize {
+            match s {
+                Shape::Leaf { double, .. } => usize::from(*double),
+                Shape::Seq(c) | Shape::Par(c) => c.iter().map(doubles).sum(),
+            }
+        }
+        assert_eq!(doubles(&flipped.shape), 1);
+        let back = phase_flip(&mut rng, &flipped);
+        assert_eq!(doubles(&back.shape), 0);
+    }
+
+    #[test]
+    fn splice_respects_the_signal_cap() {
+        let mut rng = Rng::new(9);
+        let big = |seed| {
+            random_recipe(
+                &mut Rng::new(seed),
+                GenConfig { signals: MAX_MUTANT_SIGNALS, concurrency: 50, csc_injection: true },
+            )
+        };
+        for i in 0..40 {
+            let mutant = splice(&mut rng, &big(i), &big(i + 1000));
+            assert!(mutant.kinds.len() <= MAX_MUTANT_SIGNALS);
+            assert_well_formed(&mutant, &format!("splice {i}"));
+        }
+    }
+}

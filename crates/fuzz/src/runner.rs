@@ -1,4 +1,5 @@
-//! The fuzzing campaign driver.
+//! The fuzzing campaign drivers: legacy fresh-generation runs and
+//! coverage-guided campaigns.
 //!
 //! Each case draws its own generator parameters and recipe from an
 //! independent per-case stream ([`Rng::for_case`]), so any case replays
@@ -8,11 +9,30 @@
 //! canonical form the pipeline elaborates to and the artifact cache
 //! hashes, so replaying a repro through `simc` reproduces the failing
 //! run's state numbering (and cache keys) exactly.
+//!
+//! # Shard-invariant campaigns
+//!
+//! A coverage-guided campaign must produce a byte-identical summary on
+//! 1, 2 or 8 shards, yet mutation depends on the (growing) corpus. The
+//! engine squares this with *round-based scheduling*: cases are planned
+//! in rounds of a fixed size from the corpus snapshot at round start
+//! — planning is sequential and uses only per-case streams — then the
+//! round executes over the shard pool ([`parallel_map`], which preserves
+//! input order), and results merge back in case-index order. The shard
+//! partition only decides *which worker* runs a case, never what the
+//! case is or in which order its results are folded, so shard count is
+//! invisible to the report (and deliberately absent from its JSON).
 
+use std::path::PathBuf;
+
+use simc_mc::parallel_map;
 use simc_sg::canonical_sg;
 
+use crate::corpus::Corpus;
+use crate::coverage::{self, CoverageMap, Signature};
 use crate::gen::{self, random_recipe, GenConfig, Recipe};
-use crate::oracle::{check_case, OracleId};
+use crate::mutate::mutate;
+use crate::oracle::{check_case, CaseStats, Failure, OracleId};
 use crate::rng::Rng;
 use crate::shrink::shrink;
 
@@ -157,6 +177,330 @@ pub fn run(cfg: FuzzConfig) -> FuzzReport {
     report
 }
 
+/// Cases planned per scheduling round. Small enough that the corpus
+/// feeds back into mutation quickly, large enough to keep every shard
+/// busy.
+const ROUND_CASES: u64 = 16;
+
+/// Percent of cases generated fresh (vs. mutated from the corpus) once
+/// the corpus is non-empty — keeps exploring new shapes so the campaign
+/// never inbreeds.
+const FRESH_PERCENT: u64 = 20;
+
+/// Coverage-guided campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed; planning, mutation and fault injection all derive
+    /// from it deterministically.
+    pub seed: u64,
+    /// Number of cases to run.
+    pub iters: u64,
+    /// Thread count N of the 1-vs-N parallel oracle.
+    pub threads: usize,
+    /// Worker-pool width cases execute over. Never affects results —
+    /// only wall-clock.
+    pub shards: usize,
+    /// Upper bound on handshake signals for *fresh* cases; mutants may
+    /// grow to [`crate::mutate::MAX_MUTANT_SIGNALS`].
+    pub max_signals: usize,
+    /// On-disk corpus directory (pre-loaded if it exists, extended with
+    /// every coverage-discovering recipe); `None` keeps the corpus in
+    /// memory.
+    pub corpus_dir: Option<PathBuf>,
+    /// Whether to run the differential oracles per case. `false` is the
+    /// coverage-measurement mode the bench harness uses: only the state
+    /// graph and its signature are computed.
+    pub oracles: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xDAC94,
+            iters: 100,
+            threads: 4,
+            shards: 2,
+            max_signals: 4,
+            corpus_dir: None,
+            oracles: true,
+        }
+    }
+}
+
+/// One point of the coverage-over-iterations curve (recorded per round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CurvePoint {
+    /// Cases executed so far.
+    pub cases: u64,
+    /// Distinct quotiented edges covered after merging them.
+    pub edges: usize,
+}
+
+/// Coverage-guided campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// The master seed the campaign ran under.
+    pub seed: u64,
+    /// Requested case budget.
+    pub iters: u64,
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases generated fresh.
+    pub fresh_cases: u64,
+    /// Cases mutated from corpus entries.
+    pub mutated_cases: u64,
+    /// Corpus entries loaded before the first case.
+    pub initial_corpus: usize,
+    /// Corpus entries when the campaign finished.
+    pub corpus_size: usize,
+    /// Distinct quotiented edges covered (pre-loaded corpus included).
+    pub edges_covered: usize,
+    /// Per-round coverage curve.
+    pub curve: Vec<CurvePoint>,
+    /// Oracle disagreements, shrunk (empty when oracles are off).
+    pub failures: Vec<FailureReport>,
+    /// Cases whose reduction hit its budget (synthesis oracles skipped).
+    pub skipped_reductions: u64,
+    /// Cases with a CSC violation in the spec.
+    pub csc_cases: u64,
+    /// Cases that needed state-signal insertion before synthesis.
+    pub reduced_cases: u64,
+    /// Netlist perturbations attempted across all cases.
+    pub faults_injected: u64,
+    /// Perturbations rejected by construction or the verifier.
+    pub faults_detected: u64,
+    /// Whether the differential oracles ran.
+    pub oracles_run: bool,
+}
+
+impl CampaignReport {
+    /// No oracle disagreed and every injected fault was caught.
+    pub fn is_ok(&self) -> bool {
+        self.failures.is_empty() && self.faults_injected == self.faults_detected
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} case(s) ({} fresh, {} mutated): {} edge(s) covered, corpus {} -> {}, \
+             {} failure(s); {}/{} injected fault(s) detected",
+            self.cases,
+            self.fresh_cases,
+            self.mutated_cases,
+            self.edges_covered,
+            self.initial_corpus,
+            self.corpus_size,
+            self.failures.len(),
+            self.faults_detected,
+            self.faults_injected,
+        )
+    }
+
+    /// Deterministic JSON rendering. Depends only on seed, budget and
+    /// corpus content — shard and thread counts are deliberately absent,
+    /// so summaries are byte-identical across 1/2/8 shards.
+    pub fn to_json(&self) -> String {
+        use simc_obs::json::escape;
+        let mut out = String::new();
+        out.push_str("{\n  \"fuzz_campaign\": {\n");
+        out.push_str(&format!("    \"seed\": {},\n", self.seed));
+        out.push_str(&format!("    \"iters\": {},\n", self.iters));
+        out.push_str(&format!("    \"cases\": {},\n", self.cases));
+        out.push_str(&format!("    \"fresh_cases\": {},\n", self.fresh_cases));
+        out.push_str(&format!("    \"mutated_cases\": {},\n", self.mutated_cases));
+        out.push_str(&format!(
+            "    \"corpus\": {{\"initial\": {}, \"final\": {}}},\n",
+            self.initial_corpus, self.corpus_size
+        ));
+        let curve: Vec<String> =
+            self.curve.iter().map(|p| format!("[{}, {}]", p.cases, p.edges)).collect();
+        out.push_str(&format!(
+            "    \"coverage\": {{\"edges\": {}, \"curve\": [{}]}},\n",
+            self.edges_covered,
+            curve.join(", ")
+        ));
+        out.push_str(&format!("    \"oracles\": {{\"run\": {}, ", self.oracles_run));
+        let failures: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"case\": {}, \"oracle\": {}, \"detail\": {}, \"shrunk_size\": {}}}",
+                    f.case_index,
+                    escape(f.oracle.name()),
+                    escape(&f.detail),
+                    f.shrunk.size()
+                )
+            })
+            .collect();
+        out.push_str(&format!("\"failures\": [{}], ", failures.join(", ")));
+        out.push_str(&format!(
+            "\"csc_cases\": {}, \"reduced_cases\": {}, \"skipped_reductions\": {}, ",
+            self.csc_cases, self.reduced_cases, self.skipped_reductions
+        ));
+        out.push_str(&format!(
+            "\"faults_injected\": {}, \"faults_detected\": {}}},\n",
+            self.faults_injected, self.faults_detected
+        ));
+        out.push_str(&format!("    \"ok\": {}\n", self.is_ok()));
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// One scheduled case: what to run, decided entirely at planning time.
+struct PlannedCase {
+    index: u64,
+    recipe: Recipe,
+    fresh: bool,
+}
+
+/// What one case produced; folded into the report in case-index order.
+struct CaseOutcome {
+    signature: Signature,
+    oracle: Option<Result<CaseStats, Failure>>,
+}
+
+/// Plans case `index` from the round-start corpus snapshot. Sequential
+/// and per-case-stream seeded, so the plan is a pure function of
+/// `(seed, index, corpus content)`.
+fn plan_case(cfg: &CampaignConfig, corpus: &Corpus, index: u64) -> PlannedCase {
+    let mut rng = Rng::for_case(cfg.seed, index);
+    if corpus.is_empty() || rng.percent(FRESH_PERCENT) {
+        let gen_cfg = GenConfig {
+            signals: rng.range(1, cfg.max_signals.max(1) as u64) as usize,
+            concurrency: rng.range(0, 100),
+            csc_injection: rng.percent(25),
+        };
+        simc_obs::add(simc_obs::Counter::FuzzGenFresh, 1);
+        PlannedCase { index, recipe: random_recipe(&mut rng, gen_cfg), fresh: true }
+    } else {
+        let base = &corpus.get(rng.below(corpus.len() as u64) as usize).recipe;
+        let donor = &corpus.get(rng.below(corpus.len() as u64) as usize).recipe;
+        let recipe = mutate(&mut rng, base, donor);
+        PlannedCase { index, recipe, fresh: false }
+    }
+}
+
+/// Executes one planned case on whatever shard picked it up. Pure: no
+/// shared state, so execution order cannot leak into results.
+fn execute_case(cfg: &CampaignConfig, fault_seed: u64, case: &PlannedCase) -> CaseOutcome {
+    simc_obs::add(simc_obs::Counter::FuzzCases, 1);
+    let signature = gen::to_state_graph(&case.recipe)
+        .map(|sg| coverage::signature(&sg))
+        .unwrap_or_else(|_| Signature::empty());
+    let oracle = cfg
+        .oracles
+        .then(|| check_case(&case.recipe, cfg.threads, &mut Rng::for_case(fault_seed, case.index)));
+    CaseOutcome { signature, oracle }
+}
+
+/// Runs a coverage-guided campaign.
+///
+/// # Errors
+///
+/// Corpus-directory I/O failures; oracle disagreements are *results*
+/// (in [`CampaignReport::failures`]), not errors.
+pub fn run_campaign(cfg: &CampaignConfig) -> std::io::Result<CampaignReport> {
+    let _span = simc_obs::span("fuzz.campaign");
+    let mut corpus = match &cfg.corpus_dir {
+        Some(dir) => Corpus::open(dir)?,
+        None => Corpus::in_memory(),
+    };
+    let mut coverage = CoverageMap::new();
+    let mut report = CampaignReport {
+        seed: cfg.seed,
+        iters: cfg.iters,
+        initial_corpus: corpus.len(),
+        oracles_run: cfg.oracles,
+        ..CampaignReport::default()
+    };
+
+    // Pre-loaded corpus entries seed the coverage map (they are
+    // key-sorted, and merging is order-independent anyway).
+    for entry in corpus.entries() {
+        let sig = gen::to_state_graph(&entry.recipe)
+            .map(|sg| coverage::signature(&sg))
+            .unwrap_or_else(|_| Signature::empty());
+        coverage.merge(&sig);
+    }
+    simc_obs::record_max(simc_obs::Counter::FuzzCorpusSize, corpus.len() as u64);
+
+    let fault_seed = cfg.seed ^ 0x5EED_FA07;
+    let mut index = 0u64;
+    while index < cfg.iters {
+        let round = ROUND_CASES.min(cfg.iters - index);
+        let planned: Vec<PlannedCase> =
+            (index..index + round).map(|i| plan_case(cfg, &corpus, i)).collect();
+        let outcomes = parallel_map(&planned, cfg.shards, |case| execute_case(cfg, fault_seed, case));
+        for (case, outcome) in planned.iter().zip(outcomes) {
+            report.cases += 1;
+            if case.fresh {
+                report.fresh_cases += 1;
+            } else {
+                report.mutated_cases += 1;
+            }
+            let fresh_edges = coverage.merge(&outcome.signature);
+            if fresh_edges > 0 {
+                simc_obs::add(simc_obs::Counter::FuzzNewCoverage, fresh_edges as u64);
+                if corpus.add(case.recipe.clone())? {
+                    simc_obs::record_max(
+                        simc_obs::Counter::FuzzCorpusSize,
+                        corpus.len() as u64,
+                    );
+                }
+            }
+            match outcome.oracle {
+                None => {}
+                Some(Ok(stats)) => {
+                    if stats.skipped {
+                        report.skipped_reductions += 1;
+                        simc_obs::add(simc_obs::Counter::FuzzSkippedReductions, 1);
+                    }
+                    if stats.csc_violating {
+                        report.csc_cases += 1;
+                    }
+                    if stats.reduced {
+                        report.reduced_cases += 1;
+                    }
+                    report.faults_injected += stats.faults_injected;
+                    report.faults_detected += stats.faults_detected;
+                }
+                Some(Err(failure)) => {
+                    simc_obs::add(simc_obs::Counter::FuzzFailures, 1);
+                    let oracle = failure.oracle;
+                    let (shrunk, shrink_steps) = shrink(&case.recipe, |candidate| {
+                        check_case(
+                            candidate,
+                            cfg.threads,
+                            &mut Rng::for_case(fault_seed, case.index),
+                        )
+                        .err()
+                        .is_some_and(|f| f.oracle == oracle)
+                    });
+                    let repro_sg = gen::to_state_graph(&shrunk)
+                        .map(|sg| canonical_sg(&sg, "fuzz_repro"))
+                        .unwrap_or_else(|e| format!("# spec does not build: {e}\n"));
+                    report.failures.push(FailureReport {
+                        case_index: case.index,
+                        oracle,
+                        detail: failure.detail,
+                        recipe: case.recipe.clone(),
+                        shrunk,
+                        shrink_steps,
+                        repro_sg,
+                    });
+                }
+            }
+        }
+        index += round;
+        report.curve.push(CurvePoint { cases: index, edges: coverage.len() });
+    }
+    report.corpus_size = corpus.len();
+    report.edges_covered = coverage.len();
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +527,73 @@ mod tests {
         let one = run(FuzzConfig { threads: 1, ..base });
         let many = run(FuzzConfig { threads: 8, ..base });
         assert_eq!(one.summary(), many.summary());
+    }
+
+    #[test]
+    fn short_oracle_campaign_is_clean_and_grows_a_corpus() {
+        let cfg = CampaignConfig { seed: 0xDAC94, iters: 16, ..CampaignConfig::default() };
+        let report = run_campaign(&cfg).unwrap();
+        assert_eq!(report.cases, 16);
+        assert!(report.is_ok(), "{}", report.summary());
+        assert!(report.corpus_size > 0, "no case discovered coverage");
+        assert!(report.edges_covered > 0);
+        assert_eq!(report.curve.last().unwrap().edges, report.edges_covered);
+        assert_eq!(report.fresh_cases + report.mutated_cases, report.cases);
+    }
+
+    #[test]
+    fn campaign_json_is_shard_invariant() {
+        let base = CampaignConfig {
+            seed: 21,
+            iters: 48,
+            oracles: false, // coverage-only: keeps the 3×48-case sweep fast
+            ..CampaignConfig::default()
+        };
+        let json_for = |shards| {
+            run_campaign(&CampaignConfig { shards, ..base.clone() }).unwrap().to_json()
+        };
+        let one = json_for(1);
+        assert_eq!(one, json_for(2), "2 shards diverged from 1");
+        assert_eq!(one, json_for(8), "8 shards diverged from 1");
+        assert!(!one.contains("shard"), "summary must not mention the shard count");
+    }
+
+    #[test]
+    fn campaign_replays_deterministically() {
+        let cfg = CampaignConfig {
+            seed: 5,
+            iters: 32,
+            oracles: false,
+            ..CampaignConfig::default()
+        };
+        let a = run_campaign(&cfg).unwrap();
+        let b = run_campaign(&cfg).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn warm_corpus_resumes_with_prior_coverage() {
+        let scratch =
+            std::env::temp_dir().join(format!("simc_campaign_{}", std::process::id()));
+        std::fs::remove_dir_all(&scratch).ok();
+        let cfg = CampaignConfig {
+            seed: 77,
+            iters: 32,
+            oracles: false,
+            corpus_dir: Some(scratch.clone()),
+            ..CampaignConfig::default()
+        };
+        let cold = run_campaign(&cfg).unwrap();
+        assert_eq!(cold.initial_corpus, 0);
+        assert!(cold.corpus_size > 0);
+        let warm = run_campaign(&cfg).unwrap();
+        assert_eq!(warm.initial_corpus, cold.corpus_size, "corpus did not persist");
+        assert!(
+            warm.edges_covered >= cold.edges_covered,
+            "warm start lost coverage: {} < {}",
+            warm.edges_covered,
+            cold.edges_covered
+        );
+        std::fs::remove_dir_all(&scratch).ok();
     }
 }

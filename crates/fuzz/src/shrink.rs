@@ -101,8 +101,9 @@ fn shape_variants(shape: &Shape) -> Vec<Shape> {
 }
 
 /// Renumbers the signals referenced by `shape` densely from 0 and trims
-/// `kinds` to match.
-fn renumber(shape: Shape, kinds: &[SignalKind]) -> Recipe {
+/// `kinds` to match. Shared with the campaign mutators, which also leave
+/// signal gaps behind (a splice drops the replaced subtree's signals).
+pub(crate) fn renumber(shape: Shape, kinds: &[SignalKind]) -> Recipe {
     fn collect(s: &Shape, used: &mut Vec<usize>) {
         match s {
             Shape::Leaf { signal, .. } => used.push(*signal),

@@ -1,0 +1,101 @@
+//! Campaign determinism pins: coverage signatures across thread counts,
+//! corpus-load order, and the coverage advantage over fresh generation.
+
+use simc_fuzz::{
+    run_campaign, signature, CampaignConfig, Corpus, CoverageMap, GenConfig, Rng, Signature,
+};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("simc_campaign_it_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A fixed stable of recipes drawn like the legacy fresh mode draws them.
+fn stable(seed: u64, count: u64) -> Vec<simc_fuzz::Recipe> {
+    (0..count)
+        .map(|i| {
+            let mut rng = Rng::for_case(seed, i);
+            let cfg = GenConfig {
+                signals: rng.range(1, 4) as usize,
+                concurrency: rng.range(0, 100),
+                csc_injection: rng.percent(25),
+            };
+            simc_fuzz::random_recipe(&mut rng, cfg)
+        })
+        .collect()
+}
+
+#[test]
+fn signatures_are_identical_across_1_2_8_threads() {
+    let recipes = stable(0xC0FFEE, 24);
+    let signatures_with = |threads: usize| -> Vec<Signature> {
+        simc_mc::parallel_map(&recipes, threads, |recipe| {
+            signature(&simc_fuzz::gen::to_state_graph(recipe).expect("recipe builds"))
+        })
+    };
+    let one = signatures_with(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            one,
+            signatures_with(threads),
+            "packed edge sets diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn coverage_is_independent_of_corpus_load_order() {
+    // Build the same corpus content through two different write orders,
+    // then check a warm campaign sees byte-identical summaries.
+    let recipes = stable(0xABBA, 12);
+    let dir_fwd = scratch("fwd");
+    let dir_rev = scratch("rev");
+    let mut fwd = Corpus::open(&dir_fwd).unwrap();
+    for r in &recipes {
+        fwd.add(r.clone()).unwrap();
+    }
+    let mut rev = Corpus::open(&dir_rev).unwrap();
+    for r in recipes.iter().rev() {
+        rev.add(r.clone()).unwrap();
+    }
+    drop((fwd, rev));
+    let json_for = |dir: &std::path::Path| {
+        let cfg = CampaignConfig {
+            seed: 31,
+            iters: 32,
+            oracles: false,
+            corpus_dir: Some(dir.to_path_buf()),
+            ..CampaignConfig::default()
+        };
+        run_campaign(&cfg).unwrap().to_json()
+    };
+    assert_eq!(json_for(&dir_fwd), json_for(&dir_rev), "corpus load order leaked into results");
+    std::fs::remove_dir_all(&dir_fwd).ok();
+    std::fs::remove_dir_all(&dir_rev).ok();
+}
+
+#[test]
+fn campaign_doubles_fresh_mode_coverage_at_the_same_budget() {
+    let seed = 0xDAC94;
+    let iters = 256;
+    // Fresh mode: what the legacy runner explores — every case generated
+    // from scratch with the CLI's default signal cap.
+    let mut fresh = CoverageMap::new();
+    for recipe in stable(seed, iters) {
+        fresh.merge(&signature(&simc_fuzz::gen::to_state_graph(&recipe).unwrap()));
+    }
+    let campaign = run_campaign(&CampaignConfig {
+        seed,
+        iters,
+        oracles: false,
+        ..CampaignConfig::default()
+    })
+    .unwrap();
+    assert!(
+        campaign.edges_covered >= 2 * fresh.len(),
+        "campaign covered {} edges, fresh mode {} — need >= 2x",
+        campaign.edges_covered,
+        fresh.len()
+    );
+}

@@ -171,6 +171,12 @@ counters! {
     FuzzFaultsInjected => ("fuzz.faults_injected", Sum),
     FuzzFaultsDetected => ("fuzz.faults_detected", Sum),
     FuzzShrinkSteps => ("fuzz.shrink_steps", Sum),
+    // Coverage-guided fuzzing campaigns: corpus growth and the
+    // fresh-vs-mutated generation split.
+    FuzzCorpusSize => ("fuzz.corpus_size", Max),
+    FuzzNewCoverage => ("fuzz.new_coverage", Sum),
+    FuzzMutations => ("fuzz.mutations", Sum),
+    FuzzGenFresh => ("fuzz.gen_fresh", Sum),
     // The content-addressed artifact cache.
     CacheHits => ("cache.hits", Sum),
     CacheMisses => ("cache.misses", Sum),

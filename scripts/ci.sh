@@ -27,6 +27,30 @@ echo "==> simc fuzz --seed 0xDAC94 --iters 200"
 # disagreement or any injected netlist fault the verifier misses.
 ./target/release/simc fuzz --seed 0xDAC94 --iters 200
 
+echo "==> simc fuzz --campaign: fixed-seed 2-shard mini-campaign"
+# Coverage-guided campaign smoke. Each run gets its own fresh corpus
+# directory — a shared corpus would warm-start the second run and change
+# its output. The merged summary must be byte-identical across repeated
+# runs and across shard counts (the campaign's determinism contract),
+# and the covered-edge count must meet the committed floor (48 cases at
+# seed 0xDAC94 reach 324 quotiented edges; the floor leaves headroom
+# for deliberate generator changes, not for coverage regressions).
+fuzz_dir="$(mktemp -d)"
+trap 'rm -rf "$fuzz_dir"' EXIT
+for run in a b; do
+    ./target/release/simc fuzz --campaign --seed 0xDAC94 --iters 48 --shards 2 \
+        --corpus "$fuzz_dir/corpus_$run" --out "$fuzz_dir/run_$run.json"
+done
+./target/release/simc fuzz --campaign --seed 0xDAC94 --iters 48 --shards 1 \
+    --corpus "$fuzz_dir/corpus_c" --out "$fuzz_dir/run_c.json"
+cmp "$fuzz_dir/run_a.json" "$fuzz_dir/run_b.json" \
+    || { echo "error: campaign summary differs between identical runs" >&2; exit 1; }
+cmp "$fuzz_dir/run_a.json" "$fuzz_dir/run_c.json" \
+    || { echo "error: campaign summary differs across shard counts" >&2; exit 1; }
+edges="$(grep -o '"coverage": {"edges": [0-9]*' "$fuzz_dir/run_a.json" | grep -o '[0-9]*$')"
+[ -n "$edges" ] && [ "$edges" -ge 300 ] \
+    || { echo "error: campaign covered ${edges:-0} edges, floor is 300" >&2; exit 1; }
+
 echo "==> repro_pipeline --smoke --check BENCH_pipeline.json"
 # 3-benchmark smoke sweep (duplicator, berkel3, ganesh_8); fails on
 # malformed JSON or on counters / structural columns diverging from the
@@ -34,7 +58,7 @@ echo "==> repro_pipeline --smoke --check BENCH_pipeline.json"
 # or on the state-assignment phase (`assign_s`) regressing more than 20%
 # (+20ms grace) — the ganesh_8 assign gate.
 smoke_out="$(mktemp)"
-trap 'rm -f "$smoke_out"' EXIT
+trap 'rm -f "$smoke_out"; rm -rf "$fuzz_dir"' EXIT
 ./target/release/repro_pipeline --smoke --check BENCH_pipeline.json --out "$smoke_out"
 
 echo "==> scale-family smoke: synthesize + verify scale-ring-16"
@@ -43,7 +67,7 @@ echo "==> scale-family smoke: synthesize + verify scale-ring-16"
 # arena-based reachability and stubborn-set reduction. Byte-identical
 # output across thread counts guards the parallel determinism contract.
 scale_dir="$(mktemp -d)"
-trap 'rm -f "$smoke_out"; rm -rf "$scale_dir"' EXIT
+trap 'rm -f "$smoke_out"; rm -rf "$fuzz_dir" "$scale_dir"' EXIT
 for t in 1 2 8; do
     ./target/release/simc synth benchmarks/scale-ring-16 --threads "$t" \
         > "$scale_dir/synth_$t.out"
@@ -64,7 +88,7 @@ echo "==> simc batch cold/warm over the built-in suite"
 # must be byte-identical to the cold first pass and must actually hit
 # the cache (no recomputation).
 batch_dir="$(mktemp -d)"
-trap 'rm -f "$smoke_out"; rm -rf "$scale_dir" "$batch_dir"' EXIT
+trap 'rm -f "$smoke_out"; rm -rf "$fuzz_dir" "$scale_dir" "$batch_dir"' EXIT
 printf 'benchmarks/*\n' > "$batch_dir/manifest.txt"
 ./target/release/simc batch "$batch_dir/manifest.txt" \
     --cache-dir "$batch_dir/cache" > "$batch_dir/cold.json"

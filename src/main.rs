@@ -8,6 +8,7 @@
 //! simc dot     <spec.g>                 Graphviz of the state graph
 //! simc batch   <manifest> [--threads <n>] [--out <path>]    run many specs
 //! simc fuzz    [--seed <n>] [--iters <n>] [--threads <n>]   differential fuzzing
+//! simc fuzz    --campaign [--corpus <dir>] [--shards <n>]   coverage-guided campaign
 //! ```
 //!
 //! `<spec>` is an STG in the SIS/petrify `.g` format or a state graph in
@@ -104,7 +105,7 @@ const KNOWN_FLAGS: &[&str] =
     &["--rs", "--baseline", "--share", "--complex", "--verilog", "--stats"];
 
 /// Flags that take a value, only meaningful for `simc fuzz`.
-const FUZZ_VALUE_FLAGS: &[&str] = &["--seed", "--iters"];
+const FUZZ_VALUE_FLAGS: &[&str] = &["--seed", "--iters", "--shards", "--corpus"];
 
 /// In-memory cache budget fronting the on-disk store (per process).
 const MEM_CACHE_BYTES: usize = 32 << 20;
@@ -153,10 +154,18 @@ fn run(args: &[String]) -> Result<(), CliError> {
             cache_dir = Some(rest.get(i).ok_or_else(|| {
                 CliError::usage(format!("--cache-dir needs a directory path\n{}", usage()))
             })?);
-        } else if arg == "--out" {
-            if command != "batch" {
+        } else if arg == "--campaign" {
+            if command != "fuzz" {
                 return Err(CliError::usage(format!(
-                    "`--out` is only valid with `simc batch`\n{}",
+                    "`--campaign` is only valid with `simc fuzz`\n{}",
+                    usage()
+                )));
+            }
+            flags.push(arg);
+        } else if arg == "--out" {
+            if !matches!(command.as_str(), "batch" | "fuzz") {
+                return Err(CliError::usage(format!(
+                    "`--out` is only valid with `simc batch` or `simc fuzz --campaign`\n{}",
                     usage()
                 )));
             }
@@ -250,7 +259,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         "batch" => batch(args.get(1), target, &cache, threads, out_path),
-        "fuzz" => fuzz(&fuzz_values),
+        "fuzz" => fuzz(&fuzz_values, flags.contains(&"--campaign"), out_path),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -273,7 +282,8 @@ fn usage() -> String {
      [--rs] [--baseline] [--share] [--complex] [--verilog] [--dot <path>] \
      [--threads <n>] [--cache-dir <dir>] [--stats] [--stats-json <path>]\n       \
      simc batch <manifest> [--rs] [--threads <n>] [--cache-dir <dir>] [--out <path>] [--stats]\n       \
-     simc fuzz [--seed <n>] [--iters <n>] [--threads <n>] [--stats]"
+     simc fuzz [--seed <n>] [--iters <n>] [--threads <n>] [--stats]\n       \
+     simc fuzz --campaign [--corpus <dir>] [--shards <n>] [--out <path>] [--seed <n>] [--iters <n>] [--threads <n>] [--stats]"
         .to_string()
 }
 
@@ -294,9 +304,18 @@ fn make_cache(cache_dir: Option<&str>) -> Result<Option<Arc<dyn Cache>>, CliErro
     Ok(Some(Arc::new(LayeredCache::new(MemCache::new(MEM_CACHE_BYTES), disk))))
 }
 
-fn fuzz(values: &[(&str, &str)]) -> Result<(), CliError> {
-    let mut config = simc::fuzz::FuzzConfig::default();
+fn fuzz(values: &[(&str, &str)], campaign: bool, out_path: Option<&str>) -> Result<(), CliError> {
+    let mut config = simc::fuzz::CampaignConfig::default();
     for &(flag, value) in values {
+        if flag == "--corpus" {
+            if !campaign {
+                return Err(CliError::usage(
+                    "`--corpus` requires `--campaign`".to_string(),
+                ));
+            }
+            config.corpus_dir = Some(std::path::PathBuf::from(value));
+            continue;
+        }
         let parsed = parse_u64(value).ok_or_else(|| {
             CliError::usage(format!("{flag} needs an unsigned integer, got `{value}`"))
         })?;
@@ -309,9 +328,39 @@ fn fuzz(values: &[(&str, &str)]) -> Result<(), CliError> {
                 }
                 config.threads = parsed as usize;
             }
+            "--shards" => {
+                if !campaign {
+                    return Err(CliError::usage(
+                        "`--shards` requires `--campaign`".to_string(),
+                    ));
+                }
+                if parsed == 0 {
+                    return Err(CliError::usage("--shards must be at least 1".to_string()));
+                }
+                config.shards = parsed as usize;
+            }
             _ => unreachable!("only fuzz value flags reach here"),
         }
     }
+    if out_path.is_some() && !campaign {
+        return Err(CliError::usage(
+            "`--out` with `simc fuzz` requires `--campaign`".to_string(),
+        ));
+    }
+    // Zero iterations runs no oracle at all: "success" would be
+    // vacuous, so the request itself is malformed.
+    if config.iters == 0 {
+        return Err(CliError::usage("--iters must be at least 1".to_string()));
+    }
+    if campaign {
+        return fuzz_campaign(&config, out_path);
+    }
+    let config = simc::fuzz::FuzzConfig {
+        seed: config.seed,
+        iters: config.iters,
+        threads: config.threads,
+        ..simc::fuzz::FuzzConfig::default()
+    };
     let report = simc::fuzz::run(config);
     println!("{}", report.summary());
     for failure in &report.failures {
@@ -325,6 +374,50 @@ fn fuzz(values: &[(&str, &str)]) -> Result<(), CliError> {
         );
         println!("shrunk in {} step(s) to this repro:", failure.shrink_steps);
         print!("{}", failure.repro_sg);
+    }
+    if report.is_ok() {
+        Ok(())
+    } else if report.failures.is_empty() {
+        Err(CliError::failure(format!(
+            "{}/{} injected fault(s) went undetected",
+            report.faults_injected - report.faults_detected,
+            report.faults_injected
+        )))
+    } else {
+        Err(CliError::failure(format!(
+            "{} oracle disagreement(s)",
+            report.failures.len()
+        )))
+    }
+}
+
+/// Runs a coverage-guided campaign: the deterministic JSON summary goes
+/// to stdout (or `--out`), human-readable progress and failure repros to
+/// stderr, so the summary stays byte-comparable across runs.
+fn fuzz_campaign(
+    config: &simc::fuzz::CampaignConfig,
+    out_path: Option<&str>,
+) -> Result<(), CliError> {
+    let report = simc::fuzz::run_campaign(config)
+        .map_err(|e| CliError::failure(format!("campaign corpus: {e}")))?;
+    eprintln!("{}", report.summary());
+    for failure in &report.failures {
+        eprintln!();
+        eprintln!(
+            "case {} (seed {:#x}) disagrees with oracle `{}`: {}",
+            failure.case_index,
+            config.seed,
+            failure.oracle.name(),
+            failure.detail
+        );
+        eprintln!("shrunk in {} step(s) to this repro:", failure.shrink_steps);
+        eprint!("{}", failure.repro_sg);
+    }
+    let json = report.to_json();
+    match out_path {
+        Some(path) => std::fs::write(path, &json)
+            .map_err(|e| CliError::failure(format!("writing {path}: {e}")))?,
+        None => print!("{json}"),
     }
     if report.is_ok() {
         Ok(())

@@ -273,6 +273,81 @@ fn fuzz_flags_rejected_elsewhere() {
     assert!(stderr.contains("only valid with `simc fuzz`"), "{stderr}");
 }
 
+#[test]
+fn fuzz_zero_iters_exits_2_in_legacy_mode() {
+    // Zero iterations runs no oracle: "success" would be vacuous.
+    let (_, stderr, code) = run_with_stdin(&["fuzz", "--iters", "0"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--iters"), "{stderr}");
+}
+
+#[test]
+fn fuzz_zero_iters_exits_2_in_campaign_mode() {
+    let (_, stderr, code) = run_with_stdin(&["fuzz", "--campaign", "--iters", "0"], "");
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--iters"), "{stderr}");
+}
+
+#[test]
+fn fuzz_campaign_emits_deterministic_json() {
+    let args = ["fuzz", "--campaign", "--seed", "0xDAC94", "--iters", "16"];
+    let (stdout, stderr, code) = run_with_stdin(&args, "");
+    assert_eq!(code, 0, "{stdout} {stderr}");
+    assert!(stdout.contains("\"fuzz_campaign\""), "{stdout}");
+    assert!(stdout.contains("\"ok\": true"), "{stdout}");
+    assert!(stdout.contains("\"curve\""), "{stdout}");
+    assert!(!stdout.contains("shard"), "summary leaks shard count: {stdout}");
+    // Byte-identical on a re-run and on a different shard width.
+    let (again, _, _) = run_with_stdin(&args, "");
+    assert_eq!(stdout, again, "campaign summary not deterministic");
+    let (sharded, _, code) = run_with_stdin(
+        &["fuzz", "--campaign", "--seed", "0xDAC94", "--iters", "16", "--shards", "8"],
+        "",
+    );
+    assert_eq!(code, 0);
+    assert_eq!(stdout, sharded, "shard count leaked into the summary");
+}
+
+#[test]
+fn fuzz_campaign_corpus_persists_and_out_writes_file() {
+    let tmp = TempDir::new("fuzz_campaign");
+    let corpus = tmp.file("corpus");
+    let out = tmp.file("summary.json");
+    let args = [
+        "fuzz", "--campaign", "--seed", "9", "--iters", "16", "--corpus", &corpus, "--out", &out,
+    ];
+    let (stdout, stderr, code) = run_with_stdin(&args, "");
+    assert_eq!(code, 0, "{stdout} {stderr}");
+    assert!(stdout.is_empty(), "--out must keep stdout clean: {stdout}");
+    let summary = std::fs::read_to_string(&out).expect("summary written");
+    assert!(summary.contains("\"corpus\": {\"initial\": 0"), "{summary}");
+    // The corpus directory now holds entries; a warm rerun loads them.
+    let (_, _, code) = run_with_stdin(&args, "");
+    assert_eq!(code, 0);
+    let warm = std::fs::read_to_string(&out).expect("summary rewritten");
+    assert!(!warm.contains("\"initial\": 0"), "corpus did not persist: {warm}");
+}
+
+#[test]
+fn fuzz_campaign_flags_require_campaign_mode() {
+    for args in [
+        ["fuzz", "--shards", "2"].as_slice(),
+        ["fuzz", "--corpus", "/tmp/nowhere"].as_slice(),
+        ["fuzz", "--out", "/tmp/nowhere.json"].as_slice(),
+    ] {
+        let (_, stderr, code) = run_with_stdin(args, "");
+        assert_eq!(code, 2, "{args:?}: {stderr}");
+        assert!(stderr.contains("--campaign"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn campaign_flag_rejected_elsewhere() {
+    let (_, stderr, code) = run_with_stdin(&["verify", "-", "--campaign"], D_ELEMENT);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("only valid with `simc fuzz`"), "{stderr}");
+}
+
 /// A scratch directory removed on drop.
 struct TempDir(std::path::PathBuf);
 

@@ -288,6 +288,56 @@ proptest! {
         prop_assert!(sg.analysis().is_semimodular());
     }
 
+    /// Campaign mutators preserve the generator invariants — every
+    /// mutant is a live, 1-safe, buildable recipe — and the shrinker
+    /// stays strictly size-decreasing on *mutated* inputs, not just
+    /// fresh ones (mutants reach shapes, e.g. >2-child nodes after
+    /// splices, that fresh generation never produces).
+    #[test]
+    fn mutants_stay_well_formed_and_shrinkable(
+        seed in any::<u64>(),
+        base_signals in 1usize..5,
+        donor_signals in 1usize..6,
+        strategy in 0usize..4,
+    ) {
+        let base = fuzz::random_recipe(
+            &mut fuzz::Rng::new(seed),
+            GenConfig { signals: base_signals, concurrency: 50, csc_injection: seed.is_multiple_of(3) },
+        );
+        let donor = fuzz::random_recipe(
+            &mut fuzz::Rng::new(seed ^ 0xD0_0D),
+            GenConfig { signals: donor_signals, concurrency: 70, csc_injection: seed.is_multiple_of(2) },
+        );
+        let strategy = [
+            fuzz::Mutation::Splice,
+            fuzz::Mutation::Resize,
+            fuzz::Mutation::LeafInject,
+            fuzz::Mutation::PhaseFlip,
+        ][strategy];
+        let mut rng = fuzz::Rng::new(seed ^ 0xCAFE);
+        let mutant = fuzz::mutate::apply(&mut rng, strategy, &base, &donor);
+
+        // Live and 1-safe by construction: the STG builds and its state
+        // graph is semimodular.
+        prop_assert!(mutant.kinds.len() <= fuzz::MAX_MUTANT_SIGNALS);
+        let sg = fuzz::gen::to_state_graph(&mutant)
+            .expect("mutant recipe must build a valid STG");
+        prop_assert!(sg.analysis().is_semimodular(), "{strategy:?} mutant lost semimodularity");
+
+        // Strict decrease on the mutated input: every one-step shrink of
+        // the mutant is strictly smaller, so delta-debugging terminates.
+        for variant in fuzz::one_step_shrinks(&mutant) {
+            prop_assert!(
+                variant.size() < mutant.size(),
+                "{strategy:?}: shrink variant {variant:?} not smaller than {mutant:?}"
+            );
+        }
+        // And a full shrink run bottoms out at a 1-minimal recipe.
+        let (shrunk, steps) = fuzz::shrink(&mutant, |r| r.leaf_count() >= 1);
+        prop_assert!(steps == 0 || shrunk.size() < mutant.size());
+        prop_assert!(fuzz::one_step_shrinks(&shrunk).is_empty());
+    }
+
     /// Firing any enabled transition toggles exactly that signal's bit.
     #[test]
     fn firing_is_single_bit(n in 1usize..5) {

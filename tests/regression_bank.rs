@@ -1,0 +1,149 @@
+//! Replays the committed regression bank.
+//!
+//! Every `.sg` under `tests/regressions/` is a shrunk, canonical repro
+//! of a case the fuzzer once flagged (or a structural corner worth
+//! pinning). Each file carries a `# expects:` header:
+//!
+//! - `clean` — MC holds natively; synthesis needs no state signals;
+//! - `insertion` — CSC is violated and reduction must insert signals.
+//!
+//! Either way the full reduce → synth → verify flow must end hazard-free,
+//! through the library pipeline and through the CLI (exit 0).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use simc::Pipeline;
+
+/// One bank entry: file name, raw text, and its `# expects:` verdict.
+struct BankCase {
+    name: String,
+    text: String,
+    expects_insertion: bool,
+}
+
+fn load_bank() -> Vec<BankCase> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let mut cases: Vec<BankCase> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("regression bank missing at {}: {e}", dir.display()))
+        .map(|entry| entry.expect("bank entry readable").path())
+        .filter(|path| path.extension().and_then(|e| e.to_str()) == Some("sg"))
+        .map(|path| {
+            let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&path).expect("bank file readable");
+            let expects = text
+                .lines()
+                .find_map(|line| line.strip_prefix("# expects:"))
+                .unwrap_or_else(|| panic!("{name}: missing `# expects:` header"))
+                .trim()
+                .to_string();
+            let expects_insertion = match expects.as_str() {
+                "insertion" => true,
+                "clean" => false,
+                other => panic!("{name}: unknown verdict `{other}`"),
+            };
+            BankCase { name, text, expects_insertion }
+        })
+        .collect();
+    cases.sort_by(|a, b| a.name.cmp(&b.name));
+    assert!(!cases.is_empty(), "regression bank is empty");
+    cases
+}
+
+#[test]
+fn bank_contains_the_known_repros() {
+    let names: Vec<String> = load_bank().into_iter().map(|c| c.name).collect();
+    // The PR 3 netlist::binding bug must stay pinned forever.
+    assert!(
+        names.iter().any(|n| n == "autonomous_ring"),
+        "autonomous_ring repro missing from the bank: {names:?}"
+    );
+    assert!(names.len() >= 5, "bank shrank to {names:?}");
+}
+
+#[test]
+fn every_bank_entry_replays_hazard_free_through_the_pipeline() {
+    for case in load_bank() {
+        let mut pipeline = Pipeline::from_text(case.text.clone());
+        let implemented = pipeline
+            .implemented()
+            .unwrap_or_else(|e| panic!("{}: synthesis failed: {e}", case.name));
+        let added = implemented.added_signals();
+        if case.expects_insertion {
+            assert!(added > 0, "{}: expected state-signal insertion, got none", case.name);
+        } else {
+            assert_eq!(added, 0, "{}: clean spec suddenly needs {added} insertion(s)", case.name);
+        }
+        let verified = pipeline
+            .verified()
+            .unwrap_or_else(|e| panic!("{}: verification errored: {e}", case.name));
+        assert!(
+            verified.is_ok(),
+            "{}: {} violation(s); first: {}",
+            case.name,
+            verified.violations().len(),
+            verified.violations()[0]
+        );
+    }
+}
+
+#[test]
+fn every_bank_entry_verifies_with_exit_0_through_the_cli() {
+    for case in load_bank() {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_simc"))
+            .args(["verify", "-"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary spawns");
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(case.text.as_bytes())
+            .expect("stdin writable");
+        let output = child.wait_with_output().expect("binary runs");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "{}: exit {:?}\nstdout: {stdout}\nstderr: {stderr}",
+            case.name,
+            output.status.code()
+        );
+        assert!(stdout.contains("hazard-free"), "{}: {stdout}", case.name);
+        if case.expects_insertion {
+            assert!(
+                stderr.contains("state signal"),
+                "{}: expected insertion note, stderr: {stderr}",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn bank_entries_are_canonical() {
+    // Committed repros stay in canonical form so diffs against freshly
+    // shrunk repros are meaningful (same BFS numbering, sorted signals).
+    for case in load_bank() {
+        let sg = simc::sg::parse_sg(&case.text)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", case.name));
+        let round_tripped = simc::sg::canonical_sg(&sg, &case.name);
+        let body: String = case
+            .text
+            .lines()
+            .filter(|line| !line.starts_with('#'))
+            .map(|line| format!("{line}\n"))
+            .collect();
+        assert_eq!(
+            body.trim(),
+            round_tripped.trim(),
+            "{}: bank entry is not in canonical form",
+            case.name
+        );
+    }
+}
