@@ -4,6 +4,7 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::{Cache, Key};
 
@@ -76,10 +77,19 @@ impl Cache for DiskCache {
     }
 
     fn put(&self, key: &Key, value: &[u8]) {
+        // The temporary name must be unique per *write*, not just per
+        // process: two worker threads storing the same key concurrently
+        // (the batch driver, the serve worker pool) would otherwise open
+        // the same temp file and interleave their bytes, renaming a torn
+        // entry into place. The per-process sequence number keeps every
+        // in-flight write on its own file; whichever rename lands last
+        // wins atomically.
+        static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
         let final_path = self.entry_path(key);
         let tmp_path = self
             .dir
-            .join(format!(".tmp-{}-{}", key.hex(), std::process::id()));
+            .join(format!(".tmp-{}-{}-{seq}", key.hex(), std::process::id()));
         let header = format!("{MAGIC} {} {:016x}\n", value.len(), fnv64(value));
         let write = || -> std::io::Result<()> {
             let mut file = fs::File::create(&tmp_path)?;
@@ -117,6 +127,46 @@ mod tests {
         // A second cache over the same directory sees the entry.
         let reopened = DiskCache::new(&dir).expect("cache dir");
         assert_eq!(reopened.get(&key).as_deref(), Some(&b"hello artifact"[..]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_same_key_writers_never_tear_an_entry() {
+        let dir = temp_dir("race");
+        let cache = DiskCache::new(&dir).expect("cache dir");
+        let key = key_of("t", &[b"contended"]);
+        // Distinct large payloads: a torn interleaving of two would fail
+        // the length or checksum and read back as a (wrong) miss.
+        let payloads: Vec<Vec<u8>> =
+            (0u8..8).map(|i| vec![i; 64 * 1024 + usize::from(i)]).collect();
+        std::thread::scope(|scope| {
+            for payload in &payloads {
+                scope.spawn(|| {
+                    for _ in 0..16 {
+                        cache.put(&key, payload);
+                    }
+                });
+            }
+        });
+        let got = cache.get(&key).expect("entry valid after racing writers");
+        assert!(
+            payloads.contains(&got),
+            "entry must be exactly one writer's payload, not an interleaving"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leftover_temp_files_do_not_affect_reads_or_writes() {
+        let dir = temp_dir("leftover");
+        let cache = DiskCache::new(&dir).expect("cache dir");
+        let key = key_of("t", &[b"k"]);
+        // Simulate a crashed writer: a stale temp file in the directory.
+        std::fs::write(dir.join(format!(".tmp-{}-99999-0", key.hex())), b"half-writ")
+            .expect("plant stale temp");
+        assert!(cache.get(&key).is_none(), "stale temp is not an entry");
+        cache.put(&key, b"fresh");
+        assert_eq!(cache.get(&key).as_deref(), Some(&b"fresh"[..]));
         std::fs::remove_dir_all(&dir).ok();
     }
 

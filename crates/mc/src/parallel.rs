@@ -63,9 +63,13 @@ where
 }
 
 /// [`parallel_map`] without the hardware clamp: spawns exactly
-/// `threads` workers (tests use it to exercise the scoped-thread
-/// machinery regardless of the machine running them).
-pub(crate) fn parallel_map_exact<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// `threads` workers (clamped to the item count only). Tests use it to
+/// exercise the scoped-thread machinery regardless of the machine
+/// running them, and `simc serve` uses it for its worker pool — pool
+/// workers *block* (on sockets, queues and in-flight computations
+/// they joined), so unlike the CPU-bound cover search they must be
+/// allowed to outnumber hardware threads.
+pub fn parallel_map_exact<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,

@@ -21,6 +21,12 @@
 //!   `reduce/expand`, `cover`, `verify`, …). Timings are inherently
 //!   non-deterministic, so reporters keep them strictly separate from
 //!   the counters section.
+//! * **Scoped captures** ([`scope`]): a thread-local [`StatsScope`]
+//!   recording the counters added on one thread between open and finish.
+//!   Long-running multi-tenant callers (the `simc serve` worker pool)
+//!   use one scope per request so concurrent requests' stats never bleed
+//!   together; the process-global counters are unaffected, so single-shot
+//!   CLI `--stats` output is byte-identical with or without scopes.
 //! * **Reporters** ([`Report`]): a deterministic human-readable
 //!   rendering and a hand-rolled JSON emitter (the workspace builds with
 //!   no serialization dependency), plus a matching minimal JSON parser
@@ -182,6 +188,16 @@ counters! {
     CacheMisses => ("cache.misses", Sum),
     CacheEvictions => ("cache.evictions", Sum),
     CacheBytesWritten => ("cache.bytes_written", Sum),
+    // The `simc serve` daemon: request-level outcomes. `computations`
+    // counts single-flight leaders (pipelines actually run);
+    // `inflight_joined` counts duplicate submissions that shared a
+    // leader's in-flight result instead of recomputing.
+    ServeRequests => ("serve.requests", Sum),
+    ServeComputations => ("serve.computations", Sum),
+    ServeInflightJoined => ("serve.inflight_joined", Sum),
+    ServeShedOverload => ("serve.shed_overload", Sum),
+    ServeDeadlineExceeded => ("serve.deadline_exceeded", Sum),
+    ServeErrors => ("serve.errors", Sum),
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();
@@ -207,6 +223,10 @@ static SPANS: Mutex<BTreeMap<String, SpanCell>> = Mutex::new(BTreeMap::new());
 thread_local! {
     /// The open span names on this thread, outermost first.
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+
+    /// The counter cells of the innermost [`StatsScope`] open on this
+    /// thread, if any (see [`scope`]).
+    static SCOPE_CELLS: RefCell<Option<Box<[u64; N_COUNTERS]>>> = const { RefCell::new(None) };
 }
 
 /// Whether counter recording is on.
@@ -245,6 +265,11 @@ pub fn add(counter: Counter, n: u64) {
     }
     debug_assert_eq!(counter.kind(), Kind::Sum);
     CELLS[counter as usize].fetch_add(n, Ordering::Relaxed);
+    SCOPE_CELLS.with(|cells| {
+        if let Some(cells) = cells.borrow_mut().as_mut() {
+            cells[counter as usize] = cells[counter as usize].saturating_add(n);
+        }
+    });
 }
 
 /// Raises a [`Kind::Max`] counter to at least `v` (no-op when disabled).
@@ -255,6 +280,11 @@ pub fn record_max(counter: Counter, v: u64) {
     }
     debug_assert_eq!(counter.kind(), Kind::Max);
     CELLS[counter as usize].fetch_max(v, Ordering::Relaxed);
+    SCOPE_CELLS.with(|cells| {
+        if let Some(cells) = cells.borrow_mut().as_mut() {
+            cells[counter as usize] = cells[counter as usize].max(v);
+        }
+    });
 }
 
 /// The current value of one counter.
@@ -268,6 +298,77 @@ pub fn reset() {
         cell.store(0, Ordering::Relaxed);
     }
     SPANS.lock().expect("span registry poisoned").clear();
+}
+
+/// A scoped capture of the counters recorded **on the current thread**
+/// between [`scope`] and [`StatsScope::finish`].
+///
+/// The process-global counters keep accumulating as before — a scope
+/// never changes what `--stats` reports — but concurrent scopes on
+/// different threads each see only their own thread's contributions.
+/// `simc serve` opens one scope per request so per-request stats from
+/// concurrent requests do not bleed together the way a global snapshot
+/// diff would.
+///
+/// Scopes nest: an inner scope shadows the outer one while open, and
+/// `finish` folds the inner counts back into the outer scope (sums add,
+/// maxima merge), so the outer scope's totals stay complete.
+///
+/// Work recorded on *other* threads (a pipeline run with `threads > 1`)
+/// is not attributed to any scope; scoped callers run single-threaded
+/// pipelines, which is exactly what the server's worker pool does.
+#[derive(Debug)]
+#[must_use = "a scope captures counters until it is finished or dropped"]
+pub struct StatsScope {
+    /// The enclosing scope's cells, restored (and merged into) on finish.
+    outer: Option<Box<[u64; N_COUNTERS]>>,
+    finished: bool,
+}
+
+/// Opens a [`StatsScope`] on the current thread. Recording still honours
+/// the global enable flag: with counters disabled the scope stays empty.
+pub fn scope() -> StatsScope {
+    let outer = SCOPE_CELLS.with(|cells| {
+        cells.borrow_mut().replace(Box::new([0u64; N_COUNTERS]))
+    });
+    StatsScope { outer, finished: false }
+}
+
+impl StatsScope {
+    fn close(&mut self) -> Vec<(Counter, u64)> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
+        let mine = SCOPE_CELLS.with(|cells| {
+            let mut slot = cells.borrow_mut();
+            let mine = slot.take().unwrap_or_else(|| Box::new([0u64; N_COUNTERS]));
+            if let Some(mut outer) = self.outer.take() {
+                for (i, &c) in Counter::ALL.iter().enumerate() {
+                    outer[i] = match c.kind() {
+                        Kind::Sum => outer[i].saturating_add(mine[i]),
+                        Kind::Max => outer[i].max(mine[i]),
+                    };
+                }
+                *slot = Some(outer);
+            }
+            mine
+        });
+        Counter::ALL.iter().map(|&c| (c, mine[c as usize])).collect()
+    }
+
+    /// Closes the scope and returns every counter's value as recorded on
+    /// this thread while the scope was open (zeros included, in
+    /// [`Counter::ALL`] order, like [`Report::counters`]).
+    pub fn finish(mut self) -> Vec<(Counter, u64)> {
+        self.close()
+    }
+}
+
+impl Drop for StatsScope {
+    fn drop(&mut self) {
+        self.close();
+    }
 }
 
 /// An open hierarchical span. Obtain with [`span`]; close with
@@ -574,6 +675,71 @@ mod tests {
         });
         assert_eq!(value(Counter::BeamModelsExamined), 8000);
         set_stats(false);
+    }
+
+    #[test]
+    fn scopes_capture_per_thread_without_bleeding() {
+        let _g = lock();
+        set_stats(true);
+        reset();
+        let captured: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (1..=2u64)
+                .map(|n| {
+                    s.spawn(move || {
+                        let scope = scope();
+                        add(Counter::ServeRequests, n);
+                        record_max(Counter::VerifyPeakFrontier, 10 * n);
+                        scope.finish()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let get = |snap: &[(Counter, u64)], c: Counter| {
+            snap.iter().find(|&&(x, _)| x == c).map(|&(_, v)| v).unwrap()
+        };
+        // Each scope saw only its own thread's contributions...
+        let mut requests: Vec<u64> =
+            captured.iter().map(|s| get(s, Counter::ServeRequests)).collect();
+        requests.sort_unstable();
+        assert_eq!(requests, vec![1, 2]);
+        // ...while the globals kept the merged totals.
+        assert_eq!(value(Counter::ServeRequests), 3);
+        assert_eq!(value(Counter::VerifyPeakFrontier), 20);
+        set_stats(false);
+    }
+
+    #[test]
+    fn nested_scopes_fold_into_the_outer() {
+        let _g = lock();
+        set_stats(true);
+        reset();
+        let outer = scope();
+        add(Counter::ServeRequests, 1);
+        {
+            let inner = scope();
+            add(Counter::ServeRequests, 5);
+            record_max(Counter::VerifyPeakFrontier, 7);
+            let snap = inner.finish();
+            assert_eq!(snap.iter().find(|(c, _)| *c == Counter::ServeRequests).unwrap().1, 5);
+        }
+        add(Counter::ServeRequests, 2);
+        let snap = outer.finish();
+        let get = |c: Counter| snap.iter().find(|&&(x, _)| x == c).map(|&(_, v)| v).unwrap();
+        assert_eq!(get(Counter::ServeRequests), 8, "inner counts fold back into the outer");
+        assert_eq!(get(Counter::VerifyPeakFrontier), 7);
+        set_stats(false);
+    }
+
+    #[test]
+    fn disabled_scope_stays_empty() {
+        let _g = lock();
+        set_stats(false);
+        reset();
+        let scope = scope();
+        add(Counter::ServeRequests, 4);
+        let snap = scope.finish();
+        assert!(snap.iter().all(|&(_, v)| v == 0));
     }
 
     #[test]

@@ -69,6 +69,14 @@ pub enum Error {
     Netlist(NetlistError),
     /// Operating-system I/O failure.
     Io(std::io::Error),
+    /// A per-request deadline expired before the named stage could run
+    /// (see `Pipeline::with_deadline`). Like the budget refusals this is
+    /// a [`ErrorKind::ResourceLimit`]: the request was well-formed and a
+    /// retry with a larger deadline may succeed.
+    DeadlineExceeded {
+        /// The pipeline stage the deadline expired in front of.
+        stage: &'static str,
+    },
 }
 
 impl Error {
@@ -85,6 +93,7 @@ impl Error {
             Error::Netlist(NetlistError::TooManyStates(_)) => ErrorKind::ResourceLimit,
             Error::Netlist(_) => ErrorKind::Verification,
             Error::Io(_) => ErrorKind::Io,
+            Error::DeadlineExceeded { .. } => ErrorKind::ResourceLimit,
         }
     }
 }
@@ -98,6 +107,9 @@ impl fmt::Display for Error {
             Error::Cover(e) => write!(f, "{e}"),
             Error::Netlist(e) => write!(f, "{e}"),
             Error::Io(e) => write!(f, "{e}"),
+            Error::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded before the `{stage}` stage")
+            }
         }
     }
 }
@@ -111,6 +123,7 @@ impl std::error::Error for Error {
             Error::Cover(e) => Some(e),
             Error::Netlist(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::DeadlineExceeded { .. } => None,
         }
     }
 }

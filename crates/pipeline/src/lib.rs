@@ -207,6 +207,7 @@ pub struct Pipeline {
     target: Target,
     reduce_options: ReduceOptions,
     verify_options: VerifyOptions,
+    deadline: Option<std::time::Instant>,
     elaborated: Option<Elaborated>,
     regioned: Option<Regioned>,
     covered: Option<Covered>,
@@ -223,6 +224,7 @@ impl Pipeline {
             target: Target::CElement,
             reduce_options: ReduceOptions::default(),
             verify_options: VerifyOptions::default(),
+            deadline: None,
             elaborated: None,
             regioned: None,
             covered: None,
@@ -277,9 +279,33 @@ impl Pipeline {
         self
     }
 
+    /// Sets a wall-clock deadline checked before every not-yet-memoized
+    /// stage. A stage whose turn comes after the deadline fails with
+    /// [`Error::DeadlineExceeded`] ([`ErrorKind::ResourceLimit`]) —
+    /// the same refusal contract as the search budgets, so callers like
+    /// `simc serve` map both onto one overload-shedding status. Already
+    /// computed stages keep returning their artifacts; a stage that
+    /// *started* before the deadline runs to completion (the check is a
+    /// between-stage barrier, not preemption).
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// The configured thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Fails with [`Error::DeadlineExceeded`] when a deadline is set and
+    /// already past; called in front of each uncomputed stage.
+    fn check_deadline(&self, stage: &'static str) -> Result<(), Error> {
+        match self.deadline {
+            Some(deadline) if std::time::Instant::now() >= deadline => {
+                Err(Error::DeadlineExceeded { stage })
+            }
+            _ => Ok(()),
+        }
     }
 
     fn cache_lookup(&self, key: &Key) -> Option<Vec<u8>> {
@@ -298,6 +324,7 @@ impl Pipeline {
     /// under a hash of the raw input bytes.
     pub fn elaborated(&mut self) -> Result<&Elaborated, Error> {
         if self.elaborated.is_none() {
+            self.check_deadline("elaborate")?;
             let source = self.source.as_ref().expect("source present until elaborated");
             let canonical = match source {
                 Source::Sg(sg) => canonical_sg(sg, CANONICAL_MODEL),
@@ -330,6 +357,7 @@ impl Pipeline {
     pub fn regioned(&mut self) -> Result<&Regioned, Error> {
         if self.regioned.is_none() {
             self.elaborated()?;
+            self.check_deadline("regions")?;
             let elaborated = self.elaborated.as_ref().expect("elaborated");
             let key = simc_cache::key_of("regions.v1", &[elaborated.canonical.as_bytes()]);
             let revived = self.cache_lookup(&key).and_then(|bytes| {
@@ -357,6 +385,7 @@ impl Pipeline {
     pub fn covered(&mut self) -> Result<&Covered, Error> {
         if self.covered.is_none() {
             self.regioned()?;
+            self.check_deadline("cover")?;
             let elaborated = self.elaborated.as_ref().expect("elaborated");
             let regions = &self.regioned.as_ref().expect("regioned").regions;
             let report = report_for(
@@ -376,6 +405,7 @@ impl Pipeline {
     pub fn implemented(&mut self) -> Result<&Implemented, Error> {
         if self.implemented.is_none() {
             self.covered()?;
+            self.check_deadline("implement")?;
             let elaborated = self.elaborated.as_ref().expect("elaborated");
             let report = &self.covered.as_ref().expect("covered").report;
             let (working, working_canonical, added, reduce_log, working_report) =
@@ -424,6 +454,7 @@ impl Pipeline {
     pub fn verified(&mut self) -> Result<&Verified, Error> {
         if self.verified.is_none() {
             self.implemented()?;
+            self.check_deadline("verify")?;
             let implemented = self.implemented.as_ref().expect("implemented");
             let mut hasher = KeyHasher::new("verdict.v1");
             hasher.update(implemented.working_canonical.as_bytes());
@@ -598,6 +629,22 @@ mod tests {
             from_sg.elaborated().expect("sg").canonical_text(),
             from_text.elaborated().expect("text").canonical_text(),
         );
+    }
+
+    #[test]
+    fn expired_deadline_is_a_resource_limit_refusal() {
+        let mut pipeline = Pipeline::from_sg(figures::toggle())
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = pipeline.verified().expect_err("deadline already past");
+        assert_eq!(err.kind(), ErrorKind::ResourceLimit);
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+        // Already-memoized stages stay available after the refusal.
+        let mut warm = Pipeline::from_sg(figures::toggle());
+        warm.covered().expect("covers");
+        let mut warm = warm
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        assert!(warm.covered().is_ok(), "memoized stage survives an expired deadline");
+        assert!(warm.verified().is_err(), "uncomputed stage still refuses");
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Single-flight deduplication: concurrent requests for the same cache
+//! key share one computation instead of racing N identical pipelines.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use simc_cache::Key;
+
+/// One in-flight computation: the leader publishes into `state` and
+/// wakes every joiner through `cv`.
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+    /// Joiners registered on this flight (diagnostics and tests; the
+    /// count only grows while the flight is running).
+    waiters: AtomicUsize,
+}
+
+enum FlightState<T> {
+    Running,
+    /// `None` when the leader's computation panicked.
+    Done(Option<T>),
+}
+
+/// How one [`FlightMap::run`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This call ran the computation.
+    Led,
+    /// This call joined a computation another caller was already
+    /// running, and shares its result.
+    Joined,
+}
+
+/// The outcome of a [`FlightMap::run`] call.
+#[derive(Debug)]
+pub enum FlightResult<T> {
+    /// The computation's value, tagged with how this caller got it.
+    Value(T, Role),
+    /// The caller joined a flight whose leader panicked; the joiner
+    /// reports the failure without recomputing (the *next* request for
+    /// the key starts a fresh flight).
+    LeaderFailed,
+}
+
+/// A keyed single-flight table.
+///
+/// [`FlightMap::run`] executes `compute` for the first caller of a key
+/// (the *leader*) while concurrent callers of the same key (*joiners*)
+/// block until the leader finishes and then clone its value. The key is
+/// removed before the result is published, so a request arriving after
+/// completion starts a new flight — single-flight deduplicates
+/// *concurrency*, the artifact cache deduplicates *history*.
+///
+/// A panicking leader wakes its joiners with [`FlightResult::LeaderFailed`]
+/// and re-raises the panic on its own thread, so a poisoned computation
+/// can never strand joiners.
+pub struct FlightMap<T> {
+    flights: Mutex<HashMap<Key, Arc<Flight<T>>>>,
+}
+
+/// Locks ignoring poison: flight bookkeeping stays usable even after a
+/// leader panicked (the panic is re-raised separately).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl<T: Clone> FlightMap<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlightMap { flights: Mutex::new(HashMap::new()) }
+    }
+
+    /// Number of computations currently in flight.
+    pub fn in_flight(&self) -> usize {
+        lock(&self.flights).len()
+    }
+
+    /// Joiners currently registered on `key`'s flight (0 when the key
+    /// is not in flight).
+    pub fn waiters_of(&self, key: &Key) -> usize {
+        lock(&self.flights)
+            .get(key)
+            .map_or(0, |flight| flight.waiters.load(Ordering::SeqCst))
+    }
+
+    /// Runs `compute` under single-flight semantics for `key`.
+    pub fn run(&self, key: Key, compute: impl FnOnce() -> T) -> FlightResult<T> {
+        let (flight, is_leader) = {
+            let mut flights = lock(&self.flights);
+            match flights.get(&key) {
+                Some(flight) => (Arc::clone(flight), false),
+                None => {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Running),
+                        cv: Condvar::new(),
+                        waiters: AtomicUsize::new(0),
+                    });
+                    flights.insert(key, Arc::clone(&flight));
+                    (flight, true)
+                }
+            }
+        };
+        if is_leader {
+            let result = catch_unwind(AssertUnwindSafe(compute));
+            // Remove the key *before* publishing so a request arriving
+            // after completion starts fresh instead of reading a value
+            // computed under (say) an expired deadline.
+            lock(&self.flights).remove(&key);
+            let published = match &result {
+                Ok(value) => Some(value.clone()),
+                Err(_) => None,
+            };
+            *lock(&flight.state) = FlightState::Done(published);
+            flight.cv.notify_all();
+            match result {
+                Ok(value) => FlightResult::Value(value, Role::Led),
+                Err(panic) => resume_unwind(panic),
+            }
+        } else {
+            flight.waiters.fetch_add(1, Ordering::SeqCst);
+            let mut state = lock(&flight.state);
+            while matches!(*state, FlightState::Running) {
+                state = flight.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+            match &*state {
+                FlightState::Done(Some(value)) => {
+                    FlightResult::Value(value.clone(), Role::Joined)
+                }
+                FlightState::Done(None) => FlightResult::LeaderFailed,
+                FlightState::Running => unreachable!("woken while still running"),
+            }
+        }
+    }
+}
+
+impl<T: Clone> Default for FlightMap<T> {
+    fn default() -> Self {
+        FlightMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simc_cache::key_of;
+
+    #[test]
+    fn concurrent_duplicates_run_exactly_one_computation() {
+        const THREADS: usize = 6;
+        let flights = FlightMap::new();
+        let key = key_of("t", &[b"dup"]);
+        let computations = AtomicUsize::new(0);
+        let roles: Vec<Role> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let result = flights.run(key, || {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            // Hold the flight open until every other
+                            // thread has registered as a joiner, so the
+                            // dedup assertion is deterministic.
+                            while flights.waiters_of(&key) < THREADS - 1 {
+                                std::thread::yield_now();
+                            }
+                            42u32
+                        });
+                        match result {
+                            FlightResult::Value(42, role) => role,
+                            other => panic!("unexpected result: {other:?}"),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("thread ok")).collect()
+        });
+        assert_eq!(computations.load(Ordering::SeqCst), 1);
+        assert_eq!(roles.iter().filter(|r| **r == Role::Led).count(), 1);
+        assert_eq!(roles.iter().filter(|r| **r == Role::Joined).count(), THREADS - 1);
+        assert_eq!(flights.in_flight(), 0, "flight removed after completion");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share_flights() {
+        let flights = FlightMap::new();
+        let a = flights.run(key_of("t", &[b"a"]), || 1u32);
+        let b = flights.run(key_of("t", &[b"b"]), || 2u32);
+        assert!(matches!(a, FlightResult::Value(1, Role::Led)));
+        assert!(matches!(b, FlightResult::Value(2, Role::Led)));
+    }
+
+    #[test]
+    fn sequential_runs_of_one_key_recompute() {
+        let flights = FlightMap::new();
+        let key = key_of("t", &[b"seq"]);
+        let computations = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let result = flights.run(key, || computations.fetch_add(1, Ordering::SeqCst));
+            assert!(matches!(result, FlightResult::Value(_, Role::Led)));
+        }
+        assert_eq!(
+            computations.load(Ordering::SeqCst),
+            3,
+            "single-flight dedups concurrency, not history"
+        );
+    }
+
+    #[test]
+    fn panicking_leader_fails_joiners_and_reraises() {
+        let flights = FlightMap::new();
+        let key = key_of("t", &[b"boom"]);
+        std::thread::scope(|scope| {
+            let leader = scope.spawn(|| {
+                let _ = flights.run(key, || -> u32 {
+                    while flights.waiters_of(&key) < 1 {
+                        std::thread::yield_now();
+                    }
+                    panic!("leader dies");
+                });
+            });
+            let joiner = scope.spawn(|| {
+                // Wait until the leader's flight is registered.
+                while flights.in_flight() == 0 {
+                    std::thread::yield_now();
+                }
+                flights.run(key, || 7u32)
+            });
+            assert!(leader.join().is_err(), "panic re-raised on the leader");
+            match joiner.join().expect("joiner survives") {
+                FlightResult::LeaderFailed => {}
+                FlightResult::Value(7, Role::Led) => {
+                    // Benign race: the joiner arrived after the dead
+                    // flight was removed and led its own computation.
+                }
+                other => panic!("unexpected joiner result: {other:?}"),
+            }
+        });
+        assert_eq!(flights.in_flight(), 0);
+        // The key is usable again after the failed flight.
+        let retry = flights.run(key, || 9u32);
+        assert!(matches!(retry, FlightResult::Value(9, Role::Led)));
+    }
+}

@@ -1,0 +1,268 @@
+//! A minimal HTTP/1.1 subset: exactly what the `simc serve` line
+//! protocol needs, over `std::net` with no dependencies.
+//!
+//! One request per connection (`Connection: close`), `Content-Length`
+//! framed bodies only (no chunked encoding), tolerant of bare-`\n` line
+//! endings. Limits are enforced while reading so a malformed or hostile
+//! peer cannot balloon memory: oversized headers or bodies are reported
+//! as [`HttpError::TooLarge`] and mapped to HTTP 431/413 by the server.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted size of the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted `Content-Length`. Benchmark-suite specs are a few
+/// kilobytes; 4 MiB leaves two orders of magnitude of headroom.
+pub const MAX_BODY_BYTES: usize = 4 << 20;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method token as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, e.g. `/v1/synth`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of the first header named `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request (HTTP 400).
+    Malformed(String),
+    /// A size limit was exceeded; the `u16` is the HTTP status to
+    /// answer with (413 or 431).
+    TooLarge(u16, String),
+    /// The connection failed mid-read.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            HttpError::TooLarge(_, detail) => write!(f, "request too large: {detail}"),
+            HttpError::Io(e) => write!(f, "connection error: {e}"),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(end) = head_terminator(&buffer) {
+            break end;
+        }
+        if buffer.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(
+                431,
+                format!("headers exceed {MAX_HEAD_BYTES} bytes"),
+            ));
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-header".into()));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buffer[..head_end.at])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head.split('\n').map(|line| line.strip_suffix('\r').unwrap_or(line));
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(method), Some(path), Some(version), None) => (method, path, version),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("unsupported version `{version}`")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(value) => value
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length `{value}`")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(
+            413,
+            format!("body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+        ));
+    }
+    let mut body = buffer[head_end.next..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { body, ..request })
+}
+
+/// Where the head ends: `at` is the offset of the blank-line terminator,
+/// `next` the offset the body starts at.
+struct HeadEnd {
+    at: usize,
+    next: usize,
+}
+
+fn head_terminator(buffer: &[u8]) -> Option<HeadEnd> {
+    // Accept both CRLF CRLF and bare LF LF terminators; scanning for
+    // `\n\n` after stripping `\r` handles mixed endings too.
+    let mut previous_newline: Option<usize> = None;
+    for (i, &byte) in buffer.iter().enumerate() {
+        match byte {
+            b'\n' => match previous_newline {
+                Some(at) => return Some(HeadEnd { at, next: i + 1 }),
+                None => previous_newline = Some(i),
+            },
+            b'\r' => {}
+            _ => previous_newline = None,
+        }
+    }
+    None
+}
+
+/// The standard reason phrase of the statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete response and flushes. Failures are returned so
+/// callers can ignore them (a vanished client is not a server error).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `read_request` against raw client bytes over a loopback pair.
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.write_all(&raw).expect("send");
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let result = read_request(&mut stream);
+        client.join().expect("client done");
+        result
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let request = parse(
+            b"POST /v1/synth HTTP/1.1\r\nHost: x\r\nX-Simc-Target: rs-latch\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .expect("parses");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/synth");
+        assert_eq!(request.header("x-simc-target"), Some("rs-latch"));
+        assert_eq!(request.body, b"hello");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let request =
+            parse(b"GET /healthz HTTP/1.1\nHost: x\n\n").expect("parses");
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_bad_lengths() {
+        assert!(matches!(parse(b"not http at all\r\n\r\n"), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            parse(b"POST /v1/synth HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /v1/synth HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"),
+            Err(HttpError::TooLarge(413, _))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_malformed() {
+        assert!(matches!(
+            parse(b"POST /v1/synth HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+}

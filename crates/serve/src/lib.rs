@@ -1,0 +1,641 @@
+//! `simc serve` — a long-running synthesis daemon over the staged
+//! [`Pipeline`].
+//!
+//! The server is a hand-rolled HTTP/1.1 JSON line protocol on
+//! `std::net::TcpListener` (the workspace builds offline; no HTTP
+//! dependency), fronting the same pipeline + [`simc_cache`] stack the
+//! CLI uses:
+//!
+//! * `POST /v1/analyze` · `POST /v1/synth` · `POST /v1/verify` — the
+//!   request body is a spec (`.g` or `.sg` text, auto-detected); the
+//!   response is a single JSON object.
+//! * `GET /healthz` — liveness plus queue depth.
+//! * `GET /stats` — the full [`simc_obs`] report as JSON.
+//! * `POST /shutdown` — graceful drain: stop accepting, finish every
+//!   queued request, join the workers, return.
+//!
+//! Statuses mirror the CLI exit-code contract: `200` ↔ exit 0, `422` ↔
+//! exit 1 (a well-formed request with a negative answer: hazards found,
+//! synthesis gave up), `400` ↔ exit 2 (malformed input), plus the
+//! daemon-only refusals `429` (deadline/budget exhausted, the
+//! [`ErrorKind::ResourceLimit`] path) and `503` (queue full — shed,
+//! retry later). A panic inside a request is caught and answered with
+//! `500`; the worker survives.
+//!
+//! Duplicate concurrent submissions are **single-flight deduplicated**
+//! (see [`flight`]): requests are keyed by the canonical `.sg` hash (plus
+//! target and budgets), so N identical in-flight requests run one
+//! pipeline and share its result — the `X-Simc-Flight: led|joined`
+//! response header says which path a request took. The worker pool is a
+//! bounded queue drained by `simc_mc::parallel::parallel_map`, the same
+//! scoped-thread pool the synthesis stages use.
+//!
+//! Request headers: `X-Simc-Target: c-element|rs-latch`,
+//! `X-Simc-Deadline-Ms: <n>` (maps to [`Pipeline::with_deadline`]),
+//! `X-Simc-Max-States: <n>` (verifier state budget), `X-Simc-Stats: 1`
+//! (append this request's own counter deltas — captured with
+//! [`simc_obs::scope`] — to the response).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flight;
+pub mod http;
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use simc_cache::{Cache, KeyHasher};
+use simc_mc::parallel::{parallel_map_exact, ParallelSynth};
+use simc_mc::synth::Target;
+use simc_netlist::VerifyOptions;
+use simc_obs::{self as obs, Counter};
+use simc_pipeline::{Error, ErrorKind, Pipeline};
+
+use flight::{FlightMap, FlightResult, Role};
+use http::Request;
+
+/// Per-connection socket timeout: generous for synthesis, finite so a
+/// stalled peer cannot pin a worker forever.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Server configuration; start with [`Server::start`].
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads draining the request queue (0 → machine size).
+    pub workers: usize,
+    /// Requests queued beyond the in-service ones before the server
+    /// sheds load with `503` (0 → `4 × workers`).
+    pub queue_capacity: usize,
+    /// Shared artifact cache; every request's pipeline attaches to it.
+    pub cache: Option<Arc<dyn Cache>>,
+    /// Honour the `X-Simc-Test-Sleep-Ms` header, which holds a leader's
+    /// computation open so tests can join flights deterministically.
+    /// Never enabled by the CLI.
+    pub test_hooks: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 0,
+            cache: None,
+            test_hooks: false,
+        }
+    }
+}
+
+/// State shared by the acceptor and the worker pool.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    workers: usize,
+    draining: AtomicBool,
+    flights: FlightMap<Outcome>,
+    cache: Option<Arc<dyn Cache>>,
+    test_hooks: bool,
+}
+
+/// A queued compute request.
+struct Job {
+    stream: TcpStream,
+    request: Request,
+    received: Instant,
+}
+
+/// A compute endpoint's JSON result. Cloned between a flight's leader
+/// and its joiners, so it carries no per-request state.
+#[derive(Debug, Clone)]
+struct Outcome {
+    status: u16,
+    body: String,
+}
+
+/// The final response of one request, including per-request metadata
+/// the flight result must not carry.
+struct Response {
+    status: u16,
+    body: String,
+    role: Option<Role>,
+}
+
+/// The three compute endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Analyze,
+    Synth,
+    Verify,
+}
+
+impl Endpoint {
+    fn of(path: &str) -> Option<Endpoint> {
+        match path {
+            "/v1/analyze" => Some(Endpoint::Analyze),
+            "/v1/synth" => Some(Endpoint::Synth),
+            "/v1/verify" => Some(Endpoint::Verify),
+            _ => None,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Endpoint::Analyze => "analyze",
+            Endpoint::Synth => "synth",
+            Endpoint::Verify => "verify",
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop it; send
+/// `POST /shutdown` and call [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts accepting. Worker threads are spawned through
+    /// `simc_mc::parallel::parallel_map` on a pool thread. Counter
+    /// recording is switched on: a daemon's `/stats` endpoint is its
+    /// only introspection surface, so metrics are not opt-in here.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        obs::set_counters(true);
+        let workers = if config.workers == 0 {
+            ParallelSynth::available().threads()
+        } else {
+            config.workers
+        };
+        let queue_capacity = if config.queue_capacity == 0 {
+            4 * workers
+        } else {
+            config.queue_capacity
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity,
+            workers,
+            draining: AtomicBool::new(false),
+            flights: FlightMap::new(),
+            cache: config.cache,
+            test_hooks: config.test_hooks,
+        });
+        // The pool: one long-lived worker loop per slot, all driven by
+        // the same scoped-thread runner the cover search uses.
+        let pool = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("simc-serve-pool".to_string())
+                .spawn(move || {
+                    let slots: Vec<usize> = (0..shared.workers).collect();
+                    // The *exact* variant: pool workers block on the
+                    // queue and on joined flights, so they must exist
+                    // even when they outnumber hardware threads.
+                    parallel_map_exact(&slots, shared.workers, |_| worker_loop(&shared));
+                })
+                .expect("spawn worker pool")
+        };
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("simc-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared, pool))
+                .expect("spawn acceptor")
+        };
+        Ok(Server { addr, accept: Some(accept) })
+    }
+
+    /// The bound address (the ephemeral port for `127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server has shut down (after `POST /shutdown`):
+    /// the acceptor has stopped, the queue is drained and every worker
+    /// has exited.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Locks ignoring poison (workers catch panics themselves; a poisoned
+/// queue would otherwise wedge the whole daemon).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Accepts connections until `POST /shutdown`, then drains: workers
+/// finish the queue, the pool joins, and the loop returns.
+fn accept_loop(listener: &TcpListener, shared: &Shared, pool: JoinHandle<()>) {
+    for incoming in listener.incoming() {
+        let Ok(mut stream) = incoming else { continue };
+        let received = Instant::now();
+        let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+        let request = match http::read_request(&mut stream) {
+            Ok(request) => request,
+            Err(http::HttpError::Io(_)) => continue,
+            Err(error) => {
+                let status = match error {
+                    http::HttpError::TooLarge(status, _) => status,
+                    _ => 400,
+                };
+                count_response(status);
+                respond(&mut stream, status, None, &error_body("parse", &error.to_string()));
+                continue;
+            }
+        };
+        obs::add(Counter::ServeRequests, 1);
+        let path_is_known = |path: &str| {
+            Endpoint::of(path).is_some()
+                || matches!(path, "/healthz" | "/stats" | "/shutdown")
+        };
+        // Owned copies: the enqueue arm moves `request` into the job.
+        let method = request.method.clone();
+        let path = request.path.clone();
+        match (method.as_str(), path.as_str()) {
+            ("GET", "/healthz") => {
+                let status = if shared.draining.load(Ordering::Relaxed) {
+                    "draining"
+                } else {
+                    "ok"
+                };
+                let body = format!(
+                    "{{\"status\":\"{status}\",\"queued\":{},\"in_flight\":{},\"workers\":{}}}",
+                    lock(&shared.queue).len(),
+                    shared.flights.in_flight(),
+                    shared.workers,
+                );
+                respond(&mut stream, 200, None, &body);
+            }
+            ("GET", "/stats") => {
+                respond(&mut stream, 200, None, &obs::report().to_json());
+            }
+            ("POST", "/shutdown") => {
+                respond(&mut stream, 200, None, "{\"status\":\"draining\"}");
+                break;
+            }
+            ("POST", path) if Endpoint::of(path).is_some() => {
+                let mut queue = lock(&shared.queue);
+                if queue.len() >= shared.queue_capacity {
+                    drop(queue);
+                    count_response(503);
+                    respond(
+                        &mut stream,
+                        503,
+                        None,
+                        &error_body("overload", "request queue is full; retry later"),
+                    );
+                } else {
+                    queue.push_back(Job { stream, request, received });
+                    drop(queue);
+                    shared.queue_cv.notify_one();
+                }
+            }
+            (_, path) if path_is_known(path) => {
+                count_response(405);
+                respond(
+                    &mut stream,
+                    405,
+                    None,
+                    &error_body("routing", &format!("method not allowed on `{path}`")),
+                );
+            }
+            (_, path) => {
+                count_response(404);
+                respond(
+                    &mut stream,
+                    404,
+                    None,
+                    &error_body("routing", &format!("no such endpoint `{path}`")),
+                );
+            }
+        }
+    }
+    // Drain: no new work arrives (the listener is ours and we stopped
+    // accepting); wake every worker so idle ones observe the flag, and
+    // busy ones finish the queue first.
+    shared.draining.store(true, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+    let _ = pool.join();
+}
+
+/// One worker: pop, serve, repeat; exit once draining and empty.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.draining.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(mut job) = job else { return };
+        let want_stats = job.request.header("x-simc-stats") == Some("1");
+        let scope = want_stats.then(obs::scope);
+        let response = run_request(shared, &job);
+        let mut body = response.body;
+        if let Some(scope) = scope {
+            body = splice_stats(&body, &scope.finish());
+        }
+        respond(&mut job.stream, response.status, response.role, &body);
+    }
+}
+
+/// Computes a response, converting a panic anywhere in the request path
+/// into `500` instead of a dead worker.
+fn run_request(shared: &Shared, job: &Job) -> Response {
+    let response = match catch_unwind(AssertUnwindSafe(|| compute(shared, job))) {
+        Ok(response) => response,
+        Err(_) => Response {
+            status: 500,
+            body: error_body("panic", "request computation panicked; worker recovered"),
+            role: None,
+        },
+    };
+    count_response(response.status);
+    response
+}
+
+/// The compute path shared by the three `/v1/*` endpoints.
+fn compute(shared: &Shared, job: &Job) -> Response {
+    let endpoint = Endpoint::of(&job.request.path).expect("router admits compute paths only");
+    let plain = |outcome: Outcome| Response {
+        status: outcome.status,
+        body: outcome.body,
+        role: None,
+    };
+    let target = match job.request.header("x-simc-target") {
+        None | Some("c-element") => Target::CElement,
+        Some("rs-latch") => Target::RsLatch,
+        Some(other) => {
+            return plain(error_outcome(
+                400,
+                "parse",
+                &format!("unknown target `{other}` (expected `c-element` or `rs-latch`)"),
+            ));
+        }
+    };
+    let max_states = match header_u64(&job.request, "x-simc-max-states") {
+        Ok(value) => value,
+        Err(response) => return plain(response),
+    };
+    let deadline_ms = match header_u64(&job.request, "x-simc-deadline-ms") {
+        Ok(value) => value,
+        Err(response) => return plain(response),
+    };
+    let deadline = deadline_ms.map(|ms| job.received + Duration::from_millis(ms));
+    if deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+        return plain(error_outcome(
+            429,
+            "resource limit",
+            "deadline exceeded while queued",
+        ));
+    }
+    let Ok(spec) = std::str::from_utf8(&job.request.body) else {
+        return plain(error_outcome(400, "parse", "request body is not UTF-8"));
+    };
+    let mut pipeline = Pipeline::from_text(spec).with_target(target).with_threads(1);
+    if let Some(cache) = &shared.cache {
+        pipeline = pipeline.with_cache(Arc::clone(cache));
+    }
+    if let Some(max_states) = max_states {
+        let options = VerifyOptions { max_states: max_states as usize, ..VerifyOptions::default() };
+        pipeline = pipeline.with_verify_options(options);
+    }
+    if let Some(deadline) = deadline {
+        pipeline = pipeline.with_deadline(deadline);
+    }
+    // Elaborate up front: the single-flight key hashes the *canonical*
+    // form, so isomorphic submissions (renamed models, reordered lines)
+    // join the same flight. Elaboration itself is cache-memoized.
+    let key = {
+        let canonical = match pipeline.elaborated() {
+            Ok(elaborated) => elaborated.canonical_text(),
+            Err(error) => return plain(outcome_for_error(&error)),
+        };
+        let mut hasher = KeyHasher::new("serve.flight.v1");
+        hasher.update(endpoint.tag().as_bytes());
+        hasher.update(target_tag(target).as_bytes());
+        hasher.update_u64(max_states.unwrap_or(u64::MAX));
+        // Deadlines are part of the key: a tightly-budgeted request must
+        // not publish its refusal to an unbudgeted duplicate.
+        hasher.update_u64(deadline_ms.unwrap_or(u64::MAX));
+        hasher.update(canonical.as_bytes());
+        hasher.finish()
+    };
+    let hold_ms = if shared.test_hooks {
+        match header_u64(&job.request, "x-simc-test-sleep-ms") {
+            Ok(value) => value,
+            Err(response) => return plain(response),
+        }
+    } else {
+        None
+    };
+    let result = shared.flights.run(key, move || {
+        obs::add(Counter::ServeComputations, 1);
+        if let Some(ms) = hold_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        endpoint_outcome(endpoint, pipeline)
+    });
+    match result {
+        FlightResult::Value(outcome, role) => {
+            if role == Role::Joined {
+                obs::add(Counter::ServeInflightJoined, 1);
+            }
+            Response { status: outcome.status, body: outcome.body, role: Some(role) }
+        }
+        FlightResult::LeaderFailed => Response {
+            status: 500,
+            body: error_body("panic", "shared computation panicked; retry"),
+            role: Some(Role::Joined),
+        },
+    }
+}
+
+/// Runs the stages an endpoint needs and renders its result body.
+fn endpoint_outcome(endpoint: Endpoint, mut pipeline: Pipeline) -> Outcome {
+    let escape = obs::json::escape;
+    match endpoint {
+        Endpoint::Analyze => {
+            let (states, edges, semimodular, csc, usc) = match pipeline.elaborated() {
+                Ok(elaborated) => {
+                    let sg = elaborated.sg();
+                    let analysis = sg.analysis();
+                    (
+                        sg.state_count(),
+                        sg.edge_count(),
+                        analysis.is_semimodular(),
+                        analysis.has_csc(),
+                        analysis.has_usc(),
+                    )
+                }
+                Err(error) => return outcome_for_error(&error),
+            };
+            let mc_satisfied = match pipeline.covered() {
+                Ok(covered) => covered.report().satisfied(),
+                Err(error) => return outcome_for_error(&error),
+            };
+            Outcome {
+                status: 200,
+                body: format!(
+                    "{{\"status\":\"ok\",\"states\":{states},\"edges\":{edges},\
+                     \"semi_modular\":{semimodular},\"csc\":{csc},\"usc\":{usc},\
+                     \"mc_satisfied\":{mc_satisfied}}}"
+                ),
+            }
+        }
+        Endpoint::Synth => match pipeline.implemented() {
+            Ok(implemented) => Outcome {
+                status: 200,
+                body: format!(
+                    "{{\"status\":\"ok\",\"working_states\":{},\"added_signals\":{},\
+                     \"cubes\":{},\"literals\":{},\"equations\":{}}}",
+                    implemented.working_sg().state_count(),
+                    implemented.added_signals(),
+                    implemented.implementation().cube_count(),
+                    implemented.implementation().literal_count(),
+                    escape(&implemented.implementation().equations()),
+                ),
+            },
+            Err(error) => outcome_for_error(&error),
+        },
+        Endpoint::Verify => {
+            let added = match pipeline.implemented() {
+                Ok(implemented) => implemented.added_signals(),
+                Err(error) => return outcome_for_error(&error),
+            };
+            match pipeline.verified() {
+                Ok(verified) => {
+                    let violations: Vec<String> =
+                        verified.violations().iter().map(|v| escape(v)).collect();
+                    Outcome {
+                        // A hazardous verdict is a *negative answer*,
+                        // not a malfunction: 422, mirroring CLI exit 1.
+                        status: if verified.is_ok() { 200 } else { 422 },
+                        body: format!(
+                            "{{\"status\":{},\"verdict\":\"{}\",\"explored\":{},\
+                             \"added_signals\":{added},\"violations\":[{}]}}",
+                            if verified.is_ok() { "\"ok\"" } else { "\"fail\"" },
+                            if verified.is_ok() { "hazard-free" } else { "hazardous" },
+                            verified.explored(),
+                            violations.join(","),
+                        ),
+                    }
+                }
+                Err(error) => outcome_for_error(&error),
+            }
+        }
+    }
+}
+
+/// Maps a pipeline error onto the status contract (the HTTP analogue of
+/// `cli_error` in the CLI front end).
+fn outcome_for_error(error: &Error) -> Outcome {
+    let status = match error.kind() {
+        ErrorKind::Parse => 400,
+        ErrorKind::ResourceLimit => 429,
+        ErrorKind::Synthesis | ErrorKind::Verification => 422,
+        _ => 500,
+    };
+    error_outcome(status, &error.kind().to_string(), &error.to_string())
+}
+
+fn error_outcome(status: u16, kind: &str, message: &str) -> Outcome {
+    Outcome { status, body: error_body(kind, message) }
+}
+
+fn error_body(kind: &str, message: &str) -> String {
+    format!(
+        "{{\"status\":\"error\",\"kind\":{},\"error\":{}}}",
+        obs::json::escape(kind),
+        obs::json::escape(message),
+    )
+}
+
+/// Parses an optional numeric header; the error is a ready-made `400`.
+fn header_u64(request: &Request, name: &str) -> Result<Option<u64>, Outcome> {
+    match request.header(name) {
+        None => Ok(None),
+        Some(value) => value.parse::<u64>().map(Some).map_err(|_| {
+            error_outcome(400, "parse", &format!("header {name} needs an unsigned integer"))
+        }),
+    }
+}
+
+/// Updates the serve outcome counters for a response status. `429` is
+/// the deadline/budget refusal, `503` the shed path; every other
+/// non-2xx is a request that *failed* rather than was refused.
+fn count_response(status: u16) {
+    match status {
+        429 => obs::add(Counter::ServeDeadlineExceeded, 1),
+        503 => obs::add(Counter::ServeShedOverload, 1),
+        400.. => obs::add(Counter::ServeErrors, 1),
+        _ => {}
+    }
+}
+
+/// Splices a request's own counter deltas into its JSON body (which
+/// always ends in `}`): `...,"stats":{"serve.computations":1}}`.
+/// Zero counters are omitted.
+fn splice_stats(body: &str, stats: &[(Counter, u64)]) -> String {
+    let trimmed = body.strip_suffix('}').unwrap_or(body);
+    let mut out = String::with_capacity(body.len() + 64);
+    out.push_str(trimmed);
+    out.push_str(",\"stats\":{");
+    let mut first = true;
+    for &(counter, value) in stats {
+        if value == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&obs::json::escape(counter.name()));
+        out.push(':');
+        out.push_str(&value.to_string());
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Writes a response, attaching the `X-Simc-Flight` header when the
+/// request went through the single-flight table. Write failures mean
+/// the client vanished; the server does not care.
+fn respond(stream: &mut TcpStream, status: u16, role: Option<Role>, body: &str) {
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    match role {
+        Some(Role::Led) => headers.push(("X-Simc-Flight", "led")),
+        Some(Role::Joined) => headers.push(("X-Simc-Flight", "joined")),
+        None => {}
+    }
+    let _ = http::write_response(stream, status, &headers, body);
+}
+
+/// Stable tag naming a target inside flight keys.
+fn target_tag(target: Target) -> &'static str {
+    match target {
+        Target::CElement => "c-element",
+        Target::RsLatch => "rs-latch",
+    }
+}

@@ -83,6 +83,15 @@ cmp "$scale_dir/verify_1.out" "$scale_dir/verify_2.out" \
     && cmp "$scale_dir/verify_1.out" "$scale_dir/verify_8.out" \
     || { echo "error: scale verification differs across thread counts" >&2; exit 1; }
 
+echo "==> loadgen --smoke --contract: simc serve daemon smoke"
+# Daemon smoke on an ephemeral port: loadgen spawns the real binary,
+# probes the status contract (400/429/404/405), replays the smoke
+# benchmarks with concurrent duplicates, and exits nonzero unless
+# single-flight shows joins (serve.inflight_joined > 0), the warm pass
+# revives from the shared cache at >= 90% hit-rate, and the daemon
+# drains cleanly on POST /shutdown.
+./target/release/loadgen --server ./target/release/simc --smoke --contract
+
 echo "==> simc batch cold/warm over the built-in suite"
 # Batch smoke with a shared on-disk artifact cache: the warm second pass
 # must be byte-identical to the cold first pass and must actually hit

@@ -37,7 +37,10 @@
 //!   and the artifact cache;
 //! * [`fuzz`] — differential fuzzing: seeded random specifications,
 //!   agreement oracles over independent pipeline routes, fault
-//!   injection, and a delta-debugging shrinker.
+//!   injection, and a delta-debugging shrinker;
+//! * [`serve`] — the `simc serve` daemon: an HTTP/1.1 JSON front end
+//!   over the pipeline with single-flight deduplication, per-request
+//!   deadlines and overload shedding.
 //!
 //! # Quickstart
 //!
@@ -67,6 +70,7 @@ pub use simc_mc as mc;
 pub use simc_netlist as netlist;
 pub use simc_pipeline as pipeline;
 pub use simc_sat as sat;
+pub use simc_serve as serve;
 pub use simc_sg as sg;
 pub use simc_stg as stg;
 

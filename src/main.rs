@@ -9,6 +9,7 @@
 //! simc batch   <manifest> [--threads <n>] [--out <path>]    run many specs
 //! simc fuzz    [--seed <n>] [--iters <n>] [--threads <n>]   differential fuzzing
 //! simc fuzz    --campaign [--corpus <dir>] [--shards <n>]   coverage-guided campaign
+//! simc serve   [--port <n>] [--threads <n>] [--queue <n>]   HTTP synthesis daemon
 //! ```
 //!
 //! `<spec>` is an STG in the SIS/petrify `.g` format or a state graph in
@@ -32,6 +33,12 @@
 //! `--rs` per line, `benchmarks/*` expands the built-in suite), runs the
 //! full flow for each job in parallel over a shared cache, and emits a
 //! deterministic JSON summary.
+//!
+//! `simc serve` starts the long-running HTTP daemon (see [`simc::serve`]):
+//! `POST /v1/{analyze,synth,verify}` with a spec body, single-flight
+//! deduplicated over a shared warm cache, until `POST /shutdown` drains
+//! it. `--port 0` (the default) binds an ephemeral port; the chosen
+//! address is printed to stdout as `listening on http://...`.
 //!
 //! Exit codes: `0` success, `1` operational failure (hazards found, CSC
 //! violation, oracle disagreement, failed batch job), `2` usage error or
@@ -107,6 +114,9 @@ const KNOWN_FLAGS: &[&str] =
 /// Flags that take a value, only meaningful for `simc fuzz`.
 const FUZZ_VALUE_FLAGS: &[&str] = &["--seed", "--iters", "--shards", "--corpus"];
 
+/// Flags that take a value, only meaningful for `simc serve`.
+const SERVE_VALUE_FLAGS: &[&str] = &["--addr", "--port", "--queue"];
+
 /// In-memory cache budget fronting the on-disk store (per process).
 const MEM_CACHE_BYTES: usize = 32 << 20;
 
@@ -114,8 +124,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::usage(usage()));
     };
-    // `fuzz` takes no spec argument; every other command does.
-    let rest_from = if command == "fuzz" { 1 } else { 2 };
+    // `fuzz` and `serve` take no spec argument; every other command does.
+    let rest_from = if matches!(command.as_str(), "fuzz" | "serve") { 1 } else { 2 };
     let rest = args.get(rest_from..).unwrap_or_default();
     let mut flags: Vec<&str> = Vec::new();
     let mut stats_json: Option<&str> = None;
@@ -124,16 +134,29 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let mut out_path: Option<&str> = None;
     let mut threads: Option<&str> = None;
     let mut fuzz_values: Vec<(&str, &str)> = Vec::new();
+    let mut serve_values: Vec<(&str, &str)> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
         let arg = rest[i].as_str();
-        if arg == "--stats-json" {
+        if SERVE_VALUE_FLAGS.contains(&arg) {
+            if command != "serve" {
+                return Err(CliError::usage(format!(
+                    "`{arg}` is only valid with `simc serve`\n{}",
+                    usage()
+                )));
+            }
+            i += 1;
+            let value = rest.get(i).ok_or_else(|| {
+                CliError::usage(format!("{arg} needs a value\n{}", usage()))
+            })?;
+            serve_values.push((arg, value));
+        } else if arg == "--stats-json" {
             i += 1;
             stats_json = Some(rest.get(i).ok_or_else(|| {
                 CliError::usage(format!("--stats-json needs a file path\n{}", usage()))
             })?);
         } else if arg == "--dot" {
-            if command == "fuzz" || command == "batch" {
+            if matches!(command.as_str(), "fuzz" | "batch" | "serve") {
                 return Err(CliError::usage(format!(
                     "`--dot` is not valid with `simc {command}`\n{}",
                     usage()
@@ -174,9 +197,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 CliError::usage(format!("--out needs a file path\n{}", usage()))
             })?);
         } else if arg == "--threads" {
-            if !matches!(command.as_str(), "fuzz" | "batch" | "synth" | "verify") {
+            if !matches!(command.as_str(), "fuzz" | "batch" | "synth" | "verify" | "serve") {
                 return Err(CliError::usage(format!(
-                    "`--threads` is only valid with `simc synth`, `simc verify`, `simc fuzz` or `simc batch`\n{}",
+                    "`--threads` is only valid with `simc synth`, `simc verify`, `simc fuzz`, `simc batch` or `simc serve`\n{}",
                     usage()
                 )));
             }
@@ -229,9 +252,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let result = match command.as_str() {
         "analyze" => {
             let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
-            write_dot(dot_path, || {
-                pipeline.elaborated().expect("elaborated eagerly").sg().to_dot()
-            })?;
+            if dot_path.is_some() {
+                let rendered = elaborated(&mut pipeline)?.sg().to_dot();
+                write_dot(dot_path, || rendered)?;
+            }
             analyze(pipeline)
         }
         "reduce" => reduce(pipeline_for(args.get(1), target, &cache)?),
@@ -251,7 +275,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "dot" => {
             let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
-            let rendered = pipeline.elaborated().expect("elaborated eagerly").sg().to_dot();
+            let rendered = elaborated(&mut pipeline)?.sg().to_dot();
             match dot_path {
                 Some(_) => write_dot(dot_path, || rendered)?,
                 None => println!("{rendered}"),
@@ -260,6 +284,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         }
         "batch" => batch(args.get(1), target, &cache, threads, out_path),
         "fuzz" => fuzz(&fuzz_values, flags.contains(&"--campaign"), out_path),
+        "serve" => serve(&serve_values, threads, &cache),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -283,7 +308,8 @@ fn usage() -> String {
      [--threads <n>] [--cache-dir <dir>] [--stats] [--stats-json <path>]\n       \
      simc batch <manifest> [--rs] [--threads <n>] [--cache-dir <dir>] [--out <path>] [--stats]\n       \
      simc fuzz [--seed <n>] [--iters <n>] [--threads <n>] [--stats]\n       \
-     simc fuzz --campaign [--corpus <dir>] [--shards <n>] [--out <path>] [--seed <n>] [--iters <n>] [--threads <n>] [--stats]"
+     simc fuzz --campaign [--corpus <dir>] [--shards <n>] [--out <path>] [--seed <n>] [--iters <n>] [--threads <n>] [--stats]\n       \
+     simc serve [--addr <host:port>] [--port <n>] [--threads <n>] [--queue <n>] [--cache-dir <dir>] [--stats]"
         .to_string()
 }
 
@@ -435,6 +461,55 @@ fn fuzz_campaign(
     }
 }
 
+/// Runs the HTTP daemon until a `POST /shutdown` drains it.
+fn serve(
+    values: &[(&str, &str)],
+    threads: Option<&str>,
+    cache: &Option<Arc<dyn Cache>>,
+) -> Result<(), CliError> {
+    let mut config = simc::serve::ServeConfig { cache: cache.clone(), ..Default::default() };
+    if let Some(value) = threads {
+        let parsed = parse_u64(value).ok_or_else(|| {
+            CliError::usage(format!("--threads needs an unsigned integer, got `{value}`"))
+        })?;
+        if parsed == 0 {
+            return Err(CliError::usage("--threads must be at least 1".to_string()));
+        }
+        config.workers = parsed as usize;
+    }
+    for &(flag, value) in values {
+        match flag {
+            "--addr" => config.addr = value.to_string(),
+            "--port" => {
+                let port: u16 = value.parse().map_err(|_| {
+                    CliError::usage(format!("--port needs a port number, got `{value}`"))
+                })?;
+                config.addr = format!("127.0.0.1:{port}");
+            }
+            "--queue" => {
+                let parsed = parse_u64(value).ok_or_else(|| {
+                    CliError::usage(format!("--queue needs an unsigned integer, got `{value}`"))
+                })?;
+                if parsed == 0 {
+                    return Err(CliError::usage("--queue must be at least 1".to_string()));
+                }
+                config.queue_capacity = parsed as usize;
+            }
+            _ => unreachable!("only serve value flags reach here"),
+        }
+    }
+    let addr = config.addr.clone();
+    let server = simc::serve::Server::start(config)
+        .map_err(|e| CliError::failure(format!("binding {addr}: {e}")))?;
+    // Announce the bound (possibly ephemeral) port on stdout and flush:
+    // drivers like `loadgen` block on this line to learn the address.
+    println!("listening on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(())
+}
+
 /// A loaded specification: raw text, or an already-built state graph
 /// (the built-in benchmark fallback).
 enum Spec {
@@ -507,6 +582,17 @@ fn builtin_benchmark(path: &str) -> Option<simc::stg::Stg> {
         .map(|b| b.stg)
 }
 
+/// The elaborated stage of a pipeline built by [`pipeline_for`].
+///
+/// `pipeline_for` already elaborated eagerly, so this re-fetch is served
+/// from the memo and cannot fail in practice — but a failure must still
+/// be a diagnostic with exit 2, never a panic (a panicking front end
+/// takes a whole `simc serve` worker down with it; the CLI contract is
+/// the same one the daemon maps to HTTP statuses).
+fn elaborated(pipeline: &mut Pipeline) -> Result<&simc::Elaborated, CliError> {
+    pipeline.elaborated().map_err(|e| cli_error(e, "elaboration"))
+}
+
 /// Writes a Graphviz export when `--dot <path>` was given; the render
 /// closure only runs when needed.
 fn write_dot(path: Option<&str>, render: impl FnOnce() -> String) -> Result<(), CliError> {
@@ -516,7 +602,7 @@ fn write_dot(path: Option<&str>, render: impl FnOnce() -> String) -> Result<(), 
 }
 
 fn analyze(mut pipeline: Pipeline) -> Result<(), CliError> {
-    let sg = pipeline.elaborated().expect("elaborated eagerly").sg().clone();
+    let sg = elaborated(&mut pipeline)?.sg().clone();
     println!("states: {}", sg.state_count());
     println!("edges:  {}", sg.edge_count());
     let inputs: Vec<&str> = sg
@@ -550,7 +636,7 @@ fn analyze(mut pipeline: Pipeline) -> Result<(), CliError> {
 }
 
 fn reduce(mut pipeline: Pipeline) -> Result<(), CliError> {
-    let before = pipeline.elaborated().expect("elaborated eagerly").sg().state_count();
+    let before = elaborated(&mut pipeline)?.sg().state_count();
     let implemented = pipeline.implemented().map_err(|e| cli_error(e, "MC-reduction"))?;
     println!(
         "inserted {} signal(s); {} -> {} states",
@@ -582,7 +668,7 @@ fn synth(
 ) -> Result<(), CliError> {
     if flags.contains(&"--complex") {
         // Complex-gate style: CSC suffices, no insertion needed.
-        let sg = pipeline.elaborated().expect("elaborated eagerly").sg();
+        let sg = elaborated(&mut pipeline)?.sg();
         let netlist = simc::mc::complex::synthesize_complex(sg)
             .map_err(|e| CliError::failure(e.to_string()))?;
         write_dot(dot_path, || netlist.to_dot())?;
@@ -598,7 +684,7 @@ fn synth(
     if flags.contains(&"--baseline") {
         // The baseline route deliberately skips MC-reduction: it fails
         // (exit 1) exactly where Beerel–Meng-style synthesis would.
-        let sg = pipeline.elaborated().expect("elaborated eagerly").sg();
+        let sg = elaborated(&mut pipeline)?.sg();
         let implementation =
             synthesize_baseline(sg, target).map_err(|e| CliError::failure(e.to_string()))?;
         let netlist = implementation
@@ -650,7 +736,7 @@ fn do_verify(
     dot_path: Option<&str>,
 ) -> Result<(), CliError> {
     if flags.contains(&"--complex") {
-        let sg = pipeline.elaborated().expect("elaborated eagerly").sg();
+        let sg = elaborated(&mut pipeline)?.sg();
         let netlist = simc::mc::complex::synthesize_complex(sg)
             .map_err(|e| CliError::failure(e.to_string()))?;
         write_dot(dot_path, || netlist.to_dot())?;
@@ -671,7 +757,7 @@ fn do_verify(
         // The alternative synthesis routes are not pipeline stages; run
         // the verifier directly against their netlists.
         let (implementation, working) = if flags.contains(&"--baseline") {
-            let sg = pipeline.elaborated().expect("elaborated eagerly").sg().clone();
+            let sg = elaborated(&mut pipeline)?.sg().clone();
             let implementation =
                 synthesize_baseline(&sg, target).map_err(|e| CliError::failure(e.to_string()))?;
             (implementation, sg)
@@ -702,15 +788,13 @@ fn do_verify(
             Err(CliError::failure(format!("{} violation(s) found", report.violations.len())))
         };
     }
-    let added = pipeline
-        .implemented()
-        .map_err(|e| cli_error(e, "synthesis"))?
-        .added_signals();
-    note_insertions(added);
+    let implemented = pipeline.implemented().map_err(|e| cli_error(e, "synthesis"))?;
+    note_insertions(implemented.added_signals());
     // Export before the verdict so hazardous repros stay inspectable.
-    write_dot(dot_path, || {
-        pipeline.implemented().expect("implemented above").netlist().to_dot()
-    })?;
+    let rendered = dot_path.is_some().then(|| implemented.netlist().to_dot());
+    if let Some(rendered) = rendered {
+        write_dot(dot_path, || rendered)?;
+    }
     let verified = pipeline.verified().map_err(|e| cli_error(e, "verification"))?;
     println!(
         "{} ({} composed states explored)",

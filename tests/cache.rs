@@ -178,6 +178,47 @@ fn corrupted_disk_entries_are_treated_as_misses() {
 }
 
 #[test]
+fn torn_writes_degrade_to_misses_and_reheal() {
+    // A crash mid-write must never surface as bad artifacts. Two crash
+    // shapes: a stale temp file that was never renamed into place, and
+    // an entry torn inside its framing header (the first bytes of the
+    // file, where a truncation is hardest to tell from a short entry).
+    let dir = TempDir::new("torn");
+    let sg = figures::figure4();
+    let cold = {
+        let cache: Arc<dyn Cache> =
+            Arc::new(DiskCache::new(dir.path()).expect("open disk cache"));
+        run_pipeline(Pipeline::from_sg(sg.clone()).with_cache(cache))
+    };
+    let mut torn = 0usize;
+    for entry in std::fs::read_dir(dir.path()).expect("read cache dir") {
+        let path = entry.expect("dir entry").path();
+        let bytes = std::fs::read(&path).expect("read entry");
+        // Tear inside the `simc-cache.v1 <len> <checksum>` header line.
+        std::fs::write(&path, &bytes[..8.min(bytes.len())]).expect("tear entry");
+        torn += 1;
+    }
+    assert!(torn > 0, "no entries to tear");
+    // A writer that died before its rename leaves its temp file behind.
+    std::fs::write(dir.path().join(".tmp-deadbeef-99999-0"), b"partial")
+        .expect("plant stale temp");
+    let recovered = {
+        let cache: Arc<dyn Cache> =
+            Arc::new(DiskCache::new(dir.path()).expect("reopen torn cache"));
+        run_pipeline(Pipeline::from_sg(sg.clone()).with_cache(cache))
+    };
+    assert_eq!(cold, recovered, "torn cache entries changed results");
+    // The recovery run re-stored every artifact, so a third run revives
+    // from whole entries again.
+    let healed = {
+        let cache: Arc<dyn Cache> =
+            Arc::new(DiskCache::new(dir.path()).expect("reopen healed cache"));
+        run_pipeline(Pipeline::from_sg(sg).with_cache(cache))
+    };
+    assert_eq!(recovered, healed, "healed cache changed results");
+}
+
+#[test]
 fn text_and_sg_sources_share_cached_artifacts() {
     // An isomorphic `.sg` rendering with different state numbering and a
     // different model name must hit the artifacts the SG-sourced run

@@ -467,3 +467,60 @@ fn cache_dir_verify_is_byte_identical_across_runs() {
     assert!(cold_out.contains("hazard-free"), "{cold_out}");
     assert!(warm_err.contains("inserted 1 state signal"), "{warm_err}");
 }
+
+#[test]
+fn serve_round_trips_over_http_and_drains_cleanly() {
+    use std::io::{BufRead as _, BufReader, Read as _};
+    use std::net::TcpStream;
+
+    let tmp = TempDir::new("serve_cli");
+    let cache_dir = tmp.file("cache");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_simc"))
+        .args(["serve", "--port", "0", "--threads", "2", "--cache-dir", &cache_dir])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    // The daemon announces its (ephemeral) address as the first stdout
+    // line; everything after that speaks HTTP over a raw socket.
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announcement `{line}`"))
+        .to_string();
+
+    let send = |method: &str, path: &str, body: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad response `{response}`"));
+        let body = response.split_once("\r\n\r\n").expect("head/body split").1.to_string();
+        (status, body)
+    };
+
+    let spec = simc::sg::write_sg(&simc::benchmarks::figures::toggle(), "toggle");
+    let (status, body) = send("POST", "/v1/verify", &spec);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("hazard-free"), "{body}");
+    // Malformed input maps to 400 — the HTTP face of CLI exit 2.
+    let (status, body) = send("POST", "/v1/verify", "not a spec");
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("\"kind\":\"parse\""), "{body}");
+    let (status, body) = send("POST", "/shutdown", "");
+    assert_eq!(status, 200, "{body}");
+
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exit: {status:?}");
+}
