@@ -121,6 +121,29 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The versioned key domains in use across the workspace, collected in
+/// one place so a change to any stage's serialized artifact bumps its
+/// domain here and nowhere else. Two different domains never collide
+/// (the domain is hashed with a terminator before the parts).
+pub mod domains {
+    /// Spec text → canonical `.sg` (elaboration).
+    pub const ELABORATE: &str = "elaborate.v1";
+    /// Canonical `.sg` → excitation-region report.
+    pub const REGIONS: &str = "regions.v1";
+    /// Canonical `.sg` + target → monotonous-cover report.
+    pub const MC_REPORT: &str = "mcreport.v1";
+    /// Canonical `.sg` + options → CSC-reduced `.sg`.
+    pub const REDUCE: &str = "reduce.v1";
+    /// Canonical `.sg` + target + options → verification verdict.
+    pub const VERDICT: &str = "verdict.v1";
+    /// Fuzz recipe bytes → case outcome (the corpus bank).
+    pub const FUZZ_RECIPE: &str = "fuzz.recipe.v1";
+    /// Request body + endpoint → single-flight dedup key in `simc serve`.
+    pub const SERVE_FLIGHT: &str = "serve.flight.v1";
+    /// Canonical artifact bytes + format id + direction → converted text.
+    pub const CONVERT: &str = "convert.v1";
+}
+
 /// Convenience: hashes `parts` (each length-prefixed) in `domain`.
 pub fn key_of(domain: &str, parts: &[&[u8]]) -> Key {
     let mut hasher = KeyHasher::new(domain);

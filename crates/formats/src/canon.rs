@@ -1,0 +1,67 @@
+//! The canonical textual form of a [`Netlist`].
+//!
+//! Round-trip testing needs an equality notion that is insensitive to
+//! how a netlist was *expressed* (EDIF, the in-memory builder) but
+//! pinned to what it *is*: the ordered nets, gates, rails and bindings.
+//! This serializer dumps exactly that state, one record per line, so
+//! `canonical_netlist(parse(emit(nl))) == canonical_netlist(nl)` is a
+//! byte-level check — the acceptance gate for every format that parses.
+
+use simc_netlist::{GateKind, Netlist};
+
+/// Serializes every observable field of the netlist deterministically.
+pub fn canonical_netlist(nl: &Netlist) -> String {
+    let mut out = String::from(".netlist\n");
+    out.push_str(&format!(".nets {}\n", nl.net_count()));
+    for id in nl.net_ids() {
+        let mut line = format!("n{} {}", id.index(), nl.net_name(id));
+        if nl.inputs().contains(&id) {
+            line.push_str(" input");
+        }
+        if nl.initial_value(id) {
+            line.push_str(" init=1");
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!(".gates {}\n", nl.gate_count()));
+    for g in nl.gate_ids() {
+        let kind = nl.gate_kind(g);
+        let mut line = format!("g{} {}", g.index(), kind.name());
+        match kind {
+            GateKind::And { inverted }
+            | GateKind::Or { inverted }
+            | GateKind::Nand { inverted }
+            | GateKind::Nor { inverted }
+            | GateKind::CElement { inverted } => {
+                line.push_str(&format!(" inv={inverted:x}"));
+            }
+            GateKind::Complex { feedback } => {
+                if feedback {
+                    line.push_str(" feedback");
+                }
+            }
+            GateKind::Not | GateKind::Buf => {}
+        }
+        let inputs: Vec<String> =
+            nl.gate_inputs(g).iter().map(|n| format!("n{}", n.index())).collect();
+        line.push_str(&format!(" in={}", inputs.join(",")));
+        line.push_str(&format!(" out=n{}", nl.gate_output(g).index()));
+        if let Some(comp) = nl.gate_comp_output(g) {
+            line.push_str(&format!(" comp=n{}", comp.index()));
+        }
+        if let Some(sop) = nl.gate_sop(g) {
+            let terms: Vec<String> =
+                sop.iter().map(|&(care, value)| format!("{care:x}:{value:x}")).collect();
+            line.push_str(&format!(" sop={}", terms.join(";")));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!(".outputs {}\n", nl.outputs().len()));
+    for (signal, net) in nl.outputs() {
+        out.push_str(&format!("{signal} n{}\n", net.index()));
+    }
+    out.push_str(".end\n");
+    out
+}

@@ -1,0 +1,798 @@
+//! EDIF 2.0.0 netlist writer and reader.
+//!
+//! # Encoding
+//!
+//! The writer emits two libraries. `simc_cells` declares one generic
+//! cell per (gate kind, arity) actually used, named by a fixed scheme:
+//!
+//! | cell        | gate                              | ports            |
+//! |-------------|-----------------------------------|------------------|
+//! | `AND<n>`    | [`GateKind::And`], n inputs       | `i0..i<n-1>`, `o`|
+//! | `OR<n>`     | [`GateKind::Or`]                  | `i0..`, `o`      |
+//! | `NAND<n>`   | [`GateKind::Nand`]                | `i0..`, `o`      |
+//! | `NOR<n>`    | [`GateKind::Nor`]                 | `i0..`, `o`      |
+//! | `INV`       | [`GateKind::Not`]                 | `i0`, `o`        |
+//! | `BUF`       | [`GateKind::Buf`]                 | `i0`, `o`        |
+//! | `C2`        | [`GateKind::CElement`], one rail  | `s`, `r`, `q`    |
+//! | `RS2`       | [`GateKind::CElement`] + comp rail| `s`, `r`, `q`, `qn` |
+//! | `CPLX<n>`   | [`GateKind::Complex`], n inputs   | `i0..`, `o`      |
+//!
+//! `work` holds the single `top` cell: every net of the [`Netlist`] in
+//! id order (`w0, w1, ...`, real name kept in a `rename` string), every
+//! gate as an instance in id order (`g0, g1, ...`), a top-level port per
+//! primary input and per output binding. Per-instance attributes ride as
+//! EDIF properties: `INVMASK` (decimal input-inversion mask), `SOP` (a
+//! `care:value;...` hex term list for complex gates), `FEEDBACK`.
+//! Per-net initial values become `(property INIT (integer 1))`.
+//!
+//! Because ids are positional, the reader recovers the exact net, gate
+//! and binding order, so an emit → parse round trip reproduces the
+//! canonical netlist form byte for byte (see [`crate::canonical_netlist`]).
+
+use std::collections::{BTreeSet, HashMap};
+
+use simc_netlist::{GateKind, NetId, Netlist};
+
+use crate::error::{EdifError, FormatError};
+use crate::sexpr::{self, Sexpr};
+
+/// A deterministic timestamp for the `(written ...)` status block: the
+/// opening day of DAC 1994, where the source paper appeared. Emission
+/// must be a pure function of the netlist, so no wall clock.
+const TIMESTAMP: &str = "1994 6 6 0 0 0";
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// The cell-library entry a gate maps to (shared with the SPICE
+/// emitter, which reuses the same naming scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Cell {
+    And(usize),
+    Or(usize),
+    Nand(usize),
+    Nor(usize),
+    Inv,
+    Buf,
+    C2,
+    Rs2,
+    Cplx(usize),
+}
+
+impl Cell {
+    pub(crate) fn of(nl: &Netlist, g: simc_netlist::GateId) -> Cell {
+        let arity = nl.gate_inputs(g).len();
+        match nl.gate_kind(g) {
+            GateKind::And { .. } => Cell::And(arity),
+            GateKind::Or { .. } => Cell::Or(arity),
+            GateKind::Nand { .. } => Cell::Nand(arity),
+            GateKind::Nor { .. } => Cell::Nor(arity),
+            GateKind::Not => Cell::Inv,
+            GateKind::Buf => Cell::Buf,
+            GateKind::Complex { .. } => Cell::Cplx(arity),
+            GateKind::CElement { .. } => {
+                if nl.gate_comp_output(g).is_some() {
+                    Cell::Rs2
+                } else {
+                    Cell::C2
+                }
+            }
+        }
+    }
+
+    pub(crate) fn name(self) -> String {
+        match self {
+            Cell::And(n) => format!("AND{n}"),
+            Cell::Or(n) => format!("OR{n}"),
+            Cell::Nand(n) => format!("NAND{n}"),
+            Cell::Nor(n) => format!("NOR{n}"),
+            Cell::Inv => "INV".to_string(),
+            Cell::Buf => "BUF".to_string(),
+            Cell::C2 => "C2".to_string(),
+            Cell::Rs2 => "RS2".to_string(),
+            Cell::Cplx(n) => format!("CPLX{n}"),
+        }
+    }
+
+    /// Port names: inputs in position order, then `o`/`q` (and `qn`).
+    pub(crate) fn ports(self) -> Vec<String> {
+        let combinational = |n: usize| -> Vec<String> {
+            (0..n).map(|i| format!("i{i}")).chain(["o".to_string()]).collect()
+        };
+        match self {
+            Cell::And(n) | Cell::Or(n) | Cell::Nand(n) | Cell::Nor(n) | Cell::Cplx(n) => {
+                combinational(n)
+            }
+            Cell::Inv | Cell::Buf => combinational(1),
+            Cell::C2 => vec!["s".to_string(), "r".to_string(), "q".to_string()],
+            Cell::Rs2 => {
+                vec!["s".to_string(), "r".to_string(), "q".to_string(), "qn".to_string()]
+            }
+        }
+    }
+
+    /// The input port name for position `j`.
+    pub(crate) fn input_port(self, j: usize) -> String {
+        match self {
+            Cell::C2 | Cell::Rs2 => ["s", "r"][j].to_string(),
+            _ => format!("i{j}"),
+        }
+    }
+
+    /// The main output port name.
+    pub(crate) fn output_port(self) -> &'static str {
+        match self {
+            Cell::C2 | Cell::Rs2 => "q",
+            _ => "o",
+        }
+    }
+}
+
+/// EDIF strings have no escape mechanism we rely on; reject names that
+/// could not survive a quoted round trip (never produced by the
+/// pipeline, whose names come from whitespace-split spec tokens).
+fn check_name(name: &str) -> Result<(), FormatError> {
+    let ok = !name.is_empty()
+        && name.bytes().all(|b| b.is_ascii_graphic() && b != b'"' && b != b'\\');
+    if ok {
+        Ok(())
+    } else {
+        Err(FormatError::Unsupported {
+            format: "edif",
+            operation: "emitting names with quotes, backslashes or non-ASCII characters",
+        })
+    }
+}
+
+/// Serializes `nl` as an EDIF 2.0.0 netlist (deterministic bytes).
+///
+/// # Errors
+///
+/// Fails only on names that cannot be carried in an EDIF string.
+pub fn write_edif(nl: &Netlist) -> Result<String, FormatError> {
+    for id in nl.net_ids() {
+        check_name(nl.net_name(id))?;
+    }
+    for (signal, _) in nl.outputs() {
+        check_name(signal)?;
+    }
+    let cells: BTreeSet<Cell> = nl.gate_ids().map(|g| Cell::of(nl, g)).collect();
+    let mut out = String::from("(edif simc\n");
+    out.push_str("  (edifVersion 2 0 0)\n  (edifLevel 0)\n");
+    out.push_str("  (keywordMap (keywordLevel 0))\n");
+    out.push_str(&format!(
+        "  (status (written (timeStamp {TIMESTAMP}) (program \"simc\")))\n"
+    ));
+    out.push_str("  (library simc_cells\n");
+    out.push_str("    (edifLevel 0)\n    (technology (numberDefinition))\n");
+    for cell in &cells {
+        out.push_str(&format!(
+            "    (cell {} (cellType GENERIC)\n      (view net (viewType NETLIST)\n        (interface\n",
+            cell.name()
+        ));
+        let ports = cell.ports();
+        let outputs_from = match cell {
+            Cell::Rs2 => ports.len() - 2,
+            _ => ports.len() - 1,
+        };
+        for (i, port) in ports.iter().enumerate() {
+            let dir = if i < outputs_from { "INPUT" } else { "OUTPUT" };
+            out.push_str(&format!("          (port {port} (direction {dir}))\n"));
+        }
+        out.push_str("        )))\n");
+    }
+    out.push_str("  )\n");
+    out.push_str("  (library work\n");
+    out.push_str("    (edifLevel 0)\n    (technology (numberDefinition))\n");
+    out.push_str("    (cell top (cellType GENERIC)\n");
+    out.push_str("      (view net (viewType NETLIST)\n");
+    out.push_str("        (interface\n");
+    let mut port_idx = 0;
+    let mut input_port: HashMap<NetId, usize> = HashMap::new();
+    for &net in nl.inputs() {
+        out.push_str(&format!(
+            "          (port (rename p{port_idx} \"{}\") (direction INPUT))\n",
+            nl.net_name(net)
+        ));
+        input_port.insert(net, port_idx);
+        port_idx += 1;
+    }
+    let output_ports_from = port_idx;
+    for (signal, _) in nl.outputs() {
+        out.push_str(&format!(
+            "          (port (rename p{port_idx} \"{signal}\") (direction OUTPUT))\n"
+        ));
+        port_idx += 1;
+    }
+    out.push_str("        )\n        (contents\n");
+    for g in nl.gate_ids() {
+        let cell = Cell::of(nl, g);
+        out.push_str(&format!(
+            "          (instance g{} (viewRef net (cellRef {} (libraryRef simc_cells)))",
+            g.index(),
+            cell.name()
+        ));
+        let inverted = match nl.gate_kind(g) {
+            GateKind::And { inverted }
+            | GateKind::Or { inverted }
+            | GateKind::Nand { inverted }
+            | GateKind::Nor { inverted }
+            | GateKind::CElement { inverted } => inverted,
+            _ => 0,
+        };
+        if inverted != 0 {
+            out.push_str(&format!("\n            (property INVMASK (integer {inverted}))"));
+        }
+        if let GateKind::Complex { feedback } = nl.gate_kind(g) {
+            let sop = nl.gate_sop(g).expect("complex gate carries its SOP");
+            let terms: Vec<String> =
+                sop.iter().map(|&(care, value)| format!("{care:x}:{value:x}")).collect();
+            out.push_str(&format!(
+                "\n            (property SOP (string \"{}\"))",
+                terms.join(";")
+            ));
+            if feedback {
+                out.push_str("\n            (property FEEDBACK (integer 1))");
+            }
+        }
+        out.push_str(")\n");
+    }
+    // Who is joined to each net: the driving port, top ports, loads.
+    let mut joined: Vec<Vec<String>> = vec![Vec::new(); nl.net_count()];
+    for g in nl.gate_ids() {
+        let cell = Cell::of(nl, g);
+        joined[nl.gate_output(g).index()]
+            .push(format!("(portRef {} (instanceRef g{}))", cell.output_port(), g.index()));
+        if let Some(comp) = nl.gate_comp_output(g) {
+            joined[comp.index()].push(format!("(portRef qn (instanceRef g{}))", g.index()));
+        }
+    }
+    for (net, idx) in &input_port {
+        joined[net.index()].push(format!("(portRef p{idx})"));
+    }
+    for (offset, (_, net)) in nl.outputs().iter().enumerate() {
+        joined[net.index()].push(format!("(portRef p{})", output_ports_from + offset));
+    }
+    for g in nl.gate_ids() {
+        let cell = Cell::of(nl, g);
+        for (j, net) in nl.gate_inputs(g).iter().enumerate() {
+            joined[net.index()]
+                .push(format!("(portRef {} (instanceRef g{}))", cell.input_port(j), g.index()));
+        }
+    }
+    for id in nl.net_ids() {
+        out.push_str(&format!(
+            "          (net (rename w{} \"{}\")\n            (joined",
+            id.index(),
+            nl.net_name(id)
+        ));
+        for port_ref in &joined[id.index()] {
+            out.push_str(&format!("\n              {port_ref}"));
+        }
+        out.push(')');
+        if nl.initial_value(id) {
+            out.push_str("\n            (property INIT (integer 1))");
+        }
+        out.push_str(")\n");
+    }
+    out.push_str("        )))\n  )\n");
+    out.push_str("  (design top (cellRef top (libraryRef work))))\n");
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+fn model_err(line: usize, message: impl Into<String>) -> EdifError {
+    EdifError::Model { line, message: message.into() }
+}
+
+/// The resolved name of a named EDIF object: `symbol` or
+/// `(rename id "real name")`. Returns `(identifier, display name)`.
+fn name_of(node: &Sexpr) -> Result<(String, String), EdifError> {
+    if let Some(text) = node.as_symbol() {
+        return Ok((text.to_string(), text.to_string()));
+    }
+    if node.head() == Some("rename") {
+        let items = node.as_list().expect("head implies list");
+        if let (Some(Sexpr::Symbol { text: id, .. }), Some(Sexpr::Str { text: name, .. })) =
+            (items.get(1), items.get(2))
+        {
+            return Ok((id.clone(), name.clone()));
+        }
+    }
+    Err(model_err(node.line(), "expected a name or (rename id \"name\")"))
+}
+
+/// The lists among `items` whose head keyword is `kw`.
+fn children<'a>(items: &'a [Sexpr], kw: &'a str) -> impl Iterator<Item = &'a Sexpr> {
+    items.iter().filter(move |n| n.head() == Some(kw))
+}
+
+fn child<'a>(node: &'a Sexpr, kw: &'a str) -> Result<&'a Sexpr, EdifError> {
+    children(node.as_list().unwrap_or(&[]), kw)
+        .next()
+        .ok_or_else(|| model_err(node.line(), format!("missing ({kw} ...)")))
+}
+
+/// An `(instance ...)` as collected from the top cell's contents.
+struct Instance {
+    line: usize,
+    id: String,
+    cell: Cell,
+    inverted: u64,
+    sop: Option<Vec<(u64, u64)>>,
+    feedback: bool,
+}
+
+/// A top-level interface `(port ...)`.
+struct TopPort {
+    line: usize,
+    id: String,
+    name: String,
+    is_input: bool,
+}
+
+/// A `(net ...)` as collected from the top cell's contents.
+struct Net {
+    line: usize,
+    name: String,
+    init: bool,
+    /// `(port, Some(instance))` for instance pins, `(port, None)` for
+    /// top-level interface ports.
+    joined: Vec<(String, Option<String>, usize)>,
+}
+
+/// Parses `(property NAME (integer N) | (string S))` entries.
+fn properties(items: &[Sexpr]) -> Result<HashMap<String, Sexpr>, EdifError> {
+    let mut map = HashMap::new();
+    for prop in children(items, "property") {
+        let fields = prop.as_list().expect("head implies list");
+        let name = fields
+            .get(1)
+            .and_then(Sexpr::as_symbol)
+            .ok_or_else(|| model_err(prop.line(), "property needs a name"))?;
+        let value = fields
+            .get(2)
+            .and_then(|v| v.as_list())
+            .and_then(|v| v.get(1))
+            .ok_or_else(|| model_err(prop.line(), format!("property {name} needs a value")))?;
+        map.insert(name.to_string(), value.clone());
+    }
+    Ok(map)
+}
+
+fn cell_by_name(name: &str, line: usize) -> Result<Cell, EdifError> {
+    let arity = |prefix: &str| -> Result<usize, EdifError> {
+        let n: usize = name[prefix.len()..]
+            .parse()
+            .map_err(|_| model_err(line, format!("malformed cell name `{name}`")))?;
+        if n == 0 || n > 64 {
+            return Err(model_err(line, format!("cell `{name}`: arity out of range (1..=64)")));
+        }
+        Ok(n)
+    };
+    match name {
+        "INV" => Ok(Cell::Inv),
+        "BUF" => Ok(Cell::Buf),
+        "C2" => Ok(Cell::C2),
+        "RS2" => Ok(Cell::Rs2),
+        _ if name.starts_with("AND") => Ok(Cell::And(arity("AND")?)),
+        _ if name.starts_with("NAND") => Ok(Cell::Nand(arity("NAND")?)),
+        _ if name.starts_with("NOR") => Ok(Cell::Nor(arity("NOR")?)),
+        _ if name.starts_with("OR") => Ok(Cell::Or(arity("OR")?)),
+        _ if name.starts_with("CPLX") => Ok(Cell::Cplx(arity("CPLX")?)),
+        _ => Err(model_err(line, format!("unknown cell `{name}` (not in simc_cells)"))),
+    }
+}
+
+fn parse_sop(text: &str, line: usize) -> Result<Vec<(u64, u64)>, EdifError> {
+    let mut sop = Vec::new();
+    for term in text.split(';').filter(|t| !t.is_empty()) {
+        let (care, value) = term
+            .split_once(':')
+            .ok_or_else(|| model_err(line, format!("malformed SOP term `{term}`")))?;
+        let parse = |s: &str| {
+            u64::from_str_radix(s, 16)
+                .map_err(|_| model_err(line, format!("malformed SOP term `{term}`")))
+        };
+        sop.push((parse(care)?, parse(value)?));
+    }
+    Ok(sop)
+}
+
+/// Reads an EDIF 2.0.0 netlist produced by [`write_edif`] (or compatible
+/// hand-written text) back into a [`Netlist`].
+///
+/// # Errors
+///
+/// [`EdifError::Syntax`] for malformed s-expressions, [`EdifError::Model`]
+/// for structurally invalid netlists — both with 1-based line numbers.
+pub fn read_edif(text: &str) -> Result<Netlist, EdifError> {
+    let root = sexpr::parse(text)?;
+    if root.head() != Some("edif") {
+        return Err(model_err(root.line(), "top-level form is not (edif ...)"));
+    }
+    let items = root.as_list().expect("head implies list");
+
+    // The design names the top cell and its library.
+    let design = children(items, "design")
+        .next()
+        .ok_or_else(|| model_err(root.line(), "missing (design ...)"))?;
+    let cell_ref = child(design, "cellRef")?;
+    let top_cell = cell_ref
+        .as_list()
+        .expect("head implies list")
+        .get(1)
+        .and_then(Sexpr::as_symbol)
+        .ok_or_else(|| model_err(cell_ref.line(), "cellRef needs a cell name"))?;
+    let lib_ref = child(cell_ref, "libraryRef")?;
+    let top_lib = lib_ref
+        .as_list()
+        .expect("head implies list")
+        .get(1)
+        .and_then(Sexpr::as_symbol)
+        .ok_or_else(|| model_err(lib_ref.line(), "libraryRef needs a library name"))?;
+
+    let library = children(items, "library")
+        .find(|lib| {
+            lib.as_list().and_then(|l| l.get(1)).and_then(Sexpr::as_symbol) == Some(top_lib)
+        })
+        .ok_or_else(|| model_err(design.line(), format!("design library `{top_lib}` not found")))?;
+    let cell = children(library.as_list().expect("head implies list"), "cell")
+        .find(|c| c.as_list().and_then(|l| l.get(1)).and_then(Sexpr::as_symbol) == Some(top_cell))
+        .ok_or_else(|| {
+            model_err(design.line(), format!("design cell `{top_cell}` not found in `{top_lib}`"))
+        })?;
+    let view = child(cell, "view")?;
+    let interface = child(view, "interface")?;
+    let contents = child(view, "contents")?;
+
+    // Interface: ordered top-level ports with directions.
+    let mut ports: Vec<TopPort> = Vec::new();
+    for port in children(interface.as_list().expect("head implies list"), "port") {
+        let fields = port.as_list().expect("head implies list");
+        let (id, name) = fields
+            .get(1)
+            .ok_or_else(|| model_err(port.line(), "port needs a name"))
+            .and_then(name_of)?;
+        let dir = child(port, "direction")?;
+        let dir = dir
+            .as_list()
+            .expect("head implies list")
+            .get(1)
+            .and_then(Sexpr::as_symbol)
+            .ok_or_else(|| model_err(port.line(), "direction needs INPUT or OUTPUT"))?;
+        let is_input = match dir {
+            "INPUT" => true,
+            "OUTPUT" => false,
+            other => {
+                return Err(model_err(
+                    port.line(),
+                    format!("unsupported port direction `{other}`"),
+                ))
+            }
+        };
+        ports.push(TopPort { line: port.line(), id, name, is_input });
+    }
+
+    // Contents: instances and nets in document order.
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut nets: Vec<Net> = Vec::new();
+    for node in contents.as_list().expect("head implies list") {
+        match node.head() {
+            Some("instance") => {
+                let fields = node.as_list().expect("head implies list");
+                let (id, _) = fields
+                    .get(1)
+                    .ok_or_else(|| model_err(node.line(), "instance needs a name"))
+                    .and_then(name_of)?;
+                let view_ref = child(node, "viewRef")?;
+                let cell_ref = child(view_ref, "cellRef")?;
+                let cell_name = cell_ref
+                    .as_list()
+                    .expect("head implies list")
+                    .get(1)
+                    .and_then(Sexpr::as_symbol)
+                    .ok_or_else(|| model_err(cell_ref.line(), "cellRef needs a cell name"))?;
+                let cell = cell_by_name(cell_name, cell_ref.line())?;
+                let props = properties(fields)?;
+                let inverted = match props.get("INVMASK") {
+                    Some(Sexpr::Int { value, .. }) => *value,
+                    Some(other) => {
+                        return Err(model_err(other.line(), "INVMASK must be an integer"))
+                    }
+                    None => 0,
+                };
+                let sop = match props.get("SOP") {
+                    Some(Sexpr::Str { text, line }) => Some(parse_sop(text, *line)?),
+                    Some(other) => return Err(model_err(other.line(), "SOP must be a string")),
+                    None => None,
+                };
+                let feedback = matches!(props.get("FEEDBACK"), Some(Sexpr::Int { value: 1, .. }));
+                instances.push(Instance { line: node.line(), id, cell, inverted, sop, feedback });
+            }
+            Some("net") => {
+                let fields = node.as_list().expect("head implies list");
+                let (_, name) = fields
+                    .get(1)
+                    .ok_or_else(|| model_err(node.line(), "net needs a name"))
+                    .and_then(name_of)?;
+                let joined_node = child(node, "joined")?;
+                let mut joined = Vec::new();
+                for port_ref in children(joined_node.as_list().expect("head implies list"), "portRef")
+                {
+                    let pr = port_ref.as_list().expect("head implies list");
+                    let port = pr
+                        .get(1)
+                        .and_then(Sexpr::as_symbol)
+                        .ok_or_else(|| model_err(port_ref.line(), "portRef needs a port name"))?;
+                    let instance = match children(pr, "instanceRef").next() {
+                        Some(ir) => Some(
+                            ir.as_list()
+                                .expect("head implies list")
+                                .get(1)
+                                .and_then(Sexpr::as_symbol)
+                                .ok_or_else(|| {
+                                    model_err(ir.line(), "instanceRef needs an instance name")
+                                })?
+                                .to_string(),
+                        ),
+                        None => None,
+                    };
+                    joined.push((port.to_string(), instance, port_ref.line()));
+                }
+                let props = properties(fields)?;
+                let init = match props.get("INIT") {
+                    Some(Sexpr::Int { value, .. }) => *value != 0,
+                    Some(other) => {
+                        return Err(model_err(other.line(), "INIT must be an integer"))
+                    }
+                    None => false,
+                };
+                nets.push(Net { line: node.line(), name, init, joined });
+            }
+            _ => {}
+        }
+    }
+
+    build_netlist(&ports, &instances, &nets)
+}
+
+/// Rebuilds the [`Netlist`] from the collected interface, instances and
+/// nets. Net document order defines [`NetId`] order; instance document
+/// order defines gate order — both so the canonical form round-trips.
+fn build_netlist(
+    ports: &[TopPort],
+    instances: &[Instance],
+    nets: &[Net],
+) -> Result<Netlist, EdifError> {
+    let mut nl = Netlist::new();
+    // (instance id, port) -> net, and top-port id -> net.
+    let mut pins: HashMap<(String, String), NetId> = HashMap::new();
+    let mut top_pins: HashMap<String, NetId> = HashMap::new();
+    let mut net_ids: Vec<NetId> = Vec::with_capacity(nets.len());
+    for net in nets {
+        let is_input = net.joined.iter().any(|(port, instance, _)| {
+            instance.is_none()
+                && ports.iter().any(|p| p.is_input && p.id == *port)
+        });
+        let id = if is_input { nl.add_input(&net.name) } else { nl.add_net(&net.name) }
+            .map_err(|e| model_err(net.line, e.to_string()))?;
+        net_ids.push(id);
+        for (port, instance, line) in &net.joined {
+            let clash = match instance {
+                Some(inst) => {
+                    pins.insert((inst.clone(), port.clone()), id).is_some()
+                }
+                None => {
+                    if !ports.iter().any(|p| p.id == *port) {
+                        return Err(model_err(
+                            *line,
+                            format!("portRef `{port}` names no interface port"),
+                        ));
+                    }
+                    top_pins.insert(port.clone(), id).is_some()
+                }
+            };
+            if clash {
+                return Err(model_err(
+                    *line,
+                    format!("port `{port}` is joined to more than one net"),
+                ));
+            }
+        }
+    }
+    for inst in instances {
+        let pin = |port: String| -> Result<NetId, EdifError> {
+            pins.get(&(inst.id.clone(), port.clone())).copied().ok_or_else(|| {
+                model_err(
+                    inst.line,
+                    format!("instance `{}`: port `{port}` is unconnected", inst.id),
+                )
+            })
+        };
+        let arity = match inst.cell {
+            Cell::And(n) | Cell::Or(n) | Cell::Nand(n) | Cell::Nor(n) | Cell::Cplx(n) => n,
+            Cell::Inv | Cell::Buf => 1,
+            Cell::C2 | Cell::Rs2 => 2,
+        };
+        let inputs: Vec<NetId> =
+            (0..arity).map(|j| pin(inst.cell.input_port(j))).collect::<Result<_, _>>()?;
+        let out = pin(inst.cell.output_port().to_string())?;
+        let rebuilt = match inst.cell {
+            Cell::And(_) => {
+                nl.drive_gate(out, GateKind::And { inverted: inst.inverted }, &inputs).map(|_| ())
+            }
+            Cell::Or(_) => {
+                nl.drive_gate(out, GateKind::Or { inverted: inst.inverted }, &inputs).map(|_| ())
+            }
+            Cell::Nand(_) => {
+                nl.drive_gate(out, GateKind::Nand { inverted: inst.inverted }, &inputs).map(|_| ())
+            }
+            Cell::Nor(_) => {
+                nl.drive_gate(out, GateKind::Nor { inverted: inst.inverted }, &inputs).map(|_| ())
+            }
+            Cell::Inv => nl.drive_gate(out, GateKind::Not, &inputs).map(|_| ()),
+            Cell::Buf => nl.drive_gate(out, GateKind::Buf, &inputs).map(|_| ()),
+            Cell::C2 => nl
+                .drive_gate(out, GateKind::CElement { inverted: inst.inverted }, &inputs)
+                .map(|_| ()),
+            Cell::Cplx(_) => {
+                let sop = inst.sop.clone().ok_or_else(|| {
+                    model_err(
+                        inst.line,
+                        format!("instance `{}`: CPLX cell needs a SOP property", inst.id),
+                    )
+                })?;
+                nl.drive_complex(out, &inputs, &sop, inst.feedback, false)
+            }
+            Cell::Rs2 => {
+                let qn = pin("qn".to_string())?;
+                nl.drive_rs_latch_with(
+                    out,
+                    qn,
+                    (inputs[0], inst.inverted & 1 == 0),
+                    (inputs[1], inst.inverted & 2 == 0),
+                    false,
+                )
+            }
+        };
+        rebuilt.map_err(|e| {
+            model_err(inst.line, format!("instance `{}`: {e}", inst.id))
+        })?;
+    }
+    for port in ports.iter().filter(|p| !p.is_input) {
+        let net = top_pins.get(&port.id).copied().ok_or_else(|| {
+            model_err(
+                port.line,
+                format!("output port `{}` is not joined to any net", port.name),
+            )
+        })?;
+        nl.bind_output(&port.name, net)
+            .map_err(|e| model_err(port.line, e.to_string()))?;
+    }
+    // Initial values last: `drive_rs_latch_with`/`drive_complex` set
+    // their own defaults, and the INIT properties are authoritative.
+    for (idx, net) in nets.iter().enumerate() {
+        nl.set_initial_value(net_ids[idx], net.init);
+    }
+    Ok(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::canonical_netlist;
+
+    fn round_trip(nl: &Netlist) {
+        let edif = write_edif(nl).expect("emit");
+        let back = read_edif(&edif).expect("parse what we emitted");
+        assert_eq!(canonical_netlist(&back), canonical_netlist(nl), "\n{edif}");
+        // Emission is idempotent over a parse once the netlist came from
+        // a parse (net order is id order on both sides).
+        assert_eq!(write_edif(&back).expect("re-emit"), edif);
+    }
+
+    #[test]
+    fn round_trips_combinational_gates() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let t = nl.add_net("t").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.drive_gate(t, GateKind::And { inverted: 0b10 }, &[a, b]).unwrap();
+        nl.drive_gate(y, GateKind::Nor { inverted: 0 }, &[t, c]).unwrap();
+        nl.bind_output("y", y).unwrap();
+        round_trip(&nl);
+    }
+
+    #[test]
+    fn round_trips_latches_and_initial_values() {
+        let mut nl = Netlist::new();
+        let s = nl.add_input("set").unwrap();
+        let r = nl.add_input("reset").unwrap();
+        let q = nl.add_net("q").unwrap();
+        let qn = nl.add_net("q_n").unwrap();
+        let c = nl.add_net("c").unwrap();
+        nl.drive_rs_latch_with(q, qn, (s, true), (r, false), true).unwrap();
+        nl.drive_gate(c, GateKind::CElement { inverted: 0b01 }, &[q, r]).unwrap();
+        nl.set_initial_value(c, true);
+        nl.bind_output("q", q).unwrap();
+        nl.bind_output("c", c).unwrap();
+        round_trip(&nl);
+    }
+
+    #[test]
+    fn round_trips_complex_gates() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let y = nl.add_net("y").unwrap();
+        // y = a·b + y·b (self-sustaining term through feedback).
+        nl.drive_complex(y, &[a, b], &[(0b011, 0b011), (0b110, 0b110)], true, false)
+            .unwrap();
+        nl.bind_output("y", y).unwrap();
+        round_trip(&nl);
+    }
+
+    #[test]
+    fn round_trips_inverters_and_buffers() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let an = nl.add_net("a_inv").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.drive_gate(an, GateKind::Not, &[a]).unwrap();
+        nl.drive_gate(y, GateKind::Buf, &[an]).unwrap();
+        nl.bind_output("y", y).unwrap();
+        round_trip(&nl);
+    }
+
+    #[test]
+    fn rejects_unquotable_names() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a\"b").unwrap();
+        let _ = a;
+        assert!(matches!(
+            write_edif(&nl),
+            Err(FormatError::Unsupported { format: "edif", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_cell_is_a_model_error_with_its_line() {
+        let text = "(edif simc\n  (library work (edifLevel 0)\n    (cell top (cellType GENERIC)\n      (view net (viewType NETLIST)\n        (interface)\n        (contents\n          (instance g0 (viewRef net (cellRef XOR2 (libraryRef simc_cells))))))))\n  (design top (cellRef top (libraryRef work))))";
+        match read_edif(text) {
+            Err(EdifError::Model { line, message }) => {
+                assert_eq!(line, 7, "{message}");
+                assert!(message.contains("XOR2"), "{message}");
+            }
+            other => panic!("expected model error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconnected_port_is_a_model_error() {
+        let text = "(edif simc\n  (library work (edifLevel 0)\n    (cell top (cellType GENERIC)\n      (view net (viewType NETLIST)\n        (interface (port p0 (direction INPUT)))\n        (contents\n          (instance g0 (viewRef net (cellRef INV (libraryRef simc_cells))))\n          (net a (joined (portRef p0) (portRef i0 (instanceRef g0))))))))\n  (design top (cellRef top (libraryRef work))))";
+        match read_edif(text) {
+            Err(EdifError::Model { line, message }) => {
+                assert_eq!(line, 7, "{message}");
+                assert!(message.contains("`o` is unconnected"), "{message}");
+            }
+            other => panic!("expected model error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_design_is_a_model_error() {
+        match read_edif("(edif simc)") {
+            Err(EdifError::Model { line: 1, message }) => {
+                assert!(message.contains("design"), "{message}");
+            }
+            other => panic!("expected model error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Typed errors for the interchange-format layer.
+
+use std::error::Error;
+use std::fmt;
+
+use simc_netlist::NetlistError;
+use simc_sg::SgError;
+
+/// An EDIF reading failure, always carrying the 1-based source line —
+/// the same discipline as `SgError::Parse` and `StgError`, so the CLI
+/// and daemon surface `file:line` diagnostics for every input language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EdifError {
+    /// The text is not a well-formed s-expression (unbalanced
+    /// parentheses, unterminated string, malformed literal).
+    Syntax {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The s-expression tree is well-formed but does not describe a
+    /// netlist this library understands (missing design, unknown cell,
+    /// unconnected port, duplicate driver, ...).
+    Model {
+        /// 1-based line of the construct the problem was found in.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl EdifError {
+    /// The 1-based source line the error points at.
+    pub fn line(&self) -> usize {
+        match self {
+            EdifError::Syntax { line, .. } | EdifError::Model { line, .. } => *line,
+        }
+    }
+}
+
+impl fmt::Display for EdifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdifError::Syntax { line, message } => {
+                write!(f, "edif syntax error at line {line}: {message}")
+            }
+            EdifError::Model { line, message } => {
+                write!(f, "edif model error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for EdifError {}
+
+/// Any failure of a [`crate::Format`] operation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// No registered format has the requested id.
+    UnknownFormat(String),
+    /// The format does not support the requested operation (for example
+    /// parsing a SPICE deck, or emitting a netlist format straight from
+    /// a state graph without synthesis).
+    Unsupported {
+        /// The format's id.
+        format: &'static str,
+        /// The unsupported operation, for the diagnostic.
+        operation: &'static str,
+    },
+    /// EDIF reading failed.
+    Edif(EdifError),
+    /// `.sg` parsing failed (the identity format).
+    Sg(SgError),
+    /// The parsed structure was rejected while rebuilding the netlist.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::UnknownFormat(id) => {
+                write!(f, "unknown format `{id}` (see `simc convert --list`)")
+            }
+            FormatError::Unsupported { format, operation } => {
+                write!(f, "format `{format}` does not support {operation}")
+            }
+            FormatError::Edif(e) => write!(f, "{e}"),
+            FormatError::Sg(e) => write!(f, "{e}"),
+            FormatError::Netlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for FormatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FormatError::Edif(e) => Some(e),
+            FormatError::Sg(e) => Some(e),
+            FormatError::Netlist(e) => Some(e),
+            FormatError::UnknownFormat(_) | FormatError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<EdifError> for FormatError {
+    fn from(e: EdifError) -> Self {
+        FormatError::Edif(e)
+    }
+}
+
+impl From<SgError> for FormatError {
+    fn from(e: SgError) -> Self {
+        FormatError::Sg(e)
+    }
+}
+
+impl From<NetlistError> for FormatError {
+    fn from(e: NetlistError) -> Self {
+        FormatError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_line_numbers() {
+        let e = EdifError::Syntax { line: 7, message: "unclosed `(`".to_string() };
+        assert_eq!(e.line(), 7);
+        assert!(e.to_string().contains("line 7"));
+        let e = EdifError::Model { line: 3, message: "unknown cell".to_string() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(FormatError::from(e).to_string().contains("line 3"));
+        assert!(FormatError::UnknownFormat("bogus".to_string())
+            .to_string()
+            .contains("bogus"));
+    }
+}

@@ -1,0 +1,269 @@
+//! A line-tracking s-expression reader for the EDIF 2.0.0 surface syntax.
+//!
+//! EDIF is a fully parenthesized keyword language; everything the netlist
+//! reader needs is a tree of lists, symbols, quoted strings and unsigned
+//! integers, each remembering the 1-based line it started on so model
+//! errors point at source text.
+
+use crate::error::EdifError;
+
+/// One node of the parsed s-expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sexpr {
+    /// `( ... )`.
+    List {
+        /// Line of the opening parenthesis.
+        line: usize,
+        /// The elements, in order.
+        items: Vec<Sexpr>,
+    },
+    /// A bare identifier/keyword token.
+    Symbol {
+        /// Line the token started on.
+        line: usize,
+        /// The token text.
+        text: String,
+    },
+    /// A double-quoted string (no escape processing; EDIF names that
+    /// would need escapes are rejected at emit time).
+    Str {
+        /// Line the string started on.
+        line: usize,
+        /// The text between the quotes.
+        text: String,
+    },
+    /// A non-negative integer literal.
+    Int {
+        /// Line the literal started on.
+        line: usize,
+        /// The value.
+        value: u64,
+    },
+}
+
+impl Sexpr {
+    /// The 1-based line this node started on.
+    pub fn line(&self) -> usize {
+        match self {
+            Sexpr::List { line, .. }
+            | Sexpr::Symbol { line, .. }
+            | Sexpr::Str { line, .. }
+            | Sexpr::Int { line, .. } => *line,
+        }
+    }
+
+    /// The symbol text, if this node is a symbol.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Sexpr::Symbol { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    /// The list items, if this node is a list.
+    pub fn as_list(&self) -> Option<&[Sexpr]> {
+        match self {
+            Sexpr::List { items, .. } => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The head keyword of a list: its first element, when a symbol.
+    pub fn head(&self) -> Option<&str> {
+        self.as_list()?.first()?.as_symbol()
+    }
+}
+
+/// Parses one top-level s-expression, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns [`EdifError::Syntax`] with the offending line for unbalanced
+/// parentheses, unterminated strings, malformed integers or extra
+/// top-level tokens.
+pub fn parse(text: &str) -> Result<Sexpr, EdifError> {
+    let mut tokens = Tokenizer { rest: text.as_bytes(), pos: 0, line: 1 };
+    let first = tokens.next_token()?.ok_or(EdifError::Syntax {
+        line: 1,
+        message: "empty input, expected `(edif ...)`".to_string(),
+    })?;
+    let root = parse_node(first, &mut tokens)?;
+    if let Some(extra) = tokens.next_token()? {
+        return Err(EdifError::Syntax {
+            line: extra.line,
+            message: "unexpected text after the closing `)`".to_string(),
+        });
+    }
+    Ok(root)
+}
+
+/// A raw token with its starting line.
+struct Token {
+    line: usize,
+    kind: TokenKind,
+}
+
+enum TokenKind {
+    Open,
+    Close,
+    Symbol(String),
+    Str(String),
+    Int(u64),
+}
+
+struct Tokenizer<'a> {
+    rest: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl Tokenizer<'_> {
+    fn bump(&mut self) -> Option<u8> {
+        let byte = *self.rest.get(self.pos)?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+        }
+        Some(byte)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.rest.get(self.pos).copied()
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, EdifError> {
+        loop {
+            match self.peek() {
+                None => return Ok(None),
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'(') => {
+                    let line = self.line;
+                    self.bump();
+                    return Ok(Some(Token { line, kind: TokenKind::Open }));
+                }
+                Some(b')') => {
+                    let line = self.line;
+                    self.bump();
+                    return Ok(Some(Token { line, kind: TokenKind::Close }));
+                }
+                Some(b'"') => {
+                    let line = self.line;
+                    self.bump();
+                    let mut text = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'"') => break,
+                            Some(byte) => text.push(byte as char),
+                            None => {
+                                return Err(EdifError::Syntax {
+                                    line,
+                                    message: "unterminated string".to_string(),
+                                })
+                            }
+                        }
+                    }
+                    return Ok(Some(Token { line, kind: TokenKind::Str(text) }));
+                }
+                Some(_) => {
+                    let line = self.line;
+                    let mut text = String::new();
+                    while let Some(b) = self.peek() {
+                        if b.is_ascii_whitespace() || b == b'(' || b == b')' || b == b'"' {
+                            break;
+                        }
+                        self.bump();
+                        text.push(b as char);
+                    }
+                    if text.bytes().all(|b| b.is_ascii_digit()) {
+                        let value = text.parse::<u64>().map_err(|_| EdifError::Syntax {
+                            line,
+                            message: format!("integer `{text}` out of range"),
+                        })?;
+                        return Ok(Some(Token { line, kind: TokenKind::Int(value) }));
+                    }
+                    return Ok(Some(Token { line, kind: TokenKind::Symbol(text) }));
+                }
+            }
+        }
+    }
+}
+
+fn parse_node(token: Token, tokens: &mut Tokenizer<'_>) -> Result<Sexpr, EdifError> {
+    match token.kind {
+        TokenKind::Symbol(text) => Ok(Sexpr::Symbol { line: token.line, text }),
+        TokenKind::Str(text) => Ok(Sexpr::Str { line: token.line, text }),
+        TokenKind::Int(value) => Ok(Sexpr::Int { line: token.line, value }),
+        TokenKind::Close => Err(EdifError::Syntax {
+            line: token.line,
+            message: "unmatched `)`".to_string(),
+        }),
+        TokenKind::Open => {
+            let open_line = token.line;
+            let mut items = Vec::new();
+            loop {
+                let next = tokens.next_token()?.ok_or_else(|| EdifError::Syntax {
+                    line: open_line,
+                    message: "unclosed `(`".to_string(),
+                })?;
+                if let TokenKind::Close = next.kind {
+                    return Ok(Sexpr::List { line: open_line, items });
+                }
+                items.push(parse_node(next, tokens)?);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_lists_with_lines() {
+        let tree = parse("(a\n  (b 12 \"x y\")\n  c)").unwrap();
+        assert_eq!(tree.head(), Some("a"));
+        let items = tree.as_list().unwrap();
+        assert_eq!(items[1].line(), 2);
+        let inner = items[1].as_list().unwrap();
+        assert_eq!(inner[1], Sexpr::Int { line: 2, value: 12 });
+        assert_eq!(inner[2], Sexpr::Str { line: 2, text: "x y".to_string() });
+        assert_eq!(items[2].line(), 3);
+    }
+
+    #[test]
+    fn unbalanced_parens_report_lines() {
+        match parse("(a\n(b\n") {
+            Err(EdifError::Syntax { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("unclosed"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        assert!(matches!(
+            parse("(a))"),
+            Err(EdifError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(parse(")"), Err(EdifError::Syntax { line: 1, .. })));
+    }
+
+    #[test]
+    fn unterminated_string_reports_opening_line() {
+        match parse("(a\n \"runs off") {
+            Err(EdifError::Syntax { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("unterminated"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(matches!(
+            parse("(a) b"),
+            Err(EdifError::Syntax { line: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,272 @@
+//! A SPICE deck emitter for gate-level netlists.
+//!
+//! Every cell the netlist uses becomes one behavioural `.subckt`
+//! (B-source logic, 0/1 V levels); every gate becomes one `X` card
+//! instantiating its cell. Sequential cells (`C2`, `RS2`, feedback
+//! complex gates) model their state with an RC pair so the deck is
+//! directly simulable in ngspice-compatible simulators, and `.ic`
+//! lines pin the netlist's initial values.
+//!
+//! Inverted-input bubbles (the `inverted` masks on AND/OR/NAND/NOR and
+//! C-element gates) are materialized as explicit `INV` instances on
+//! generated `*_invN` nodes, keeping the cell library free of
+//! per-polarity variants — the same discipline the Verilog backend uses.
+
+use std::collections::{BTreeSet, HashMap};
+
+use simc_netlist::{GateKind, NetId, Netlist};
+
+use crate::edif::Cell;
+
+/// Emits the deck. Deterministic: cell definitions in name order,
+/// instances and nodes in id order.
+pub fn write_spice(nl: &Netlist) -> String {
+    let nodes = node_names(nl);
+    let node = |n: NetId| -> &str { &nodes[n.index()] };
+
+    let mut out = String::from("* SPICE deck emitted by simc\n");
+    let input_names: Vec<&str> = nl.inputs().iter().map(|&n| nl.net_name(n)).collect();
+    out.push_str(&format!("* primary inputs: {}\n", input_names.join(" ")));
+    let output_names: Vec<&str> = nl.outputs().iter().map(|(s, _)| s.as_str()).collect();
+    out.push_str(&format!("* outputs: {}\n", output_names.join(" ")));
+    out.push_str("* logic levels: 0 V / 1 V; behavioural subcircuits\n\n");
+
+    // Cell library: one .subckt per generic cell in use (INV is forced
+    // in whenever an inversion bubble must be materialized).
+    let mut cells: BTreeSet<Cell> = nl.gate_ids().map(|g| Cell::of(nl, g)).collect();
+    let needs_inv = nl.gate_ids().any(|g| inverted_mask(nl.gate_kind(g)) != 0);
+    if needs_inv {
+        cells.insert(Cell::Inv);
+    }
+    for cell in &cells {
+        match cell {
+            Cell::Cplx(_) => {} // per-instance definitions below
+            _ => out.push_str(&subckt_for(*cell)),
+        }
+    }
+    for g in nl.gate_ids() {
+        if let GateKind::Complex { feedback } = nl.gate_kind(g) {
+            let sop = nl.gate_sop(g).expect("complex gate carries its SOP");
+            out.push_str(&complex_subckt(
+                g.index(),
+                nl.gate_inputs(g).len(),
+                sop,
+                feedback,
+            ));
+        }
+    }
+
+    out.push_str("* primary input sources\n");
+    for &input in nl.inputs() {
+        out.push_str(&format!(
+            "Vin_{name} {name} 0 DC {}\n",
+            u8::from(nl.initial_value(input)),
+            name = node(input)
+        ));
+    }
+
+    out.push_str("* gate instances\n");
+    let mut ics: Vec<(String, bool)> = Vec::new();
+    for g in nl.gate_ids() {
+        let cell = Cell::of(nl, g);
+        let mask = inverted_mask(nl.gate_kind(g));
+        let mut pins: Vec<String> = Vec::new();
+        for (j, &input) in nl.gate_inputs(g).iter().enumerate() {
+            if mask >> j & 1 == 1 {
+                let bubbled = format!("g{}_inv{j}", g.index());
+                out.push_str(&format!("Xg{}i{j} {} {bubbled} INV\n", g.index(), node(input)));
+                pins.push(bubbled);
+            } else {
+                pins.push(node(input).to_string());
+            }
+        }
+        pins.push(node(nl.gate_output(g)).to_string());
+        if let Some(qn) = nl.gate_comp_output(g) {
+            pins.push(node(qn).to_string());
+            ics.push((node(qn).to_string(), nl.initial_value(qn)));
+        }
+        let subckt = match cell {
+            Cell::Cplx(_) => format!("CPLX_G{}", g.index()),
+            other => other.name(),
+        };
+        out.push_str(&format!("Xg{} {} {subckt}\n", g.index(), pins.join(" ")));
+        let stateful = matches!(
+            nl.gate_kind(g),
+            GateKind::CElement { .. } | GateKind::Complex { feedback: true }
+        );
+        if stateful {
+            let q = nl.gate_output(g);
+            ics.push((node(q).to_string(), nl.initial_value(q)));
+        }
+    }
+    if !ics.is_empty() {
+        out.push_str("* initial state\n");
+        for (name, value) in ics {
+            out.push_str(&format!(".ic V({name})={}\n", u8::from(value)));
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn inverted_mask(kind: GateKind) -> u64 {
+    match kind {
+        GateKind::And { inverted }
+        | GateKind::Or { inverted }
+        | GateKind::Nand { inverted }
+        | GateKind::Nor { inverted }
+        | GateKind::CElement { inverted } => inverted,
+        GateKind::Not | GateKind::Buf | GateKind::Complex { .. } => 0,
+    }
+}
+
+/// Valid SPICE node names per net, in id order: the net name with
+/// non-alphanumerics folded to `_`, disambiguated by net id on clashes.
+fn node_names(nl: &Netlist) -> Vec<String> {
+    let mut taken: HashMap<String, NetId> = HashMap::new();
+    let mut names = Vec::with_capacity(nl.net_count());
+    for id in nl.net_ids() {
+        let mut san: String = nl
+            .net_name(id)
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .collect();
+        if san.is_empty() || san.starts_with(|c: char| c.is_ascii_digit()) {
+            san.insert(0, 'n');
+        }
+        if taken.contains_key(&san) {
+            san = format!("{san}_w{}", id.index());
+        }
+        taken.insert(san.clone(), id);
+        names.push(san);
+    }
+    names
+}
+
+/// The AND-of-literals guard for `inputs high` in a B-source expression.
+fn all_high(ports: &[String]) -> String {
+    let terms: Vec<String> = ports.iter().map(|p| format!("V({p})>0.5")).collect();
+    terms.join(" && ")
+}
+
+fn any_high(ports: &[String]) -> String {
+    let terms: Vec<String> = ports.iter().map(|p| format!("V({p})>0.5")).collect();
+    terms.join(" || ")
+}
+
+fn subckt_for(cell: Cell) -> String {
+    let ports = cell.ports();
+    let header = format!(".subckt {} {}\n", cell.name(), ports.join(" "));
+    let body = match cell {
+        Cell::And(_) => {
+            let ins = &ports[..ports.len() - 1];
+            format!("Bo o 0 V='({}) ? 1 : 0'\n", all_high(ins))
+        }
+        Cell::Or(_) => {
+            let ins = &ports[..ports.len() - 1];
+            format!("Bo o 0 V='({}) ? 1 : 0'\n", any_high(ins))
+        }
+        Cell::Nand(_) => {
+            let ins = &ports[..ports.len() - 1];
+            format!("Bo o 0 V='({}) ? 0 : 1'\n", all_high(ins))
+        }
+        Cell::Nor(_) => {
+            let ins = &ports[..ports.len() - 1];
+            format!("Bo o 0 V='({}) ? 0 : 1'\n", any_high(ins))
+        }
+        Cell::Inv => "Bo o 0 V='V(i0)>0.5 ? 0 : 1'\n".to_string(),
+        Cell::Buf => "Bo o 0 V='V(i0)>0.5 ? 1 : 0'\n".to_string(),
+        // Set alone drives high, reset alone drives low, otherwise the
+        // RC pair holds the last value (the paper's set/reset latch
+        // discipline for C-elements).
+        Cell::C2 | Cell::Rs2 => {
+            let mut body = String::from(
+                "Bm m 0 V='(V(s)>0.5 && V(r)<0.5) ? 1 : (V(r)>0.5 && V(s)<0.5) ? 0 : V(q)'\n\
+                 Rm m q 1k\nCq q 0 1p\n",
+            );
+            if cell == Cell::Rs2 {
+                body.push_str("Bn qn 0 V='V(q)>0.5 ? 0 : 1'\n");
+            }
+            body
+        }
+        Cell::Cplx(_) => unreachable!("complex cells are emitted per instance"),
+    };
+    format!("{header}{body}.ends\n\n")
+}
+
+/// A per-instance subcircuit for a stored-SOP complex gate: terms read
+/// the input ports, the optional feedback literal reads the output
+/// itself through the RC state pair.
+fn complex_subckt(gate_idx: usize, arity: usize, sop: &[(u64, u64)], feedback: bool) -> String {
+    let ports: Vec<String> = (0..arity).map(|i| format!("i{i}")).chain(["o".to_string()]).collect();
+    let mut terms: Vec<String> = Vec::new();
+    for &(care, value) in sop {
+        let mut literals: Vec<String> = Vec::new();
+        // The last port is the gate's own output `o`: the feedback bit.
+        for (bit, port) in ports.iter().enumerate() {
+            if care >> bit & 1 == 0 {
+                continue;
+            }
+            let op = if value >> bit & 1 == 1 { ">" } else { "<" };
+            literals.push(format!("V({port}){op}0.5"));
+        }
+        if literals.is_empty() {
+            literals.push("1".to_string()); // a tautological term
+        }
+        terms.push(format!("({})", literals.join(" && ")));
+    }
+    let function = if terms.is_empty() { "0".to_string() } else { terms.join(" || ") };
+    let mut body = format!(".subckt CPLX_G{gate_idx} {}\n", ports.join(" "));
+    if feedback {
+        body.push_str(&format!("Bm m 0 V='({function}) ? 1 : 0'\n"));
+        body.push_str("Rm m o 1k\nCo o 0 1p\n");
+    } else {
+        body.push_str(&format!("Bo o 0 V='({function}) ? 1 : 0'\n"));
+    }
+    body.push_str(".ends\n\n");
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deck_instantiates_every_gate_and_pins_state() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b+").unwrap();
+        let t = nl.add_net("t").unwrap();
+        let q = nl.add_net("q").unwrap();
+        nl.drive_gate(t, GateKind::And { inverted: 0b10 }, &[a, b]).unwrap();
+        nl.drive_gate(q, GateKind::CElement { inverted: 0 }, &[t, a]).unwrap();
+        nl.set_initial_value(q, true);
+        nl.bind_output("q", q).unwrap();
+        let deck = write_spice(&nl);
+        assert!(deck.contains(".subckt AND2 i0 i1 o"), "{deck}");
+        assert!(deck.contains(".subckt C2 s r q"), "{deck}");
+        assert!(deck.contains(".subckt INV i0 o"), "{deck}");
+        assert!(deck.contains("Xg0i1 b_ g0_inv1 INV"), "{deck}");
+        assert!(deck.contains("Xg0 a g0_inv1 t AND2"), "{deck}");
+        assert!(deck.contains("Xg1 t a q C2"), "{deck}");
+        assert!(deck.contains(".ic V(q)=1"), "{deck}");
+        assert!(deck.ends_with(".end\n"), "{deck}");
+    }
+
+    #[test]
+    fn complex_gates_get_per_instance_subcircuits() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let y = nl.add_net("y").unwrap();
+        nl.drive_complex(y, &[a, b], &[(0b011, 0b011), (0b110, 0b110)], true, false)
+            .unwrap();
+        nl.bind_output("y", y).unwrap();
+        let deck = write_spice(&nl);
+        assert!(deck.contains(".subckt CPLX_G0 i0 i1 o"), "{deck}");
+        assert!(deck.contains("V(i0)>0.5 && V(i1)>0.5"), "{deck}");
+        assert!(deck.contains("V(i1)>0.5 && V(o)>0.5"), "{deck}");
+        assert!(deck.contains("Rm m o 1k"), "{deck}");
+        assert!(deck.contains(".ic V(y)=0"), "{deck}");
+    }
+}

@@ -36,7 +36,7 @@ use simc_sg::SignalKind;
 use crate::gen::{Recipe, Shape};
 
 /// Content-hash domain for recipe bytes.
-const RECIPE_DOMAIN: &str = "fuzz.recipe.v1";
+const RECIPE_DOMAIN: &str = simc_cache::domains::FUZZ_RECIPE;
 
 /// File extension of on-disk entries.
 const RECIPE_EXT: &str = "recipe";

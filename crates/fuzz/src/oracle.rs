@@ -17,7 +17,9 @@
 //!
 //! A fifth, adversarial mode perturbs synthesized covers (cube dropped,
 //! literal flipped, latch swapped) and demands the verifier *catches*
-//! every non-equivalent perturbation.
+//! every non-equivalent perturbation. A sixth round-trips every
+//! synthesized netlist through the EDIF writer and reader and demands
+//! the canonical netlist form survives byte-identically.
 
 use simc_cube::{minimize, Cover, Cube, MinimizeOptions};
 use simc_mc::assign::ReduceOptions;
@@ -49,6 +51,8 @@ pub enum OracleId {
     CVsRs,
     /// An injected fault went undetected by the verifier.
     FaultInjection,
+    /// The EDIF emit ∘ parse round trip changed the canonical netlist.
+    FormatRoundTrip,
 }
 
 impl OracleId {
@@ -61,6 +65,7 @@ impl OracleId {
             OracleId::McVsVerify => "mc-vs-verify",
             OracleId::CVsRs => "c-vs-rs",
             OracleId::FaultInjection => "fault-injection",
+            OracleId::FormatRoundTrip => "format-roundtrip",
         }
     }
 }
@@ -160,6 +165,8 @@ pub fn check_case(
     let (working, implementation) = match pipeline.implemented() {
         Ok(implemented) => {
             stats.reduced = implemented.added_signals() > 0;
+            // Oracle 6: the interchange round trip preserves the netlist.
+            check_format_round_trip(implemented.netlist())?;
             (implemented.working_sg().clone(), implemented.implementation().clone())
         }
         // A configured budget refusing the case (insertion budget
@@ -281,6 +288,24 @@ pub fn check_case(
     // Oracle 5: every injected fault must be caught.
     inject_faults(&working, &implementation, fault_rng, &mut stats)?;
     Ok(stats)
+}
+
+/// Oracle 6: the EDIF writer and reader are inverses on every netlist
+/// the synthesizer can produce, judged on the canonical netlist form
+/// (the same acceptance check `simc convert` is held to).
+fn check_format_round_trip(netlist: &simc_netlist::Netlist) -> Result<(), Failure> {
+    let edif = simc_formats::write_edif(netlist)
+        .map_err(|e| Failure::new(OracleId::FormatRoundTrip, format!("EDIF emit failed: {e}")))?;
+    let back = simc_formats::read_edif(&edif).map_err(|e| {
+        Failure::new(OracleId::FormatRoundTrip, format!("emitted EDIF does not parse: {e}"))
+    })?;
+    if simc_formats::canonical_netlist(&back) != simc_formats::canonical_netlist(netlist) {
+        return Err(Failure::new(
+            OracleId::FormatRoundTrip,
+            "EDIF round trip changed the canonical netlist",
+        ));
+    }
+    Ok(())
 }
 
 /// The explicit care sets of one excitation function (Def. 13): on-set,

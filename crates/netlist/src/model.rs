@@ -143,6 +143,11 @@ impl Netlist {
         (0..self.gates.len()).map(|i| GateId(i as u32))
     }
 
+    /// All net ids, in declaration order.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.net_names.len()).map(|i| NetId(i as u32))
+    }
+
     /// The declared initial value of a net.
     pub fn initial_value(&self, n: NetId) -> bool {
         self.init[n.index()]
@@ -540,6 +545,66 @@ impl Netlist {
         }
         self.outputs.push((signal.to_string(), net));
         Ok(())
+    }
+
+    /// Attaches a gate of an explicit [`GateKind`] driving the
+    /// *pre-created* net `out` — the general form behind the `drive_*`
+    /// helpers, used by netlist readers (EDIF) that must reproduce gates
+    /// in their original order against nets created up front.
+    ///
+    /// [`GateKind::Complex`] gates carry a stored SOP, and RS flip-flops
+    /// a complementary rail; build those through
+    /// [`Netlist::drive_complex`] / [`Netlist::drive_rs_latch_with`].
+    /// Initial values are *not* touched; set them afterwards with
+    /// [`Netlist::set_initial_value`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if `out` is already driven or is a primary input, on zero
+    /// inputs, on the wrong arity for the kind, or for
+    /// [`GateKind::Complex`].
+    pub fn drive_gate(
+        &mut self,
+        out: NetId,
+        kind: GateKind,
+        inputs: &[NetId],
+    ) -> Result<GateId, NetlistError> {
+        if let Some(n) =
+            std::iter::once(&out).chain(inputs).find(|n| n.index() >= self.net_count())
+        {
+            return Err(NetlistError::UnknownNet(format!("net #{}", n.index())));
+        }
+        let expected: Option<(usize, &'static str)> = match kind {
+            GateKind::Not | GateKind::Buf => Some((1, "exactly 1")),
+            GateKind::CElement { .. } => Some((2, "exactly 2 (set, reset)")),
+            GateKind::Complex { .. } => {
+                return Err(NetlistError::BadArity {
+                    gate: format!("{} driving `{}`", kind.name(), self.net_name(out)),
+                    got: inputs.len(),
+                    expected: "a stored SOP: use drive_complex",
+                })
+            }
+            GateKind::And { .. }
+            | GateKind::Or { .. }
+            | GateKind::Nand { .. }
+            | GateKind::Nor { .. } => None,
+        };
+        if let Some((arity, expected)) = expected {
+            if inputs.len() != arity {
+                return Err(NetlistError::BadArity {
+                    gate: format!("{} driving `{}`", kind.name(), self.net_name(out)),
+                    got: inputs.len(),
+                    expected,
+                });
+            }
+        } else if inputs.is_empty() {
+            return Err(NetlistError::BadArity {
+                gate: format!("{} driving `{}`", kind.name(), self.net_name(out)),
+                got: 0,
+                expected: "at least 1",
+            });
+        }
+        self.attach_gate(kind, inputs.to_vec(), out)
     }
 
     fn attach_gate(

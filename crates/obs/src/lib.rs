@@ -198,6 +198,12 @@ counters! {
     ServeShedOverload => ("serve.shed_overload", Sum),
     ServeDeadlineExceeded => ("serve.deadline_exceeded", Sum),
     ServeErrors => ("serve.errors", Sum),
+    // Interchange-format conversions (`simc convert`, `/v1/convert`):
+    // emits/parses count actual format work, so a warm cache shows
+    // `convert.emits: 0` on repeat conversions.
+    ConvertEmits => ("convert.emits", Sum),
+    ConvertParses => ("convert.parses", Sum),
+    ConvertBytesEmitted => ("convert.bytes_emitted", Sum),
 }
 
 const N_COUNTERS: usize = Counter::ALL.len();

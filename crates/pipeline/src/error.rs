@@ -5,6 +5,7 @@
 use std::fmt;
 
 use simc_cube::CoverError;
+use simc_formats::FormatError;
 use simc_mc::McError;
 use simc_netlist::NetlistError;
 use simc_sg::SgError;
@@ -67,6 +68,9 @@ pub enum Error {
     Cover(CoverError),
     /// Netlist construction or verifier failure.
     Netlist(NetlistError),
+    /// Interchange-format failure: an unknown format id, an unsupported
+    /// conversion direction, or a malformed EDIF input.
+    Format(FormatError),
     /// Operating-system I/O failure.
     Io(std::io::Error),
     /// A per-request deadline expired before the named stage could run
@@ -92,6 +96,9 @@ impl Error {
             Error::Mc(_) | Error::Cover(_) => ErrorKind::Synthesis,
             Error::Netlist(NetlistError::TooManyStates(_)) => ErrorKind::ResourceLimit,
             Error::Netlist(_) => ErrorKind::Verification,
+            // Format failures are request problems — a bad id or bad
+            // input text — so they share the exit-2 / HTTP-400 path.
+            Error::Format(_) => ErrorKind::Parse,
             Error::Io(_) => ErrorKind::Io,
             Error::DeadlineExceeded { .. } => ErrorKind::ResourceLimit,
         }
@@ -106,6 +113,7 @@ impl fmt::Display for Error {
             Error::Mc(e) => write!(f, "{e}"),
             Error::Cover(e) => write!(f, "{e}"),
             Error::Netlist(e) => write!(f, "{e}"),
+            Error::Format(e) => write!(f, "{e}"),
             Error::Io(e) => write!(f, "{e}"),
             Error::DeadlineExceeded { stage } => {
                 write!(f, "deadline exceeded before the `{stage}` stage")
@@ -122,6 +130,7 @@ impl std::error::Error for Error {
             Error::Mc(e) => Some(e),
             Error::Cover(e) => Some(e),
             Error::Netlist(e) => Some(e),
+            Error::Format(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::DeadlineExceeded { .. } => None,
         }
@@ -155,6 +164,12 @@ impl From<CoverError> for Error {
 impl From<NetlistError> for Error {
     fn from(e: NetlistError) -> Self {
         Error::Netlist(e)
+    }
+}
+
+impl From<FormatError> for Error {
+    fn from(e: FormatError) -> Self {
+        Error::Format(e)
     }
 }
 

@@ -41,7 +41,8 @@ mod error;
 
 use std::sync::Arc;
 
-use simc_cache::{Cache, Key, KeyHasher};
+use simc_cache::{domains, Cache, Key, KeyHasher};
+use simc_formats::{Artifact, SourceKind, CANONICAL_MODEL};
 use simc_mc::assign::{reduce_to_mc, ReduceOptions};
 use simc_mc::parallel::ParallelSynth;
 use simc_mc::synth::{build_from_covers, Implementation, Target};
@@ -50,10 +51,6 @@ use simc_netlist::{verify, Netlist, VerifyOptions};
 use simc_sg::{canonical_sg, parse_sg, Regions, StateGraph};
 
 pub use error::{Error, ErrorKind};
-
-/// Model name given to canonicalized graphs; part of the hashed bytes,
-/// so it never varies between runs.
-const CANONICAL_MODEL: &str = "simc_canonical";
 
 /// What the pipeline was constructed from.
 enum Source {
@@ -329,7 +326,7 @@ impl Pipeline {
             let canonical = match source {
                 Source::Sg(sg) => canonical_sg(sg, CANONICAL_MODEL),
                 Source::Text(text) => {
-                    let key = simc_cache::key_of("elaborate.v1", &[text.as_bytes()]);
+                    let key = simc_cache::key_of(domains::ELABORATE, &[text.as_bytes()]);
                     let revived = self
                         .cache_lookup(&key)
                         .and_then(|bytes| codec::decode_sg_text(&bytes));
@@ -359,7 +356,7 @@ impl Pipeline {
             self.elaborated()?;
             self.check_deadline("regions")?;
             let elaborated = self.elaborated.as_ref().expect("elaborated");
-            let key = simc_cache::key_of("regions.v1", &[elaborated.canonical.as_bytes()]);
+            let key = simc_cache::key_of(domains::REGIONS, &[elaborated.canonical.as_bytes()]);
             let revived = self.cache_lookup(&key).and_then(|bytes| {
                 Regions::from_cache_bytes(
                     &bytes,
@@ -456,7 +453,7 @@ impl Pipeline {
             self.implemented()?;
             self.check_deadline("verify")?;
             let implemented = self.implemented.as_ref().expect("implemented");
-            let mut hasher = KeyHasher::new("verdict.v1");
+            let mut hasher = KeyHasher::new(domains::VERDICT);
             hasher.update(implemented.working_canonical.as_bytes());
             hasher.update(target_tag(self.target).as_bytes());
             hasher.update_u64(self.verify_options.max_states as u64);
@@ -492,11 +489,61 @@ impl Pipeline {
         Ok(self.verified.as_ref().expect("just verified"))
     }
 
+    /// Emits the pipeline's artifact in a registered interchange format
+    /// (see `simc_formats::all`), running only the stages the format
+    /// needs: state-graph formats stop after elaboration, netlist
+    /// formats run synthesis. The converted text is cached under the
+    /// `convert.v1` domain keyed on the canonical `.sg` bytes, the
+    /// format id and the target, so a warm cache answers without
+    /// synthesizing at all.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Format`] ([`ErrorKind::Parse`]) for unknown format ids
+    /// or unsupported directions, otherwise whatever the underlying
+    /// stages fail with.
+    pub fn converted(&mut self, format_id: &str) -> Result<String, Error> {
+        let format = simc_formats::by_id(format_id).map_err(Error::Format)?;
+        self.elaborated()?;
+        self.check_deadline("convert")?;
+        let canonical = self.elaborated.as_ref().expect("elaborated").canonical.clone();
+        let key = simc_cache::key_of(
+            domains::CONVERT,
+            &[
+                canonical.as_bytes(),
+                format.id().as_bytes(),
+                b"emit",
+                target_tag(self.target).as_bytes(),
+            ],
+        );
+        // Look up before deciding to synthesize: a warm cache must not
+        // run the netlist stages at all.
+        if let Some(bytes) = self.cache_lookup(&key) {
+            if let Ok(text) = String::from_utf8(bytes) {
+                return Ok(text);
+            }
+        }
+        let text = match format.source() {
+            SourceKind::StateGraph => {
+                let elaborated = self.elaborated.as_ref().expect("elaborated");
+                format.emit(&Artifact::Sg(elaborated.sg())).map_err(Error::Format)?
+            }
+            SourceKind::Netlist => {
+                let netlist = self.implemented()?.netlist();
+                format.emit(&Artifact::Netlist(netlist)).map_err(Error::Format)?
+            }
+        };
+        simc_obs::add(simc_obs::Counter::ConvertEmits, 1);
+        simc_obs::add(simc_obs::Counter::ConvertBytesEmitted, text.len() as u64);
+        self.cache_store(&key, text.as_bytes());
+        Ok(text)
+    }
+
     /// The MC-reduction sub-stage of [`Pipeline::implemented`] (cached).
     fn reduce_stage(&mut self) -> Result<(StateGraph, String, usize, Vec<String>), Error> {
         let elaborated = self.elaborated.as_ref().expect("elaborated");
         let opts = self.reduce_options;
-        let mut hasher = KeyHasher::new("reduce.v1");
+        let mut hasher = KeyHasher::new(domains::REDUCE);
         hasher.update(elaborated.canonical.as_bytes());
         for field in [opts.max_signals, opts.max_candidates, opts.beam_width, opts.branch] {
             hasher.update_u64(field as u64);
@@ -539,7 +586,7 @@ fn report_for(
     threads: usize,
     cache: Option<&dyn Cache>,
 ) -> McReport {
-    let key = simc_cache::key_of("mcreport.v1", &[canonical.as_bytes()]);
+    let key = simc_cache::key_of(domains::MC_REPORT, &[canonical.as_bytes()]);
     if let Some(cache) = cache {
         if let Some(report) = simc_cache::lookup(cache, &key)
             .and_then(|bytes| codec::decode_report(&bytes, sg.state_count(), sg.signal_count()))

@@ -9,6 +9,10 @@
 //! * `POST /v1/analyze` · `POST /v1/synth` · `POST /v1/verify` — the
 //!   request body is a spec (`.g` or `.sg` text, auto-detected); the
 //!   response is a single JSON object.
+//! * `POST /v1/convert` — re-emit the spec in the interchange format
+//!   named by the `X-Simc-Format` header (an EDIF body is parsed back
+//!   and re-emitted without synthesis); `GET /v1/formats` lists the
+//!   registry, byte-identical to `simc convert --list`.
 //! * `GET /healthz` — liveness plus queue depth.
 //! * `GET /stats` — the full [`simc_obs`] report as JSON.
 //! * `POST /shutdown` — graceful drain: stop accepting, finish every
@@ -31,6 +35,7 @@
 //! scoped-thread pool the synthesis stages use.
 //!
 //! Request headers: `X-Simc-Target: c-element|rs-latch`,
+//! `X-Simc-Format: sg|edif|spice|dot` (`/v1/convert` only),
 //! `X-Simc-Deadline-Ms: <n>` (maps to [`Pipeline::with_deadline`]),
 //! `X-Simc-Max-States: <n>` (verifier state budget), `X-Simc-Stats: 1`
 //! (append this request's own counter deltas — captured with
@@ -50,9 +55,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use simc_cache::{Cache, KeyHasher};
+use simc_cache::{domains, Cache, KeyHasher};
 use simc_mc::parallel::{parallel_map_exact, ParallelSynth};
 use simc_mc::synth::Target;
+use simc_formats::Format;
 use simc_netlist::VerifyOptions;
 use simc_obs::{self as obs, Counter};
 use simc_pipeline::{Error, ErrorKind, Pipeline};
@@ -128,12 +134,13 @@ struct Response {
     role: Option<Role>,
 }
 
-/// The three compute endpoints.
+/// The compute endpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Endpoint {
     Analyze,
     Synth,
     Verify,
+    Convert,
 }
 
 impl Endpoint {
@@ -142,6 +149,7 @@ impl Endpoint {
             "/v1/analyze" => Some(Endpoint::Analyze),
             "/v1/synth" => Some(Endpoint::Synth),
             "/v1/verify" => Some(Endpoint::Verify),
+            "/v1/convert" => Some(Endpoint::Convert),
             _ => None,
         }
     }
@@ -151,6 +159,7 @@ impl Endpoint {
             Endpoint::Analyze => "analyze",
             Endpoint::Synth => "synth",
             Endpoint::Verify => "verify",
+            Endpoint::Convert => "convert",
         }
     }
 }
@@ -261,7 +270,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, pool: JoinHandle<()>) {
         obs::add(Counter::ServeRequests, 1);
         let path_is_known = |path: &str| {
             Endpoint::of(path).is_some()
-                || matches!(path, "/healthz" | "/stats" | "/shutdown")
+                || matches!(path, "/healthz" | "/stats" | "/shutdown" | "/v1/formats")
         };
         // Owned copies: the enqueue arm moves `request` into the job.
         let method = request.method.clone();
@@ -283,6 +292,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, pool: JoinHandle<()>) {
             }
             ("GET", "/stats") => {
                 respond(&mut stream, 200, None, &obs::report().to_json());
+            }
+            ("GET", "/v1/formats") => {
+                // One source of truth: the same registry document the
+                // CLI prints for `simc convert --list`.
+                respond(&mut stream, 200, None, &simc_formats::listing_json());
             }
             ("POST", "/shutdown") => {
                 respond(&mut stream, 200, None, "{\"status\":\"draining\"}");
@@ -410,9 +424,51 @@ fn compute(shared: &Shared, job: &Job) -> Response {
             "deadline exceeded while queued",
         ));
     }
+    // `/v1/convert` needs a target format before any work happens; a
+    // missing or unknown id is a request defect, same as a bad target.
+    let format = match (endpoint, job.request.header("x-simc-format")) {
+        (Endpoint::Convert, None) => {
+            return plain(error_outcome(
+                400,
+                "parse",
+                "`/v1/convert` needs an `X-Simc-Format` header (see `GET /v1/formats`)",
+            ));
+        }
+        (Endpoint::Convert, Some(id)) => match simc_formats::by_id(id) {
+            Ok(format) => Some(format),
+            Err(error) => return plain(error_outcome(400, "parse", &error.to_string())),
+        },
+        _ => None,
+    };
     let Ok(spec) = std::str::from_utf8(&job.request.body) else {
         return plain(error_outcome(400, "parse", "request body is not UTF-8"));
     };
+    // A convert body that is already an EDIF netlist skips the synthesis
+    // pipeline: parse + re-emit, single-flighted over the raw body.
+    if endpoint == Endpoint::Convert && simc_formats::looks_like_edif(spec) {
+        let format = format.expect("convert requests carry a format");
+        let mut hasher = KeyHasher::new(domains::SERVE_FLIGHT);
+        hasher.update(endpoint.tag().as_bytes());
+        hasher.update(format.id().as_bytes());
+        hasher.update(b"reemit");
+        hasher.update(spec.as_bytes());
+        let key = hasher.finish();
+        let cache = shared.cache.clone();
+        let text = spec.to_string();
+        let result = shared.flights.run(key, move || {
+            obs::add(Counter::ServeComputations, 1);
+            match simc_formats::reemit_cached(
+                cache.as_deref(),
+                &text,
+                &simc_formats::EdifFormat,
+                format,
+            ) {
+                Ok(out) => convert_outcome(format.id(), &out),
+                Err(error) => outcome_for_error(&Error::from(error)),
+            }
+        });
+        return flight_response(result);
+    }
     let mut pipeline = Pipeline::from_text(spec).with_target(target).with_threads(1);
     if let Some(cache) = &shared.cache {
         pipeline = pipeline.with_cache(Arc::clone(cache));
@@ -432,8 +488,9 @@ fn compute(shared: &Shared, job: &Job) -> Response {
             Ok(elaborated) => elaborated.canonical_text(),
             Err(error) => return plain(outcome_for_error(&error)),
         };
-        let mut hasher = KeyHasher::new("serve.flight.v1");
+        let mut hasher = KeyHasher::new(domains::SERVE_FLIGHT);
         hasher.update(endpoint.tag().as_bytes());
+        hasher.update(format.map_or("", |f| f.id()).as_bytes());
         hasher.update(target_tag(target).as_bytes());
         hasher.update_u64(max_states.unwrap_or(u64::MAX));
         // Deadlines are part of the key: a tightly-budgeted request must
@@ -455,8 +512,13 @@ fn compute(shared: &Shared, job: &Job) -> Response {
         if let Some(ms) = hold_ms {
             std::thread::sleep(Duration::from_millis(ms));
         }
-        endpoint_outcome(endpoint, pipeline)
+        endpoint_outcome(endpoint, format, pipeline)
     });
+    flight_response(result)
+}
+
+/// Maps a finished flight onto the response, counting joins.
+fn flight_response(result: FlightResult<Outcome>) -> Response {
     match result {
         FlightResult::Value(outcome, role) => {
             if role == Role::Joined {
@@ -473,7 +535,11 @@ fn compute(shared: &Shared, job: &Job) -> Response {
 }
 
 /// Runs the stages an endpoint needs and renders its result body.
-fn endpoint_outcome(endpoint: Endpoint, mut pipeline: Pipeline) -> Outcome {
+fn endpoint_outcome(
+    endpoint: Endpoint,
+    format: Option<&'static dyn Format>,
+    mut pipeline: Pipeline,
+) -> Outcome {
     let escape = obs::json::escape;
     match endpoint {
         Endpoint::Analyze => {
@@ -545,6 +611,26 @@ fn endpoint_outcome(endpoint: Endpoint, mut pipeline: Pipeline) -> Outcome {
                 Err(error) => outcome_for_error(&error),
             }
         }
+        Endpoint::Convert => {
+            let format = format.expect("convert requests carry a format");
+            match pipeline.converted(format.id()) {
+                Ok(text) => convert_outcome(format.id(), &text),
+                Err(error) => outcome_for_error(&error),
+            }
+        }
+    }
+}
+
+/// The `/v1/convert` success body: the emitted text plus its format.
+fn convert_outcome(format: &str, text: &str) -> Outcome {
+    Outcome {
+        status: 200,
+        body: format!(
+            "{{\"status\":\"ok\",\"format\":{},\"bytes\":{},\"text\":{}}}",
+            obs::json::escape(format),
+            text.len(),
+            obs::json::escape(text),
+        ),
     }
 }
 

@@ -111,4 +111,31 @@ grep -q '"jobs_failed": 0' "$batch_dir/cold.json" \
 grep -q '"cache.misses": 0' "$batch_dir/warm_stats.json" \
     || { echo "error: warm batch pass missed the cache" >&2; exit 1; }
 
+echo "==> simc convert: EDIF round trip + warm-cache smoke"
+# Interchange smoke over two suite benchmarks: emit EDIF, SPICE and DOT,
+# feed the emitted EDIF back through the reader (re-emission must be
+# byte-identical — the canonical-form round-trip contract), and require
+# the warm second conversion to be answered from the shared cache.
+conv_dir="$(mktemp -d)"
+trap 'rm -f "$smoke_out"; rm -rf "$fuzz_dir" "$scale_dir" "$batch_dir" "$conv_dir"' EXIT
+for bench in Delement berkel3; do
+    ./target/release/simc convert "benchmarks/$bench" --to edif \
+        --cache-dir "$conv_dir/cache" > "$conv_dir/$bench.edif"
+    ./target/release/simc convert "$conv_dir/$bench.edif" --to edif \
+        > "$conv_dir/$bench.reread.edif"
+    cmp "$conv_dir/$bench.edif" "$conv_dir/$bench.reread.edif" \
+        || { echo "error: $bench EDIF round trip not byte-identical" >&2; exit 1; }
+    ./target/release/simc convert "benchmarks/$bench" --to spice > /dev/null
+    ./target/release/simc convert "benchmarks/$bench" --to dot > /dev/null
+done
+./target/release/simc convert benchmarks/Delement --to edif \
+    --cache-dir "$conv_dir/cache" \
+    --stats-json "$conv_dir/warm_stats.json" > "$conv_dir/warm.edif"
+cmp "$conv_dir/Delement.edif" "$conv_dir/warm.edif" \
+    || { echo "error: warm conversion differs from cold" >&2; exit 1; }
+grep -q '"cache.misses": 0' "$conv_dir/warm_stats.json" \
+    || { echo "error: warm conversion missed the cache" >&2; exit 1; }
+grep -q '"convert.emits": 0' "$conv_dir/warm_stats.json" \
+    || { echo "error: warm conversion re-emitted instead of hitting the cache" >&2; exit 1; }
+
 echo "==> ci: all green"

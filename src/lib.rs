@@ -29,6 +29,8 @@
 //!   baseline, and MC-reduction by state-signal insertion;
 //! * [`cache`] — the content-addressed artifact cache (in-memory LRU and
 //!   on-disk backends);
+//! * [`formats`] — interchange formats (EDIF 2.0.0 read/write, SPICE,
+//!   Graphviz, the native `.sg` form) behind one `Format` registry;
 //! * [`pipeline`] — the staged driver re-exported at the crate root;
 //! * [`benchmarks`] — the paper's figures as executable state graphs, a
 //!   reconstructed Table 1 benchmark suite, and scalable generators;
@@ -64,6 +66,7 @@
 pub use simc_benchmarks as benchmarks;
 pub use simc_cache as cache;
 pub use simc_cube as cube;
+pub use simc_formats as formats;
 pub use simc_fuzz as fuzz;
 pub use simc_obs as obs;
 pub use simc_mc as mc;
@@ -91,6 +94,7 @@ pub use simc_pipeline::{
 /// (`simc::mc`, `simc::sg`, …), which remain supported.
 pub mod prelude {
     pub use simc_cache::{Cache, DiskCache, Key, LayeredCache, MemCache};
+    pub use simc_formats::{Format, FormatError};
     pub use simc_mc::assign::ReduceOptions;
     pub use simc_mc::synth::Target;
     pub use simc_mc::{McCheck, McReport};

@@ -6,6 +6,7 @@
 //! simc synth   <spec.g> [--rs] [--baseline] [--share] [--complex] [--verilog]
 //! simc verify  <spec.g> [--rs] [--baseline]             full flow + verdict
 //! simc dot     <spec.g>                 Graphviz of the state graph
+//! simc convert <spec|file.edif> --to <fmt>  emit sg/edif/spice/dot; --list
 //! simc batch   <manifest> [--threads <n>] [--out <path>]    run many specs
 //! simc fuzz    [--seed <n>] [--iters <n>] [--threads <n>]   differential fuzzing
 //! simc fuzz    --campaign [--corpus <dir>] [--shards <n>]   coverage-guided campaign
@@ -17,17 +18,30 @@
 //! `benchmarks/<name>` resolves a member of the built-in Table 1 suite
 //! (or the large `scale-ring-*` family) when no such file exists on disk.
 //!
+//! Each subcommand's surface — its flags, whether it takes a spec, its
+//! usage line — is declared once in the [`COMMANDS`] table; the parser
+//! and every rejection diagnostic are generated from it, so the binary
+//! has exactly one source of truth for what each command accepts.
+//!
 //! `--dot <path>` writes a Graphviz export alongside any spec-processing
 //! subcommand: the state graph for `analyze`/`dot`, the synthesized
-//! netlist for `synth`/`verify` — so large repros stay inspectable.
+//! netlist for `synth`/`verify` — so large repros stay inspectable. The
+//! rendering goes through the interchange-format registry (see
+//! [`simc::formats`]), the same `dot` format `simc convert` exposes.
+//!
+//! `simc convert` re-emits a spec in any registered interchange format
+//! (`--to sg|edif|spice|dot`); an input that is itself an EDIF netlist
+//! (from an earlier `convert`) is parsed back and re-emitted without
+//! running synthesis. `simc convert --list` prints the registry as JSON,
+//! byte-identical to the daemon's `GET /v1/formats`.
 //!
 //! Every subcommand accepts `--stats` (pipeline counters and phase
 //! timings on stderr) and `--stats-json <path>` (the same report as a
 //! JSON document). Every spec-processing subcommand accepts
 //! `--cache-dir <dir>`, an on-disk content-addressed artifact cache that
 //! memoizes elaboration, region analysis, cover minimization,
-//! MC-reduction and verification verdicts across runs; cached and
-//! uncached runs produce byte-identical output.
+//! MC-reduction, format conversions and verification verdicts across
+//! runs; cached and uncached runs produce byte-identical output.
 //!
 //! `simc batch` reads a manifest with one spec per line (`#` comments,
 //! `--rs` per line, `benchmarks/*` expands the built-in suite), runs the
@@ -35,10 +49,11 @@
 //! deterministic JSON summary.
 //!
 //! `simc serve` starts the long-running HTTP daemon (see [`simc::serve`]):
-//! `POST /v1/{analyze,synth,verify}` with a spec body, single-flight
-//! deduplicated over a shared warm cache, until `POST /shutdown` drains
-//! it. `--port 0` (the default) binds an ephemeral port; the chosen
-//! address is printed to stdout as `listening on http://...`.
+//! `POST /v1/{analyze,synth,verify,convert}` with a spec body,
+//! single-flight deduplicated over a shared warm cache, until
+//! `POST /shutdown` drains it. `--port 0` (the default) binds an
+//! ephemeral port; the chosen address is printed to stdout as
+//! `listening on http://...`.
 //!
 //! Exit codes: `0` success, `1` operational failure (hazards found, CSC
 //! violation, oracle disagreement, failed batch job), `2` usage error or
@@ -53,6 +68,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use simc::cache::{Cache, DiskCache, LayeredCache, MemCache};
+use simc::formats::Artifact;
 use simc::mc::baseline::synthesize_baseline;
 use simc::mc::gen::synthesize_generalized;
 use simc::mc::parallel::parallel_map;
@@ -107,15 +123,109 @@ fn main() -> ExitCode {
     }
 }
 
-/// Flags that take no argument, valid on every subcommand.
-const KNOWN_FLAGS: &[&str] =
-    &["--rs", "--baseline", "--share", "--complex", "--verilog", "--stats"];
+/// How a subcommand treats its first argument.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SpecArg {
+    /// No spec argument: flags start right after the command.
+    No,
+    /// The first argument is always the spec (or manifest) path.
+    Yes,
+    /// The first argument is the spec only when it does not look like a
+    /// flag — `simc convert --list` needs no input.
+    Auto,
+}
 
-/// Flags that take a value, only meaningful for `simc fuzz`.
-const FUZZ_VALUE_FLAGS: &[&str] = &["--seed", "--iters", "--shards", "--corpus"];
+/// One subcommand's declared surface. The parser, the usage text and all
+/// flag-rejection diagnostics are generated from [`COMMANDS`], so adding
+/// a flag to a command is one edit in this table.
+struct CommandSpec {
+    name: &'static str,
+    spec_arg: SpecArg,
+    /// Accepted flags that take no value.
+    switches: &'static [&'static str],
+    /// Accepted flags that take one value.
+    value_flags: &'static [&'static str],
+    /// The command's usage line.
+    usage: &'static str,
+}
 
-/// Flags that take a value, only meaningful for `simc serve`.
-const SERVE_VALUE_FLAGS: &[&str] = &["--addr", "--port", "--queue"];
+/// Switches every subcommand accepts.
+const GLOBAL_SWITCHES: &[&str] = &["--stats"];
+
+/// Value-taking flags every subcommand accepts.
+const GLOBAL_VALUE_FLAGS: &[&str] = &["--stats-json"];
+
+/// The declarative subcommand table (see [`CommandSpec`]).
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "analyze",
+        spec_arg: SpecArg::Yes,
+        switches: &["--rs"],
+        value_flags: &["--dot", "--cache-dir"],
+        usage: "simc analyze <spec> [--rs] [--dot <path>] [--cache-dir <dir>]",
+    },
+    CommandSpec {
+        name: "reduce",
+        spec_arg: SpecArg::Yes,
+        switches: &["--rs"],
+        value_flags: &["--cache-dir"],
+        usage: "simc reduce <spec> [--rs] [--cache-dir <dir>]",
+    },
+    CommandSpec {
+        name: "synth",
+        spec_arg: SpecArg::Yes,
+        switches: &["--rs", "--baseline", "--share", "--complex", "--verilog"],
+        value_flags: &["--dot", "--threads", "--cache-dir"],
+        usage: "simc synth <spec> [--rs] [--baseline] [--share] [--complex] [--verilog] \
+                [--dot <path>] [--threads <n>] [--cache-dir <dir>]",
+    },
+    CommandSpec {
+        name: "verify",
+        spec_arg: SpecArg::Yes,
+        switches: &["--rs", "--baseline", "--share", "--complex", "--verilog"],
+        value_flags: &["--dot", "--threads", "--cache-dir"],
+        usage: "simc verify <spec> [--rs] [--baseline] [--share] [--complex] [--verilog] \
+                [--dot <path>] [--threads <n>] [--cache-dir <dir>]",
+    },
+    CommandSpec {
+        name: "dot",
+        spec_arg: SpecArg::Yes,
+        switches: &[],
+        value_flags: &["--dot", "--cache-dir"],
+        usage: "simc dot <spec> [--dot <path>] [--cache-dir <dir>]",
+    },
+    CommandSpec {
+        name: "convert",
+        spec_arg: SpecArg::Auto,
+        switches: &["--rs", "--list"],
+        value_flags: &["--to", "--cache-dir"],
+        usage: "simc convert <spec|netlist.edif> --to <format> [--rs] [--cache-dir <dir>]  \
+                (or: simc convert --list)",
+    },
+    CommandSpec {
+        name: "batch",
+        spec_arg: SpecArg::Yes,
+        switches: &["--rs"],
+        value_flags: &["--threads", "--cache-dir", "--out"],
+        usage: "simc batch <manifest> [--rs] [--threads <n>] [--cache-dir <dir>] [--out <path>]",
+    },
+    CommandSpec {
+        name: "fuzz",
+        spec_arg: SpecArg::No,
+        switches: &["--campaign"],
+        value_flags: &["--seed", "--iters", "--shards", "--corpus", "--threads", "--out"],
+        usage: "simc fuzz [--campaign] [--seed <n>] [--iters <n>] [--shards <n>] \
+                [--corpus <dir>] [--threads <n>] [--out <path>]",
+    },
+    CommandSpec {
+        name: "serve",
+        spec_arg: SpecArg::No,
+        switches: &[],
+        value_flags: &["--addr", "--port", "--queue", "--threads", "--cache-dir"],
+        usage: "simc serve [--addr <host:port>] [--port <n>] [--threads <n>] [--queue <n>] \
+                [--cache-dir <dir>]",
+    },
+];
 
 /// In-memory cache budget fronting the on-disk store (per process).
 const MEM_CACHE_BYTES: usize = 32 << 20;
@@ -124,172 +234,113 @@ fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         return Err(CliError::usage(usage()));
     };
-    // `fuzz` and `serve` take no spec argument; every other command does.
-    let rest_from = if matches!(command.as_str(), "fuzz" | "serve") { 1 } else { 2 };
-    let rest = args.get(rest_from..).unwrap_or_default();
-    let mut flags: Vec<&str> = Vec::new();
-    let mut stats_json: Option<&str> = None;
-    let mut dot_path: Option<&str> = None;
-    let mut cache_dir: Option<&str> = None;
-    let mut out_path: Option<&str> = None;
-    let mut threads: Option<&str> = None;
-    let mut fuzz_values: Vec<(&str, &str)> = Vec::new();
-    let mut serve_values: Vec<(&str, &str)> = Vec::new();
+    match command.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            return Ok(());
+        }
+        _ => {}
+    }
+    let Some(spec) = COMMANDS.iter().find(|c| c.name == command) else {
+        return Err(CliError::usage(format!("unknown command `{command}`\n{}", usage())));
+    };
+    let (spec_path, rest) = match spec.spec_arg {
+        SpecArg::No => (None, args.get(1..).unwrap_or_default()),
+        SpecArg::Yes => (args.get(1), args.get(2..).unwrap_or_default()),
+        SpecArg::Auto => match args.get(1) {
+            Some(first) if !first.starts_with("--") => {
+                (Some(first), args.get(2..).unwrap_or_default())
+            }
+            _ => (None, args.get(1..).unwrap_or_default()),
+        },
+    };
+    let mut switches: Vec<&str> = Vec::new();
+    let mut values: Vec<(&str, &str)> = Vec::new();
     let mut i = 0;
     while i < rest.len() {
         let arg = rest[i].as_str();
-        if SERVE_VALUE_FLAGS.contains(&arg) {
-            if command != "serve" {
-                return Err(CliError::usage(format!(
-                    "`{arg}` is only valid with `simc serve`\n{}",
-                    usage()
-                )));
-            }
+        if GLOBAL_SWITCHES.contains(&arg) || spec.switches.contains(&arg) {
+            switches.push(arg);
+        } else if GLOBAL_VALUE_FLAGS.contains(&arg) || spec.value_flags.contains(&arg) {
             i += 1;
             let value = rest.get(i).ok_or_else(|| {
-                CliError::usage(format!("{arg} needs a value\n{}", usage()))
+                CliError::usage(format!("{arg} needs {}\n{}", value_noun(arg), usage()))
             })?;
-            serve_values.push((arg, value));
-        } else if arg == "--stats-json" {
-            i += 1;
-            stats_json = Some(rest.get(i).ok_or_else(|| {
-                CliError::usage(format!("--stats-json needs a file path\n{}", usage()))
-            })?);
-        } else if arg == "--dot" {
-            if matches!(command.as_str(), "fuzz" | "batch" | "serve") {
-                return Err(CliError::usage(format!(
-                    "`--dot` is not valid with `simc {command}`\n{}",
-                    usage()
-                )));
-            }
-            i += 1;
-            dot_path = Some(rest.get(i).ok_or_else(|| {
-                CliError::usage(format!("--dot needs a file path\n{}", usage()))
-            })?);
-        } else if arg == "--cache-dir" {
-            if command == "fuzz" {
-                return Err(CliError::usage(format!(
-                    "`--cache-dir` is not valid with `simc fuzz`\n{}",
-                    usage()
-                )));
-            }
-            i += 1;
-            cache_dir = Some(rest.get(i).ok_or_else(|| {
-                CliError::usage(format!("--cache-dir needs a directory path\n{}", usage()))
-            })?);
-        } else if arg == "--campaign" {
-            if command != "fuzz" {
-                return Err(CliError::usage(format!(
-                    "`--campaign` is only valid with `simc fuzz`\n{}",
-                    usage()
-                )));
-            }
-            flags.push(arg);
-        } else if arg == "--out" {
-            if !matches!(command.as_str(), "batch" | "fuzz") {
-                return Err(CliError::usage(format!(
-                    "`--out` is only valid with `simc batch` or `simc fuzz --campaign`\n{}",
-                    usage()
-                )));
-            }
-            i += 1;
-            out_path = Some(rest.get(i).ok_or_else(|| {
-                CliError::usage(format!("--out needs a file path\n{}", usage()))
-            })?);
-        } else if arg == "--threads" {
-            if !matches!(command.as_str(), "fuzz" | "batch" | "synth" | "verify" | "serve") {
-                return Err(CliError::usage(format!(
-                    "`--threads` is only valid with `simc synth`, `simc verify`, `simc fuzz`, `simc batch` or `simc serve`\n{}",
-                    usage()
-                )));
-            }
-            i += 1;
-            let value = rest.get(i).ok_or_else(|| {
-                CliError::usage(format!("{arg} needs a value\n{}", usage()))
-            })?;
-            if command == "fuzz" {
-                fuzz_values.push((arg, value));
-            } else {
-                threads = Some(value);
-            }
-        } else if FUZZ_VALUE_FLAGS.contains(&arg) {
-            if command != "fuzz" {
-                return Err(CliError::usage(format!(
-                    "`{arg}` is only valid with `simc fuzz`\n{}",
-                    usage()
-                )));
-            }
-            i += 1;
-            let value = rest.get(i).ok_or_else(|| {
-                CliError::usage(format!("{arg} needs a value\n{}", usage()))
-            })?;
-            fuzz_values.push((arg, value));
-        } else if KNOWN_FLAGS.contains(&arg) {
-            flags.push(arg);
+            values.push((arg, value));
         } else {
-            return Err(CliError::usage(format!("unknown flag `{arg}`\n{}", usage())));
+            return Err(CliError::usage(flag_rejection(arg)));
         }
         i += 1;
     }
-    let stats = flags.contains(&"--stats") || stats_json.is_some();
+    let value_of = |flag: &str| values.iter().rev().find(|(f, _)| *f == flag).map(|&(_, v)| v);
+    let stats_json = value_of("--stats-json");
+    let stats = switches.contains(&"--stats") || stats_json.is_some();
     if stats {
         simc::obs::set_stats(true);
     }
-    let target = if flags.contains(&"--rs") { Target::RsLatch } else { Target::CElement };
-    let cache = make_cache(cache_dir)?;
-    let pipeline_threads = match threads {
-        Some(value) if matches!(command.as_str(), "synth" | "verify") => {
-            let parsed = value.parse::<u64>().map_err(|_| {
-                CliError::usage(format!("--threads needs an unsigned integer, got `{value}`"))
-            })?;
-            if parsed == 0 {
-                return Err(CliError::usage("--threads must be at least 1".to_string()));
-            }
-            Some(parsed as usize)
-        }
-        _ => None,
-    };
-    let result = match command.as_str() {
+    let target = if switches.contains(&"--rs") { Target::RsLatch } else { Target::CElement };
+    let cache = make_cache(value_of("--cache-dir"))?;
+    let dot_path = value_of("--dot");
+    let out_path = value_of("--out");
+    let threads = value_of("--threads");
+    let result = match spec.name {
         "analyze" => {
-            let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
+            let mut pipeline = pipeline_for(spec_path, target, &cache)?;
             if dot_path.is_some() {
-                let rendered = elaborated(&mut pipeline)?.sg().to_dot();
+                let rendered = render_dot(&Artifact::Sg(elaborated(&mut pipeline)?.sg()));
                 write_dot(dot_path, || rendered)?;
             }
             analyze(pipeline)
         }
-        "reduce" => reduce(pipeline_for(args.get(1), target, &cache)?),
+        "reduce" => reduce(pipeline_for(spec_path, target, &cache)?),
         "synth" => {
-            let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
-            if let Some(n) = pipeline_threads {
+            let mut pipeline = pipeline_for(spec_path, target, &cache)?;
+            if let Some(n) = parse_threads(threads)? {
                 pipeline = pipeline.with_threads(n);
             }
-            synth(pipeline, target, &flags, dot_path)
+            synth(pipeline, target, &switches, dot_path)
         }
         "verify" => {
-            let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
-            if let Some(n) = pipeline_threads {
+            let mut pipeline = pipeline_for(spec_path, target, &cache)?;
+            if let Some(n) = parse_threads(threads)? {
                 pipeline = pipeline.with_threads(n);
             }
-            do_verify(pipeline, target, &flags, dot_path)
+            do_verify(pipeline, target, &switches, dot_path)
         }
         "dot" => {
-            let mut pipeline = pipeline_for(args.get(1), target, &cache)?;
-            let rendered = elaborated(&mut pipeline)?.sg().to_dot();
+            let mut pipeline = pipeline_for(spec_path, target, &cache)?;
+            let rendered = render_dot(&Artifact::Sg(elaborated(&mut pipeline)?.sg()));
             match dot_path {
                 Some(_) => write_dot(dot_path, || rendered)?,
                 None => println!("{rendered}"),
             }
             Ok(())
         }
-        "batch" => batch(args.get(1), target, &cache, threads, out_path),
-        "fuzz" => fuzz(&fuzz_values, flags.contains(&"--campaign"), out_path),
-        "serve" => serve(&serve_values, threads, &cache),
-        "help" | "--help" | "-h" => {
-            println!("{}", usage());
-            Ok(())
+        "convert" => convert(
+            spec_path,
+            switches.contains(&"--list"),
+            value_of("--to"),
+            target,
+            &cache,
+        ),
+        "batch" => batch(spec_path, target, &cache, threads, out_path),
+        "fuzz" => {
+            let fuzz_values: Vec<(&str, &str)> = values
+                .iter()
+                .filter(|(f, _)| ["--seed", "--iters", "--shards", "--corpus", "--threads"].contains(f))
+                .copied()
+                .collect();
+            fuzz(&fuzz_values, switches.contains(&"--campaign"), out_path)
         }
-        other => Err(CliError::usage(format!("unknown command `{other}`\n{}", usage()))),
+        "serve" => {
+            let serve_values: Vec<(&str, &str)> = values
+                .iter()
+                .filter(|(f, _)| ["--addr", "--port", "--queue"].contains(f))
+                .copied()
+                .collect();
+            serve(&serve_values, threads, &cache)
+        }
+        other => unreachable!("`{other}` is in COMMANDS but not dispatched"),
     };
     if stats {
         let report = simc::obs::report();
@@ -302,15 +353,116 @@ fn run(args: &[String]) -> Result<(), CliError> {
     result
 }
 
+/// The usage text, generated from [`COMMANDS`].
 fn usage() -> String {
-    "usage: simc <analyze|reduce|synth|verify|dot> <spec.g|spec.sg|benchmarks/<name>|-> \
-     [--rs] [--baseline] [--share] [--complex] [--verilog] [--dot <path>] \
-     [--threads <n>] [--cache-dir <dir>] [--stats] [--stats-json <path>]\n       \
-     simc batch <manifest> [--rs] [--threads <n>] [--cache-dir <dir>] [--out <path>] [--stats]\n       \
-     simc fuzz [--seed <n>] [--iters <n>] [--threads <n>] [--stats]\n       \
-     simc fuzz --campaign [--corpus <dir>] [--shards <n>] [--out <path>] [--seed <n>] [--iters <n>] [--threads <n>] [--stats]\n       \
-     simc serve [--addr <host:port>] [--port <n>] [--threads <n>] [--queue <n>] [--cache-dir <dir>] [--stats]"
-        .to_string()
+    let mut out = String::from("usage: ");
+    for (i, command) in COMMANDS.iter().enumerate() {
+        if i > 0 {
+            out.push_str("\n       ");
+        }
+        out.push_str(command.usage);
+    }
+    out.push_str(
+        "\n       every command also accepts [--stats] [--stats-json <path>]; \
+         <spec> is a .g/.sg file, `-` for stdin, or benchmarks/<name>",
+    );
+    out
+}
+
+/// What a value-taking flag's missing operand should be called.
+fn value_noun(flag: &str) -> &'static str {
+    match flag {
+        "--stats-json" | "--dot" | "--out" => "a file path",
+        "--cache-dir" | "--corpus" => "a directory path",
+        "--to" => "a format id",
+        _ => "a value",
+    }
+}
+
+/// The diagnostic for a flag the current command does not accept:
+/// names the commands that do (generated from [`COMMANDS`]), or reports
+/// an unknown flag when none does.
+fn flag_rejection(arg: &str) -> String {
+    let accepters: Vec<String> = COMMANDS
+        .iter()
+        .filter(|c| c.switches.contains(&arg) || c.value_flags.contains(&arg))
+        .map(|c| format!("`simc {}`", c.name))
+        .collect();
+    match accepters.split_last() {
+        None => format!("unknown flag `{arg}`\n{}", usage()),
+        Some((only, [])) => format!("`{arg}` is only valid with {only}\n{}", usage()),
+        Some((last, init)) => format!(
+            "`{arg}` is only valid with {} or {last}\n{}",
+            init.join(", "),
+            usage()
+        ),
+    }
+}
+
+/// Parses `--threads` for the pipeline-driving commands.
+fn parse_threads(threads: Option<&str>) -> Result<Option<usize>, CliError> {
+    let Some(value) = threads else { return Ok(None) };
+    let parsed = value.parse::<u64>().map_err(|_| {
+        CliError::usage(format!("--threads needs an unsigned integer, got `{value}`"))
+    })?;
+    if parsed == 0 {
+        return Err(CliError::usage("--threads must be at least 1".to_string()));
+    }
+    Ok(Some(parsed as usize))
+}
+
+/// Renders an artifact through the registered `dot` format — the same
+/// emitter `simc convert --to dot` uses, so every Graphviz export in the
+/// binary shares one code path.
+fn render_dot(artifact: &Artifact<'_>) -> String {
+    simc::formats::by_id("dot")
+        .and_then(|f| f.emit(artifact))
+        .expect("the dot format is registered and emits both artifact kinds")
+}
+
+/// `simc convert`: re-emit the spec (or an EDIF netlist) in a registered
+/// interchange format; `--list` prints the registry as JSON.
+fn convert(
+    spec_path: Option<&String>,
+    list: bool,
+    to: Option<&str>,
+    target: Target,
+    cache: &Option<Arc<dyn Cache>>,
+) -> Result<(), CliError> {
+    if list {
+        print!("{}", simc::formats::listing_json());
+        return Ok(());
+    }
+    let Some(to) = to else {
+        return Err(CliError::usage(format!(
+            "`simc convert` needs `--to <format>` (or `--list`)\n{}",
+            usage()
+        )));
+    };
+    let format = simc::formats::by_id(to)
+        .map_err(|e| CliError::usage(format!("{e}\n{}", simc::formats::listing_json())))?;
+    let (spec, label) = load_spec(spec_path)?;
+    let text = match spec {
+        // An input that is already an EDIF netlist: parse it back and
+        // re-emit without running the synthesis pipeline.
+        Spec::Text(text) if simc::formats::looks_like_edif(&text) => {
+            simc::formats::reemit_cached(
+                cache.as_deref(),
+                &text,
+                &simc::formats::EdifFormat,
+                format,
+            )
+            .map_err(|e| cli_error(simc::Error::from(e), &format!("converting {label}")))?
+        }
+        spec => {
+            let mut pipeline = pipeline_from_spec(spec, &label, target, cache)?;
+            pipeline
+                .converted(to)
+                .map_err(|e| cli_error(e, &format!("converting {label}")))?
+        }
+    };
+    print!("{text}");
+    Ok(())
 }
 
 /// Parses a decimal or `0x`-prefixed hexadecimal u64.
@@ -552,6 +704,18 @@ fn pipeline_for(
     cache: &Option<Arc<dyn Cache>>,
 ) -> Result<Pipeline, CliError> {
     let (spec, label) = load_spec(path)?;
+    pipeline_from_spec(spec, &label, target, cache)
+}
+
+/// Builds and eagerly elaborates a pipeline from an already-loaded spec
+/// (see [`pipeline_for`]; `simc convert` loads the spec itself so it can
+/// sniff EDIF inputs first).
+fn pipeline_from_spec(
+    spec: Spec,
+    label: &str,
+    target: Target,
+    cache: &Option<Arc<dyn Cache>>,
+) -> Result<Pipeline, CliError> {
     let mut pipeline = match spec {
         Spec::Text(text) => Pipeline::from_text(text),
         Spec::Sg(sg) => Pipeline::from_sg(sg),
@@ -671,7 +835,7 @@ fn synth(
         let sg = elaborated(&mut pipeline)?.sg();
         let netlist = simc::mc::complex::synthesize_complex(sg)
             .map_err(|e| CliError::failure(e.to_string()))?;
-        write_dot(dot_path, || netlist.to_dot())?;
+        write_dot(dot_path, || render_dot(&Artifact::Netlist(&netlist)))?;
         if flags.contains(&"--verilog") {
             print!("{}", simc::netlist::primitive_library());
             print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
@@ -690,7 +854,7 @@ fn synth(
         let netlist = implementation
             .to_netlist()
             .map_err(|e| CliError::failure(e.to_string()))?;
-        write_dot(dot_path, || netlist.to_dot())?;
+        write_dot(dot_path, || render_dot(&Artifact::Netlist(&netlist)))?;
         if flags.contains(&"--verilog") {
             print!("{}", simc::netlist::primitive_library());
             print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
@@ -708,7 +872,7 @@ fn synth(
         let netlist = implementation
             .to_netlist()
             .map_err(|e| CliError::failure(e.to_string()))?;
-        write_dot(dot_path, || netlist.to_dot())?;
+        write_dot(dot_path, || render_dot(&Artifact::Netlist(&netlist)))?;
         if flags.contains(&"--verilog") {
             print!("{}", simc::netlist::primitive_library());
             print!("{}", simc::netlist::to_verilog(&netlist, "simc_top"));
@@ -718,7 +882,7 @@ fn synth(
         eprintln!("{}", netlist.stats());
         return Ok(());
     }
-    write_dot(dot_path, || implemented.netlist().to_dot())?;
+    write_dot(dot_path, || render_dot(&Artifact::Netlist(implemented.netlist())))?;
     if flags.contains(&"--verilog") {
         print!("{}", simc::netlist::primitive_library());
         print!("{}", simc::netlist::to_verilog(implemented.netlist(), "simc_top"));
@@ -739,7 +903,7 @@ fn do_verify(
         let sg = elaborated(&mut pipeline)?.sg();
         let netlist = simc::mc::complex::synthesize_complex(sg)
             .map_err(|e| CliError::failure(e.to_string()))?;
-        write_dot(dot_path, || netlist.to_dot())?;
+        write_dot(dot_path, || render_dot(&Artifact::Netlist(&netlist)))?;
         let report = verify(&netlist, sg, VerifyOptions::default())
             .map_err(|e| CliError::failure(e.to_string()))?;
         println!(
@@ -771,7 +935,7 @@ fn do_verify(
         let netlist = implementation
             .to_netlist()
             .map_err(|e| CliError::failure(e.to_string()))?;
-        write_dot(dot_path, || netlist.to_dot())?;
+        write_dot(dot_path, || render_dot(&Artifact::Netlist(&netlist)))?;
         let report = verify(&netlist, &working, VerifyOptions::default())
             .map_err(|e| CliError::failure(e.to_string()))?;
         println!(
@@ -791,7 +955,7 @@ fn do_verify(
     let implemented = pipeline.implemented().map_err(|e| cli_error(e, "synthesis"))?;
     note_insertions(implemented.added_signals());
     // Export before the verdict so hazardous repros stay inspectable.
-    let rendered = dot_path.is_some().then(|| implemented.netlist().to_dot());
+    let rendered = dot_path.is_some().then(|| render_dot(&Artifact::Netlist(implemented.netlist())));
     if let Some(rendered) = rendered {
         write_dot(dot_path, || rendered)?;
     }

@@ -518,9 +518,131 @@ fn serve_round_trips_over_http_and_drains_cleanly() {
     let (status, body) = send("POST", "/v1/verify", "not a spec");
     assert_eq!(status, 400, "{body}");
     assert!(body.contains("\"kind\":\"parse\""), "{body}");
+    // The format registry is one document: the daemon serves the same
+    // bytes the CLI prints for `simc convert --list`.
+    let (status, body) = send("GET", "/v1/formats", "");
+    assert_eq!(status, 200, "{body}");
+    let (list, _, code) = run_with_stdin(&["convert", "--list"], "");
+    assert_eq!(code, 0, "{list}");
+    assert_eq!(body, list, "GET /v1/formats differs from `simc convert --list`");
+    // `/v1/convert` routes through the same registry, keyed by header.
+    let send_convert = |format: Option<&str>, body: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        let header = format.map_or(String::new(), |f| format!("X-Simc-Format: {f}\r\n"));
+        let raw = format!(
+            "POST /v1/convert HTTP/1.1\r\nHost: t\r\n{header}Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("send request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad response `{response}`"));
+        let body = response.split_once("\r\n\r\n").expect("head/body split").1.to_string();
+        (status, body)
+    };
+    let (status, body) = send_convert(Some("edif"), &spec);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"format\":\"edif\""), "{body}");
+    assert!(body.contains("edifVersion"), "{body}");
+    let (status, body) = send_convert(None, &spec);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("X-Simc-Format"), "{body}");
+    let (status, body) = send_convert(Some("xml"), &spec);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("unknown format"), "{body}");
     let (status, body) = send("POST", "/shutdown", "");
     assert_eq!(status, 200, "{body}");
 
     let status = child.wait().expect("serve exits");
     assert!(status.success(), "serve exit: {status:?}");
+}
+
+#[test]
+fn convert_emits_formats_and_round_trips() {
+    let tmp = TempDir::new("convert");
+    let (list, _, code) = run_with_stdin(&["convert", "--list"], "");
+    assert_eq!(code, 0, "{list}");
+    for id in ["\"sg\"", "\"edif\"", "\"spice\"", "\"dot\""] {
+        assert!(list.contains(id), "registry listing lacks {id}: {list}");
+    }
+    let (edif, err, code) = run_with_stdin(&["convert", "benchmarks/Delement", "--to", "edif"], "");
+    assert_eq!(code, 0, "{err}");
+    assert!(edif.contains("edifVersion"), "{edif}");
+    // Re-converting the emitted deck must be byte-identical: after one
+    // parse the port order is the net order, so emit ∘ parse is the
+    // identity on emitted files.
+    let deck = tmp.file("d.edif");
+    std::fs::write(&deck, &edif).expect("write deck");
+    let (again, err, code) = run_with_stdin(&["convert", &deck, "--to", "edif"], "");
+    assert_eq!(code, 0, "{err}");
+    assert_eq!(again, edif, "EDIF re-emission is not idempotent");
+    // The other writers accept both spec and EDIF inputs.
+    let (spice, err, code) = run_with_stdin(&["convert", &deck, "--to", "spice"], "");
+    assert_eq!(code, 0, "{err}");
+    assert!(spice.contains(".subckt"), "{spice}");
+    let (dot, err, code) = run_with_stdin(&["convert", "benchmarks/Delement", "--to", "dot"], "");
+    assert_eq!(code, 0, "{err}");
+    assert!(dot.contains("digraph netlist"), "{dot}");
+}
+
+#[test]
+fn convert_rejects_bad_requests() {
+    let (_, err, code) = run_with_stdin(&["convert", "benchmarks/Delement", "--to", "xml"], "");
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("unknown format"), "{err}");
+    let (_, err, code) = run_with_stdin(&["convert", "benchmarks/Delement"], "");
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("--to"), "{err}");
+    // Malformed EDIF fails with a typed, line-carrying error — exit 2,
+    // the same contract as a malformed `.g`/`.sg` spec.
+    let broken = "(edif simc\n  (edifVersion 2 0 0";
+    let (_, err, code) = run_with_stdin(&["convert", "-", "--to", "edif"], broken);
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("line"), "{err}");
+}
+
+#[test]
+fn convert_warm_cache_skips_reemission() {
+    let tmp = TempDir::new("convert_cache");
+    let cache_dir = tmp.file("cache");
+    let cold_stats = tmp.file("cold.json");
+    let warm_stats = tmp.file("warm.json");
+    let run = |stats: &str| {
+        run_with_stdin(
+            &[
+                "convert",
+                "benchmarks/Delement",
+                "--to",
+                "edif",
+                "--cache-dir",
+                &cache_dir,
+                "--stats-json",
+                stats,
+            ],
+            "",
+        )
+    };
+    let (cold, cold_err, code) = run(&cold_stats);
+    assert_eq!(code, 0, "{cold_err}");
+    let (warm, warm_err, code) = run(&warm_stats);
+    assert_eq!(code, 0, "{warm_err}");
+    assert_eq!(cold, warm, "cached conversion differs from cold");
+    let counter = |path: &str, name: &str| {
+        let text = std::fs::read_to_string(path).expect("stats written");
+        let doc = simc::obs::json::parse(&text).expect("stats JSON parses");
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(simc::obs::json::Value::as_u64)
+    };
+    // Cold run does the emission; the warm run is answered entirely by
+    // the shared cache — no emit, no cache miss.
+    assert_eq!(counter(&cold_stats, "convert.emits"), Some(1), "cold run should emit once");
+    assert_eq!(counter(&warm_stats, "convert.emits"), Some(0), "warm run re-emitted");
+    assert_eq!(counter(&warm_stats, "cache.misses"), Some(0), "warm run missed the cache");
+    let hits = counter(&warm_stats, "cache.hits");
+    assert!(hits.is_some_and(|n| n > 0), "warm run shows no cache hits");
 }
